@@ -1,0 +1,44 @@
+"""Benchmark helpers: one simulated experiment = one benchmark unit.
+
+``pytest-benchmark`` times the *simulation* (our stand-in for the
+paper's testbed); the assertions check the reproduced numbers hold the
+paper's shape: who wins, by roughly what factor, where curves bend.
+Tolerances are deliberately loose (the substitution argument in
+DESIGN.md §1 targets shape, not microsecond equality).
+"""
+
+import pytest
+
+from repro.cluster import (
+    build_myrinet_cluster,
+    build_quadrics_cluster,
+    run_barrier_experiment,
+)
+
+BENCH_ITERATIONS = 60
+BENCH_WARMUP = 10
+
+
+def measure_myrinet(profile, barrier, n, algorithm="dissemination",
+                    iterations=BENCH_ITERATIONS):
+    cluster = build_myrinet_cluster(profile, nodes=n)
+    result = run_barrier_experiment(
+        cluster, barrier, algorithm, iterations=iterations, warmup=BENCH_WARMUP
+    )
+    return result
+
+
+def measure_quadrics(barrier, n, algorithm="dissemination",
+                     iterations=BENCH_ITERATIONS):
+    cluster = build_quadrics_cluster(nodes=n)
+    result = run_barrier_experiment(
+        cluster, barrier, algorithm, iterations=iterations, warmup=BENCH_WARMUP
+    )
+    return result
+
+
+def assert_close(ours, paper, rel=0.25, label=""):
+    assert abs(ours - paper) <= rel * paper, (
+        f"{label}: ours={ours:.2f} vs paper={paper:.2f} "
+        f"(outside {rel * 100:.0f}% band)"
+    )

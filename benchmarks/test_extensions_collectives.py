@@ -1,0 +1,198 @@
+"""Bench: the §9 extension collectives (broadcast, allgather).
+
+Not paper figures — the paper proposes these as future work — but they
+exercise the same collective protocol, so the same structural claims
+must hold: NIC-level forwarding beats host-driven chains, and packet
+counts match the trees exactly.
+"""
+
+import math
+
+import pytest
+
+from repro.cluster import build_myrinet_cluster
+from repro.collectives import (
+    NicBroadcastEngine,
+    ProcessGroup,
+    nic_broadcast_recv,
+    nic_broadcast_root,
+)
+from repro.collectives.allgather import NicAllgatherEngine, nic_allgather
+from repro.collectives.allreduce import NicAllreduceEngine, nic_allreduce
+from repro.collectives.alltoall import NicAlltoallEngine, nic_alltoall
+
+PROFILE = "lanai_xp_xeon2400"
+
+
+def run_broadcast(n, size_bytes, repeats=20):
+    cluster = build_myrinet_cluster(PROFILE, nodes=n)
+    group = ProcessGroup(list(range(n)))
+    for rank in range(n):
+        NicBroadcastEngine(cluster.nics[rank], group, rank)
+    finish = {}
+
+    def root():
+        for seq in range(repeats):
+            yield from nic_broadcast_root(cluster.ports[0], group, seq, size_bytes, seq)
+        finish[0] = cluster.sim.now
+
+    def leaf(node):
+        for seq in range(repeats):
+            yield from nic_broadcast_recv(cluster.ports[node], group, seq)
+        finish[node] = cluster.sim.now
+
+    cluster.sim.process(root())
+    for node in range(1, n):
+        cluster.sim.process(leaf(node))
+    cluster.sim.run()
+    return cluster, max(finish.values()) / repeats
+
+
+def run_allgather(n, repeats=20):
+    cluster = build_myrinet_cluster(PROFILE, nodes=n)
+    group = ProcessGroup(list(range(n)))
+    for rank in range(n):
+        NicAllgatherEngine(cluster.nics[rank], group, rank)
+    finish = {}
+
+    def prog(node):
+        for seq in range(repeats):
+            gathered = yield from nic_allgather(cluster.ports[node], group, seq, node)
+            assert len(gathered) == n
+        finish[node] = cluster.sim.now
+
+    for node in range(n):
+        cluster.sim.process(prog(node))
+    cluster.sim.run()
+    return cluster, max(finish.values()) / repeats
+
+
+def test_broadcast_latency_scales_with_log_n(benchmark):
+    def run():
+        return {n: run_broadcast(n, 64)[1] for n in (2, 4, 8, 16)}
+
+    latency = benchmark.pedantic(run, rounds=1, iterations=1)
+    # One binomial-tree level per log2 step: roughly linear in log2 N.
+    per_level_2 = latency[4] - latency[2]
+    per_level_8 = latency[16] - latency[8]
+    assert latency[2] < latency[4] < latency[8] < latency[16]
+    assert per_level_8 < 3 * per_level_2 + 1.0
+
+
+def test_broadcast_message_count_exact(benchmark):
+    def run():
+        cluster, _ = run_broadcast(8, 64, repeats=10)
+        return cluster.tracer.counters["wire.bcast"]
+
+    count = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert count == 7 * 10  # N-1 hops per broadcast
+
+
+def test_broadcast_payload_size_affects_latency(benchmark):
+    def run():
+        return (run_broadcast(8, 8)[1], run_broadcast(8, 4096)[1])
+
+    small, large = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert large > small
+
+
+def test_allgather_latency_scales_with_log_n(benchmark):
+    def run():
+        return {n: run_allgather(n)[1] for n in (2, 4, 8, 16)}
+
+    latency = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert latency[2] < latency[4] < latency[8] < latency[16]
+
+
+def test_allgather_message_count_matches_dissemination(benchmark):
+    def run():
+        cluster, _ = run_allgather(8, repeats=10)
+        return cluster.tracer.counters["wire.bcast"]
+
+    count = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert count == 8 * math.ceil(math.log2(8)) * 10
+
+
+def run_alltoall(n, repeats=20):
+    cluster = build_myrinet_cluster(PROFILE, nodes=n)
+    group = ProcessGroup(list(range(n)))
+    for rank in range(n):
+        NicAlltoallEngine(cluster.nics[rank], group, rank)
+    finish = []
+
+    def prog(node):
+        for seq in range(repeats):
+            blocks = {dst: (node, dst) for dst in range(n)}
+            received = yield from nic_alltoall(cluster.ports[node], group, seq, blocks)
+            assert len(received) == n
+        finish.append(cluster.sim.now)
+
+    for node in range(n):
+        cluster.sim.process(prog(node))
+    cluster.sim.run()
+    return cluster, max(finish) / repeats
+
+
+def test_alltoall_bruck_message_count(benchmark):
+    """log2 rounds (Bruck), not the N-1 of a naive linear exchange."""
+
+    def run():
+        cluster, _ = run_alltoall(8, repeats=10)
+        return cluster.tracer.counters["wire.bcast"]
+
+    count = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert count == 8 * math.ceil(math.log2(8)) * 10
+
+
+def test_alltoall_scales_with_log_n(benchmark):
+    def run():
+        return {n: run_alltoall(n)[1] for n in (2, 4, 8, 16)}
+
+    latency = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert latency[2] < latency[4] < latency[8] < latency[16]
+    # Bruck's log rounds: 16 ranks should cost far less than 8x the
+    # 2-rank exchange (a linear algorithm would be ~15x).
+    assert latency[16] < 5 * latency[2]
+
+
+def test_allreduce_matches_allgather_cost(benchmark):
+    """Gather-combine allreduce: same wire work as allgather, plus a
+    final on-NIC reduction — latencies should be near-identical."""
+
+    def run():
+        cluster = build_myrinet_cluster(PROFILE, nodes=8)
+        group = ProcessGroup(list(range(8)))
+        for rank in range(8):
+            NicAllreduceEngine(cluster.nics[rank], group, rank)
+        finish = []
+
+        def prog(node):
+            for seq in range(20):
+                total = yield from nic_allreduce(
+                    cluster.ports[node], group, seq, node, op="sum"
+                )
+                assert total == 28
+            finish.append(cluster.sim.now)
+
+        for node in range(8):
+            cluster.sim.process(prog(node))
+        cluster.sim.run()
+        allreduce_lat = max(finish) / 20
+        _, allgather_lat = run_allgather(8)
+        return allreduce_lat, allgather_lat
+
+    allreduce_lat, allgather_lat = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert allreduce_lat == pytest.approx(allgather_lat, rel=0.10)
+
+
+def test_allgather_costs_more_than_barrier(benchmark):
+    """Same pattern, but data grows per round: allgather > barrier."""
+    from benchmarks.conftest import measure_myrinet
+
+    def run():
+        barrier = measure_myrinet(PROFILE, "nic-collective", 8, iterations=20)
+        _, allgather_latency = run_allgather(8)
+        return barrier.mean_latency_us, allgather_latency
+
+    barrier_us, allgather_us = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert allgather_us > barrier_us

@@ -1,0 +1,75 @@
+"""Bench: Fig. 5 — Myrinet LANai 9.1 barrier series (16-node 700 MHz).
+
+Regenerates the figure's four series and checks the paper's shape:
+25.72 µs NIC-based at 16 nodes, 3.38x over host-based, PE bumps at
+non-powers of two.
+"""
+
+import pytest
+
+from benchmarks.conftest import assert_close, measure_myrinet
+
+PROFILE = "lanai91_piii700"
+
+
+@pytest.mark.parametrize("n", [2, 4, 8, 16])
+def test_nic_ds_curve(benchmark, n):
+    result = benchmark.pedantic(
+        measure_myrinet, args=(PROFILE, "nic-collective", n), rounds=1, iterations=1
+    )
+    assert result.mean_latency_us > 0
+    if n == 16:
+        assert_close(result.mean_latency_us, 25.72, rel=0.15,
+                     label="Fig5 NIC-DS @ 16")
+
+
+@pytest.mark.parametrize("n", [2, 4, 8, 16])
+def test_host_ds_curve(benchmark, n):
+    result = benchmark.pedantic(
+        measure_myrinet, args=(PROFILE, "host", n), rounds=1, iterations=1
+    )
+    if n == 16:
+        assert_close(result.mean_latency_us, 86.9, rel=0.20,
+                     label="Fig5 Host-DS @ 16")
+
+
+def test_improvement_factor_at_16(benchmark):
+    def both():
+        nic = measure_myrinet(PROFILE, "nic-collective", 16)
+        host = measure_myrinet(PROFILE, "host", 16)
+        return host.mean_latency_us / nic.mean_latency_us
+
+    factor = benchmark.pedantic(both, rounds=1, iterations=1)
+    assert_close(factor, 3.38, rel=0.20, label="Fig5 improvement factor")
+
+
+def test_pe_matches_ds_at_powers_of_two(benchmark):
+    def run():
+        pe = measure_myrinet(PROFILE, "nic-collective", 16, "pairwise-exchange")
+        ds = measure_myrinet(PROFILE, "nic-collective", 16, "dissemination")
+        return pe.mean_latency_us, ds.mean_latency_us
+
+    pe, ds = benchmark.pedantic(run, rounds=1, iterations=1)
+    # "a barrier latency of 25.72us is achieved with both algorithms"
+    assert abs(pe - ds) / ds < 0.10
+
+
+def test_pe_penalty_at_non_power_of_two(benchmark):
+    def run():
+        pe = measure_myrinet(PROFILE, "nic-collective", 12, "pairwise-exchange")
+        ds = measure_myrinet(PROFILE, "nic-collective", 12, "dissemination")
+        return pe.mean_latency_us, ds.mean_latency_us
+
+    pe, ds = benchmark.pedantic(run, rounds=1, iterations=1)
+    # "The pairwise-exchange algorithm tends to have a larger latency
+    # over non-power of two number of nodes for the extra step it takes."
+    assert pe > ds
+
+
+def test_latency_monotone_in_nodes(benchmark):
+    def run():
+        return [measure_myrinet(PROFILE, "nic-collective", n).mean_latency_us
+                for n in (2, 4, 8, 16)]
+
+    curve = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert curve == sorted(curve)

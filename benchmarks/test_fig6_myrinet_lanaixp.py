@@ -1,0 +1,71 @@
+"""Bench: Fig. 6 — Myrinet LANai-XP barrier series (8-node 2.4 GHz).
+
+Anchors: 14.20 µs NIC-based at 8 nodes; 2.64x over host-based; and the
+cross-figure observation that this cluster's improvement factor is
+*smaller* than the 700 MHz cluster's (faster host CPU + PCI-X).
+"""
+
+import pytest
+
+from benchmarks.conftest import assert_close, measure_myrinet
+
+PROFILE = "lanai_xp_xeon2400"
+
+
+@pytest.mark.parametrize("n", [2, 4, 6, 8])
+def test_nic_ds_curve(benchmark, n):
+    result = benchmark.pedantic(
+        measure_myrinet, args=(PROFILE, "nic-collective", n), rounds=1, iterations=1
+    )
+    if n == 8:
+        assert_close(result.mean_latency_us, 14.20, rel=0.15,
+                     label="Fig6 NIC-DS @ 8")
+
+
+@pytest.mark.parametrize("n", [2, 4, 8])
+def test_host_ds_curve(benchmark, n):
+    result = benchmark.pedantic(
+        measure_myrinet, args=(PROFILE, "host", n), rounds=1, iterations=1
+    )
+    if n == 8:
+        assert_close(result.mean_latency_us, 37.5, rel=0.20,
+                     label="Fig6 Host-DS @ 8")
+
+
+def test_improvement_factor_at_8(benchmark):
+    def both():
+        nic = measure_myrinet(PROFILE, "nic-collective", 8)
+        host = measure_myrinet(PROFILE, "host", 8)
+        return host.mean_latency_us / nic.mean_latency_us
+
+    factor = benchmark.pedantic(both, rounds=1, iterations=1)
+    assert_close(factor, 2.64, rel=0.20, label="Fig6 improvement factor")
+
+
+def test_faster_host_shrinks_the_win(benchmark):
+    """§8.1: the Xeon/PCI-X cluster's factor < the P-III cluster's."""
+
+    def both_factors():
+        xp_nic = measure_myrinet(PROFILE, "nic-collective", 8)
+        xp_host = measure_myrinet(PROFILE, "host", 8)
+        p3_nic = measure_myrinet("lanai91_piii700", "nic-collective", 8)
+        p3_host = measure_myrinet("lanai91_piii700", "host", 8)
+        return (
+            xp_host.mean_latency_us / xp_nic.mean_latency_us,
+            p3_host.mean_latency_us / p3_nic.mean_latency_us,
+        )
+
+    xp_factor, p3_factor = benchmark.pedantic(both_factors, rounds=1, iterations=1)
+    assert xp_factor < p3_factor
+
+
+def test_nic_barrier_beats_direct_scheme(benchmark):
+    """The new collective protocol vs the prior-work direct scheme."""
+
+    def both():
+        coll = measure_myrinet(PROFILE, "nic-collective", 8)
+        direct = measure_myrinet(PROFILE, "nic-direct", 8)
+        return coll.mean_latency_us, direct.mean_latency_us
+
+    coll, direct = benchmark.pedantic(both, rounds=1, iterations=1)
+    assert coll < direct

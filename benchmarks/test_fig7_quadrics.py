@@ -1,0 +1,88 @@
+"""Bench: Fig. 7 — Quadrics/Elan3 barrier comparison (8 nodes).
+
+Anchors: NIC barrier 5.60 µs at 8 nodes, 2.48x over the Elanlib tree
+barrier; ``elan_hgsync`` ~4.20 µs, beaten by the NIC barrier at small
+node counts.
+"""
+
+import pytest
+
+from benchmarks.conftest import assert_close, measure_quadrics
+
+
+@pytest.mark.parametrize("n", [2, 4, 8])
+def test_nic_chained_curve(benchmark, n):
+    result = benchmark.pedantic(
+        measure_quadrics, args=("nic-chained", n), rounds=1, iterations=1
+    )
+    if n == 8:
+        assert_close(result.mean_latency_us, 5.60, rel=0.15,
+                     label="Fig7 NIC barrier @ 8")
+
+
+@pytest.mark.parametrize("n", [2, 4, 8])
+def test_gsync_curve(benchmark, n):
+    result = benchmark.pedantic(
+        measure_quadrics, args=("gsync", n), rounds=1, iterations=1
+    )
+    if n == 8:
+        assert_close(result.mean_latency_us, 13.9, rel=0.20,
+                     label="Fig7 elan_gsync @ 8")
+
+
+@pytest.mark.parametrize("n", [2, 4, 8])
+def test_hgsync_curve(benchmark, n):
+    result = benchmark.pedantic(
+        measure_quadrics, args=("hgsync", n), rounds=1, iterations=1
+    )
+    if n == 8:
+        assert_close(result.mean_latency_us, 4.20, rel=0.20,
+                     label="Fig7 elan_hgsync @ 8")
+
+
+def test_improvement_factor_over_tree(benchmark):
+    def both():
+        nic = measure_quadrics("nic-chained", 8)
+        tree = measure_quadrics("gsync", 8)
+        return tree.mean_latency_us / nic.mean_latency_us
+
+    factor = benchmark.pedantic(both, rounds=1, iterations=1)
+    assert_close(factor, 2.48, rel=0.20, label="Fig7 improvement factor")
+
+
+def test_nic_beats_hardware_barrier_at_small_n(benchmark):
+    """§8.2: "For a small number of nodes, the hardware barrier performs
+
+    worse than the NIC-based barrier operation"."""
+
+    def both():
+        nic = measure_quadrics("nic-chained", 2)
+        hw = measure_quadrics("hgsync", 2)
+        return nic.mean_latency_us, hw.mean_latency_us
+
+    nic, hw = benchmark.pedantic(both, rounds=1, iterations=1)
+    assert nic < hw
+
+
+def test_hardware_barrier_wins_at_8(benchmark):
+    """...but at 8 nodes the (synchronized) hardware barrier is faster."""
+
+    def both():
+        nic = measure_quadrics("nic-chained", 8)
+        hw = measure_quadrics("hgsync", 8)
+        return nic.mean_latency_us, hw.mean_latency_us
+
+    nic, hw = benchmark.pedantic(both, rounds=1, iterations=1)
+    assert hw < nic
+
+
+def test_hgsync_flatter_than_nic_barrier(benchmark):
+    """The hardware barrier's latency is nearly flat in N."""
+
+    def spread():
+        hg = [measure_quadrics("hgsync", n).mean_latency_us for n in (2, 4, 8)]
+        nic = [measure_quadrics("nic-chained", n).mean_latency_us for n in (2, 4, 8)]
+        return (max(hg) - min(hg), max(nic) - min(nic))
+
+    hg_spread, nic_spread = benchmark.pedantic(spread, rounds=1, iterations=1)
+    assert hg_spread < nic_spread

@@ -1,0 +1,72 @@
+"""Bench: the paper's headline table (abstract + §8 + prior work).
+
+Every number the abstract quotes, regenerated and checked as a band:
+
+- 5.60 µs @ 8-node Quadrics (2.48x over the Elanlib tree barrier);
+- 14.20 µs @ 8-node Myrinet LANai-XP (2.64x over host-based);
+- 25.72 µs @ 16-node Myrinet LANai 9.1 (3.38x over host-based);
+- the prior-work direct scheme's 1.86x — i.e. the *separate collective
+  protocol* roughly doubles what plain NIC offload achieved.
+"""
+
+import pytest
+
+from benchmarks.conftest import assert_close, measure_myrinet, measure_quadrics
+
+
+def test_quadrics_headline(benchmark):
+    result = benchmark.pedantic(
+        measure_quadrics, args=("nic-chained", 8), rounds=1, iterations=1
+    )
+    assert_close(result.mean_latency_us, 5.60, rel=0.15, label="Quadrics @ 8")
+
+
+def test_myrinet_xp_headline(benchmark):
+    result = benchmark.pedantic(
+        measure_myrinet, args=("lanai_xp_xeon2400", "nic-collective", 8),
+        rounds=1, iterations=1,
+    )
+    assert_close(result.mean_latency_us, 14.20, rel=0.15, label="Myrinet XP @ 8")
+
+
+def test_myrinet_91_headline(benchmark):
+    result = benchmark.pedantic(
+        measure_myrinet, args=("lanai91_piii700", "nic-collective", 16),
+        rounds=1, iterations=1,
+    )
+    assert_close(result.mean_latency_us, 25.72, rel=0.15, label="Myrinet 9.1 @ 16")
+
+
+def test_direct_scheme_factor(benchmark):
+    """Prior work's direct scheme achieved 1.86x on this cluster; the
+    collective protocol should clearly beat it (3.38x)."""
+
+    def run():
+        host = measure_myrinet("lanai91_piii700", "host", 16)
+        direct = measure_myrinet("lanai91_piii700", "nic-direct", 16)
+        coll = measure_myrinet("lanai91_piii700", "nic-collective", 16)
+        return (
+            host.mean_latency_us / direct.mean_latency_us,
+            host.mean_latency_us / coll.mean_latency_us,
+        )
+
+    direct_factor, coll_factor = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert_close(direct_factor, 1.86, rel=0.25, label="direct scheme factor")
+    assert coll_factor > direct_factor * 1.4
+
+
+def test_ordering_of_all_three_schemes(benchmark):
+    """collective < direct < host on every Myrinet cluster."""
+
+    def run():
+        out = {}
+        for profile in ("lanai_xp_xeon2400", "lanai91_piii700"):
+            out[profile] = tuple(
+                measure_myrinet(profile, barrier, 8).mean_latency_us
+                for barrier in ("nic-collective", "nic-direct", "host")
+            )
+        return out
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    for profile, (coll, direct, host) in results.items():
+        assert coll < direct < host, profile

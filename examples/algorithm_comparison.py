@@ -1,0 +1,67 @@
+#!/usr/bin/env python
+"""Compare the three barrier algorithms of §5 across schemes and sizes.
+
+Gather-broadcast, pairwise-exchange and dissemination differ in step
+count and message pattern:
+
+- gather-broadcast:   2*log_d(N) sequential tree levels,
+- pairwise-exchange:  log2(N) steps (+2 at non-powers of two),
+- dissemination:      ceil(log2 N) steps always.
+
+The paper implements PE and DS (GB loses on step count, §5.2).  This
+example measures all three host-based, then PE/DS for the NIC-based
+scheme, on the LANai 9.1 cluster — watch the PE bumps at N = 6, 12
+and the DS curve's clean log2 plateaus.
+
+Run:  python examples/algorithm_comparison.py
+"""
+
+from repro.cluster import build_myrinet_cluster, run_barrier_experiment
+from repro.collectives import make_schedule
+
+PROFILE = "lanai91_piii700"
+SIZES = [2, 3, 4, 6, 8, 12, 16]
+
+
+def measure(barrier: str, algorithm: str, n: int) -> float:
+    cluster = build_myrinet_cluster(PROFILE, nodes=n)
+    result = run_barrier_experiment(
+        cluster, barrier, algorithm, iterations=80, warmup=10
+    )
+    return result.mean_latency_us
+
+
+def main() -> None:
+    print("Schedule properties (messages per barrier / max steps):")
+    print(f"{'N':>4} {'gather-bcast':>16} {'pairwise-exch':>16} {'dissemination':>16}")
+    for n in SIZES:
+        cells = []
+        for algo in ("gather-broadcast", "pairwise-exchange", "dissemination"):
+            sched = make_schedule(algo, n)
+            cells.append(f"{sched.total_messages():>7}/{sched.max_steps:<2}")
+        print(f"{n:>4} " + " ".join(f"{c:>16}" for c in cells))
+    print()
+
+    print("Host-based barrier latency (us):")
+    print(f"{'N':>4} {'Host-GB':>10} {'Host-PE':>10} {'Host-DS':>10}")
+    for n in SIZES:
+        gb = measure("host", "gather-broadcast", n)
+        pe = measure("host", "pairwise-exchange", n)
+        ds = measure("host", "dissemination", n)
+        print(f"{n:>4} {gb:>10.2f} {pe:>10.2f} {ds:>10.2f}")
+    print()
+
+    print("NIC-based (collective protocol) barrier latency (us):")
+    print(f"{'N':>4} {'NIC-PE':>10} {'NIC-DS':>10}")
+    for n in SIZES:
+        pe = measure("nic-collective", "pairwise-exchange", n)
+        ds = measure("nic-collective", "dissemination", n)
+        marker = "  <- non-power-of-two PE penalty" if n & (n - 1) and pe > ds else ""
+        print(f"{n:>4} {pe:>10.2f} {ds:>10.2f}{marker}")
+    print()
+    print("As in §5.2/§8.1: GB needs the most steps; PE pays two extra")
+    print("steps at non-powers of two; DS is uniform at ceil(log2 N).")
+
+
+if __name__ == "__main__":
+    main()

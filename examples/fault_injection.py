@@ -1,0 +1,89 @@
+#!/usr/bin/env python
+"""Fault injection: watch receiver-driven retransmission recover a barrier.
+
+Myrinet gives no delivery guarantee, so GM implements reliability in the
+control program.  The paper's collective protocol (§6.3) replaces GM's
+per-packet ACK + sender-timeout machinery with *receiver-driven* NACKs:
+no ACKs at all; a receiver missing an expected barrier message after a
+timeout asks the sender to retransmit.  Packets on the wire drop by half
+— and loss recovery still works.
+
+This example:
+
+1. drops one specific barrier message (a scripted, deterministic drop);
+2. runs barriers under 2% random loss;
+3. prints the wire/NACK accounting for both the collective protocol and
+   the prior-work direct scheme (ACK-based) under identical loss.
+
+Run:  python examples/fault_injection.py
+"""
+
+from repro.cluster import build_myrinet_cluster, run_barrier_experiment
+from repro.network import FaultInjector, PacketKind
+from repro.sim import DeterministicRng
+
+
+def scripted_single_loss() -> None:
+    print("=" * 64)
+    print("1. Deterministic loss: drop the first barrier packet to node 3")
+    print("=" * 64)
+    faults = FaultInjector()
+    faults.drop_nth_matching(
+        lambda p: p.kind == PacketKind.BARRIER and p.dst == 3, occurrence=1
+    )
+    cluster = build_myrinet_cluster("lanai_xp_xeon2400", nodes=8, faults=faults)
+    result = run_barrier_experiment(
+        cluster, "nic-collective", "dissemination", iterations=50, warmup=5
+    )
+    print(f"barriers completed : {result.iterations + result.warmup} iterations ran")
+    print(f"mean latency       : {result.mean_latency_us:.2f} us")
+    print(f"packets dropped    : {faults.dropped}")
+    nacks = cluster.tracer.counters.get("coll.nack_sent", 0)
+    retx = cluster.tracer.counters.get("coll.nack_retransmit", 0)
+    print(f"NACKs sent         : {nacks}")
+    print(f"NACK retransmits   : {retx}")
+    print()
+
+
+def random_loss(scheme: str, drop_probability: float = 0.02) -> dict:
+    faults = FaultInjector(
+        rng=DeterministicRng(42, "faults"), drop_probability=drop_probability
+    )
+    cluster = build_myrinet_cluster("lanai_xp_xeon2400", nodes=8, faults=faults)
+    result = run_barrier_experiment(
+        cluster, scheme, "dissemination", iterations=100, warmup=10
+    )
+    c = cluster.tracer.counters
+    return {
+        "scheme": scheme,
+        "latency": result.mean_latency_us,
+        "dropped": faults.dropped,
+        "wire.barrier": c.get("wire.barrier", 0),
+        "wire.ack": c.get("wire.ack", 0),
+        "wire.nack": c.get("wire.nack", 0),
+        "gm.retransmit": c.get("gm.retransmit", 0),
+        "coll.nack_retransmit": c.get("coll.nack_retransmit", 0),
+    }
+
+
+def main() -> None:
+    scripted_single_loss()
+
+    print("=" * 64)
+    print("2. 2% random wire loss: collective (NACK) vs direct (ACK) scheme")
+    print("=" * 64)
+    rows = [random_loss("nic-collective"), random_loss("nic-direct")]
+    keys = ["latency", "dropped", "wire.barrier", "wire.ack", "wire.nack",
+            "gm.retransmit", "coll.nack_retransmit"]
+    print(f"{'':<22}" + "".join(f"{r['scheme']:>16}" for r in rows))
+    for key in keys:
+        print(f"{key:<22}" + "".join(f"{r[key]:>16.2f}" if key == 'latency'
+                                     else f"{r[key]:>16}" for r in rows))
+    print()
+    print("Every barrier completed under loss in both schemes.  The")
+    print("collective protocol moved half the packets (no ACKs) and paid")
+    print("retransmissions only where something was actually lost.")
+
+
+if __name__ == "__main__":
+    main()

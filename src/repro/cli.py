@@ -1,0 +1,133 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+- ``run``         — one barrier experiment (profile, scheme, algorithm,
+  node count, iterations), printing the measured latency and counters.
+- ``profiles``    — list the calibrated hardware profiles.
+- ``experiment``  — run one named experiment harness (fig5, fig6, fig7,
+  fig8, headline, ablation, skew, extensions, sensitivity).
+- ``report``      — regenerate EXPERIMENTS.md (delegates to
+  :mod:`repro.experiments.report`).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+from repro._version import __version__
+
+
+def _cmd_profiles(args: argparse.Namespace) -> int:
+    from repro.cluster import PROFILES
+
+    for name, profile in PROFILES.items():
+        print(f"{name:<22} [{profile.network:<8}] {profile.description}")
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    from repro.cluster import build_cluster, get_profile, run_barrier_experiment
+
+    profile = get_profile(args.profile)
+    cluster = build_cluster(profile, args.nodes)
+    result = run_barrier_experiment(
+        cluster,
+        args.barrier,
+        args.algorithm,
+        iterations=args.iterations,
+        warmup=args.warmup,
+        seed=args.seed,
+    )
+    print(result)
+    print(f"  mean  : {result.mean_latency_us:.2f} us")
+    print(f"  min   : {result.min_iteration_us:.2f} us")
+    print(f"  max   : {result.max_iteration_us:.2f} us")
+    if args.counters:
+        for key in sorted(result.counters):
+            print(f"  {key:<24} {result.counters[key]}")
+    return 0
+
+
+def _cmd_experiment(args: argparse.Namespace) -> int:
+    import importlib
+
+    from repro.experiments.common import print_experiment
+
+    module = importlib.import_module(f"repro.experiments.{args.name}")
+    print_experiment(module.run(quick=args.quick))
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from repro.experiments.report import main as report_main
+
+    forwarded = []
+    if args.quick:
+        forwarded.append("--quick")
+    forwarded.extend(["--out", args.out])
+    return report_main(forwarded)
+
+
+EXPERIMENT_NAMES = [
+    "fig5", "fig6", "fig7", "fig8", "headline",
+    "ablation", "skew", "extensions", "sensitivity",
+]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="NIC-based collective protocol reproduction (Yu et al., IPPS 2004)",
+    )
+    parser.add_argument("--version", action="version", version=__version__)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("profiles", help="list calibrated hardware profiles")
+
+    run_parser = sub.add_parser("run", help="run one barrier experiment")
+    run_parser.add_argument("--profile", default="lanai_xp_xeon2400")
+    run_parser.add_argument(
+        "--barrier",
+        default="nic-collective",
+        choices=["host", "nic-direct", "nic-collective", "gsync", "hgsync", "nic-chained"],
+    )
+    run_parser.add_argument(
+        "--algorithm",
+        default="dissemination",
+        choices=["dissemination", "pairwise-exchange", "gather-broadcast"],
+    )
+    run_parser.add_argument("--nodes", type=int, default=8)
+    run_parser.add_argument("--iterations", type=int, default=200)
+    run_parser.add_argument("--warmup", type=int, default=30)
+    run_parser.add_argument("--seed", type=int, default=0)
+    run_parser.add_argument("--counters", action="store_true",
+                            help="print traffic counters")
+
+    exp_parser = sub.add_parser("experiment", help="run one experiment harness")
+    exp_parser.add_argument("name", choices=EXPERIMENT_NAMES)
+    exp_parser.add_argument("--quick", action="store_true")
+
+    report_parser = sub.add_parser("report", help="regenerate EXPERIMENTS.md")
+    report_parser.add_argument("--quick", action="store_true")
+    report_parser.add_argument("--out", default="EXPERIMENTS.md")
+
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    handlers = {
+        "profiles": _cmd_profiles,
+        "run": _cmd_run,
+        "experiment": _cmd_experiment,
+        "report": _cmd_report,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,24 @@
+"""Cluster assembly: hardware profiles, builders, experiment runner."""
+
+from repro.cluster.profiles import PROFILES, HardwareProfile, get_profile
+from repro.cluster.builder import (
+    MyrinetCluster,
+    QuadricsCluster,
+    build_cluster,
+    build_myrinet_cluster,
+    build_quadrics_cluster,
+)
+from repro.cluster.runner import BarrierResult, run_barrier_experiment
+
+__all__ = [
+    "HardwareProfile",
+    "PROFILES",
+    "get_profile",
+    "MyrinetCluster",
+    "QuadricsCluster",
+    "build_cluster",
+    "build_myrinet_cluster",
+    "build_quadrics_cluster",
+    "BarrierResult",
+    "run_barrier_experiment",
+]

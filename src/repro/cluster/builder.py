@@ -1,0 +1,154 @@
+"""Assemble a simulated cluster from a hardware profile."""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+from repro.cluster.profiles import HardwareProfile, get_profile
+from repro.host import HostCpu
+from repro.myrinet import GmPort, LanaiNic
+from repro.network import Fabric, FaultInjector
+from repro.pci import PciBus
+from repro.quadrics import Elan3Nic, ElanPort, HardwareBarrier
+from repro.sim import Simulator, Tracer
+from repro.topology import ClosTopology, QuaternaryFatTree
+
+
+class _ClusterBase:
+    """Shared plumbing: one simulator, fabric, and per-node host stack."""
+
+    def __init__(
+        self,
+        profile: HardwareProfile,
+        nodes: int,
+        tracer: Optional[Tracer] = None,
+        faults: Optional[FaultInjector] = None,
+    ):
+        if nodes < 1:
+            raise ValueError("cluster needs at least one node")
+        if nodes > profile.max_nodes:
+            raise ValueError(
+                f"profile {profile.name} supports at most {profile.max_nodes} nodes"
+            )
+        self.profile = profile
+        self.n = nodes
+        self.sim = Simulator()
+        self.tracer = tracer or Tracer()
+        self.faults = faults
+        self.topology = self._make_topology(nodes)
+        self.fabric = Fabric(
+            self.sim, self.topology, profile.wire, tracer=self.tracer, faults=faults
+        )
+        self.pcis = [
+            PciBus(self.sim, profile.pci, name=f"pci{i}", tracer=self.tracer)
+            for i in range(nodes)
+        ]
+        self.cpus = [
+            HostCpu(self.sim, profile.host, node_id=i) for i in range(nodes)
+        ]
+
+    def _make_topology(self, nodes: int):  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<{type(self).__name__} {self.profile.name} n={self.n}>"
+
+
+class MyrinetCluster(_ClusterBase):
+    """A Myrinet/GM cluster: LANai NICs + MCP + GM ports."""
+
+    def __init__(self, profile, nodes, tracer=None, faults=None):
+        super().__init__(profile, nodes, tracer, faults)
+        self.nics = [
+            LanaiNic(
+                self.sim, i, profile.gm, self.fabric, self.pcis[i], tracer=self.tracer
+            )
+            for i in range(nodes)
+        ]
+        self.ports = [
+            GmPort(self.sim, i, self.nics[i], self.cpus[i], self.pcis[i])
+            for i in range(nodes)
+        ]
+
+    def _make_topology(self, nodes: int):
+        return ClosTopology(nodes, radix=16)
+
+
+class QuadricsCluster(_ClusterBase):
+    """A QsNet cluster: Elan3 NICs + Elanlib ports + Elite HW barrier."""
+
+    def __init__(self, profile, nodes, tracer=None, faults=None):
+        if faults is not None:
+            raise ValueError(
+                "QsNet delivers reliably in hardware; fault injection is a "
+                "Myrinet-only experiment"
+            )
+        super().__init__(profile, nodes, tracer, faults=None)
+        self.nics = [
+            Elan3Nic(
+                self.sim, i, profile.elan, self.fabric, self.pcis[i], tracer=self.tracer
+            )
+            for i in range(nodes)
+        ]
+        self.ports = [
+            ElanPort(self.sim, i, self.nics[i], self.cpus[i], self.pcis[i])
+            for i in range(nodes)
+        ]
+
+    def _make_topology(self, nodes: int):
+        return QuaternaryFatTree(nodes)
+
+    def hardware_barrier(self, ranks=None) -> HardwareBarrier:
+        """The Elite test-and-set barrier over the given node set."""
+        elan = self.profile.elan
+        return HardwareBarrier(
+            self.sim,
+            self.topology,
+            self.profile.wire,
+            ranks if ranks is not None else range(self.n),
+            t_flag_check_us=elan.t_hw_flag_check,
+            retry_backoff_us=elan.hw_retry_backoff_us,
+        )
+
+
+# ----------------------------------------------------------------------
+def _resolve(profile: Union[str, HardwareProfile]) -> HardwareProfile:
+    return get_profile(profile) if isinstance(profile, str) else profile
+
+
+def build_myrinet_cluster(
+    profile: Union[str, HardwareProfile] = "lanai_xp_xeon2400",
+    nodes: int = 8,
+    tracer: Optional[Tracer] = None,
+    faults: Optional[FaultInjector] = None,
+) -> MyrinetCluster:
+    """Build a Myrinet cluster from a profile name or object."""
+    resolved = _resolve(profile)
+    if resolved.network != "myrinet":
+        raise ValueError(f"profile {resolved.name} is not a Myrinet profile")
+    return MyrinetCluster(resolved, nodes, tracer, faults)
+
+
+def build_quadrics_cluster(
+    profile: Union[str, HardwareProfile] = "elan3_piii700",
+    nodes: int = 8,
+    tracer: Optional[Tracer] = None,
+) -> QuadricsCluster:
+    """Build a Quadrics cluster from a profile name or object."""
+    resolved = _resolve(profile)
+    if resolved.network != "quadrics":
+        raise ValueError(f"profile {resolved.name} is not a Quadrics profile")
+    return QuadricsCluster(resolved, nodes, tracer)
+
+
+def build_cluster(
+    profile: Union[str, HardwareProfile],
+    nodes: int,
+    tracer: Optional[Tracer] = None,
+    faults: Optional[FaultInjector] = None,
+):
+    """Build whichever cluster type the profile describes."""
+    resolved = _resolve(profile)
+    if resolved.network == "myrinet":
+        return build_myrinet_cluster(resolved, nodes, tracer, faults)
+    return build_quadrics_cluster(resolved, nodes, tracer)

@@ -1,0 +1,186 @@
+"""The barrier experiment runner (the paper's measurement loop, §8).
+
+Mirrors the paper's methodology: the processes execute consecutive
+barrier operations; a warm-up prefix is discarded; the latency is the
+average over the timed iterations.  Node order is randomly permuted by
+default ("to avoid any possible impact from the network topology and
+the allocation of nodes, our tests were performed with random
+permutation of the nodes").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.cluster.builder import MyrinetCluster, QuadricsCluster
+from repro.collectives import (
+    NicCollectiveBarrierEngine,
+    NicDirectBarrierEngine,
+    ProcessGroup,
+    QuadricsChainedBarrier,
+    host_barrier,
+    nic_barrier,
+)
+from repro.quadrics import elan_gsync, elan_hgsync
+from repro.sim import DeterministicRng
+
+MYRINET_BARRIERS = ("host", "nic-direct", "nic-collective")
+QUADRICS_BARRIERS = ("gsync", "hgsync", "nic-chained")
+
+
+@dataclass
+class BarrierResult:
+    """Outcome of one barrier experiment (one point on a paper figure)."""
+
+    profile: str
+    barrier: str
+    algorithm: str
+    nodes: int
+    iterations: int
+    warmup: int
+    mean_latency_us: float
+    min_iteration_us: float
+    max_iteration_us: float
+    total_us: float
+    node_permutation: tuple[int, ...] = ()
+    counters: dict[str, int] = field(default_factory=dict)
+
+    def __str__(self) -> str:
+        return (
+            f"{self.profile}/{self.barrier}/{self.algorithm} "
+            f"N={self.nodes}: {self.mean_latency_us:.2f}us "
+            f"({self.iterations} iters)"
+        )
+
+
+class _IterationTracker:
+    """Records when each iteration's last rank exits its barrier."""
+
+    def __init__(self, cluster, n_ranks: int, total_iters: int, warmup: int):
+        self.cluster = cluster
+        self.n_ranks = n_ranks
+        self.warmup = warmup
+        self.pending = [n_ranks] * total_iters
+        self.iter_end = [0.0] * total_iters
+        self.timed_start: Optional[float] = None
+        self.counter_base: dict[str, int] = {}
+
+    def rank_done(self, seq: int) -> None:
+        self.pending[seq] -= 1
+        if self.pending[seq] == 0:
+            now = self.cluster.sim.now
+            self.iter_end[seq] = now
+            if seq == self.warmup - 1:
+                self.timed_start = now
+                self.counter_base = self.cluster.tracer.snapshot()
+
+
+def _barrier_step(cluster, kind: str, group: ProcessGroup, drivers, hw, node: int, seq: int):
+    """One barrier call at one node, by experiment kind."""
+    if kind == "host":
+        yield from host_barrier(cluster.ports[node], group, seq)
+    elif kind in ("nic-direct", "nic-collective"):
+        yield from nic_barrier(cluster.ports[node], group, seq)
+    elif kind == "gsync":
+        yield from elan_gsync(cluster.ports[node], group.node_ids, seq)
+    elif kind == "hgsync":
+        yield from elan_hgsync(cluster.ports[node], hw, group.node_ids, seq)
+    elif kind == "nic-chained":
+        yield from drivers[node].barrier(seq)
+    else:  # pragma: no cover - guarded earlier
+        raise ValueError(kind)
+
+
+def run_barrier_experiment(
+    cluster,
+    barrier: str,
+    algorithm: str = "dissemination",
+    iterations: int = 200,
+    warmup: int = 30,
+    permute_nodes: bool = True,
+    seed: int = 0,
+    nodes: Optional[int] = None,
+) -> BarrierResult:
+    """Run consecutive barriers and measure the average latency.
+
+    Parameters mirror the paper's loop: ``warmup`` discarded
+    iterations, then ``iterations`` timed ones.  ``nodes`` restricts
+    the barrier to the first N nodes of the cluster (after
+    permutation), letting one cluster serve a whole sweep.
+    """
+    if isinstance(cluster, MyrinetCluster):
+        valid = MYRINET_BARRIERS
+    elif isinstance(cluster, QuadricsCluster):
+        valid = QUADRICS_BARRIERS
+    else:
+        raise TypeError(f"not a cluster: {cluster!r}")
+    if barrier not in valid:
+        raise ValueError(f"barrier {barrier!r} invalid for this cluster; use {valid}")
+    if warmup < 1:
+        raise ValueError("need at least one warm-up iteration")
+    if iterations < 1:
+        raise ValueError("need at least one timed iteration")
+
+    n = cluster.n if nodes is None else nodes
+    if not 1 < n <= cluster.n:
+        raise ValueError(f"nodes must be in [2, {cluster.n}], got {n}")
+
+    rng = DeterministicRng(seed, f"runner/{cluster.profile.name}/{barrier}/{n}")
+    order = rng.permutation(cluster.n)[:n] if permute_nodes else list(range(n))
+    group = ProcessGroup(order, algorithm=algorithm)
+
+    drivers = None
+    hw = None
+    if barrier == "nic-collective":
+        for rank, node in enumerate(group.node_ids):
+            NicCollectiveBarrierEngine(cluster.nics[node], group, rank)
+    elif barrier == "nic-direct":
+        for rank, node in enumerate(group.node_ids):
+            NicDirectBarrierEngine(cluster.nics[node], group, rank)
+    elif barrier == "nic-chained":
+        drivers = {
+            node: QuadricsChainedBarrier(cluster.ports[node], group)
+            for node in group.node_ids
+        }
+    elif barrier == "hgsync":
+        hw = cluster.hardware_barrier(group.node_ids)
+
+    total = warmup + iterations
+    tracker = _IterationTracker(cluster, n, total, warmup)
+
+    def program(node: int):
+        for seq in range(total):
+            yield from _barrier_step(cluster, barrier, group, drivers, hw, node, seq)
+            tracker.rank_done(seq)
+
+    procs = [
+        cluster.sim.process(program(node), name=f"bench@{node}")
+        for node in group.node_ids
+    ]
+    cluster.sim.run()
+    for proc in procs:
+        if not proc.completion.processed:
+            raise RuntimeError(f"{proc.name} never finished its barriers")
+
+    timed = tracker.iter_end[warmup:]
+    assert tracker.timed_start is not None
+    durations = [
+        timed[0] - tracker.timed_start,
+        *(b - a for a, b in zip(timed, timed[1:])),
+    ]
+    mean = (timed[-1] - tracker.timed_start) / iterations
+    return BarrierResult(
+        profile=cluster.profile.name,
+        barrier=barrier,
+        algorithm=algorithm,
+        nodes=n,
+        iterations=iterations,
+        warmup=warmup,
+        mean_latency_us=mean,
+        min_iteration_us=min(durations),
+        max_iteration_us=max(durations),
+        total_us=timed[-1] - tracker.timed_start,
+        node_permutation=tuple(order),
+        counters=cluster.tracer.delta(tracker.counter_base),
+    )

@@ -1,0 +1,95 @@
+"""The paper's contribution: NIC-based barriers and their baselines.
+
+Layout:
+
+- :mod:`~repro.collectives.algorithms` — the three barrier message
+  schedules of §5: gather-broadcast, pairwise-exchange, dissemination.
+- :mod:`~repro.collectives.group` — process groups (rank ↔ node maps).
+- :mod:`~repro.collectives.messages` — barrier wire messages and host
+  notifications.
+- :mod:`~repro.collectives.protocol` — the collective protocol state:
+  the single send record with a bit vector, and the receiver-driven
+  retransmission bookkeeping (§3, §6.3).
+- :mod:`~repro.collectives.myrinet_engines` — the two NIC-resident
+  barrier engines for Myrinet: the **direct scheme** (prior work: NIC
+  triggers messages through the p2p protocol) and the **collective
+  protocol scheme** (this paper: dedicated queue, static packet, bit
+  vector, NACKs).
+- :mod:`~repro.collectives.host_barrier` — host-based barrier over GM
+  send/recv (the baseline of Figs. 5-6).
+- :mod:`~repro.collectives.quadrics_barrier` — NIC-based barrier over
+  chained RDMA descriptors on Elan3 (§7).
+"""
+
+from repro.collectives.algorithms import (
+    BarrierSchedule,
+    Phase,
+    dissemination,
+    gather_broadcast,
+    make_schedule,
+    pairwise_exchange,
+)
+from repro.collectives.group import ProcessGroup
+from repro.collectives.messages import BarrierDone, BarrierMsg, BarrierNack
+from repro.collectives.protocol import CollectiveGroupState, CollectiveSendRecord
+from repro.collectives.myrinet_engines import (
+    NicCollectiveBarrierEngine,
+    NicDirectBarrierEngine,
+    nic_barrier,
+)
+from repro.collectives.host_barrier import host_barrier
+from repro.collectives.quadrics_barrier import QuadricsChainedBarrier
+from repro.collectives.broadcast import (
+    BcastDone,
+    BcastMsg,
+    NicBroadcastEngine,
+    nic_broadcast_recv,
+    nic_broadcast_root,
+)
+from repro.collectives.allgather import (
+    AllgatherDone,
+    NicAllgatherEngine,
+    nic_allgather,
+)
+from repro.collectives.alltoall import (
+    AlltoallDone,
+    NicAlltoallEngine,
+    nic_alltoall,
+)
+from repro.collectives.allreduce import (
+    NicAllreduceEngine,
+    nic_allreduce,
+)
+
+__all__ = [
+    "BarrierSchedule",
+    "Phase",
+    "dissemination",
+    "pairwise_exchange",
+    "gather_broadcast",
+    "make_schedule",
+    "ProcessGroup",
+    "BarrierMsg",
+    "BarrierNack",
+    "BarrierDone",
+    "CollectiveGroupState",
+    "CollectiveSendRecord",
+    "NicCollectiveBarrierEngine",
+    "NicDirectBarrierEngine",
+    "nic_barrier",
+    "host_barrier",
+    "QuadricsChainedBarrier",
+    "NicBroadcastEngine",
+    "BcastMsg",
+    "BcastDone",
+    "nic_broadcast_root",
+    "nic_broadcast_recv",
+    "NicAllgatherEngine",
+    "AllgatherDone",
+    "nic_allgather",
+    "NicAlltoallEngine",
+    "AlltoallDone",
+    "nic_alltoall",
+    "NicAllreduceEngine",
+    "nic_allreduce",
+]

@@ -1,0 +1,227 @@
+"""Barrier message schedules (§5 of the paper).
+
+A schedule is, per rank, an ordered list of :class:`Phase` objects.
+Each phase names the peer ranks to send to and to receive from, plus
+the ordering rule:
+
+- ``send_first=True`` (dissemination, pairwise-exchange): issue the
+  phase's sends, then wait for its receives;
+- ``send_first=False`` (gather-broadcast): wait for the phase's
+  receives, then issue its sends.
+
+Step counts match §5.1:
+
+- gather-broadcast: ``2 * ceil(log_d N)`` steps on a degree-``d`` tree;
+- pairwise-exchange: ``log2 N`` steps for powers of two,
+  ``floor(log2 N) + 2`` otherwise (pre/post steps for the extra ranks);
+- dissemination: ``ceil(log2 N)`` steps always.
+
+Within one barrier, a given (sender → receiver) pair occurs at most
+once across all phases (asserted by :meth:`BarrierSchedule.validate`),
+so receivers can match arrivals on (sequence, sender) alone.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+
+@dataclass(frozen=True)
+class Phase:
+    """One step of a barrier schedule, from one rank's point of view."""
+
+    sends: tuple[int, ...] = ()
+    recvs: tuple[int, ...] = ()
+    send_first: bool = True
+
+    def __post_init__(self) -> None:
+        if len(set(self.sends)) != len(self.sends):
+            raise ValueError(f"duplicate send targets in {self.sends}")
+        if len(set(self.recvs)) != len(self.recvs):
+            raise ValueError(f"duplicate receive sources in {self.recvs}")
+
+    @property
+    def empty(self) -> bool:
+        return not self.sends and not self.recvs
+
+
+@dataclass(frozen=True)
+class BarrierSchedule:
+    """Per-rank phases for an N-rank barrier."""
+
+    algorithm: str
+    size: int
+    phases_by_rank: tuple[tuple[Phase, ...], ...]
+
+    def phases(self, rank: int) -> tuple[Phase, ...]:
+        if not 0 <= rank < self.size:
+            raise ValueError(f"rank {rank} out of range for size {self.size}")
+        return self.phases_by_rank[rank]
+
+    @property
+    def max_steps(self) -> int:
+        return max((len(p) for p in self.phases_by_rank), default=0)
+
+    def total_messages(self) -> int:
+        """Messages per barrier over all ranks."""
+        return sum(
+            len(phase.sends) for phases in self.phases_by_rank for phase in phases
+        )
+
+    def expected_senders(self, rank: int) -> set[int]:
+        """All ranks this rank receives from during one barrier."""
+        return {
+            src for phase in self.phases_by_rank[rank] for src in phase.recvs
+        }
+
+    def validate(self) -> None:
+        """Check global consistency of the schedule.
+
+        - no self-messages;
+        - every send is matched by exactly one receive and vice versa;
+        - a (sender, receiver) pair occurs at most once per barrier.
+        """
+        sends: list[tuple[int, int]] = []
+        recvs: list[tuple[int, int]] = []
+        for rank, phases in enumerate(self.phases_by_rank):
+            for phase in phases:
+                for dst in phase.sends:
+                    if dst == rank:
+                        raise ValueError(f"rank {rank} sends to itself")
+                    if not 0 <= dst < self.size:
+                        raise ValueError(f"rank {rank} sends to invalid {dst}")
+                    sends.append((rank, dst))
+                for src in phase.recvs:
+                    if src == rank:
+                        raise ValueError(f"rank {rank} receives from itself")
+                    if not 0 <= src < self.size:
+                        raise ValueError(f"rank {rank} receives from invalid {src}")
+                    recvs.append((src, rank))
+        if len(set(sends)) != len(sends):
+            raise ValueError("a (sender, receiver) pair occurs more than once")
+        if sorted(sends) != sorted(recvs):
+            raise ValueError("sends and receives do not match up")
+
+
+# ----------------------------------------------------------------------
+# Builders
+# ----------------------------------------------------------------------
+def dissemination(n: int) -> BarrierSchedule:
+    """§5.1: in step m, rank i sends to (i + 2^m) mod N and waits for
+    (i - 2^m) mod N; ``ceil(log2 N)`` steps regardless of N."""
+    if n < 1:
+        raise ValueError("group size must be >= 1")
+    steps = math.ceil(math.log2(n)) if n > 1 else 0
+    per_rank = []
+    for i in range(n):
+        phases = []
+        for m in range(steps):
+            gap = 2**m
+            phases.append(
+                Phase(
+                    sends=((i + gap) % n,),
+                    recvs=((i - gap) % n,),
+                    send_first=True,
+                )
+            )
+        per_rank.append(tuple(phases))
+    return BarrierSchedule("dissemination", n, tuple(per_rank))
+
+
+def pairwise_exchange(n: int) -> BarrierSchedule:
+    """§5.1: MPICH's recursive doubling.
+
+    Powers of two: step m pairs i with i xor 2^m.  Otherwise, with M
+    the largest power of two below N: the top ``N - M`` ranks first
+    report to their partner in the low M, the low M ranks do the
+    power-of-two exchange, and the partners finally release the top
+    ranks — ``floor(log2 N) + 2`` steps.
+    """
+    if n < 1:
+        raise ValueError("group size must be >= 1")
+    if n == 1:
+        return BarrierSchedule("pairwise-exchange", 1, ((),))
+    m_pow = 1 << (n.bit_length() - 1)
+    if m_pow == n:  # power of two
+        steps = n.bit_length() - 1
+        per_rank = []
+        for i in range(n):
+            phases = tuple(
+                Phase(sends=(i ^ (1 << m),), recvs=(i ^ (1 << m),), send_first=True)
+                for m in range(steps)
+            )
+            per_rank.append(phases)
+        return BarrierSchedule("pairwise-exchange", n, tuple(per_rank))
+
+    extras = n - m_pow
+    steps = m_pow.bit_length() - 1  # log2(M) exchange steps
+    per_rank = []
+    for i in range(n):
+        phases: list[Phase] = []
+        if i >= m_pow:
+            # Pre-step: report in; then wait for the release.
+            partner = i - m_pow
+            phases.append(Phase(sends=(partner,), recvs=(), send_first=True))
+            phases.append(Phase(sends=(), recvs=(partner,), send_first=True))
+        else:
+            if i < extras:
+                phases.append(Phase(sends=(), recvs=(i + m_pow,), send_first=True))
+            for m in range(steps):
+                partner = i ^ (1 << m)
+                phases.append(
+                    Phase(sends=(partner,), recvs=(partner,), send_first=True)
+                )
+            if i < extras:
+                phases.append(Phase(sends=(i + m_pow,), recvs=(), send_first=True))
+        per_rank.append(tuple(phases))
+    return BarrierSchedule("pairwise-exchange", n, tuple(per_rank))
+
+
+def gather_broadcast(n: int, degree: int = 2) -> BarrierSchedule:
+    """§5.1: messages combine up a degree-``d`` tree to rank 0, which
+    broadcasts the release back down; ``2 * log_d N`` steps."""
+    if n < 1:
+        raise ValueError("group size must be >= 1")
+    if degree < 2:
+        raise ValueError("tree degree must be >= 2")
+    per_rank = []
+    for i in range(n):
+        children = tuple(
+            c for c in range(i * degree + 1, i * degree + degree + 1) if c < n
+        )
+        parent: Optional[int] = None if i == 0 else (i - 1) // degree
+        gather = Phase(
+            sends=(parent,) if parent is not None else (),
+            recvs=children,
+            send_first=False,  # combine the children before reporting up
+        )
+        bcast = Phase(
+            sends=children,
+            recvs=(parent,) if parent is not None else (),
+            send_first=False,  # wait for the release before fanning out
+        )
+        phases = tuple(p for p in (gather, bcast) if not p.empty)
+        per_rank.append(phases)
+    return BarrierSchedule("gather-broadcast", n, tuple(per_rank))
+
+
+_BUILDERS: dict[str, Callable[[int], BarrierSchedule]] = {
+    "dissemination": dissemination,
+    "pairwise-exchange": pairwise_exchange,
+    "gather-broadcast": gather_broadcast,
+}
+
+
+def make_schedule(algorithm: str, n: int) -> BarrierSchedule:
+    """Build a validated schedule by algorithm name."""
+    try:
+        builder = _BUILDERS[algorithm]
+    except KeyError:
+        raise ValueError(
+            f"unknown algorithm {algorithm!r}; choose from {sorted(_BUILDERS)}"
+        ) from None
+    schedule = builder(n)
+    schedule.validate()
+    return schedule

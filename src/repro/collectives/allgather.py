@@ -1,0 +1,72 @@
+"""NIC-based Allgather over the collective protocol (§9 future work).
+
+The paper's closing question: "whether other collective communication
+operations, such as Allgather or Alltoall could benefit from similar
+NIC-level implementations."  This answers it for Allgather:
+
+- the dissemination pattern doubles each rank's known set per round
+  (round *m*: send everything you know to ``(i + 2^m) mod N``; after
+  ``ceil(log2 N)`` rounds everyone holds all N contributions — any N,
+  not just powers of two);
+- messages ride the collective fast path with payloads that *grow*
+  (``4 * |known|`` bytes), so unlike the barrier the wire cost scales
+  with data;
+- reliability is receiver-driven NACK, as in §6.3.
+
+The host contributes one 4-byte value with a single command, then is
+uninvolved until the NIC DMAs the gathered vector back.  All mechanics
+live in :class:`repro.collectives.data_engine.DisseminationDataEngine`;
+this module supplies the Allgather-specific state hooks.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any
+
+from repro.collectives.data_engine import (
+    DataCollDone,
+    DisseminationDataEngine,
+    _DataState,
+    host_start_data_collective,
+)
+from repro.collectives.group import ProcessGroup
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.myrinet.gm_api import GmPort
+
+BYTES_PER_VALUE = 4
+
+#: Host notification type (shared with the other data collectives).
+AllgatherDone = DataCollDone
+
+
+class NicAllgatherEngine(DisseminationDataEngine):
+    """Per-(NIC, group) Allgather engine."""
+
+    counter_prefix = "allgather"
+
+    def _init_data(self, state: _DataState, args: tuple) -> None:
+        (value,) = args
+        state.data = {self.rank: value}
+
+    def _phase_payload(self, state: _DataState, phase: int) -> tuple[Any, int]:
+        payload = tuple(sorted(state.data.items()))
+        return payload, BYTES_PER_VALUE * len(payload)
+
+    def _merge(self, state: _DataState, payload: Any, phase: int) -> None:
+        state.data.update(dict(payload))
+
+    def _finish(self, state: _DataState) -> tuple[Any, int]:
+        assert len(state.data) == self.group.size
+        return (
+            tuple(sorted(state.data.items())),
+            BYTES_PER_VALUE * self.group.size,
+        )
+
+
+def nic_allgather(port: "GmPort", group: ProcessGroup, seq: int, value: Any):
+    """Host side: contribute ``value``; returns ``{rank: value}``."""
+    result = yield from host_start_data_collective(
+        port, group, seq, (value,), contribute_bytes=BYTES_PER_VALUE
+    )
+    return dict(result)

@@ -1,0 +1,65 @@
+"""NIC-based Allreduce over the collective protocol.
+
+Completes the NIC-collective family the paper gestures at (§9 cites the
+NIC-based *reduction* work of Moody et al. [14] alongside broadcast).
+Implemented as gather-and-combine on the dissemination pattern: the
+engine reuses the Allgather state hooks, tracking contributions by rank
+(exactly correct for any N, including non-powers of two where plain
+partial-sum dissemination would double-count wrapped blocks), and the
+NIC applies the reduction operator before DMAing a single value to the
+host.
+
+Supported operators are fixed-name (both sides of a reduction must
+agree, as in MPI): ``sum``, ``prod``, ``min``, ``max``.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Callable
+
+from repro.collectives.allgather import BYTES_PER_VALUE, NicAllgatherEngine
+from repro.collectives.data_engine import _DataState, host_start_data_collective
+from repro.collectives.group import ProcessGroup
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.myrinet.gm_api import GmPort
+
+OPS: dict[str, Callable[[Any, Any], Any]] = {
+    "sum": lambda a, b: a + b,
+    "prod": lambda a, b: a * b,
+    "min": min,
+    "max": max,
+}
+
+
+class NicAllreduceEngine(NicAllgatherEngine):
+    """Per-(NIC, group) Allreduce engine."""
+
+    counter_prefix = "allreduce"
+
+    def _init_data(self, state: _DataState, args: tuple) -> None:
+        value, op_name = args
+        if op_name not in OPS:
+            raise ValueError(f"unknown reduction op {op_name!r}; use {sorted(OPS)}")
+        state.data = {self.rank: value}
+        # Stash the operator out-of-band (not part of the gathered map).
+        state.op_name = op_name  # type: ignore[attr-defined]
+
+    def _finish(self, state: _DataState) -> tuple[Any, int]:
+        assert len(state.data) == self.group.size
+        op = OPS[state.op_name]  # type: ignore[attr-defined]
+        values = [state.data[rank] for rank in sorted(state.data)]
+        result = values[0]
+        for value in values[1:]:
+            result = op(result, value)
+        return result, BYTES_PER_VALUE
+
+
+def nic_allreduce(
+    port: "GmPort", group: ProcessGroup, seq: int, value: Any, op: str = "sum"
+):
+    """Host side: contribute ``value``; returns the reduced result."""
+    result = yield from host_start_data_collective(
+        port, group, seq, (value, op), contribute_bytes=BYTES_PER_VALUE
+    )
+    return result

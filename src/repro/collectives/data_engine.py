@@ -1,0 +1,317 @@
+"""Shared machinery for data-bearing dissemination collectives.
+
+The barrier's collective protocol generalizes to data collectives that
+follow the same dissemination message pattern (one send + one receive
+per round, ``ceil(log2 N)`` rounds): Allgather, Alltoall (Bruck) and
+Allreduce all specialize :class:`DisseminationDataEngine` through four
+hooks:
+
+- ``_init_data``      — seed per-sequence state from the host command;
+- ``_phase_payload``  — build round *m*'s outgoing payload (+ wire bytes);
+- ``_merge``          — fold an arrived payload into the state;
+- ``_finish``         — produce the host-visible result (+ DMA bytes).
+
+The base class provides everything the paper's protocol prescribes:
+the fast send path (no p2p queues/records), one logical record per
+operation, receiver-driven NACK retransmission, cumulative duplicate
+suppression, and retention of sent payloads so even post-completion
+NACKs are answerable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any, Optional
+
+from repro.collectives.algorithms import dissemination
+from repro.collectives.group import ProcessGroup
+from repro.network import Packet, PacketKind
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.myrinet.nic import LanaiNic
+
+
+@dataclass(frozen=True)
+class DataCollMsg:
+    """One dissemination hop of a data collective."""
+
+    group_id: int
+    seq: int
+    sender: int
+    phase: int
+    payload: Any
+    nbytes: int
+
+
+@dataclass(frozen=True)
+class DataCollNack:
+    """Receiver-driven retransmission request (shared by all data
+    collectives)."""
+
+    group_id: int
+    seq: int
+    phase: int
+    missing_sender: int
+    requester: int
+
+
+@dataclass(frozen=True)
+class DataCollDone:
+    """Host notification carrying the collective's result."""
+
+    group_id: int
+    seq: int
+    result: Any
+
+
+class _DataState:
+    """Per-(rank, sequence) progress for one data collective."""
+
+    __slots__ = (
+        "seq", "data", "phase", "started", "complete", "in_progress",
+        "sent_current_phase", "sent_messages", "pending", "nack_timer",
+        "nack_rounds", "op_name",
+    )
+
+    def __init__(self, seq: int):
+        self.seq = seq
+        self.data: Any = None
+        self.phase = 0
+        self.started = False
+        self.complete = False
+        self.in_progress = False
+        self.sent_current_phase = False
+        self.sent_messages: dict[int, DataCollMsg] = {}
+        self.pending: dict[int, DataCollMsg] = {}  # sender -> message
+        self.nack_timer = None
+        self.nack_rounds = 0
+        self.op_name: Optional[str] = None  # used by Allreduce
+
+    def cancel_timer(self) -> None:
+        if self.nack_timer is not None:
+            self.nack_timer.cancel()
+            self.nack_timer = None
+
+
+class DisseminationDataEngine:
+    """Base NIC engine for dissemination-patterned data collectives."""
+
+    counter_prefix = "datacoll"
+
+    def __init__(self, nic: "LanaiNic", group: ProcessGroup, rank: int):
+        if group.node_of(rank) != nic.node_id:
+            raise ValueError(
+                f"rank {rank} of group {group.group_id} is not on {nic.name}"
+            )
+        self.nic = nic
+        self.group = group
+        self.rank = rank
+        self.phases = dissemination(group.size).phases(rank)
+        self.states: dict[int, _DataState] = {}
+        self.completed = 0
+        self.done_through = -1
+        # Sent payloads retained past completion for stale NACKs
+        # (bounded SRAM retention, pruned FIFO).
+        self.archive: dict[int, dict[int, DataCollMsg]] = {}
+        nic.register_engine(group.group_id, self)
+
+    # -- hooks ---------------------------------------------------------
+    def _init_data(self, state: _DataState, args: tuple) -> None:
+        raise NotImplementedError
+
+    def _phase_payload(self, state: _DataState, phase: int) -> tuple[Any, int]:
+        raise NotImplementedError
+
+    def _merge(self, state: _DataState, payload: Any, phase: int) -> None:
+        raise NotImplementedError
+
+    def _finish(self, state: _DataState) -> tuple[Any, int]:
+        raise NotImplementedError
+
+    # -- plumbing --------------------------------------------------------
+    def _state(self, seq: int) -> _DataState:
+        state = self.states.get(seq)
+        if state is None:
+            state = _DataState(seq)
+            self.states[seq] = state
+        return state
+
+    def on_command(self, command: tuple):
+        kind = command[0]
+        if kind == "start":
+            yield from self._on_start(command[1], command[2:])
+        elif kind == "timeout":
+            yield from self._on_nack_timeout(command[1])
+        else:
+            raise ValueError(f"unknown {self.counter_prefix} command {command!r}")
+
+    def _on_start(self, seq: int, args: tuple):
+        nic = self.nic
+        yield from nic.cpu_task(nic.params.t_coll_start)
+        state = self._state(seq)
+        self._init_data(state, args)
+        state.started = True
+        self._arm_nack_timer(state)
+        yield from self._progress(seq)
+
+    def on_bcast_packet(self, packet: Packet):
+        """Data-collective traffic arrives as BCAST-kind packets."""
+        message: DataCollMsg = packet.payload
+        nic = self.nic
+        yield from nic.cpu_task(nic.params.t_coll_trigger)
+        if message.seq <= self.done_through:
+            nic.tracer.count(f"{self.counter_prefix}.rx_duplicate")
+            return
+        state = self._state(message.seq)
+        if message.sender in state.pending:
+            nic.tracer.count(f"{self.counter_prefix}.rx_duplicate")
+            return
+        state.pending[message.sender] = message
+        if state.started and not state.complete:
+            yield from self._progress(message.seq)
+
+    def on_barrier_packet(self, packet: Packet):  # pragma: no cover - guard
+        raise TypeError(f"{self.counter_prefix} engine received a barrier packet")
+
+    # -- progress ----------------------------------------------------------
+    def _progress(self, seq: int):
+        state = self._state(seq)
+        if state.in_progress:
+            return
+        state.in_progress = True
+        try:
+            while state.phase < len(self.phases):
+                phase = self.phases[state.phase]
+                if not state.sent_current_phase:
+                    state.sent_current_phase = True
+                    payload, nbytes = self._phase_payload(state, state.phase)
+                    for dst in phase.sends:
+                        yield from self._send(
+                            state, state.phase, dst, payload, nbytes
+                        )
+                src = phase.recvs[0]
+                message = state.pending.get(src)
+                if message is None or message.phase != state.phase:
+                    return
+                del state.pending[src]
+                self._merge(state, message.payload, state.phase)
+                state.phase += 1
+                state.sent_current_phase = False
+            if not state.complete:
+                state.complete = True
+                yield from self._complete(state)
+        finally:
+            state.in_progress = False
+
+    def _send(self, state: _DataState, phase: int, dst: int, payload: Any, nbytes: int):
+        nic = self.nic
+        message = DataCollMsg(
+            self.group.group_id, state.seq, self.rank, phase, payload, nbytes
+        )
+        state.sent_messages[phase] = message
+        yield from nic.cpu_task(nic.params.t_inject)
+        nic.fabric.transmit(
+            Packet(
+                src=nic.node_id,
+                dst=self.group.node_of(dst),
+                kind=PacketKind.BCAST,
+                size_bytes=nic.params.data_header_bytes + nbytes,
+                payload=message,
+            )
+        )
+        nic.tracer.count(f"{self.counter_prefix}.sent")
+
+    def _complete(self, state: _DataState):
+        from repro.pci import DmaDirection
+
+        nic = self.nic
+        state.cancel_timer()
+        result, result_bytes = self._finish(state)
+        yield from nic.cpu_task(nic.params.t_coll_complete)
+        if result_bytes > 0:
+            yield from nic.pci.dma(result_bytes, DmaDirection.NIC_TO_HOST)
+        self.completed += 1
+        nic.tracer.count(f"{self.counter_prefix}.complete")
+        del self.states[state.seq]
+        self.done_through = max(self.done_through, state.seq)
+        self.archive[state.seq] = state.sent_messages
+        while len(self.archive) > 8:
+            self.archive.pop(min(self.archive))
+        yield from nic.notify_host(
+            DataCollDone(self.group.group_id, state.seq, result)
+        )
+
+    # -- receiver-driven reliability ----------------------------------------
+    def _arm_nack_timer(self, state: _DataState) -> None:
+        nic = self.nic
+        state.nack_timer = nic.sim.schedule(
+            nic.params.nack_timeout_us, self._nack_timer_fired, state.seq
+        )
+
+    def _nack_timer_fired(self, seq: int) -> None:
+        if seq in self.states:
+            self.nic.post_engine_command((self.group.group_id, "timeout", seq))
+
+    def _on_nack_timeout(self, seq: int):
+        state = self.states.get(seq)
+        if state is None or state.complete or not state.started:
+            return
+        state.nack_rounds += 1
+        if state.nack_rounds > self.nic.params.max_retries:
+            self.nic.tracer.count(f"{self.counter_prefix}.gave_up")
+            return
+        if state.phase < len(self.phases):
+            src = self.phases[state.phase].recvs[0]
+            if src not in state.pending:
+                self.nic.tracer.count(f"{self.counter_prefix}.nack_timeout")
+                yield from self.nic.send_nack(
+                    self.group.node_of(src),
+                    DataCollNack(
+                        self.group.group_id, seq, state.phase, src, self.rank
+                    ),
+                )
+        self._arm_nack_timer(state)
+
+    def on_nack(self, packet: Packet):
+        nack: DataCollNack = packet.payload
+        nic = self.nic
+        yield from nic.cpu_task(nic.params.t_nack_process)
+        state = self.states.get(nack.seq)
+        if state is not None:
+            message = state.sent_messages.get(nack.phase)
+            counter = f"{self.counter_prefix}.nack_retransmit"
+        else:
+            message = self.archive.get(nack.seq, {}).get(nack.phase)
+            counter = f"{self.counter_prefix}.nack_stale_resend"
+        if message is None:
+            nic.tracer.count(f"{self.counter_prefix}.nack_premature")
+            return
+        nic.tracer.count(counter)
+        yield from nic.cpu_task(nic.params.t_inject)
+        nic.fabric.transmit(
+            Packet(
+                src=nic.node_id,
+                dst=self.group.node_of(nack.requester),
+                kind=PacketKind.BCAST,
+                size_bytes=nic.params.data_header_bytes + message.nbytes,
+                payload=message,
+            )
+        )
+
+
+def host_start_data_collective(port, group: ProcessGroup, seq: int, args: tuple,
+                               contribute_bytes: int):
+    """Shared host side: contribute data, start, await the result."""
+    from repro.pci import DmaDirection
+
+    yield from port.cpu.compute(port.cpu.params.send_overhead_us)
+    yield from port.pci.pio_write()
+    if contribute_bytes > 0:
+        yield from port.pci.dma(contribute_bytes, DmaDirection.HOST_TO_NIC)
+    port.nic.post_engine_command((group.group_id, "start", seq) + args)
+    done = yield from port.recv_matching(
+        lambda ev: isinstance(ev, DataCollDone)
+        and ev.group_id == group.group_id
+        and ev.seq == seq
+    )
+    return done.result

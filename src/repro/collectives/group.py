@@ -1,0 +1,63 @@
+"""Process groups: rank ↔ node mapping for collective operations.
+
+The paper's protocol keeps per-group state on every NIC ("a separate
+queue for each group of processes"); a :class:`ProcessGroup` is the
+shared description of one such group.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Sequence
+
+from repro.collectives.algorithms import BarrierSchedule, make_schedule
+
+_group_ids = itertools.count(1)
+
+
+class ProcessGroup:
+    """An ordered set of nodes participating in collective operations.
+
+    ``node_ids[rank]`` is the NIC/port the rank lives on.  The node
+    order may be an arbitrary permutation (the paper benchmarks "with
+    random permutation of the nodes").
+    """
+
+    def __init__(
+        self,
+        node_ids: Sequence[int],
+        algorithm: str = "dissemination",
+        group_id: int | None = None,
+    ):
+        ids = list(node_ids)
+        if not ids:
+            raise ValueError("a group needs at least one node")
+        if len(set(ids)) != len(ids):
+            raise ValueError(f"duplicate node ids in group: {ids}")
+        self.node_ids = tuple(ids)
+        self.algorithm = algorithm
+        self.group_id = next(_group_ids) if group_id is None else group_id
+        self.schedule: BarrierSchedule = make_schedule(algorithm, len(ids))
+        self._rank_of = {node: rank for rank, node in enumerate(self.node_ids)}
+
+    @property
+    def size(self) -> int:
+        return len(self.node_ids)
+
+    def node_of(self, rank: int) -> int:
+        return self.node_ids[rank]
+
+    def rank_of(self, node_id: int) -> int:
+        try:
+            return self._rank_of[node_id]
+        except KeyError:
+            raise ValueError(f"node {node_id} is not in group {self.group_id}") from None
+
+    def __contains__(self, node_id: int) -> bool:
+        return node_id in self._rank_of
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<ProcessGroup id={self.group_id} size={self.size}"
+            f" algorithm={self.algorithm}>"
+        )

@@ -1,0 +1,57 @@
+"""Host-based barrier over GM point-to-point send/recv.
+
+The baseline of Figs. 5 and 6: every barrier step is a full GM message
+— host library overhead, PIO doorbell, NIC send path, wire, NIC receive
+path, payload + event DMA to host memory, host polling — and the host
+CPU drives every phase transition.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.collectives.group import ProcessGroup
+from repro.collectives.messages import BarrierMsg
+from repro.myrinet.gm_api import GmRecvEvent
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.myrinet.gm_api import GmPort
+
+
+def host_barrier(port: "GmPort", group: ProcessGroup, seq: int):
+    """Execute one barrier at this node, entirely host-driven.
+
+    Messages from future barriers or phases that arrive early are
+    buffered by :meth:`GmPort.recv_matching`, so back-to-back barrier
+    iterations are safe.
+    """
+    rank = group.rank_of(port.node_id)
+    yield from port.cpu.compute(port.cpu.params.barrier_call_us)
+    phases = group.schedule.phases(rank)
+    for phase_idx, phase in enumerate(phases):
+        if phase.send_first:
+            yield from _do_sends(port, group, rank, seq, phase_idx, phase)
+            yield from _do_recvs(port, group, seq, phase)
+        else:
+            yield from _do_recvs(port, group, seq, phase)
+            yield from _do_sends(port, group, rank, seq, phase_idx, phase)
+
+
+def _do_sends(port: "GmPort", group: ProcessGroup, rank: int, seq: int, phase_idx: int, phase):
+    for dst in phase.sends:
+        yield from port.send(
+            group.node_of(dst),
+            size_bytes=4,  # "all the information ... is an integer"
+            payload=BarrierMsg(group.group_id, seq, rank, phase_idx),
+        )
+
+
+def _do_recvs(port: "GmPort", group: ProcessGroup, seq: int, phase):
+    for src in phase.recvs:
+        yield from port.recv_matching(
+            lambda ev, src=src: isinstance(ev, GmRecvEvent)
+            and isinstance(ev.payload, BarrierMsg)
+            and ev.payload.group_id == group.group_id
+            and ev.payload.seq == seq
+            and ev.payload.sender == src
+        )

@@ -1,0 +1,48 @@
+"""Wire messages and host notifications for barrier operations."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+
+@dataclass(frozen=True)
+class BarrierMsg:
+    """One barrier message.
+
+    The paper: "all the information a barrier message needs to carry
+    along is an integer" — here split into its semantic parts (group,
+    barrier sequence number, sender rank, phase index) for clarity; on
+    the wire it is priced as the 4-byte pad of the static packet.
+    """
+
+    group_id: int
+    seq: int
+    sender: int  # rank within the group
+    phase: int
+
+
+@dataclass(frozen=True)
+class BarrierNack:
+    """Receiver-driven retransmission request (§6.3).
+
+    Sent by a receiver whose expected barrier message has not arrived
+    within the timeout; asks ``missing_sender`` to retransmit its
+    phase-``phase`` message of barrier ``seq``.
+    """
+
+    group_id: int
+    seq: int
+    phase: int
+    missing_sender: int  # rank whose message went missing
+    requester: int  # rank asking for the retransmission
+
+
+@dataclass(frozen=True)
+class BarrierDone:
+    """Completion notification the NIC DMAs to the host."""
+
+    group_id: int
+    seq: int
+    completed_at: float
+    payload: Any = None

@@ -1,0 +1,284 @@
+"""NIC-resident barrier engines for Myrinet.
+
+Two engines share the same schedule-execution state machine and differ
+exactly where the paper says they differ:
+
+- :class:`NicDirectBarrierEngine` — the *direct scheme* of the prior
+  work (Buntinas et al.): the NIC detects arrivals and triggers the next
+  barrier messages, but every message travels the full point-to-point
+  send path (token queue, round-robin scheduling, packet allocation,
+  per-packet send record, ACK + timeout retransmission).
+- :class:`NicCollectiveBarrierEngine` — this paper's scheme: the
+  group's dedicated queue means a trigger goes straight to injection of
+  the padded static packet; bookkeeping is one bit-vector send record;
+  reliability is receiver-driven NACK retransmission with *no ACKs*,
+  halving the packet count.
+
+Both engines are driven by the MCP's receive loop (arrivals) and engine
+command loop (host start commands + NACK timeouts), so all their
+processing contends for the LANai processor like any other MCP task.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.collectives.group import ProcessGroup
+from repro.collectives.messages import BarrierDone, BarrierMsg, BarrierNack
+from repro.collectives.protocol import CollectiveGroupState
+from repro.myrinet.structures import SendToken
+from repro.network import Packet, PacketKind
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.myrinet.gm_api import GmPort
+    from repro.myrinet.nic import LanaiNic
+
+
+class _NicBarrierEngineBase:
+    """Schedule execution shared by both NIC-based schemes."""
+
+    #: subclasses set this: does the engine use receiver-driven NACKs?
+    uses_nack_reliability = False
+
+    def __init__(self, nic: "LanaiNic", group: ProcessGroup, rank: int):
+        if group.node_of(rank) != nic.node_id:
+            raise ValueError(
+                f"rank {rank} of group {group.group_id} lives on node "
+                f"{group.node_of(rank)}, not on {nic.name}"
+            )
+        self.nic = nic
+        self.group = group
+        self.rank = rank
+        self.phases = group.schedule.phases(rank)
+        self.states: dict[int, CollectiveGroupState] = {}
+        self.barriers_completed = 0
+        self.done_through = -1  # barriers complete in order per rank
+        nic.register_engine(group.group_id, self)
+
+    # ------------------------------------------------------------------
+    def _state(self, seq: int) -> CollectiveGroupState:
+        state = self.states.get(seq)
+        if state is None:
+            state = CollectiveGroupState(seq, self.phases, self.nic.sim.now)
+            self.states[seq] = state
+        return state
+
+    # ------------------------------------------------------------------
+    # MCP dispatch targets
+    # ------------------------------------------------------------------
+    def on_command(self, command: tuple):
+        kind = command[0]
+        if kind == "start":
+            yield from self._on_start(command[1])
+        elif kind == "timeout":
+            yield from self._on_nack_timeout(command[1])
+        else:
+            raise ValueError(f"unknown engine command {command!r}")
+
+    def _on_start(self, seq: int):
+        nic = self.nic
+        yield from nic.cpu_task(nic.params.t_coll_start)
+        state = self._state(seq)
+        state.started = True
+        state.start_time = nic.sim.now
+        if self.uses_nack_reliability:
+            self._arm_nack_timer(state)
+        yield from self._progress(seq)
+
+    def on_barrier_packet(self, packet: Packet):
+        msg: BarrierMsg = packet.payload
+        nic = self.nic
+        yield from nic.cpu_task(nic.params.t_coll_trigger)
+        if msg.seq <= self.done_through:
+            # Late duplicate (a retransmission that raced the original):
+            # the barrier already completed here.
+            nic.tracer.count("coll.rx_duplicate")
+            return
+        state = self._state(msg.seq)
+        if not state.mark_arrived(msg.sender):
+            nic.tracer.count("coll.rx_unexpected_sender")
+            return
+        if state.started and not state.complete:
+            yield from self._progress(msg.seq)
+
+    # ------------------------------------------------------------------
+    # The schedule state machine
+    # ------------------------------------------------------------------
+    def _progress(self, seq: int):
+        state = self._state(seq)
+        if state.in_progress:
+            # Another MCP loop is already driving this barrier; it will
+            # re-check arrivals after its pending sends.
+            return
+        state.in_progress = True
+        try:
+            while state.phase < len(self.phases):
+                phase = self.phases[state.phase]
+                if phase.send_first and not state.sent_current_phase:
+                    state.sent_current_phase = True
+                    for dst in phase.sends:
+                        yield from self._send_message(state, state.phase, dst)
+                if not state.phase_recvs_complete(state.phase):
+                    return
+                if not phase.send_first and not state.sent_current_phase:
+                    state.sent_current_phase = True
+                    for dst in phase.sends:
+                        yield from self._send_message(state, state.phase, dst)
+                state.phase += 1
+                state.sent_current_phase = False
+            if not state.complete:
+                state.complete = True
+                yield from self._complete(state)
+        finally:
+            state.in_progress = False
+
+    def _complete(self, state: CollectiveGroupState):
+        nic = self.nic
+        state.cancel_nack_timer()
+        yield from nic.cpu_task(nic.params.t_coll_complete)
+        self.barriers_completed += 1
+        nic.tracer.count("coll.barrier_complete")
+        del self.states[state.seq]
+        self.done_through = max(self.done_through, state.seq)
+        yield from nic.notify_host(
+            BarrierDone(self.group.group_id, state.seq, completed_at=nic.sim.now)
+        )
+
+    # -- subclass hooks ----------------------------------------------------
+    def _send_message(self, state: CollectiveGroupState, phase: int, dst: int):
+        raise NotImplementedError
+
+    def _arm_nack_timer(self, state: CollectiveGroupState) -> None:
+        raise NotImplementedError
+
+    def _on_nack_timeout(self, seq: int):
+        raise NotImplementedError
+
+    def on_nack(self, packet: Packet):
+        raise NotImplementedError
+
+
+class NicDirectBarrierEngine(_NicBarrierEngineBase):
+    """Prior work: NIC-triggered barrier over the p2p protocol.
+
+    Each barrier message is a regular GM send: the engine builds a send
+    token (``t_sdma_event``), queues it to the destination's send queue,
+    and the MCP send scheduler does the rest — packet allocation, a
+    per-packet send record, injection, and ACK/timeout reliability.
+    """
+
+    uses_nack_reliability = False
+
+    def _send_message(self, state: CollectiveGroupState, phase: int, dst: int):
+        nic = self.nic
+        state.send_record.mark_sent(phase, dst)
+        yield from nic.cpu_task(nic.params.t_sdma_event)  # build the token
+        token = SendToken(
+            dst=self.group.node_of(dst),
+            size_bytes=nic.params.barrier_payload_bytes,
+            payload=BarrierMsg(self.group.group_id, state.seq, self.rank, phase),
+            kind=PacketKind.BARRIER,
+            notify_host=False,
+        )
+        nic.enqueue_send_token(token)
+
+    def on_nack(self, packet: Packet):
+        # The direct scheme has no receiver-driven reliability; a NACK
+        # arriving here indicates a misconfigured experiment.
+        self.nic.tracer.count("coll.direct_unexpected_nack")
+        return
+        yield  # pragma: no cover - makes this a generator
+
+
+class NicCollectiveBarrierEngine(_NicBarrierEngineBase):
+    """This paper's scheme: the separate collective protocol (§3, §6).
+
+    Sends bypass the p2p machinery entirely: the group's send token is
+    permanently at the front of its dedicated queue and the message
+    rides the padded static ACK packet, so a trigger costs only
+    ``t_coll_trigger`` + injection.  Reliability is receiver-driven:
+    no ACKs; a receiver missing a message after ``nack_timeout_us``
+    NACKs the sender, which re-injects from its bit-vector record.
+    """
+
+    uses_nack_reliability = True
+
+    def _send_message(self, state: CollectiveGroupState, phase: int, dst: int):
+        nic = self.nic
+        state.send_record.mark_sent(phase, dst)
+        yield from nic.fast_inject(
+            self.group.node_of(dst),
+            BarrierMsg(self.group.group_id, state.seq, self.rank, phase),
+        )
+
+    # -- receiver-driven retransmission ---------------------------------
+    def _arm_nack_timer(self, state: CollectiveGroupState) -> None:
+        nic = self.nic
+        state.nack_timer = nic.sim.schedule(
+            nic.params.nack_timeout_us, self._nack_timer_fired, state.seq
+        )
+
+    def _nack_timer_fired(self, seq: int) -> None:
+        if seq in self.states:
+            self.nic.post_engine_command((self.group.group_id, "timeout", seq))
+
+    def _on_nack_timeout(self, seq: int):
+        state = self.states.get(seq)
+        if state is None or state.complete or not state.started:
+            return
+        nic = self.nic
+        state.nack_rounds += 1
+        if state.nack_rounds > nic.params.max_retries:
+            nic.tracer.count("coll.gave_up")
+            return
+        for phase_idx, sender in state.missing_senders():
+            nic.tracer.count("coll.nack_timeout")
+            yield from nic.send_nack(
+                self.group.node_of(sender),
+                BarrierNack(
+                    self.group.group_id, seq, phase_idx, sender, self.rank
+                ),
+            )
+        self._arm_nack_timer(state)
+
+    def on_nack(self, packet: Packet):
+        """A peer is missing one of our messages: retransmit it."""
+        nack: BarrierNack = packet.payload
+        nic = self.nic
+        yield from nic.cpu_task(nic.params.t_nack_process)
+        state = self.states.get(nack.seq)
+        if state is not None and not state.send_record.was_sent(
+            nack.phase, nack.requester
+        ):
+            # We genuinely have not sent it yet (we are behind, not the
+            # wire); it will go out through normal progress.
+            nic.tracer.count("coll.nack_premature")
+            return
+        # Either recorded as sent, or the barrier already completed here
+        # (state pruned) — both mean the original left this NIC: resend.
+        nic.tracer.count("coll.nack_retransmit")
+        yield from nic.fast_inject(
+            self.group.node_of(nack.requester),
+            BarrierMsg(self.group.group_id, nack.seq, self.rank, nack.phase),
+        )
+
+
+# ----------------------------------------------------------------------
+# Host-side entry point
+# ----------------------------------------------------------------------
+def nic_barrier(port: "GmPort", group: ProcessGroup, seq: int):
+    """Host side of a NIC-based barrier (either engine).
+
+    One PIO to start, then the host is completely uninvolved until the
+    completion event appears in its receive-event queue — the entire
+    point of NIC offload.
+    """
+    yield from port.cpu.compute(port.cpu.params.barrier_call_us)
+    yield from port.pci.pio_write()
+    port.nic.post_engine_command((group.group_id, "start", seq))
+    done = yield from port.recv_matching(
+        lambda ev: isinstance(ev, BarrierDone)
+        and ev.group_id == group.group_id
+        and ev.seq == seq
+    )
+    return done

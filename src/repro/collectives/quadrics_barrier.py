@@ -1,0 +1,210 @@
+"""NIC-based barrier over Quadrics via chained RDMA descriptors (§7).
+
+The paper's design choices, reproduced here:
+
+- **No Elan thread**: "we have chosen not to set up an additional
+  thread ... and instead, set up a list of chained RDMA descriptors at
+  the NIC from user-level."  Only the event unit and DMA engine run.
+- **Event-triggered chain**: "The RDMA operations are triggered only
+  upon the arrival of a remote event except the very first RDMA
+  operation, which the host process triggers to initiate a barrier."
+- **Host completion**: "The completion of the very last RDMA operation
+  will trigger a local event to the host process."
+
+Chain construction
+------------------
+Each rank's schedule is flattened into an alternating list of
+operations: ``send`` (one or more RDMA descriptors, issued in order)
+and ``wait`` (an Elan event that must collect that step's arrivals).
+The chain is strictly *sequential*: operation *t+1* is gated on an
+event fed by **both** operation *t*'s completion (the last descriptor's
+local completion event, or a chained set-event for wait → wait links)
+**and** its own arrivals.  This sequencing is what makes the barrier
+sound — a message sent at step *t* proves its sender finished steps
+``0..t-1``, so causality covers every participant by the last step.
+(Gating each step only on its own arrival event is *not* sufficient;
+the end-to-end tests catch that variant letting a rank exit before a
+straggler enters.)
+
+Event words are cumulative counters, so consecutive barriers reuse the
+same per-step events with thresholds that grow by the step's expected
+count each iteration — early messages from barrier *k+1* simply
+pre-increment the counters (see
+:class:`repro.quadrics.events.ElanEvent`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.collectives.group import ProcessGroup
+from repro.collectives.messages import BarrierDone
+from repro.quadrics.elan import RdmaDescriptor
+from repro.quadrics.elanlib import ElanPort
+
+
+@dataclass(frozen=True)
+class _Op:
+    """One link of the flattened chain: a send or a wait."""
+
+    kind: str  # "send" | "wait"
+    peers: tuple[int, ...]  # dst ranks (send) or src ranks (wait)
+
+
+def _flatten_ops(phases) -> list[_Op]:
+    """Flatten phases into the alternating send/wait operation list.
+
+    Adjacent sends merge (they just queue on the DMA engine); empty
+    phases disappear.  The final virtual "done" wait is added by the
+    driver, not here.
+    """
+    ops: list[_Op] = []
+
+    def _append(kind: str, peers: tuple[int, ...]) -> None:
+        if not peers:
+            return
+        if ops and ops[-1].kind == kind == "send":
+            ops[-1] = _Op("send", ops[-1].peers + peers)
+        else:
+            ops.append(_Op(kind, peers))
+
+    for phase in phases:
+        if phase.send_first:
+            _append("send", phase.sends)
+            _append("wait", phase.recvs)
+        else:
+            _append("wait", phase.recvs)
+            _append("send", phase.sends)
+    return ops
+
+
+class QuadricsChainedBarrier:
+    """Per-rank chained-RDMA barrier driver (host object).
+
+    Build once per (port, group); call :meth:`barrier` with increasing
+    sequence numbers.
+    """
+
+    def __init__(self, port: ElanPort, group: ProcessGroup):
+        self.port = port
+        self.group = group
+        self.rank = group.rank_of(port.node_id)
+        self.phases = group.schedule.phases(self.rank)
+        self.ops = _flatten_ops(self.phases)
+        # Which wait-op index at each destination rank expects *us*.
+        self.remote_wait_index: dict[int, int] = {}
+        for dst_rank in range(group.size):
+            if dst_rank == self.rank:
+                continue
+            for t, op in enumerate(_flatten_ops(group.schedule.phases(dst_rank))):
+                if op.kind == "wait" and self.rank in op.peers:
+                    self.remote_wait_index[dst_rank] = t
+        self.barriers_completed = 0
+
+    # ------------------------------------------------------------------
+    # Event-word naming and cumulative thresholds
+    # ------------------------------------------------------------------
+    def _wait_event(self, op_index: int) -> str:
+        return f"g{self.group.group_id}w{op_index}"
+
+    def _done_event(self) -> str:
+        return f"g{self.group.group_id}done"
+
+    def _per_barrier(self, op_index: int) -> int:
+        """Set-events this wait op's word collects per barrier."""
+        arrivals = len(self.ops[op_index].peers)
+        link = 1 if op_index > 0 else 0  # the chain link from op t-1
+        return arrivals + link
+
+    def _threshold(self, seq: int, op_index: int) -> int:
+        return (seq + 1) * self._per_barrier(op_index)
+
+    # ------------------------------------------------------------------
+    # Chain arming
+    # ------------------------------------------------------------------
+    def _descriptors(self, op: _Op, next_gate: str) -> list[RdmaDescriptor]:
+        """Build a send op's descriptor list; the last descriptor's
+        local completion feeds the next chain link."""
+        descriptors = []
+        for k, dst in enumerate(op.peers):
+            descriptors.append(
+                RdmaDescriptor(
+                    dst=self.group.node_of(dst),
+                    remote_event=self._wait_event(self.remote_wait_index[dst]),
+                    size_bytes=0,
+                    local_event=next_gate if k == len(op.peers) - 1 else None,
+                )
+            )
+        return descriptors
+
+    def _arm_chain(self, seq: int) -> list[RdmaDescriptor]:
+        """Arm every link of this barrier's chain; return the head
+        descriptors the host must trigger itself (if the chain starts
+        with a send)."""
+        nic = self.port.nic
+        ops = self.ops
+        head: list[RdmaDescriptor] = []
+        for t, op in enumerate(ops):
+            next_gate = (
+                self._wait_event(t + 1) if t + 1 < len(ops) else self._done_event()
+            )
+            if op.kind == "send":
+                descriptors = self._descriptors(op, next_gate)
+                if t == 0:
+                    head = descriptors
+                # A send op at t > 0 is issued by op t-1's firing —
+                # which is always a wait op (adjacent sends merged), so
+                # it is armed below as that wait's action.
+            else:  # wait
+                event = nic.event(self._wait_event(t))
+                threshold = self._threshold(seq, t)
+                if t + 1 < len(ops) and ops[t + 1].kind == "send":
+                    follow = self._descriptors(ops[t + 1], self._gate_after(t + 1))
+                    for descriptor in follow:
+                        event.arm(
+                            threshold,
+                            lambda d=descriptor: nic.issue_rdma(d),
+                        )
+                else:
+                    # wait -> wait/done: a chained set-event (SRAM write).
+                    event.arm(
+                        threshold,
+                        lambda name=next_gate: nic.event(name).set_event(),
+                    )
+        nic.arm_host_notify(
+            self._done_event(),
+            seq + 1,  # the done word collects exactly one set per barrier
+            value=BarrierDone(self.group.group_id, seq, completed_at=0.0),
+        )
+        return head
+
+    def _gate_after(self, send_op_index: int) -> str:
+        """The event a send op's completion feeds (the op after it)."""
+        if send_op_index + 1 < len(self.ops):
+            return self._wait_event(send_op_index + 1)
+        return self._done_event()
+
+    # ------------------------------------------------------------------
+    def barrier(self, seq: int):
+        """One barrier: arm the chain, trigger the head, await the tail."""
+        port = self.port
+        nic = port.nic
+        yield from port.cpu.compute(port.cpu.params.barrier_call_us)
+        # One command crossing re-arms the descriptor list for this
+        # iteration (the SRAM writes ride the same PIO burst).
+        yield from port._command()
+        if not self.ops:
+            # Degenerate single-rank group: nothing to do.
+            self.barriers_completed += 1
+            return None
+        head = self._arm_chain(seq)
+        # "The very first RDMA operation ... the host process triggers."
+        for descriptor in head:
+            nic.issue_rdma(descriptor)
+        done = yield from port.wait_host_event(
+            lambda ev: isinstance(ev, BarrierDone)
+            and ev.group_id == self.group.group_id
+            and ev.seq == seq
+        )
+        self.barriers_completed += 1
+        return done

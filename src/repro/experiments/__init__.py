@@ -1,0 +1,24 @@
+"""Experiment harnesses: one module per paper figure/table.
+
+Each module exposes ``run(quick=False) -> ExperimentResult`` and is
+runnable as a script (``python -m repro.experiments.fig5``).  The
+``report`` module runs everything and regenerates ``EXPERIMENTS.md``.
+
+- :mod:`~repro.experiments.fig5` — Fig. 5: Myrinet LANai 9.1, 16-node
+  700 MHz cluster, four barrier series over N = 2..16.
+- :mod:`~repro.experiments.fig6` — Fig. 6: Myrinet LANai-XP, 8-node
+  2.4 GHz cluster, N = 2..8.
+- :mod:`~repro.experiments.fig7` — Fig. 7: Quadrics Elan3, 8 nodes:
+  NIC barrier vs ``elan_gsync`` vs ``elan_hgsync``.
+- :mod:`~repro.experiments.fig8` — Fig. 8(a)/(b): scalability — model
+  vs simulation, extrapolated to 1024 nodes.
+- :mod:`~repro.experiments.headline` — the paper's headline numbers
+  and improvement factors in one table.
+- :mod:`~repro.experiments.ablation` — not a paper figure: per-scheme
+  packet / PCI / processor-occupancy accounting that quantifies each
+  optimization the collective protocol makes.
+"""
+
+from repro.experiments.common import ExperimentResult, Series
+
+__all__ = ["ExperimentResult", "Series"]

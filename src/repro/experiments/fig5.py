@@ -1,0 +1,54 @@
+"""Fig. 5 — NIC-based vs host-based barrier, Myrinet LANai 9.1.
+
+Paper setup: 16-node cluster of quad-SMP 700 MHz Pentium-III, 66 MHz
+PCI, Myrinet 2000 with 133 MHz LANai 9.1 NICs, GM-2.0.3.  Four series
+over N = 2..16: NIC-DS, NIC-PE, Host-DS, Host-PE.
+
+Anchors (§8.1): 25.72 µs at 16 nodes with either algorithm — a 3.38x
+improvement over the host-based barrier; pairwise-exchange shows a
+latency bump at non-power-of-two node counts (its two extra steps).
+"""
+
+from __future__ import annotations
+
+from repro.experiments.common import ExperimentResult, Series, print_experiment, sweep
+
+PROFILE = "lanai91_piii700"
+PAPER_ANCHORS = {
+    "NIC barrier latency @ 16 nodes (us)": 25.72,
+    "host/NIC improvement factor @ 16 nodes": 3.38,
+}
+
+
+def run(quick: bool = False, iterations: int | None = None) -> ExperimentResult:
+    iters = iterations or (30 if quick else 150)
+    n_values = [2, 4, 6, 8, 10, 12, 14, 16] if quick else list(range(2, 17))
+    series = [
+        sweep("myrinet", PROFILE, "nic-collective", "dissemination", n_values,
+              label="NIC-DS", iterations=iters),
+        sweep("myrinet", PROFILE, "nic-collective", "pairwise-exchange", n_values,
+              label="NIC-PE", iterations=iters),
+        sweep("myrinet", PROFILE, "host", "dissemination", n_values,
+              label="Host-DS", iterations=iters),
+        sweep("myrinet", PROFILE, "host", "pairwise-exchange", n_values,
+              label="Host-PE", iterations=iters),
+    ]
+    nic16 = series[0].at(16)
+    host16 = series[2].at(16)
+    return ExperimentResult(
+        exp_id="fig5",
+        title="Barrier latency, Myrinet LANai 9.1 on 16-node 700 MHz cluster",
+        series=series,
+        paper_anchors=PAPER_ANCHORS,
+        measured_anchors={
+            "NIC barrier latency @ 16 nodes (us)": nic16,
+            "host/NIC improvement factor @ 16 nodes": host16 / nic16,
+        },
+        notes=[
+            "PE takes two extra steps at non-power-of-two N (visible bumps)",
+        ],
+    )
+
+
+if __name__ == "__main__":
+    print_experiment(run())

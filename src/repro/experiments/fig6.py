@@ -1,0 +1,55 @@
+"""Fig. 6 — NIC-based vs host-based barrier, Myrinet LANai-XP.
+
+Paper setup: 8-node SuperMicro dual-Xeon 2.4 GHz, PCI-X 133 MHz,
+Myrinet 2000 with 225 MHz LANai-XP NICs, GM-2.0.3.
+
+Anchors (§8.1): 14.20 µs at 8 nodes, a 2.64x improvement over the
+host-based barrier.  The factor is *smaller* than on the 700 MHz
+cluster because the host-CPU:NIC speed ratio is much larger and the
+PCI-X bus is faster — less for offload to win.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.common import ExperimentResult, Series, print_experiment, sweep
+
+PROFILE = "lanai_xp_xeon2400"
+PAPER_ANCHORS = {
+    "NIC barrier latency @ 8 nodes (us)": 14.20,
+    "host/NIC improvement factor @ 8 nodes": 2.64,
+}
+
+
+def run(quick: bool = False, iterations: int | None = None) -> ExperimentResult:
+    iters = iterations or (30 if quick else 150)
+    n_values = [2, 4, 6, 8] if quick else list(range(2, 9))
+    series = [
+        sweep("myrinet", PROFILE, "nic-collective", "dissemination", n_values,
+              label="NIC-DS", iterations=iters),
+        sweep("myrinet", PROFILE, "nic-collective", "pairwise-exchange", n_values,
+              label="NIC-PE", iterations=iters),
+        sweep("myrinet", PROFILE, "host", "dissemination", n_values,
+              label="Host-DS", iterations=iters),
+        sweep("myrinet", PROFILE, "host", "pairwise-exchange", n_values,
+              label="Host-PE", iterations=iters),
+    ]
+    nic8 = series[0].at(8)
+    host8 = series[2].at(8)
+    return ExperimentResult(
+        exp_id="fig6",
+        title="Barrier latency, Myrinet LANai-XP on 8-node 2.4 GHz cluster",
+        series=series,
+        paper_anchors=PAPER_ANCHORS,
+        measured_anchors={
+            "NIC barrier latency @ 8 nodes (us)": nic8,
+            "host/NIC improvement factor @ 8 nodes": host8 / nic8,
+        },
+        notes=[
+            "improvement factor < Fig. 5's 3.38x: faster host CPU and PCI-X "
+            "shrink the share of work offload can remove",
+        ],
+    )
+
+
+if __name__ == "__main__":
+    print_experiment(run())

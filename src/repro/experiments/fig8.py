@@ -1,0 +1,94 @@
+"""Fig. 8 — scalability of the NIC-based barrier: model vs simulation.
+
+The paper measures up to 8 nodes, fits
+``T = T_init + (ceil(log2 N) - 1) * T_trig + T_adj``, and extrapolates:
+
+- Fig. 8(a) Quadrics: ``2.25 + (⌈log2 N⌉−1)·2.32 − 1.00`` → 22.13 µs
+  at 1024 nodes;
+- Fig. 8(b) Myrinet (LANai-XP): ``3.60 + (⌈log2 N⌉−1)·3.50 + 3.84`` →
+  38.94 µs at 1024 nodes.
+
+Our simulator can *run* node counts the authors could only model, so
+this experiment reports three series per network: the paper's model,
+our simulated latencies (beyond the paper's 8 nodes), and a model
+*fitted to our simulation* extrapolated to 1024.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.common import ExperimentResult, Series, print_experiment, sweep
+from repro.model import PAPER_MYRINET_XP, PAPER_QUADRICS_ELAN3, fit_barrier_model
+
+MODEL_POINTS = [2, 4, 8, 16, 32, 64, 128, 256, 512, 1024]
+PAPER_ANCHORS = {
+    "Quadrics model @ 1024 nodes (us)": 22.13,
+    "Myrinet model @ 1024 nodes (us)": 38.94,
+    "Quadrics T_trig (us/step)": 2.32,
+    "Myrinet T_trig (us/step)": 3.50,
+}
+
+
+def run(quick: bool = False, iterations: int | None = None) -> ExperimentResult:
+    iters = iterations or (20 if quick else 60)
+    myri_ns = [2, 4, 8, 16] if quick else [2, 4, 8, 16, 32, 64]
+    quad_ns = [2, 4, 8, 16] if quick else [2, 4, 8, 16, 32, 64, 128]
+
+    measured_m = sweep(
+        "myrinet", "lanai_xp_xeon2400", "nic-collective", "dissemination",
+        myri_ns, label="Myrinet-sim", iterations=iters,
+    )
+    measured_q = sweep(
+        "quadrics", "elan3_piii700", "nic-chained", "dissemination",
+        quad_ns, label="Quadrics-sim", iterations=iters,
+    )
+
+    # Fit with the paper's own methodology: from testbed-scale points.
+    # For Myrinet that also keeps the fit on the single-crossbar regime
+    # the paper measured (>16 nodes needs a two-level Clos whose extra
+    # switch hops the analytical model does not include).
+    fit_ns = [n for n in measured_m.n_values if n <= 16]
+    fit_m = fit_barrier_model(
+        fit_ns, [measured_m.at(n) for n in fit_ns],
+        t_init=measured_m.at(2), name="fitted-myrinet",
+    )
+    fit_q = fit_barrier_model(
+        measured_q.n_values, measured_q.latencies,
+        t_init=measured_q.at(2), name="fitted-quadrics",
+    )
+
+    series = [
+        Series("Myrinet-Model(paper)", MODEL_POINTS, PAPER_MYRINET_XP.predict_many(MODEL_POINTS)),
+        Series("Myrinet-Model(fit)", MODEL_POINTS, fit_m.predict_many(MODEL_POINTS)),
+        measured_m,
+        Series("Quadrics-Model(paper)", MODEL_POINTS, PAPER_QUADRICS_ELAN3.predict_many(MODEL_POINTS)),
+        Series("Quadrics-Model(fit)", MODEL_POINTS, fit_q.predict_many(MODEL_POINTS)),
+        measured_q,
+    ]
+    return ExperimentResult(
+        exp_id="fig8",
+        title="Scalability of the NIC-based barrier (model vs simulation)",
+        series=series,
+        paper_anchors=PAPER_ANCHORS,
+        measured_anchors={
+            "Quadrics model @ 1024 nodes (us)": fit_q.predict(1024),
+            "Myrinet model @ 1024 nodes (us)": fit_m.predict(1024),
+            "Quadrics T_trig (us/step)": fit_q.t_trig,
+            "Myrinet T_trig (us/step)": fit_m.t_trig,
+        },
+        notes=[
+            f"fitted Myrinet model: {fit_m}",
+            f"fitted Quadrics model: {fit_q}",
+            "the paper's Quadrics coefficients are internally tight: measured "
+            "T(8) = 5.60 with T_trig = 2.32 forces T(2) = 1.25us, below any "
+            "real two-node round trip; our fit keeps a realistic intercept and "
+            "a smaller slope, landing the 1024-node extrapolation below the "
+            "paper's (same log2 shape)",
+            "Myrinet beyond 16 nodes needs a two-level Clos: the simulated "
+            "points sit above the single-crossbar model by the extra switch "
+            "hops — the paper's 1024-node number inherits that optimism",
+        ],
+    )
+
+
+if __name__ == "__main__":
+    print_experiment(run())

@@ -1,0 +1,17 @@
+"""Host CPU and host process model.
+
+The host side of a barrier matters in two ways the paper measures:
+
+- host-based barriers pay host send overhead, receive-queue polling and
+  per-step software processing on *every* step;
+- NIC-based barriers pay host cost only to start the barrier and to
+  observe its completion.
+
+The ratio of host CPU speed to NIC processor speed is what makes the
+NIC offload win shrink on the 2.4 GHz Xeon cluster (paper §8.1) — the
+profile constants carry that ratio.
+"""
+
+from repro.host.cpu import HostCpu, HostParams
+
+__all__ = ["HostCpu", "HostParams"]

@@ -1,0 +1,76 @@
+"""Host processor model: per-operation software costs and polling."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.sim import Resource, Simulator
+
+
+@dataclass(frozen=True)
+class HostParams:
+    """Host software costs (µs).
+
+    ``send_overhead_us`` — building and posting one send descriptor
+    (user-level library code, before the PIO doorbell).
+    ``recv_overhead_us`` — consuming one receive event (buffer matching,
+    callback dispatch).
+    ``poll_us`` — one poll of the receive-event queue that finds nothing.
+    ``poll_interval_us`` — gap between successive polls while waiting.
+    ``barrier_call_us`` — fixed entry/exit software cost of the barrier
+    library call itself.
+    """
+
+    send_overhead_us: float
+    recv_overhead_us: float
+    poll_us: float
+    poll_interval_us: float
+    barrier_call_us: float
+
+    def __post_init__(self) -> None:
+        for field_name in (
+            "send_overhead_us",
+            "recv_overhead_us",
+            "poll_us",
+            "poll_interval_us",
+            "barrier_call_us",
+        ):
+            if getattr(self, field_name) < 0:
+                raise ValueError(f"{field_name} must be non-negative")
+
+
+class HostCpu:
+    """One node's host processor.
+
+    A capacity-1 resource: host library code, polling loops and
+    callbacks on the same node serialize (quad-SMP nodes ran one MPI
+    process per node in the paper's tests, so one CPU per node is the
+    faithful model).
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        params: HostParams,
+        node_id: int,
+        name: Optional[str] = None,
+    ):
+        self.sim = sim
+        self.params = params
+        self.node_id = node_id
+        self.name = name or f"host{node_id}"
+        self._cpu = Resource(sim, capacity=1, name=f"{self.name}.cpu")
+        self.busy_us = 0.0
+
+    def compute(self, us: float):
+        """Occupy the CPU for ``us`` microseconds (yield from a process)."""
+        if us < 0:
+            raise ValueError(f"negative compute time {us}")
+        yield self._cpu.request()
+        yield us
+        self._cpu.release()
+        self.busy_us += us
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<HostCpu {self.name} busy={self.busy_us:.1f}us>"

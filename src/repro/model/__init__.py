@@ -1,0 +1,15 @@
+"""The paper's analytical barrier-latency model (§8.3) and fitting."""
+
+from repro.model.analytical import (
+    PAPER_MYRINET_XP,
+    PAPER_QUADRICS_ELAN3,
+    BarrierModel,
+    fit_barrier_model,
+)
+
+__all__ = [
+    "BarrierModel",
+    "fit_barrier_model",
+    "PAPER_MYRINET_XP",
+    "PAPER_QUADRICS_ELAN3",
+]

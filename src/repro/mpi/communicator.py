@@ -1,0 +1,211 @@
+"""Communicators: per-rank handles over the NIC-based collectives.
+
+One :func:`create_communicators` call builds the shared collective
+contexts (process groups + NIC engines) and returns one handle per
+rank.  Each collective kind gets its own group (as GM dedicates ports):
+the engines demultiplex NIC traffic by group id.
+
+MPI semantics reproduced:
+
+- collectives must be called by *all* ranks in the same order; the
+  per-rank operation counters keep sequence numbers aligned without
+  any caller bookkeeping;
+- ``bcast`` supports any root (a dedicated broadcast context per root,
+  built lazily — a persistent-collective setup cost, not a per-call
+  one);
+- results are returned from the generator (``value = yield from
+  comm.bcast(...)``).
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, Optional, Sequence, Union
+
+from repro.cluster.builder import MyrinetCluster, QuadricsCluster
+from repro.collectives import (
+    NicCollectiveBarrierEngine,
+    ProcessGroup,
+    QuadricsChainedBarrier,
+    nic_barrier,
+)
+from repro.collectives.allgather import NicAllgatherEngine, nic_allgather
+from repro.collectives.allreduce import NicAllreduceEngine, nic_allreduce
+from repro.collectives.alltoall import NicAlltoallEngine, nic_alltoall
+from repro.collectives.broadcast import (
+    NicBroadcastEngine,
+    nic_broadcast_recv,
+    nic_broadcast_root,
+)
+
+_counter = itertools.count()
+
+
+class _MyrinetContexts:
+    """Shared collective state for one Myrinet communicator."""
+
+    def __init__(self, cluster: MyrinetCluster, nodes: Sequence[int], algorithm: str):
+        self.cluster = cluster
+        self.nodes = tuple(nodes)
+        self.algorithm = algorithm
+        self.barrier_group = ProcessGroup(nodes, algorithm=algorithm)
+        self.allgather_group = ProcessGroup(nodes)
+        self.alltoall_group = ProcessGroup(nodes)
+        self.allreduce_group = ProcessGroup(nodes)
+        for rank, node in enumerate(self.nodes):
+            NicCollectiveBarrierEngine(cluster.nics[node], self.barrier_group, rank)
+            NicAllgatherEngine(cluster.nics[node], self.allgather_group, rank)
+            NicAlltoallEngine(cluster.nics[node], self.alltoall_group, rank)
+            NicAllreduceEngine(cluster.nics[node], self.allreduce_group, rank)
+        self._bcast_groups: dict[int, ProcessGroup] = {}
+
+    def bcast_group(self, root: int) -> ProcessGroup:
+        """The broadcast context rooted at ``root`` (rank), built lazily.
+
+        The engine's tree is rooted at group-rank 0, so the group's
+        node order is rotated to put ``root`` first.
+        """
+        group = self._bcast_groups.get(root)
+        if group is None:
+            rotated = self.nodes[root:] + self.nodes[:root]
+            group = ProcessGroup(rotated)
+            for rank, node in enumerate(rotated):
+                NicBroadcastEngine(self.cluster.nics[node], group, rank)
+            self._bcast_groups[root] = group
+        return group
+
+
+class MyrinetRankComm:
+    """One rank's communicator handle on a Myrinet cluster."""
+
+    def __init__(self, ctx: _MyrinetContexts, rank: int):
+        self._ctx = ctx
+        self.rank = rank
+        self.node = ctx.nodes[rank]
+        self._port = ctx.cluster.ports[self.node]
+        self._barrier_seq = 0
+        self._bcast_seq = 0
+        self._allgather_seq = 0
+        self._alltoall_seq = 0
+        self._allreduce_seq = 0
+
+    @property
+    def size(self) -> int:
+        return len(self._ctx.nodes)
+
+    def barrier(self):
+        """MPI_Barrier over the NIC-based collective protocol."""
+        seq = self._barrier_seq
+        self._barrier_seq += 1
+        yield from nic_barrier(self._port, self._ctx.barrier_group, seq)
+
+    def bcast(self, value: Any = None, size_bytes: int = 4, root: int = 0):
+        """MPI_Bcast over the NIC-based broadcast tree.
+
+        Returns the broadcast value at every rank (including the root).
+        """
+        if not 0 <= root < self.size:
+            raise ValueError(f"root {root} out of range")
+        seq = self._bcast_seq
+        self._bcast_seq += 1
+        group = self._ctx.bcast_group(root)
+        if self.rank == root:
+            done = yield from nic_broadcast_root(
+                self._port, group, seq, size_bytes, payload=value
+            )
+        else:
+            done = yield from nic_broadcast_recv(self._port, group, seq)
+        return done.payload
+
+    def allgather(self, value: Any):
+        """MPI_Allgather of one value per rank.
+
+        Returns ``{rank: value}`` for all ranks.
+        """
+        seq = self._allgather_seq
+        self._allgather_seq += 1
+        gathered = yield from nic_allgather(
+            self._port, self._ctx.allgather_group, seq, value
+        )
+        return gathered
+
+    def alltoall(self, blocks: dict):
+        """MPI_Alltoall: ``blocks[dst_rank]`` is this rank's block for
+        ``dst_rank``.  Returns ``{origin_rank: block}``."""
+        seq = self._alltoall_seq
+        self._alltoall_seq += 1
+        received = yield from nic_alltoall(
+            self._port, self._ctx.alltoall_group, seq, blocks
+        )
+        return received
+
+    def allreduce(self, value: Any, op: str = "sum"):
+        """MPI_Allreduce with a named operator (sum/prod/min/max)."""
+        seq = self._allreduce_seq
+        self._allreduce_seq += 1
+        result = yield from nic_allreduce(
+            self._port, self._ctx.allreduce_group, seq, value, op
+        )
+        return result
+
+
+class QuadricsRankComm:
+    """One rank's communicator handle on a Quadrics cluster.
+
+    ``barrier()`` uses the chained-RDMA NIC barrier (§7);
+    ``allgather``/``bcast`` are not offered on this transport (the
+    paper's Quadrics contribution is the barrier).
+    """
+
+    def __init__(self, cluster: QuadricsCluster, group: ProcessGroup, rank: int):
+        self.rank = rank
+        self.node = group.node_of(rank)
+        self._port = cluster.ports[self.node]
+        self._driver = QuadricsChainedBarrier(self._port, group)
+        self._barrier_seq = 0
+        self._bcast_seq = 0
+        self._group = group
+
+    @property
+    def size(self) -> int:
+        return self._group.size
+
+    def barrier(self):
+        seq = self._barrier_seq
+        self._barrier_seq += 1
+        yield from self._driver.barrier(seq)
+
+    def bcast(self, value: Any = None, size_bytes: int = 4):
+        """MPI_Bcast from rank 0 via QsNet's hardware broadcast."""
+        from repro.quadrics import elan_hw_broadcast
+
+        seq = self._bcast_seq
+        self._bcast_seq += 1
+        result = yield from elan_hw_broadcast(
+            self._port, self._group.node_ids, seq, size_bytes, value
+        )
+        return result
+
+
+def create_communicators(
+    cluster: Union[MyrinetCluster, QuadricsCluster],
+    nodes: Optional[Sequence[int]] = None,
+    algorithm: str = "dissemination",
+):
+    """Build one communicator handle per rank over ``cluster``.
+
+    ``nodes`` selects/permutes the participating nodes (default: all,
+    in order).
+    """
+    if not isinstance(cluster, (MyrinetCluster, QuadricsCluster)):
+        raise TypeError(f"not a cluster: {cluster!r}")
+    node_list = list(range(cluster.n)) if nodes is None else list(nodes)
+    if isinstance(cluster, MyrinetCluster):
+        ctx = _MyrinetContexts(cluster, node_list, algorithm)
+        return [MyrinetRankComm(ctx, rank) for rank in range(len(node_list))]
+    if isinstance(cluster, QuadricsCluster):
+        group = ProcessGroup(node_list, algorithm=algorithm)
+        return [
+            QuadricsRankComm(cluster, group, rank) for rank in range(len(node_list))
+        ]
+    raise TypeError(f"not a cluster: {cluster!r}")

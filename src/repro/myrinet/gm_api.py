@@ -1,0 +1,155 @@
+"""Host-side GM API: ports, sends, receive-event polling.
+
+Mirrors the GM user-level interface shape the paper describes:
+``gm_send_with_callback`` posts a send event across the PCI bus;
+``gm_provide_receive_buffer`` preposts receive buffers; the host polls a
+receive-event queue that the NIC DMAs events into.
+
+Host costs (library overhead, polling) come from
+:class:`repro.host.HostParams`; bus costs from :class:`repro.pci.PciBus`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Optional
+
+from repro.host import HostCpu
+from repro.myrinet.nic import LanaiNic
+from repro.myrinet.structures import SendToken
+from repro.network import PacketKind
+from repro.pci import PciBus
+from repro.sim import SimEvent, Simulator
+
+
+@dataclass(frozen=True)
+class GmRecvEvent:
+    """A receive event the NIC DMAed into host memory."""
+
+    src: int
+    payload: Any
+    size: int
+
+
+class GmPort:
+    """One host process's GM port.
+
+    All methods that consume time are generators — call them with
+    ``yield from`` inside a host process.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        node_id: int,
+        nic: LanaiNic,
+        cpu: HostCpu,
+        pci: PciBus,
+    ):
+        self.sim = sim
+        self.node_id = node_id
+        self.nic = nic
+        self.cpu = cpu
+        self.pci = pci
+        self._pending: list[Any] = []  # events popped but not yet matched
+        # Prepost the configured number of receive buffers.
+        nic.provide_recv_tokens(nic.params.recv_token_count)
+
+    # ------------------------------------------------------------------
+    # Sending
+    # ------------------------------------------------------------------
+    def send(
+        self,
+        dst: int,
+        size_bytes: int,
+        payload: Any = None,
+        wait_completion: bool = False,
+    ):
+        """``gm_send_with_callback``: post a send event to the NIC.
+
+        Returns (via generator return value) the token's completion
+        event when ``wait_completion`` is requested, after blocking on
+        it; otherwise returns immediately after the doorbell.
+        """
+        yield from self.cpu.compute(self.cpu.params.send_overhead_us)
+        completion: Optional[SimEvent] = None
+        if wait_completion:
+            completion = SimEvent(self.sim, name=f"send_done@{self.node_id}")
+        token = SendToken(
+            dst=dst,
+            size_bytes=size_bytes,
+            payload=payload,
+            kind=PacketKind.DATA,
+            notify_host=True,
+            completion=completion,
+        )
+        yield from self.pci.pio_write()
+        self.nic.post_send_event(token)
+        if wait_completion:
+            yield from self.recv_matching(
+                lambda ev: isinstance(ev, SendToken) and ev is token
+            )
+        return token
+
+    # ------------------------------------------------------------------
+    # Receiving
+    # ------------------------------------------------------------------
+    def provide_receive_buffer(self):
+        """``gm_provide_receive_buffer``: repost one receive buffer."""
+        yield from self.pci.pio_write()
+        self.nic.provide_recv_tokens(1)
+
+    def _next_event(self):
+        """Pop the next host-visible event, modeling the polling loop.
+
+        If an event is already queued the poll finds it immediately;
+        otherwise the host blocks and discovers the event half a poll
+        interval (the mean phase lag) after the NIC posts it.
+        """
+        params = self.cpu.params
+        queue = self.nic.recv_event_queue
+        if len(queue) > 0 and queue.getters_waiting == 0:
+            event = queue.try_get()
+        else:
+            event = yield queue.get()
+            yield params.poll_interval_us / 2.0
+        yield from self.cpu.compute(params.poll_us)
+        return event
+
+    def recv_matching(self, matches: Callable[[Any], bool]):
+        """Block until an event satisfying ``matches`` arrives.
+
+        Non-matching events are buffered and re-offered on later calls
+        (barrier messages from a future iteration can arrive early).
+        Consuming a data receive event pays the host receive overhead
+        and reposts the receive buffer.
+        """
+        params = self.cpu.params
+        for i, ev in enumerate(self._pending):
+            if matches(ev):
+                self._pending.pop(i)
+                yield from self.cpu.compute(params.recv_overhead_us)
+                if isinstance(ev, GmRecvEvent):
+                    yield from self.provide_receive_buffer()
+                return ev
+        while True:
+            event = yield from self._next_event()
+            if isinstance(event, SendToken) and event.completion is not None:
+                if not event.completion.triggered:
+                    event.completion.succeed(event)
+            if matches(event):
+                yield from self.cpu.compute(params.recv_overhead_us)
+                if isinstance(event, GmRecvEvent):
+                    yield from self.provide_receive_buffer()
+                return event
+            self._pending.append(event)
+
+    def recv_from(self, src: int):
+        """Receive the next data message from ``src``."""
+        event = yield from self.recv_matching(
+            lambda ev: isinstance(ev, GmRecvEvent) and ev.src == src
+        )
+        return event
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<GmPort node={self.node_id} pending={len(self._pending)}>"

@@ -1,0 +1,286 @@
+"""The Myrinet Control Program: the NIC's processing loops.
+
+Five loops run concurrently on the (single) LANai processor, contending
+for it through ``nic.cpu_task``:
+
+- **SDMA loop** — host send events → send tokens → per-destination
+  queues (§4.2 "the NIC translates the event to a send token, and
+  appends it to the send queue for the desired destination").
+- **Send scheduler** — round-robin over destination queues; for each
+  token: wait for a send packet, DMA the data from host memory, build
+  the packet, create the send record, inject (§4.2).
+- **Receive loop** — sequence check (unexpected ⇒ drop), payload RDMA
+  into a host receive buffer, receive event to host, ACK back to the
+  sender; also dispatches barrier/collective packets to the registered
+  engines.
+- **Timeout loop** — retransmits packets whose send record timed out.
+- **Engine command loop** — host barrier-start commands → engines.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.network import Packet, PacketKind
+from repro.myrinet.structures import SendRecord, SendToken
+from repro.pci import DmaDirection
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.myrinet.nic import LanaiNic
+
+
+class ControlProgram:
+    """Drives a :class:`~repro.myrinet.nic.LanaiNic`'s protocol loops."""
+
+    def __init__(self, nic: "LanaiNic"):
+        self.nic = nic
+        sim = nic.sim
+        sim.process(self._sdma_loop(), name=f"{nic.name}.sdma")
+        sim.process(self._send_scheduler(), name=f"{nic.name}.sched")
+        sim.process(self._rx_loop(), name=f"{nic.name}.rx")
+        sim.process(self._timeout_loop(), name=f"{nic.name}.timeout")
+        sim.process(self._engine_cmd_loop(), name=f"{nic.name}.engine")
+
+    # ------------------------------------------------------------------
+    # Send side
+    # ------------------------------------------------------------------
+    def _sdma_loop(self):
+        nic = self.nic
+        while True:
+            token = yield nic.host_event_queue.get()
+            yield from nic.cpu_task(nic.params.t_sdma_event)
+            nic.enqueue_send_token(token)
+
+    def _send_scheduler(self):
+        nic = self.nic
+        while True:
+            dst = yield nic.sched_work.get()
+            nic.rr_ring.append(dst)
+            while nic.rr_ring:
+                # Fold in any destinations that got work meanwhile so the
+                # rotation covers them this round.
+                while True:
+                    extra = nic.sched_work.try_get()
+                    if extra is None:
+                        break
+                    nic.rr_ring.append(extra)
+                dst = nic.rr_ring.popleft()
+                queue = nic.send_queues[dst]
+                yield from nic.cpu_task(nic.params.t_token_schedule)
+                token = queue.popleft()
+                yield from self._transmit_token(token)
+                if queue:
+                    nic.rr_ring.append(dst)  # round-robin: go to the back
+                else:
+                    nic.pending_dsts.discard(dst)
+
+    def _transmit_token(self, token: SendToken):
+        """The per-packet p2p send path for one token."""
+        nic = self.nic
+        p = nic.params
+        remaining = token.size_bytes
+        while True:
+            chunk = min(remaining, p.mtu_bytes)
+            # Wait for a send packet buffer (held until the ACK arrives,
+            # so a retransmission does not have to re-claim one).
+            yield nic.packet_pool.request()
+            yield from nic.cpu_task(p.t_packet_alloc)
+            if token.notify_host:
+                # Data lives in host memory: DMA it into the send packet.
+                yield from nic.pci.dma(chunk, DmaDirection.HOST_TO_NIC)
+            yield from nic.cpu_task(p.t_fill)
+            seq = nic.next_seq[token.dst]
+            nic.next_seq[token.dst] = seq + 1
+            record = SendRecord(
+                dst=token.dst,
+                seq=seq,
+                size_bytes=p.data_header_bytes + chunk,
+                payload=token.payload,
+                kind=token.kind,
+                token=token,
+                created_at=nic.sim.now,
+            )
+            nic.send_records[(token.dst, seq)] = record
+            token.packets_outstanding += 1
+            yield from nic.cpu_task(p.t_send_record)
+            nic.arm_record_timer(record)
+            yield from nic.cpu_task(p.t_inject)
+            nic.fabric.transmit(
+                Packet(
+                    src=nic.node_id,
+                    dst=token.dst,
+                    kind=token.kind,
+                    size_bytes=record.size_bytes,
+                    payload=token.payload,
+                    seq=seq,
+                )
+            )
+            remaining -= chunk
+            if remaining <= 0:
+                break
+        token.all_packets_sent = True
+
+    # ------------------------------------------------------------------
+    # Receive side
+    # ------------------------------------------------------------------
+    def _rx_loop(self):
+        nic = self.nic
+        p = nic.params
+        while True:
+            packet = yield nic.rx_queue.get()
+            yield from nic.cpu_task(p.t_rx_header)
+            if packet.kind == PacketKind.DATA:
+                yield from self._handle_data(packet)
+            elif packet.kind == PacketKind.ACK:
+                yield from self._handle_ack(packet)
+            elif packet.kind == PacketKind.BARRIER:
+                if packet.seq is not None:
+                    # Direct scheme: the barrier message travelled the
+                    # p2p path, so it gets the full reliability
+                    # treatment (sequence check + ACK) before the
+                    # engine sees it.
+                    yield from self._handle_p2p_barrier(packet)
+                else:
+                    # Collective protocol: straight to the engine.
+                    engine = nic.engine_for(packet.payload.group_id)
+                    yield from engine.on_barrier_packet(packet)
+            elif packet.kind == PacketKind.BCAST:
+                engine = nic.engine_for(packet.payload.group_id)
+                yield from engine.on_bcast_packet(packet)
+            elif packet.kind == PacketKind.NACK:
+                engine = nic.engine_for(packet.payload.group_id)
+                yield from engine.on_nack(packet)
+            else:
+                nic.tracer.count("gm.rx_unknown_kind")
+
+    def _handle_data(self, packet: Packet):
+        nic = self.nic
+        p = nic.params
+        expected = nic.expect_seq[packet.src]
+        if packet.seq > expected:
+            # Out of order: GM drops immediately; the sender retransmits.
+            nic.tracer.count("gm.rx_unexpected")
+            return
+        if packet.seq < expected:
+            # Duplicate of an already-delivered packet (its ACK was lost
+            # or raced a timeout): re-ACK so the sender stops resending.
+            nic.tracer.count("gm.rx_duplicate")
+            yield from self._send_ack(packet)
+            return
+        if nic.recv_tokens_available <= 0:
+            # No host receive buffer: drop; sender will retransmit.
+            nic.tracer.count("gm.rx_no_token")
+            return
+        nic.recv_tokens_available -= 1
+        nic.expect_seq[packet.src] = expected + 1
+        payload_bytes = max(packet.size_bytes - p.data_header_bytes, 0)
+        yield from nic.cpu_task(p.t_rdma_setup)
+        yield from nic.pci.dma(payload_bytes, DmaDirection.NIC_TO_HOST)
+        yield from nic.cpu_task(p.t_recv_event)
+        from repro.myrinet.gm_api import GmRecvEvent
+
+        yield from nic.notify_host(
+            GmRecvEvent(src=packet.src, payload=packet.payload, size=payload_bytes)
+        )
+        yield from self._send_ack(packet)
+
+    def _handle_p2p_barrier(self, packet: Packet):
+        """Direct-scheme barrier message: p2p reliability, NIC consumption.
+
+        Unlike host data, the payload never crosses the PCI bus — the
+        NIC consumes it (that is the offload the prior work provides) —
+        but the queueing/ACK overheads all still apply.
+        """
+        nic = self.nic
+        expected = nic.expect_seq[packet.src]
+        if packet.seq > expected:
+            nic.tracer.count("gm.rx_unexpected")
+            return
+        if packet.seq < expected:
+            nic.tracer.count("gm.rx_duplicate")
+            yield from self._send_ack(packet)
+            return
+        nic.expect_seq[packet.src] = expected + 1
+        yield from self._send_ack(packet)
+        engine = nic.engine_for(packet.payload.group_id)
+        yield from engine.on_barrier_packet(packet)
+
+    def _send_ack(self, packet: Packet):
+        nic = self.nic
+        yield from nic.cpu_task(nic.params.t_ack_gen)
+        nic.fabric.transmit(
+            Packet(
+                src=nic.node_id,
+                dst=packet.src,
+                kind=PacketKind.ACK,
+                size_bytes=nic.params.ack_bytes,
+                payload=None,
+                seq=packet.seq,
+            )
+        )
+
+    def _handle_ack(self, packet: Packet):
+        nic = self.nic
+        p = nic.params
+        record = nic.send_records.pop((packet.src, packet.seq), None)
+        if record is None or record.acked:
+            nic.tracer.count("gm.ack_stale")
+            return
+        record.acked = True
+        record.cancel_timer()
+        nic.packet_pool.release()
+        yield from nic.cpu_task(p.t_ack_process)
+        token = record.token
+        token.packets_outstanding -= 1
+        if (
+            token.packets_outstanding == 0
+            and token.all_packets_sent
+            and token.notify_host
+        ):
+            yield from nic.cpu_task(p.t_token_complete)
+            if token.completion is not None:
+                yield from nic.notify_host(token)
+            # (Without a completion event the token is recycled silently.)
+
+    # ------------------------------------------------------------------
+    # Reliability
+    # ------------------------------------------------------------------
+    def _timeout_loop(self):
+        nic = self.nic
+        p = nic.params
+        while True:
+            record = yield nic.timeout_queue.get()
+            if record.acked:
+                continue
+            if record.retransmits >= p.max_retries:
+                # GM declares the connection dead after the retry
+                # budget; the record is abandoned (and the simulation
+                # is guaranteed to drain).
+                nic.tracer.count("gm.peer_dead")
+                nic.send_records.pop((record.dst, record.seq), None)
+                continue
+            record.retransmits += 1
+            nic.tracer.count("gm.retransmit")
+            yield from nic.cpu_task(p.t_retransmit)
+            nic.arm_record_timer(record)
+            yield from nic.cpu_task(p.t_inject)
+            nic.fabric.transmit(
+                Packet(
+                    src=nic.node_id,
+                    dst=record.dst,
+                    kind=record.kind,
+                    size_bytes=record.size_bytes,
+                    payload=record.payload,
+                    seq=record.seq,
+                )
+            )
+
+    # ------------------------------------------------------------------
+    # Collective engines
+    # ------------------------------------------------------------------
+    def _engine_cmd_loop(self):
+        nic = self.nic
+        while True:
+            command = yield nic.engine_cmd_queue.get()
+            engine = nic.engine_for(command[0])
+            yield from engine.on_command(command[1:])

@@ -1,0 +1,194 @@
+"""LANai NIC state: processor, queues, pools, connection state.
+
+The NIC processor is a capacity-1 resource; *every* control-program task
+(and every collective-engine task) runs through :meth:`LanaiNic.cpu_task`,
+so processing serializes exactly as on the real single-core LANai.  The
+processing *loops* that consume the queues live in
+:class:`repro.myrinet.mcp.ControlProgram`.
+
+Collective/barrier engines (the paper's contribution, and the prior-work
+direct scheme) plug in via :meth:`register_engine`; the MCP's receive
+loop dispatches ``BARRIER``/collective-``NACK`` packets to them, and the
+engine command loop feeds them host commands.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict, deque
+from typing import Any, Optional
+
+from repro.network import Fabric, Packet, PacketKind
+from repro.myrinet.params import GmParams
+from repro.myrinet.structures import SendRecord, SendToken
+from repro.pci import DmaDirection, PciBus
+from repro.sim import Resource, Simulator, Store, Tracer
+
+
+class LanaiNic:
+    """One Myrinet NIC: LANai processor + SRAM-resident protocol state."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        node_id: int,
+        params: GmParams,
+        fabric: Fabric,
+        pci: PciBus,
+        tracer: Optional[Tracer] = None,
+    ):
+        self.sim = sim
+        self.node_id = node_id
+        self.params = params
+        self.fabric = fabric
+        self.pci = pci
+        self.tracer = tracer or Tracer()
+        self.name = f"lanai{node_id}"
+
+        # The LANai processor.
+        self.cpu = Resource(sim, capacity=1, name=f"{self.name}.cpu")
+        self.busy_us = 0.0
+
+        # Host -> NIC work (arrive after the host's PIO doorbell).
+        self.host_event_queue = Store(sim, name=f"{self.name}.host_events")
+        self.engine_cmd_queue = Store(sim, name=f"{self.name}.engine_cmds")
+
+        # Wire -> NIC.
+        self.rx_queue = Store(sim, name=f"{self.name}.rx")
+
+        # P2P send path state.
+        self.send_queues: dict[int, deque[SendToken]] = defaultdict(deque)
+        self.sched_work = Store(sim, name=f"{self.name}.sched")
+        self.pending_dsts: set[int] = set()
+        self.rr_ring: deque[int] = deque()
+        self.packet_pool = Resource(
+            sim, capacity=params.send_packet_count, name=f"{self.name}.pktpool"
+        )
+
+        # Reliability state.
+        self.send_records: dict[tuple[int, int], SendRecord] = {}
+        self.timeout_queue = Store(sim, name=f"{self.name}.timeouts")
+        self.next_seq: dict[int, int] = defaultdict(int)
+        self.expect_seq: dict[int, int] = defaultdict(int)
+
+        # Receive side.
+        self.recv_tokens_available = 0
+        self.recv_event_queue = Store(sim, name=f"{self.name}.recv_events")
+
+        # Collective / barrier engines by group id.
+        self.engines: dict[int, Any] = {}
+
+        fabric.attach(node_id, self._on_wire_packet)
+
+        # Start the control program loops.
+        from repro.myrinet.mcp import ControlProgram
+
+        self.mcp = ControlProgram(self)
+
+    # ------------------------------------------------------------------
+    # NIC processor
+    # ------------------------------------------------------------------
+    def cpu_task(self, cost: float):
+        """Run one control-program task of ``cost`` µs on the LANai."""
+        yield self.cpu.request()
+        yield cost
+        self.cpu.release()
+        self.busy_us += cost
+
+    # ------------------------------------------------------------------
+    # Host-facing entry points (called from host-side code)
+    # ------------------------------------------------------------------
+    def post_send_event(self, token: SendToken) -> None:
+        """A host send event has crossed the PCI bus."""
+        self.host_event_queue.put(token)
+
+    def post_engine_command(self, command: tuple) -> None:
+        """A host command for a collective engine crossed the bus."""
+        self.engine_cmd_queue.put(command)
+
+    def provide_recv_tokens(self, count: int = 1) -> None:
+        self.recv_tokens_available += count
+
+    # ------------------------------------------------------------------
+    # Engine plumbing
+    # ------------------------------------------------------------------
+    def register_engine(self, group_id: int, engine: Any) -> None:
+        if group_id in self.engines:
+            raise ValueError(f"group {group_id} already has an engine on {self.name}")
+        self.engines[group_id] = engine
+
+    def engine_for(self, group_id: int) -> Any:
+        engine = self.engines.get(group_id)
+        if engine is None:
+            raise KeyError(f"no engine for group {group_id} on {self.name}")
+        return engine
+
+    # ------------------------------------------------------------------
+    # Wire-facing
+    # ------------------------------------------------------------------
+    def _on_wire_packet(self, packet: Packet) -> None:
+        self.rx_queue.put(packet)
+
+    def fast_inject(self, dst: int, payload: Any, kind: str = PacketKind.BARRIER):
+        """Collective-protocol send: the padded static packet (§6.2).
+
+        No queue traversal, no packet allocation, no per-packet send
+        record, no ACK — only the injection task and the wire.
+        """
+        yield from self.cpu_task(self.params.t_inject)
+        packet = Packet(
+            src=self.node_id,
+            dst=dst,
+            kind=kind,
+            size_bytes=self.params.barrier_packet_bytes,
+            payload=payload,
+        )
+        self.fabric.transmit(packet)
+
+    def send_nack(self, dst: int, payload: Any):
+        """Receiver-driven reliability: request a retransmission (§6.3)."""
+        yield from self.cpu_task(self.params.t_nack_gen)
+        packet = Packet(
+            src=self.node_id,
+            dst=dst,
+            kind=PacketKind.NACK,
+            size_bytes=self.params.ack_bytes,
+            payload=payload,
+        )
+        self.tracer.count("coll.nack_sent")
+        self.fabric.transmit(packet)
+
+    def notify_host(self, event: Any):
+        """DMA a completion/receive event into host memory."""
+        yield from self.pci.dma(16, DmaDirection.NIC_TO_HOST)
+        self.recv_event_queue.put(event)
+
+    # ------------------------------------------------------------------
+    # P2P send path entry (from the SDMA loop or a NIC-resident engine)
+    # ------------------------------------------------------------------
+    def enqueue_send_token(self, token: SendToken) -> None:
+        """Append a token to its destination queue; wake the scheduler.
+
+        The caller has already paid the NIC CPU cost of building the
+        token (``t_sdma_event`` on the host path).
+        """
+        token.enqueued_at = self.sim.now
+        self.send_queues[token.dst].append(token)
+        if token.dst not in self.pending_dsts:
+            self.pending_dsts.add(token.dst)
+            self.sched_work.put(token.dst)
+
+    # ------------------------------------------------------------------
+    # Reliability timers
+    # ------------------------------------------------------------------
+    def arm_record_timer(self, record: SendRecord) -> None:
+        record.timer = self.sim.schedule(
+            self.params.ack_timeout_us, self._on_record_timeout, record
+        )
+
+    def _on_record_timeout(self, record: SendRecord) -> None:
+        record.timer = None
+        if not record.acked:
+            self.timeout_queue.put(record)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<LanaiNic {self.name} busy={self.busy_us:.1f}us>"

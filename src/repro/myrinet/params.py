@@ -1,0 +1,115 @@
+"""GM / LANai timing and sizing constants.
+
+All times in microseconds.  The constants are calibrated per hardware
+profile (see :mod:`repro.cluster.profiles`) so that the simulated
+end-to-end barrier latencies land on the paper's anchors; the *relative*
+structure (which steps exist on which path) is fixed by the protocol
+implementation, not by these numbers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields
+
+
+@dataclass(frozen=True)
+class GmParams:
+    """LANai control-program task costs and protocol sizing.
+
+    Point-to-point path (all on the NIC processor):
+
+    - ``t_sdma_event`` — fetch + parse one host send event, build the
+      send token and append it to the destination queue.
+    - ``t_token_schedule`` — round-robin queue scan + token dispatch.
+    - ``t_packet_alloc`` — claim a send packet buffer from the pool.
+    - ``t_fill`` — build the packet header / program the SDMA of data
+      (the data DMA itself is a PCI transaction, priced by the bus).
+    - ``t_inject`` — hand a ready packet to the wire.
+    - ``t_send_record`` — create the per-packet send record + timestamp.
+    - ``t_rx_header`` — parse an arriving packet, sequence check.
+    - ``t_rdma_setup`` — set up the payload RDMA into a host buffer.
+    - ``t_recv_event`` — build + DMA the receive event to the host.
+    - ``t_ack_gen`` — generate an ACK into the static ACK packet.
+    - ``t_ack_process`` — match an ACK to its send record, clear it.
+    - ``t_token_complete`` — pass a completed send token back to host.
+    - ``t_retransmit`` — requeue a timed-out packet.
+
+    Collective protocol path (the paper's §3 / §6):
+
+    - ``t_coll_start`` — process the host's barrier-start event (the
+      group's token is already at the front of its dedicated queue).
+    - ``t_coll_trigger`` — handle an arrived barrier packet: update the
+      bit vector in the group's single send record and, if the schedule
+      says so, fire the next barrier message from the static packet.
+    - ``t_coll_complete`` — barrier done: DMA the completion event.
+    - ``t_nack_gen`` / ``t_nack_process`` — receiver-driven reliability.
+
+    Reliability:
+
+    - ``ack_timeout_us`` — sender-side retransmission timeout (p2p).
+    - ``nack_timeout_us`` — receiver-side missing-message timeout
+      (collective protocol).
+
+    Sizing:
+
+    - ``data_header_bytes`` — GM data packet header.
+    - ``ack_bytes`` — the static ACK packet.
+    - ``barrier_payload_bytes`` — "all the information a barrier message
+      needs to carry along is an integer" (§3): the pad added to the
+      static ACK packet.
+    - ``send_packet_count`` — send packet pool size per NIC.
+    - ``recv_token_count`` — receive buffers the host preposts.
+    """
+
+    t_sdma_event: float
+    t_token_schedule: float
+    t_packet_alloc: float
+    t_fill: float
+    t_inject: float
+    t_send_record: float
+    t_rx_header: float
+    t_rdma_setup: float
+    t_recv_event: float
+    t_ack_gen: float
+    t_ack_process: float
+    t_token_complete: float
+    t_retransmit: float
+    t_coll_start: float
+    t_coll_trigger: float
+    t_coll_complete: float
+    t_nack_gen: float
+    t_nack_process: float
+    ack_timeout_us: float
+    nack_timeout_us: float
+    #: retries before a sender/receiver declares the peer dead (GM
+    #: drops the connection after a retry budget; this also guarantees
+    #: simulations terminate even if a protocol stalls permanently).
+    max_retries: int = 100
+    data_header_bytes: int = 16
+    ack_bytes: int = 8
+    barrier_payload_bytes: int = 4
+    send_packet_count: int = 8
+    recv_token_count: int = 64
+    mtu_bytes: int = 4096
+
+    def __post_init__(self) -> None:
+        for f in fields(self):
+            value = getattr(self, f.name)
+            if f.name.startswith(("t_", "ack_timeout", "nack_timeout")):
+                if value < 0:
+                    raise ValueError(f"{f.name} must be non-negative, got {value}")
+        if self.send_packet_count < 1:
+            raise ValueError("need at least one send packet")
+        if self.recv_token_count < 1:
+            raise ValueError("need at least one receive token")
+        if self.mtu_bytes < 64:
+            raise ValueError("unrealistically small MTU")
+        if self.ack_timeout_us <= 0 or self.nack_timeout_us <= 0:
+            raise ValueError("timeouts must be positive")
+        if self.max_retries < 1:
+            raise ValueError("need at least one retry")
+
+    @property
+    def barrier_packet_bytes(self) -> int:
+        """The padded static ACK packet used for barrier messages (§6.2)."""
+        return self.ack_bytes + self.barrier_payload_bytes

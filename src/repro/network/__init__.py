@@ -1,0 +1,32 @@
+"""Physical network: packets, wormhole fabric, fault injection.
+
+The fabric moves :class:`~repro.network.packet.Packet` objects between
+NIC ports over a :class:`~repro.topology.base.Topology`.  Timing follows
+the wormhole/cut-through model both Myrinet and QsNet use: a packet's
+head ripples through switches at per-switch fall-through latency while
+the body streams behind it, so
+
+``delivery = inject + hops * switch_latency + links * propagation
++ size / bandwidth``
+
+with contention modeled by holding each directional link for the
+packet's serialization time, acquired in path order.
+
+Myrinet provides *no* delivery guarantee (GM adds reliability in the
+control program), so the fabric supports fault injection: probabilistic
+drops and scripted deterministic drop plans used by the reliability
+tests.
+"""
+
+from repro.network.packet import Packet, PacketKind
+from repro.network.faults import DropPlan, FaultInjector
+from repro.network.fabric import Fabric, WireParams
+
+__all__ = [
+    "Packet",
+    "PacketKind",
+    "FaultInjector",
+    "DropPlan",
+    "Fabric",
+    "WireParams",
+]

@@ -1,0 +1,179 @@
+"""The wormhole fabric: moves packets between NIC ports.
+
+Timing model (cut-through / wormhole, used by both Myrinet and QsNet):
+
+- the packet head leaves the source NIC after ``inject_us``;
+- each switch adds ``switch_latency_us`` fall-through delay;
+- each physical link adds ``propagation_us``;
+- the tail arrives ``size / bandwidth`` after the head (serialization);
+- contention: each directional link along the path is held for the
+  serialization time, acquired in path order — back-to-back packets on
+  the same link queue up, packets on disjoint paths don't interact.
+
+Dropped packets (fault injection) consume the send side's time but never
+arrive — exactly how a wormhole network loses a packet whose CRC fails
+at a switch.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterable, Optional
+
+from repro.network.faults import FaultInjector
+from repro.network.packet import Packet
+from repro.sim import Resource, Simulator, Tracer
+from repro.topology.base import Topology
+
+
+@dataclass(frozen=True)
+class WireParams:
+    """Physical-layer constants (all µs / bytes-per-µs)."""
+
+    inject_us: float
+    switch_latency_us: float
+    propagation_us: float
+    bandwidth_bytes_per_us: float
+
+    def __post_init__(self) -> None:
+        if self.bandwidth_bytes_per_us <= 0:
+            raise ValueError("bandwidth must be positive")
+        for name in ("inject_us", "switch_latency_us", "propagation_us"):
+            if getattr(self, name) < 0:
+                raise ValueError(f"{name} must be non-negative")
+
+    def head_latency(self, switch_hops: int, link_hops: int) -> float:
+        return (
+            self.inject_us
+            + switch_hops * self.switch_latency_us
+            + link_hops * self.propagation_us
+        )
+
+    def serialization(self, size_bytes: int) -> float:
+        return size_bytes / self.bandwidth_bytes_per_us
+
+
+DeliveryHandler = Callable[[Packet], None]
+
+
+class Fabric:
+    """Connects NIC ports over a topology with wormhole timing."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        topology: Topology,
+        params: WireParams,
+        tracer: Optional[Tracer] = None,
+        faults: Optional[FaultInjector] = None,
+    ):
+        self.sim = sim
+        self.topology = topology
+        self.params = params
+        self.tracer = tracer or Tracer()
+        self.faults = faults
+        self._handlers: dict[int, DeliveryHandler] = {}
+        self._links: dict[tuple[str, str], Resource] = {}
+        self.delivered_count = 0
+
+    # ------------------------------------------------------------------
+    def attach(self, port: int, handler: DeliveryHandler) -> None:
+        """Register the delivery callback for NIC ``port``."""
+        if not 0 <= port < self.topology.n_nodes:
+            raise ValueError(f"port {port} not in topology")
+        if port in self._handlers:
+            raise ValueError(f"port {port} already attached")
+        self._handlers[port] = handler
+
+    def _link(self, a: str, b: str) -> Resource:
+        key = (a, b)
+        res = self._links.get(key)
+        if res is None:
+            capacity = self.topology.link_capacity(a, b)
+            res = Resource(self.sim, capacity=capacity, name=f"link:{a}->{b}")
+            self._links[key] = res
+        return res
+
+    def _path_links(self, route) -> list[Resource]:
+        nodes = [f"nic{route.src}", *route.hops, f"nic{route.dst}"]
+        return [self._link(a, b) for a, b in zip(nodes, nodes[1:])]
+
+    # ------------------------------------------------------------------
+    def transmit(self, packet: Packet) -> None:
+        """Fire-and-forget: inject ``packet``; it arrives later (or not).
+
+        The caller (NIC model) accounts for its own processing time; this
+        method only models the wire.
+        """
+        if packet.dst not in self._handlers:
+            raise ValueError(f"no NIC attached at port {packet.dst}")
+        packet.sent_at = self.sim.now
+        self.tracer.count(f"wire.{packet.kind}")
+        self.tracer.count("wire.packets")
+        if self.faults is not None and self.faults.should_drop(packet):
+            self.tracer.count("wire.dropped")
+            self.tracer.record(
+                self.sim.now, "wire", f"nic{packet.src}", "DROPPED", pkt=packet.wire_id
+            )
+            return
+        self.sim.process(self._deliver(packet), name=f"wire:{packet.wire_id}")
+
+    def _deliver(self, packet: Packet):
+        route = self.topology.route(packet.src, packet.dst)
+        serialization = self.params.serialization(packet.size_bytes)
+        # Wormhole path: claim each directional link in order, then let
+        # the whole worm drain.  Head latency accrues while claiming.
+        links = self._path_links(route)
+        claimed: list[Resource] = []
+        for link in links:
+            req = link.request()
+            yield req
+            claimed.append(link)
+        yield self.params.head_latency(route.switch_count, route.link_count)
+        yield serialization
+        for link in claimed:
+            link.release()
+        packet.delivered_at = self.sim.now
+        self.delivered_count += 1
+        self.tracer.record(
+            self.sim.now,
+            "wire",
+            f"nic{packet.src}",
+            f"delivered {packet.kind} to nic{packet.dst}",
+            pkt=packet.wire_id,
+            kind=packet.kind,
+            src=packet.src,
+            dst=packet.dst,
+            sent_at=packet.sent_at,
+            size=packet.size_bytes,
+        )
+        self._handlers[packet.dst](packet)
+
+    # ------------------------------------------------------------------
+    def broadcast(self, packet: Packet, targets: Iterable[int]) -> None:
+        """Hardware broadcast (QsNet): replicate to every target port.
+
+        The fat tree replicates in the switches, so every copy shares the
+        same head latency (climb to the root, fan out down) — all
+        deliveries occur simultaneously.  Myrinet has no hardware
+        broadcast; callers must not use this on a Clos fabric.
+        """
+        from repro.topology.fat_tree import QuaternaryFatTree
+
+        if not isinstance(self.topology, QuaternaryFatTree):
+            raise TypeError("hardware broadcast requires a fat-tree topology")
+        packet.sent_at = self.sim.now
+        hops = self.topology.broadcast_hops()
+        latency = self.params.head_latency(hops, hops + 1) + self.params.serialization(
+            packet.size_bytes
+        )
+        self.tracer.count("wire.bcast")
+        for port in targets:
+            if port not in self._handlers:
+                raise ValueError(f"no NIC attached at port {port}")
+        self.sim.schedule(latency, self._deliver_broadcast, packet, tuple(targets))
+
+    def _deliver_broadcast(self, packet: Packet, targets: tuple[int, ...]) -> None:
+        packet.delivered_at = self.sim.now
+        for port in targets:
+            self._handlers[port](packet)

@@ -1,0 +1,98 @@
+"""Fault injection for the unreliable (Myrinet) wire.
+
+Two mechanisms, composable:
+
+- probabilistic loss: every packet is dropped with ``drop_probability``
+  using a deterministic RNG stream;
+- scripted loss: a :class:`DropPlan` drops the *k*-th packet matching a
+  predicate — lets reliability tests lose exactly the message they want
+  (e.g. "drop the first barrier packet from node 3 to node 7 and verify
+  the receiver-driven NACK recovers it").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from repro.network.packet import Packet
+from repro.sim.rng import DeterministicRng
+
+
+@dataclass
+class DropPlan:
+    """Drop the ``occurrence``-th (1-based) packet matching ``matches``."""
+
+    matches: Callable[[Packet], bool]
+    occurrence: int = 1
+    _seen: int = field(default=0, init=False)
+    _armed: bool = field(default=True, init=False)
+
+    def should_drop(self, packet: Packet) -> bool:
+        if not self._armed or not self.matches(packet):
+            return False
+        self._seen += 1
+        if self._seen == self.occurrence:
+            self._armed = False
+            return True
+        return False
+
+    @property
+    def fired(self) -> bool:
+        return not self._armed
+
+
+class FaultInjector:
+    """Decides, per packet, whether the wire loses it."""
+
+    def __init__(
+        self,
+        rng: Optional[DeterministicRng] = None,
+        drop_probability: float = 0.0,
+    ):
+        if drop_probability and rng is None:
+            raise ValueError("probabilistic drops need an rng")
+        if not 0.0 <= drop_probability < 1.0:
+            raise ValueError(f"drop_probability out of range: {drop_probability}")
+        self.rng = rng
+        self.drop_probability = drop_probability
+        self.plans: list[DropPlan] = []
+        self._blackholes: list[Callable[[Packet], bool]] = []
+        self.dropped: int = 0
+        self.inspected: int = 0
+
+    def add_plan(self, plan: DropPlan) -> DropPlan:
+        self.plans.append(plan)
+        return plan
+
+    def drop_nth_matching(
+        self, matches: Callable[[Packet], bool], occurrence: int = 1
+    ) -> DropPlan:
+        """Convenience: register and return a one-shot drop plan."""
+        return self.add_plan(DropPlan(matches, occurrence))
+
+    def drop_all_matching(self, matches: Callable[[Packet], bool]) -> None:
+        """Black-hole every packet matching ``matches`` (a dead link /
+        dead peer scenario)."""
+        self._blackholes.append(matches)
+
+    def should_drop(self, packet: Packet) -> bool:
+        self.inspected += 1
+        for blackhole in self._blackholes:
+            if blackhole(packet):
+                self.dropped += 1
+                return True
+        for plan in self.plans:
+            if plan.should_drop(packet):
+                self.dropped += 1
+                return True
+        if self.drop_probability and self.rng.bernoulli(self.drop_probability):
+            self.dropped += 1
+            return True
+        return False
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<FaultInjector p={self.drop_probability} plans={len(self.plans)}"
+            f" dropped={self.dropped}/{self.inspected}>"
+        )

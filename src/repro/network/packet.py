@@ -1,0 +1,69 @@
+"""Packet representation shared by both interconnect models."""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+
+class PacketKind:
+    """Wire-level packet kinds.
+
+    ``DATA``/``ACK``/``NACK`` belong to GM's point-to-point protocol;
+    ``BARRIER`` is the collective protocol's padded control packet;
+    ``RDMA``/``EVENT``/``BCAST`` belong to the Quadrics model.
+    """
+
+    DATA = "data"
+    ACK = "ack"
+    NACK = "nack"
+    BARRIER = "barrier"
+    RDMA = "rdma"
+    EVENT = "event"
+    BCAST = "bcast"
+
+    ALL = (DATA, ACK, NACK, BARRIER, RDMA, EVENT, BCAST)
+
+
+_wire_ids = itertools.count()
+
+
+@dataclass
+class Packet:
+    """One network packet.
+
+    ``size_bytes`` includes headers (set by the protocol layer).
+    ``payload`` is protocol-defined (e.g. the barrier sequence integer —
+    the paper notes "all the information a barrier message needs to
+    carry along is an integer").
+    """
+
+    src: int
+    dst: int
+    kind: str
+    size_bytes: int
+    payload: Any = None
+    seq: Optional[int] = None
+    wire_id: int = field(default_factory=lambda: next(_wire_ids))
+    sent_at: Optional[float] = None
+    delivered_at: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.kind not in PacketKind.ALL:
+            raise ValueError(f"unknown packet kind {self.kind!r}")
+        if self.size_bytes < 0:
+            raise ValueError(f"negative packet size {self.size_bytes}")
+
+    @property
+    def latency(self) -> Optional[float]:
+        """Wire latency, available once delivered."""
+        if self.sent_at is None or self.delivered_at is None:
+            return None
+        return self.delivered_at - self.sent_at
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<Packet #{self.wire_id} {self.kind} {self.src}->{self.dst}"
+            f" {self.size_bytes}B seq={self.seq}>"
+        )

@@ -1,0 +1,16 @@
+"""PCI / PCI-X host bus model.
+
+Why this matters for the paper: the whole point of NIC-based barriers is
+removing *host bus crossings* from the barrier critical path.  Each
+host-based barrier step costs a PIO doorbell (host → NIC), a descriptor
+or data DMA (NIC → host or host → NIC), and a receive-event DMA —
+round-trip traffic the NIC-based schemes eliminate.  The 66 MHz/64-bit
+PCI bus of the 700 MHz cluster and the 133 MHz/64-bit PCI-X bus of the
+Xeon cluster get different constants (profiles), which reproduces the
+paper's observation that the improvement factor *shrinks* on the
+faster-bus machine.
+"""
+
+from repro.pci.bus import DmaDirection, PciBus, PciParams
+
+__all__ = ["PciBus", "PciParams", "DmaDirection"]

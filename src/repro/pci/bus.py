@@ -1,0 +1,98 @@
+"""The shared host I/O bus with PIO and DMA transactions."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.sim import Resource, Simulator, Tracer
+
+
+class DmaDirection(enum.Enum):
+    """Transfer direction, named from the host's point of view."""
+
+    HOST_TO_NIC = "host_to_nic"
+    NIC_TO_HOST = "nic_to_host"
+
+
+@dataclass(frozen=True)
+class PciParams:
+    """Bus timing constants (µs / bytes-per-µs).
+
+    ``pio_write_us`` — one programmed-I/O write (doorbell / small
+    descriptor store across the bus).  ``dma_setup_us`` — DMA engine
+    setup and bus acquisition overhead per transaction.
+    """
+
+    pio_write_us: float
+    dma_setup_us: float
+    bandwidth_bytes_per_us: float
+
+    def __post_init__(self) -> None:
+        if self.bandwidth_bytes_per_us <= 0:
+            raise ValueError("bandwidth must be positive")
+        if self.pio_write_us < 0 or self.dma_setup_us < 0:
+            raise ValueError("bus timing constants must be non-negative")
+
+    def dma_time(self, nbytes: int) -> float:
+        return self.dma_setup_us + nbytes / self.bandwidth_bytes_per_us
+
+
+class PciBus:
+    """One host's I/O bus, shared by all bus masters on that node.
+
+    Transactions serialize through a capacity-1 resource (bus
+    arbitration).  Use from a process::
+
+        yield from bus.pio_write()          # doorbell
+        yield from bus.dma(64, DmaDirection.NIC_TO_HOST)
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        params: PciParams,
+        name: str = "pci",
+        tracer: Optional[Tracer] = None,
+    ):
+        self.sim = sim
+        self.params = params
+        self.name = name
+        self.tracer = tracer or Tracer()
+        self._bus = Resource(sim, capacity=1, name=f"{name}.bus")
+        self.pio_count = 0
+        self.dma_count = 0
+        self.bytes_transferred = 0
+
+    # ------------------------------------------------------------------
+    def pio_write(self, nbytes: int = 8):
+        """A programmed-I/O write (fixed cost regardless of ``nbytes``)."""
+        yield self._bus.request()
+        yield self.params.pio_write_us
+        self._bus.release()
+        self.pio_count += 1
+        self.tracer.count(f"{self.name}.pio")
+
+    def dma(self, nbytes: int, direction: DmaDirection):
+        """One DMA transaction: setup + transfer, bus held throughout."""
+        if nbytes < 0:
+            raise ValueError(f"negative DMA size {nbytes}")
+        yield self._bus.request()
+        yield self.params.dma_time(nbytes)
+        self._bus.release()
+        self.dma_count += 1
+        self.bytes_transferred += nbytes
+        self.tracer.count(f"{self.name}.dma")
+        self.tracer.count(f"{self.name}.dma.{direction.value}")
+
+    # ------------------------------------------------------------------
+    @property
+    def transactions(self) -> int:
+        return self.pio_count + self.dma_count
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<PciBus {self.name} pio={self.pio_count} dma={self.dma_count}"
+            f" bytes={self.bytes_transferred}>"
+        )

@@ -1,0 +1,216 @@
+"""The Elan3 NIC: event unit, DMA engine, thread processor.
+
+Unlike the LANai (one processor doing everything), Elan3 has dedicated
+functional units, modeled as separate capacity-1 resources:
+
+- the **event unit** processes arriving set-events and fires chained
+  actions;
+- the **DMA engine** processes RDMA descriptors and injects packets;
+- the **thread processor** runs Elanlib's tport (tagged messaging) code.
+
+A barrier built from chained RDMA descriptors (§7) touches only the
+event unit and DMA engine — the paper deliberately avoids the thread
+processor ("an extra thread does increase the processing load to the
+Elan NIC").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Optional
+
+from repro.network import Fabric, Packet, PacketKind
+from repro.pci import DmaDirection, PciBus
+from repro.quadrics.events import ElanEvent
+from repro.quadrics.params import ElanParams
+from repro.sim import Resource, Simulator, Store, Tracer
+
+
+@dataclass
+class RdmaDescriptor:
+    """One RDMA descriptor in Elan SRAM.
+
+    ``size_bytes == 0`` is the notification RDMA the barrier uses: no
+    data, it just fires ``remote_event`` at ``dst``.  ``local_event``
+    (if set) is set-evented locally once the packet is injected —
+    that is what lets descriptors chain into a pipeline.
+    """
+
+    dst: int
+    remote_event: str
+    size_bytes: int = 0
+    local_event: Optional[str] = None
+    payload: Any = None
+
+    def __post_init__(self) -> None:
+        if self.size_bytes < 0:
+            raise ValueError("negative RDMA size")
+
+
+@dataclass(frozen=True)
+class TportMessage:
+    """A tagged message delivered to the host by the tport path."""
+
+    src: int
+    tag: Any
+    payload: Any
+
+
+class Elan3Nic:
+    """One Elan3 NIC and its SRAM-resident event/descriptor state."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        node_id: int,
+        params: ElanParams,
+        fabric: Fabric,
+        pci: PciBus,
+        tracer: Optional[Tracer] = None,
+    ):
+        self.sim = sim
+        self.node_id = node_id
+        self.params = params
+        self.fabric = fabric
+        self.pci = pci
+        self.tracer = tracer or Tracer()
+        self.name = f"elan{node_id}"
+
+        self.event_unit = Resource(sim, 1, name=f"{self.name}.events")
+        self.dma_engine = Resource(sim, 1, name=f"{self.name}.dma")
+        self.thread_cpu = Resource(sim, 1, name=f"{self.name}.thread")
+
+        self._events: dict[str, ElanEvent] = {}
+        # RDMA-deposited values readable by the host after the paired
+        # event fires (the "memory the RDMA wrote into").
+        self.rdma_mailbox: dict[str, object] = {}
+        self._rx_queue = Store(sim, name=f"{self.name}.rx")
+        # Host-visible notifications (host memory words the host polls).
+        self.host_events = Store(sim, name=f"{self.name}.host_events")
+        # Tport receive queue (messages already matched by the thread).
+        self.tport_queue = Store(sim, name=f"{self.name}.tport")
+
+        fabric.attach(node_id, self._on_wire_packet)
+        sim.process(self._rx_loop(), name=f"{self.name}.rxloop")
+
+    # ------------------------------------------------------------------
+    # Events
+    # ------------------------------------------------------------------
+    def event(self, name: str) -> ElanEvent:
+        ev = self._events.get(name)
+        if ev is None:
+            ev = ElanEvent(name=f"{self.name}.{name}")
+            self._events[name] = ev
+        return ev
+
+    def chain(self, trigger: str, threshold: int, descriptor: RdmaDescriptor) -> None:
+        """Arm ``descriptor`` to fire when ``trigger`` reaches ``threshold``.
+
+        This is the paper's chained-RDMA mechanism: the arming itself is
+        a host-side SRAM write (cost paid by the caller); firing later
+        costs only the DMA engine's issue time.
+        """
+        self.event(trigger).arm(threshold, lambda: self.issue_rdma(descriptor))
+
+    def arm_host_notify(self, trigger: str, threshold: int, value: Any = None) -> None:
+        """When ``trigger`` reaches ``threshold``, notify the host."""
+        self.event(trigger).arm(threshold, lambda: self._notify_host(value))
+
+    def _notify_host(self, value: Any) -> None:
+        self.sim.process(self._notify_host_proc(value), name=f"{self.name}.notify")
+
+    def _notify_host_proc(self, value: Any):
+        yield from self._unit_task(self.event_unit, self.params.t_host_event)
+        yield from self.pci.dma(8, DmaDirection.NIC_TO_HOST)
+        self.host_events.put(value)
+
+    # ------------------------------------------------------------------
+    # RDMA engine
+    # ------------------------------------------------------------------
+    def issue_rdma(self, descriptor: RdmaDescriptor) -> None:
+        """Queue a descriptor on the DMA engine (fire-and-forget)."""
+        self.sim.process(self._rdma_proc(descriptor), name=f"{self.name}.rdma")
+
+    def _rdma_proc(self, descriptor: RdmaDescriptor):
+        p = self.params
+        yield self.dma_engine.request()
+        yield p.t_rdma_issue
+        if descriptor.size_bytes > 0:
+            # Data is fetched from host memory over the PCI bus.
+            yield from self.pci.dma(descriptor.size_bytes, DmaDirection.HOST_TO_NIC)
+        self.tracer.count("elan.rdma_issued")
+        self.fabric.transmit(
+            Packet(
+                src=self.node_id,
+                dst=descriptor.dst,
+                kind=PacketKind.RDMA,
+                size_bytes=p.rdma_packet_bytes + descriptor.size_bytes,
+                payload=descriptor,
+            )
+        )
+        self.dma_engine.release()
+        if descriptor.local_event is not None:
+            self.event(descriptor.local_event).set_event()
+
+    # ------------------------------------------------------------------
+    # Receive side
+    # ------------------------------------------------------------------
+    def _on_wire_packet(self, packet: Packet) -> None:
+        self._rx_queue.put(packet)
+
+    def _rx_loop(self):
+        p = self.params
+        while True:
+            packet = yield self._rx_queue.get()
+            descriptor: RdmaDescriptor = packet.payload
+            if isinstance(descriptor, RdmaDescriptor):
+                if descriptor.size_bytes > 0:
+                    # Deposit the data into host memory (true RDMA).
+                    yield from self.pci.dma(
+                        descriptor.size_bytes, DmaDirection.NIC_TO_HOST
+                    )
+                yield from self._unit_task(self.event_unit, p.t_event_fire)
+                self.tracer.count("elan.event_fired")
+                if descriptor.payload is not None:
+                    self.rdma_mailbox[descriptor.remote_event] = descriptor.payload
+                self.event(descriptor.remote_event).set_event()
+            else:
+                # Tport message: matched by the thread processor, then
+                # handed to the host.  Payload and completion word ride
+                # one DMA burst (Elan3 writes host memory directly).
+                yield from self._unit_task(self.thread_cpu, p.t_tport_match)
+                yield from self._unit_task(self.event_unit, p.t_host_event)
+                yield from self.pci.dma(packet.size_bytes, DmaDirection.NIC_TO_HOST)
+                self.tport_queue.put(packet.payload)
+
+    # ------------------------------------------------------------------
+    # Thread processor (tport send side)
+    # ------------------------------------------------------------------
+    def tport_inject(self, dst: int, message: TportMessage, size_bytes: int):
+        """Thread-processor half of a tagged send (host already paid
+        its library overhead and the PIO)."""
+        p = self.params
+        yield from self._unit_task(self.thread_cpu, p.t_thread_step)
+        yield self.dma_engine.request()
+        yield p.t_rdma_issue
+        if size_bytes > 0:
+            yield from self.pci.dma(size_bytes, DmaDirection.HOST_TO_NIC)
+        self.fabric.transmit(
+            Packet(
+                src=self.node_id,
+                dst=dst,
+                kind=PacketKind.DATA,
+                size_bytes=p.tport_packet_bytes + size_bytes,
+                payload=message,
+            )
+        )
+        self.dma_engine.release()
+
+    # ------------------------------------------------------------------
+    def _unit_task(self, unit: Resource, cost: float):
+        yield unit.request()
+        yield cost
+        unit.release()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Elan3Nic {self.name} events={len(self._events)}>"

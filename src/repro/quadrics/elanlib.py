@@ -1,0 +1,256 @@
+"""Elanlib: the host-side Quadrics programming library.
+
+Provides the pieces the paper compares against and builds on:
+
+- :class:`ElanPort` — per-process handle: tport (tagged message) send /
+  receive, host-triggered RDMA, and host-event waiting.
+- :func:`elan_gsync` — the tree-based gather-broadcast barrier (what
+  ``elan_gsync()`` does when hardware broadcast is unavailable).  This
+  is the "Elan-Barrier" series in Fig. 7.
+- :func:`elan_hgsync` — the hardware-broadcast barrier ("Elan-HW-
+  Barrier" in Fig. 7), falling back to the tree when hardware broadcast
+  is disabled.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterable, Optional, Sequence
+
+from repro.host import HostCpu
+from repro.pci import PciBus
+from repro.quadrics.elan import Elan3Nic, RdmaDescriptor, TportMessage
+from repro.quadrics.elite import HardwareBarrier
+from repro.sim import Simulator
+
+
+
+class ElanPort:
+    """One host process's window onto its Elan3 NIC."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        node_id: int,
+        nic: Elan3Nic,
+        cpu: HostCpu,
+        pci: PciBus,
+    ):
+        self.sim = sim
+        self.node_id = node_id
+        self.nic = nic
+        self.cpu = cpu
+        self.pci = pci
+        self._tport_pending: list[TportMessage] = []
+        self._host_event_pending: list[Any] = []
+
+    # ------------------------------------------------------------------
+    # Command issue (host -> Elan)
+    # ------------------------------------------------------------------
+    def _command(self):
+        """Issue one command word to the Elan (PIO + NIC pickup)."""
+        yield from self.pci.pio_write()
+        yield self.nic.params.t_pio_command
+
+    def trigger_rdma(self, descriptor: RdmaDescriptor):
+        """Host-triggered RDMA: how a barrier chain is kicked off (§7:
+        "the very first RDMA operation, which the host process triggers
+        to initiate a barrier operation")."""
+        yield from self._command()
+        self.nic.issue_rdma(descriptor)
+
+    def set_local_event(self, name: str):
+        """Host sets one of its own NIC's events (cheap SRAM write)."""
+        yield from self._command()
+        self.nic.event(name).set_event()
+
+    # ------------------------------------------------------------------
+    # Tagged message ports (tports)
+    # ------------------------------------------------------------------
+    def tport_send(self, dst: int, tag: Any, payload: Any = None, size_bytes: int = 0):
+        yield from self.cpu.compute(self.cpu.params.send_overhead_us)
+        yield from self.pci.pio_write()
+        message = TportMessage(src=self.node_id, tag=tag, payload=payload)
+        yield from self.nic.tport_inject(dst, message, size_bytes)
+
+    def tport_recv(self, matches: Callable[[TportMessage], bool]):
+        """Blocking tagged receive with out-of-order buffering."""
+        params = self.cpu.params
+        for i, msg in enumerate(self._tport_pending):
+            if matches(msg):
+                self._tport_pending.pop(i)
+                yield from self.cpu.compute(params.recv_overhead_us)
+                return msg
+        queue = self.nic.tport_queue
+        while True:
+            if len(queue) > 0 and queue.getters_waiting == 0:
+                msg = queue.try_get()
+            else:
+                msg = yield queue.get()
+                yield params.poll_interval_us / 2.0
+            yield from self.cpu.compute(params.poll_us)
+            if matches(msg):
+                yield from self.cpu.compute(params.recv_overhead_us)
+                return msg
+            self._tport_pending.append(msg)
+
+    def tport_recv_tag(self, tag: Any):
+        msg = yield from self.tport_recv(lambda m: m.tag == tag)
+        return msg
+
+    # ------------------------------------------------------------------
+    # Host events (completion notifications from the NIC)
+    # ------------------------------------------------------------------
+    def wait_host_event(self, matches: Callable[[Any], bool]):
+        params = self.cpu.params
+        for i, ev in enumerate(self._host_event_pending):
+            if matches(ev):
+                self._host_event_pending.pop(i)
+                yield from self.cpu.compute(params.recv_overhead_us)
+                return ev
+        queue = self.nic.host_events
+        while True:
+            if len(queue) > 0 and queue.getters_waiting == 0:
+                ev = queue.try_get()
+            else:
+                ev = yield queue.get()
+                yield params.poll_interval_us / 2.0
+            yield from self.cpu.compute(params.poll_us)
+            if matches(ev):
+                yield from self.cpu.compute(params.recv_overhead_us)
+                return ev
+            self._host_event_pending.append(ev)
+
+
+# ----------------------------------------------------------------------
+# Elanlib barriers
+# ----------------------------------------------------------------------
+def _tree_children(index: int, size: int, degree: int) -> list[int]:
+    return [c for c in range(index * degree + 1, index * degree + degree + 1) if c < size]
+
+
+def _tree_parent(index: int, degree: int) -> Optional[int]:
+    return None if index == 0 else (index - 1) // degree
+
+
+def elan_gsync(
+    port: ElanPort,
+    ranks: Sequence[int],
+    seq: int,
+    degree: int = 4,
+):
+    """Tree-based gather-broadcast barrier (host-driven per level).
+
+    Combining uses zero-byte RDMAs into per-node Elan *events*: a
+    parent's "up" event word accumulates one set-event per child, so the
+    parent polls a single host word instead of matching ``degree``
+    messages.  The release fans back down the same way.  The host still
+    drives every tree level — that host → NIC → wire → NIC → host
+    turnaround per level is what the chained-RDMA barrier eliminates
+    and beats by 2.48x (§8.2).
+
+    Event words are cumulative, so back-to-back barriers with the same
+    ``ranks`` reuse them with growing thresholds.
+    """
+    yield from port.cpu.compute(port.cpu.params.barrier_call_us)
+    ranks = list(ranks)
+    index = ranks.index(port.node_id)
+    size = len(ranks)
+    children = _tree_children(index, size, degree)
+    parent = _tree_parent(index, degree)
+    nic = port.nic
+    if children:
+        nic.arm_host_notify(
+            "gsync_up", (seq + 1) * len(children), value=("gsync-up", seq)
+        )
+        yield from port.wait_host_event(lambda ev: ev == ("gsync-up", seq))
+    if parent is not None:
+        yield from port.trigger_rdma(
+            RdmaDescriptor(dst=ranks[parent], remote_event="gsync_up")
+        )
+        nic.arm_host_notify("gsync_down", seq + 1, value=("gsync-down", seq))
+        yield from port.wait_host_event(lambda ev: ev == ("gsync-down", seq))
+    for child in children:
+        yield from port.trigger_rdma(
+            RdmaDescriptor(dst=ranks[child], remote_event="gsync_down")
+        )
+
+
+def elan_hw_broadcast(
+    port: ElanPort,
+    ranks: Sequence[int],
+    seq: int,
+    size_bytes: int = 0,
+    value: Any = None,
+):
+    """Hardware-broadcast a payload from ``ranks[0]`` to every rank.
+
+    QsNet's Elite switches replicate a single packet down the fat tree
+    (§1: "Some modern interconnects, such as QsNet ... provide hardware
+    broadcast primitives"), so delivery is one tree traversal for all
+    receivers; each NIC then RDMAs the payload into host memory and
+    fires the arrival event.  Returns the payload at every rank.
+
+    As with the hardware barrier, the primitive needs the contiguous
+    node set the fabric replicates to — the caller's ``ranks``.
+    """
+    from repro.network import Packet, PacketKind
+    from repro.quadrics.elan import RdmaDescriptor
+
+    ranks = list(ranks)
+    root = ranks[0]
+    nic = port.nic
+    event_name = "hbcast"
+    nic.arm_host_notify(event_name, seq + 1, value=("hbcast", seq))
+    if port.node_id == root:
+        yield from port.cpu.compute(port.cpu.params.send_overhead_us)
+        yield from port._command()
+        if size_bytes > 0:
+            from repro.pci import DmaDirection
+
+            yield from port.pci.dma(size_bytes, DmaDirection.HOST_TO_NIC)
+        # Receivers RDMA `size_bytes` into host memory on arrival.
+        descriptor = RdmaDescriptor(
+            dst=root, remote_event=event_name, size_bytes=size_bytes, payload=value
+        )
+        port.nic.fabric.broadcast(
+            Packet(
+                src=root,
+                dst=root,
+                kind=PacketKind.BCAST,
+                size_bytes=nic.params.rdma_packet_bytes + size_bytes,
+                payload=descriptor,
+            ),
+            targets=ranks,
+        )
+    yield from port.wait_host_event(lambda ev: ev == ("hbcast", seq))
+    return nic.rdma_mailbox.get(event_name)
+
+
+def elan_hgsync(
+    port: ElanPort,
+    hw_barrier: Optional[HardwareBarrier],
+    ranks: Sequence[int],
+    seq: int,
+    hw_enabled: bool = True,
+    degree: int = 4,
+):
+    """The hardware barrier; falls back to the tree when disabled.
+
+    With hardware broadcast available, entry is a PIO that sets the
+    NIC's arrived flag, and the Elite test-and-set does the rest.
+    """
+    if not hw_enabled or hw_barrier is None:
+        yield from elan_gsync(port, ranks, seq, degree=degree)
+        return
+    yield from port.cpu.compute(port.cpu.params.barrier_call_us)
+    yield from port.pci.pio_write()
+    yield port.nic.params.t_hw_flag_check  # NIC commits the arrived flag
+    release = hw_barrier.enter(port.node_id, seq)
+    while True:
+        got = yield release.get()
+        if got == seq:
+            break
+    # The host discovers the release by polling its memory word.
+    yield port.cpu.params.poll_interval_us / 2.0
+    yield from port.cpu.compute(port.cpu.params.poll_us)
+    yield from port.cpu.compute(port.cpu.params.recv_overhead_us)

@@ -1,0 +1,104 @@
+"""Elite switch hardware barrier (the machinery behind ``elan_hgsync``).
+
+QsNet's hardware barrier is an atomic test-and-set performed through the
+switch fabric: the root repeatedly broadcasts a *test* probing every
+NIC's arrived flag, the replies combine in the Elite switches on the way
+up, and once every participant has arrived a *set/release* broadcast
+lets everyone exit.  The paper (§8.2) notes two consequences this model
+reproduces mechanically:
+
+- the test-and-set needs "a higher number of network transactions" than
+  a chained-RDMA barrier, so at small node counts the NIC-based barrier
+  *beats* the hardware barrier;
+- the probe only passes when callers are synchronized — a straggler
+  forces retry rounds (backoff), which is why ``elan_hgsync`` "requires
+  that the calling processes are well synchronized".
+
+The switch-side combining is abstracted into a controller that samples
+every NIC's arrived flag at the instant the probe would reach it; the
+up/down traversal latencies come from the real fat-tree hop counts.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Iterable
+
+from repro.network.fabric import WireParams
+from repro.sim import Simulator, Store
+from repro.topology.fat_tree import QuaternaryFatTree
+
+
+class HardwareBarrier:
+    """The fabric-resident test-and-set barrier controller."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        topology: QuaternaryFatTree,
+        wire: WireParams,
+        ranks: Iterable[int],
+        t_flag_check_us: float,
+        retry_backoff_us: float,
+    ):
+        self.sim = sim
+        self.topology = topology
+        self.wire = wire
+        self.ranks = tuple(ranks)
+        if not self.ranks:
+            raise ValueError("hardware barrier needs at least one participant")
+        self.t_flag_check_us = t_flag_check_us
+        self.retry_backoff_us = retry_backoff_us
+        self._arrived: dict[int, set[int]] = defaultdict(set)
+        self._release: dict[int, Store] = {
+            rank: Store(sim, name=f"hwbar.release{rank}") for rank in self.ranks
+        }
+        self._controller_started: set[int] = set()
+        self.retries = 0
+        self.rounds = 0
+
+    # ------------------------------------------------------------------
+    def _traversal_us(self) -> float:
+        """One tree traversal (root to leaves or back)."""
+        hops = self.topology.broadcast_hops()
+        return self.wire.head_latency(hops, hops + 1)
+
+    def enter(self, rank: int, seq: int) -> Store:
+        """Mark ``rank`` arrived at barrier ``seq``.
+
+        Returns the store the caller should ``get()`` to learn of the
+        release.  The first arrival starts the probe controller.
+        """
+        if rank not in self._release:
+            raise ValueError(f"rank {rank} is not a participant")
+        self._arrived[seq].add(rank)
+        if seq not in self._controller_started:
+            self._controller_started.add(seq)
+            self.sim.process(self._controller(seq), name=f"hwbar.ctl{seq}")
+        return self._release[rank]
+
+    def _controller(self, seq: int):
+        expected = set(self.ranks)
+        down = self._traversal_us()
+        while True:
+            self.rounds += 1
+            yield down  # test broadcast reaches every NIC
+            yield self.t_flag_check_us  # NICs check their flags (parallel)
+            yield down  # combined reply climbs back to the root
+            if self._arrived[seq] >= expected:
+                break
+            self.retries += 1
+            yield self.retry_backoff_us
+        # The *set* half of the atomic test-and-set: a second full
+        # transaction commits the flags ("a higher number of network
+        # transactions" than a chained-RDMA step, §8.2).
+        yield down
+        yield self.t_flag_check_us
+        yield down
+        yield down  # release broadcast
+        del self._arrived[seq]
+        for rank in self.ranks:
+            self._release[rank].put(seq)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<HardwareBarrier ranks={len(self.ranks)} retries={self.retries}>"

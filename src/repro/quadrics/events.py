@@ -1,0 +1,59 @@
+"""Elan event words: counters with thresholds and chained actions.
+
+An Elan3 event is a counter in NIC memory.  A *set-event* operation
+increments it; a descriptor (or host waiter) armed with a threshold
+fires when the count reaches that threshold.  Because the counter is
+cumulative, a set-event arriving *before* anyone armed a waiter is not
+lost — exactly the property that lets back-to-back barriers overlap
+safely (node A may start barrier *k+1* and fire events at node B while
+B is still finishing barrier *k*).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Optional
+
+
+class ElanEvent:
+    """One event word in Elan SRAM.
+
+    ``arm(threshold, action)`` registers ``action`` (a zero-argument
+    callable) to run as soon as ``count >= threshold``; if that is
+    already true it runs immediately (synchronously — the caller is the
+    event unit, which has already paid its processing cost).
+    """
+
+    __slots__ = ("name", "count", "_armed")
+
+    def __init__(self, name: str = "event"):
+        self.name = name
+        self.count = 0
+        self._armed: list[tuple[int, Callable[[], None]]] = []
+
+    def set_event(self, n: int = 1) -> None:
+        """A set-event (remote or local) increments the counter."""
+        if n < 1:
+            raise ValueError(f"set count must be >= 1, got {n}")
+        self.count += n
+        self._fire_ready()
+
+    def arm(self, threshold: int, action: Callable[[], None]) -> None:
+        if threshold < 1:
+            raise ValueError(f"threshold must be >= 1, got {threshold}")
+        self._armed.append((threshold, action))
+        self._fire_ready()
+
+    def _fire_ready(self) -> None:
+        ready = [a for a in self._armed if self.count >= a[0]]
+        if not ready:
+            return
+        self._armed = [a for a in self._armed if self.count < a[0]]
+        for _, action in ready:
+            action()
+
+    @property
+    def armed_count(self) -> int:
+        return len(self._armed)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<ElanEvent {self.name} count={self.count} armed={len(self._armed)}>"

@@ -1,0 +1,57 @@
+"""Elan3 / Elite timing constants (µs)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields
+
+
+@dataclass(frozen=True)
+class ElanParams:
+    """Per-profile Elan3 costs.
+
+    NIC units:
+
+    - ``t_event_fire`` — the event unit processes an arriving set-event
+      (the zero-byte RDMA's destination side) and checks chained
+      actions.
+    - ``t_rdma_issue`` — the DMA engine processes one RDMA descriptor
+      and injects the packet.
+    - ``t_pio_command`` — host issues a command word to the Elan
+      (memory-mapped store; much cheaper than Myrinet's doorbell path).
+    - ``t_host_event`` — Elan writes a host-memory event word (the
+      host polls that word; Elan's host writes are cheap).
+    - ``t_thread_step`` — one Elan thread-processor dispatch, used by
+      the tport (tagged message) path that ``elan_gsync`` runs over.
+    - ``t_tport_match`` — receive-side tag matching in the thread
+      processor.
+
+    Hardware barrier (``elan_hgsync``):
+
+    - ``t_hw_flag_check`` — per-NIC arrived-flag check during the
+      test-and-set probe.
+    - ``hw_retry_backoff_us`` — wait before re-probing when the test
+      finds a missing participant (this is what makes ``hgsync``
+      degrade when callers are not well synchronized).
+
+    Sizing: ``rdma_packet_bytes`` — a zero-byte RDMA still carries a
+    routing/event header on the wire.
+    """
+
+    t_event_fire: float
+    t_rdma_issue: float
+    t_pio_command: float
+    t_host_event: float
+    t_thread_step: float
+    t_tport_match: float
+    t_hw_flag_check: float
+    hw_retry_backoff_us: float
+    rdma_packet_bytes: int = 32
+    tport_packet_bytes: int = 64
+
+    def __post_init__(self) -> None:
+        for f in fields(self):
+            if f.name.startswith(("t_", "hw_")):
+                if getattr(self, f.name) < 0:
+                    raise ValueError(f"{f.name} must be non-negative")
+        if self.rdma_packet_bytes < 1 or self.tport_packet_bytes < 1:
+            raise ValueError("packet sizes must be positive")

@@ -1,0 +1,55 @@
+"""Discrete-event simulation engine.
+
+This subpackage is a self-contained, deterministic discrete-event
+simulation kernel in the style of SimPy, built from scratch because the
+reproduction environment is offline.  It provides:
+
+- :class:`~repro.sim.engine.Simulator` — the event loop (time unit:
+  microseconds, stored as ``float``).
+- :class:`~repro.sim.events.SimEvent`, :class:`~repro.sim.events.Timeout`,
+  :class:`~repro.sim.events.AllOf`, :class:`~repro.sim.events.AnyOf` —
+  one-shot triggerable events and condition combinators.
+- :class:`~repro.sim.process.Process` — generator-based cooperative
+  processes (``yield`` an event / delay / another process to wait on it).
+- :class:`~repro.sim.resources.Resource`,
+  :class:`~repro.sim.resources.Store`,
+  :class:`~repro.sim.resources.PriorityStore` — synchronization
+  primitives used to model NIC processors, DMA engines, buses and queues.
+- :class:`~repro.sim.trace.Tracer` — structured trace records and packet
+  counters used by the experiment harnesses.
+
+Determinism: all same-timestamp events are processed in FIFO scheduling
+order (a monotonically increasing sequence number breaks ties), so a
+simulation with a fixed seed is exactly reproducible.
+"""
+
+from repro.sim.engine import Simulator, ScheduledCall
+from repro.sim.events import (
+    SimEvent,
+    Timeout,
+    AllOf,
+    AnyOf,
+    EventAlreadyTriggered,
+)
+from repro.sim.process import Process, Interrupt
+from repro.sim.resources import Resource, Store, PriorityStore
+from repro.sim.trace import Tracer, TraceRecord
+from repro.sim.rng import DeterministicRng
+
+__all__ = [
+    "Simulator",
+    "ScheduledCall",
+    "SimEvent",
+    "Timeout",
+    "AllOf",
+    "AnyOf",
+    "EventAlreadyTriggered",
+    "Process",
+    "Interrupt",
+    "Resource",
+    "Store",
+    "PriorityStore",
+    "Tracer",
+    "TraceRecord",
+    "DeterministicRng",
+]

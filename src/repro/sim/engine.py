@@ -1,0 +1,172 @@
+"""The discrete-event simulation kernel.
+
+Time is a ``float`` in microseconds; the whole reproduction (NIC control
+program steps, PCI DMA transactions, wire latencies) is expressed in this
+unit because the paper reports barrier latencies in microseconds.
+
+The kernel is a plain binary-heap event loop.  Everything else in
+:mod:`repro.sim` (events, processes, resources) is built on
+:meth:`Simulator.schedule`.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Optional
+
+
+class ScheduledCall:
+    """Handle for a callback scheduled with :meth:`Simulator.schedule`.
+
+    The handle supports O(1) cancellation: the heap entry stays in the
+    heap but is skipped when popped.
+    """
+
+    __slots__ = ("time", "seq", "fn", "args", "cancelled")
+
+    def __init__(self, time: float, seq: int, fn: Callable, args: tuple):
+        self.time = time
+        self.seq = seq
+        self.fn = fn
+        self.args = args
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        """Prevent the callback from running.  Idempotent."""
+        self.cancelled = True
+        # Drop references so cancelled timers do not pin large objects.
+        self.fn = None
+        self.args = ()
+
+    def __lt__(self, other: "ScheduledCall") -> bool:
+        if self.time != other.time:
+            return self.time < other.time
+        return self.seq < other.seq
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "cancelled" if self.cancelled else "pending"
+        return f"<ScheduledCall t={self.time:.3f} seq={self.seq} {state}>"
+
+
+class Simulator:
+    """A deterministic discrete-event simulator.
+
+    Usage::
+
+        sim = Simulator()
+        sim.schedule(5.0, print, "hello at t=5us")
+        sim.run()
+
+    Processes (see :class:`repro.sim.process.Process`) are started with
+    :meth:`process`.  :meth:`run` drives the loop until the heap drains,
+    a time limit passes, or a supplied event triggers.
+    """
+
+    def __init__(self) -> None:
+        self._now: float = 0.0
+        self._heap: list[ScheduledCall] = []
+        self._seq: int = 0
+        self._unhandled: list[BaseException] = []
+
+    # ------------------------------------------------------------------
+    # Clock
+    # ------------------------------------------------------------------
+    @property
+    def now(self) -> float:
+        """Current simulation time in microseconds."""
+        return self._now
+
+    # ------------------------------------------------------------------
+    # Scheduling
+    # ------------------------------------------------------------------
+    def schedule(self, delay: float, fn: Callable, *args: Any) -> ScheduledCall:
+        """Schedule ``fn(*args)`` to run ``delay`` microseconds from now.
+
+        ``delay`` must be non-negative.  Returns a cancellable handle.
+        Calls scheduled for the same timestamp run in scheduling order.
+        """
+        if delay < 0:
+            raise ValueError(f"negative delay {delay!r}")
+        self._seq += 1
+        call = ScheduledCall(self._now + delay, self._seq, fn, args)
+        heapq.heappush(self._heap, call)
+        return call
+
+    def process(self, generator, name: Optional[str] = None):
+        """Start a generator as a simulation process.
+
+        Returns the :class:`~repro.sim.process.Process`; yield it (or its
+        ``completion`` event) from another process to join it.
+        """
+        from repro.sim.process import Process
+
+        return Process(self, generator, name=name)
+
+    def report_unhandled(self, exc: BaseException) -> None:
+        """Record a failure nobody is waiting on; re-raised by :meth:`run`.
+
+        Called by the event machinery when a failed event is processed
+        without any registered callback (e.g. a crashed process whose
+        completion nobody joined).  Silently losing such failures would
+        make protocol bugs look like hangs.
+        """
+        self._unhandled.append(exc)
+
+    # ------------------------------------------------------------------
+    # Running
+    # ------------------------------------------------------------------
+    def peek(self) -> float:
+        """Timestamp of the next pending call, or ``float('inf')``."""
+        heap = self._heap
+        while heap and heap[0].cancelled:
+            heapq.heappop(heap)
+        return heap[0].time if heap else float("inf")
+
+    def step(self) -> bool:
+        """Run the single next scheduled call.  Returns False when idle."""
+        heap = self._heap
+        while heap:
+            call = heapq.heappop(heap)
+            if call.cancelled:
+                continue
+            if call.time < self._now:  # pragma: no cover - defensive
+                raise RuntimeError("event heap went backwards in time")
+            self._now = call.time
+            call.fn(*call.args)
+            if self._unhandled:
+                exc = self._unhandled[0]
+                self._unhandled.clear()
+                raise exc
+            return True
+        return False
+
+    def run(self, until: Optional[float] = None, *, until_event=None) -> None:
+        """Drive the simulation.
+
+        - ``until=None`` and ``until_event=None``: run until no events
+          remain.
+        - ``until=t``: run events with timestamp ``<= t``; afterwards
+          ``now`` is advanced to exactly ``t`` (even if idle earlier).
+        - ``until_event=ev``: stop as soon as ``ev`` has been processed.
+        """
+        if until is not None and until < self._now:
+            raise ValueError(f"until={until} is in the past (now={self._now})")
+        if until_event is not None:
+            while not until_event.processed:
+                if until is not None and self.peek() > until:
+                    break
+                if not self.step():
+                    break
+            if until is not None and until_event is None:  # pragma: no cover
+                self._now = max(self._now, until)
+            return
+        if until is None:
+            while self.step():
+                pass
+            return
+        while self.peek() <= until:
+            self.step()
+        self._now = max(self._now, until)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Simulator now={self._now:.3f}us pending={len(self._heap)}>"

@@ -1,0 +1,128 @@
+"""Generator-based cooperative processes.
+
+A process is a Python generator driven by the simulator.  It may yield:
+
+- a ``float``/``int`` — sleep that many microseconds;
+- a :class:`~repro.sim.events.SimEvent` — wait for it (the event's value
+  is sent back into the generator; a failed event is *thrown* in);
+- another :class:`Process` — join it (waits on its ``completion`` event).
+
+The NIC control programs, host programs, DMA engines and switches in this
+reproduction are all written as processes.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator, Optional
+
+from repro.sim.engine import Simulator
+from repro.sim.events import SimEvent, Timeout
+
+
+class Interrupt(Exception):
+    """Thrown into a process by :meth:`Process.interrupt`.
+
+    ``cause`` carries caller-supplied context (e.g. "link went down").
+    """
+
+    def __init__(self, cause: Any = None):
+        super().__init__(cause)
+        self.cause = cause
+
+
+class Process:
+    """A running simulation process.
+
+    Attributes
+    ----------
+    completion:
+        Event that succeeds with the generator's return value, or fails
+        with its exception.  Yield the process (or this event) to join.
+    """
+
+    __slots__ = ("sim", "name", "_gen", "completion", "_waiting_on", "_resume_handle")
+
+    def __init__(self, sim: Simulator, gen: Generator, name: Optional[str] = None):
+        if not hasattr(gen, "send"):
+            raise TypeError(f"Process needs a generator, got {gen!r}")
+        self.sim = sim
+        self.name = name or getattr(gen, "__name__", "process")
+        self._gen = gen
+        self.completion = SimEvent(sim, name=f"{self.name}.completion")
+        self._waiting_on: Optional[SimEvent] = None
+        self._resume_handle = sim.schedule(0.0, self._step, None, None)
+
+    # ------------------------------------------------------------------
+    @property
+    def alive(self) -> bool:
+        return not self.completion.triggered
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`Interrupt` into the process at the current time.
+
+        Interrupting a finished process is a no-op (it can no longer
+        observe anything).  The event it was waiting on keeps running;
+        the process may re-wait on it after handling the interrupt.
+        """
+        if not self.alive:
+            return
+        if self._waiting_on is not None:
+            self._waiting_on.remove_callback(self._on_event)
+            self._waiting_on = None
+        if self._resume_handle is not None:
+            self._resume_handle.cancel()
+        self._resume_handle = self.sim.schedule(
+            0.0, self._step, None, Interrupt(cause)
+        )
+
+    # ------------------------------------------------------------------
+    def _on_event(self, ev: SimEvent) -> None:
+        self._waiting_on = None
+        if ev.ok:
+            self._step(ev.value, None)
+        else:
+            ev.defuse()
+            self._step(None, ev.value)
+
+    def _step(self, value: Any, exc: Optional[BaseException]) -> None:
+        self._resume_handle = None
+        while True:
+            try:
+                if exc is not None:
+                    target = self._gen.throw(exc)
+                else:
+                    target = self._gen.send(value)
+            except StopIteration as stop:
+                self.completion.succeed(stop.value)
+                return
+            except BaseException as err:
+                self.completion.fail(err)
+                return
+
+            value, exc = None, None
+            if isinstance(target, (int, float)):
+                target = Timeout(self.sim, float(target))
+            elif isinstance(target, Process):
+                target = target.completion
+            if not isinstance(target, SimEvent):
+                exc = TypeError(
+                    f"process {self.name!r} yielded {target!r}; expected an "
+                    "event, a delay, or a process"
+                )
+                continue
+            if target.processed:
+                # Already resolved: consume its value/failure immediately
+                # (stay inside this while-loop; no extra scheduler hop).
+                if target.ok:
+                    value = target.value
+                else:
+                    target.defuse()
+                    exc = target.value
+                continue
+            self._waiting_on = target
+            target.add_callback(self._on_event)
+            return
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "alive" if self.alive else "done"
+        return f"<Process {self.name} {state}>"

@@ -1,0 +1,218 @@
+"""Synchronization primitives: resources and item stores.
+
+- :class:`Resource` — counted semaphore with a FIFO wait queue.  Models
+  serialized hardware: a NIC processor, a PCI bus, a DMA engine, a switch
+  output port.
+- :class:`Store` — FIFO item queue with blocking ``get`` (and blocking
+  ``put`` when capacity-bounded).  Models token queues, event queues and
+  packet FIFOs.
+- :class:`PriorityStore` — like Store but items are retrieved lowest
+  priority value first (stable for equal priorities).
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections import deque
+from typing import Any, Optional
+
+from repro.sim.engine import Simulator
+from repro.sim.events import SimEvent
+
+
+class Resource:
+    """A counted resource with FIFO granting.
+
+    Usage from a process::
+
+        req = resource.request()
+        yield req
+        ... critical section ...
+        resource.release()
+
+    A pending (ungranted) request can be cancelled with
+    :meth:`cancel_request`.
+    """
+
+    def __init__(self, sim: Simulator, capacity: int = 1, name: Optional[str] = None):
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.sim = sim
+        self.capacity = capacity
+        self.name = name or "resource"
+        self._in_use = 0
+        self._waiters: deque[SimEvent] = deque()
+
+    @property
+    def in_use(self) -> int:
+        return self._in_use
+
+    @property
+    def queue_length(self) -> int:
+        return len(self._waiters)
+
+    def request(self) -> SimEvent:
+        ev = SimEvent(self.sim, name=f"{self.name}.request")
+        if self._in_use < self.capacity:
+            self._in_use += 1
+            ev.succeed(self)
+        else:
+            self._waiters.append(ev)
+        return ev
+
+    def cancel_request(self, ev: SimEvent) -> bool:
+        """Withdraw a still-queued request.  Returns True if it was queued."""
+        try:
+            self._waiters.remove(ev)
+            return True
+        except ValueError:
+            return False
+
+    def release(self) -> None:
+        if self._in_use <= 0:
+            raise RuntimeError(f"{self.name}: release without matching request")
+        if self._waiters:
+            nxt = self._waiters.popleft()
+            nxt.succeed(self)  # usage count carries over to the waiter
+        else:
+            self._in_use -= 1
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<Resource {self.name} {self._in_use}/{self.capacity}"
+            f" queued={len(self._waiters)}>"
+        )
+
+
+class Store:
+    """FIFO item store with blocking get/put semantics.
+
+    ``put`` returns an event that succeeds once the item is accepted
+    (immediately unless the store is at capacity).  ``get`` returns an
+    event that succeeds with the item.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        capacity: float = float("inf"),
+        name: Optional[str] = None,
+    ):
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.sim = sim
+        self.capacity = capacity
+        self.name = name or "store"
+        self._items: deque[Any] = deque()
+        self._getters: deque[SimEvent] = deque()
+        self._putters: deque[tuple[SimEvent, Any]] = deque()
+
+    # -- introspection --------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._items)
+
+    @property
+    def items(self) -> tuple:
+        return tuple(self._items)
+
+    @property
+    def getters_waiting(self) -> int:
+        return len(self._getters)
+
+    # -- storage policy hooks (overridden by PriorityStore) --------------
+    def _do_put(self, item: Any) -> None:
+        self._items.append(item)
+
+    def _do_get(self) -> Any:
+        return self._items.popleft()
+
+    # -- operations ------------------------------------------------------
+    def put(self, item: Any) -> SimEvent:
+        ev = SimEvent(self.sim, name=f"{self.name}.put")
+        if len(self._items) < self.capacity:
+            self._do_put(item)
+            ev.succeed(item)
+            self._serve_getters()
+        else:
+            self._putters.append((ev, item))
+        return ev
+
+    def get(self) -> SimEvent:
+        ev = SimEvent(self.sim, name=f"{self.name}.get")
+        if self._items:
+            ev.succeed(self._do_get())
+            self._admit_putters()
+        else:
+            self._getters.append(ev)
+        return ev
+
+    def try_get(self) -> Any:
+        """Non-blocking get; returns the item or ``None`` when empty.
+
+        Only safe when no getter is queued (NIC poll loops use this on
+        queues they exclusively consume).
+        """
+        if self._getters:
+            raise RuntimeError(f"{self.name}: try_get while getters are waiting")
+        if not self._items:
+            return None
+        item = self._do_get()
+        self._admit_putters()
+        return item
+
+    def cancel_get(self, ev: SimEvent) -> bool:
+        try:
+            self._getters.remove(ev)
+            return True
+        except ValueError:
+            return False
+
+    # -- internals ---------------------------------------------------------
+    def _serve_getters(self) -> None:
+        while self._getters and self._items:
+            getter = self._getters.popleft()
+            getter.succeed(self._do_get())
+
+    def _admit_putters(self) -> None:
+        while self._putters and len(self._items) < self.capacity:
+            ev, item = self._putters.popleft()
+            self._do_put(item)
+            ev.succeed(item)
+            self._serve_getters()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<{type(self).__name__} {self.name} items={len(self._items)}>"
+
+
+class PriorityStore(Store):
+    """A store whose ``get`` returns the lowest-priority item first.
+
+    Items are pushed as ``put((priority, item))`` or via
+    :meth:`put_item`; ``get`` yields the bare item.  Ties are FIFO.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        capacity: float = float("inf"),
+        name: Optional[str] = None,
+    ):
+        super().__init__(sim, capacity, name)
+        self._heap: list[tuple[float, int, Any]] = []
+        self._seq = 0
+        self._items = self._heap  # len()/bool checks reuse Store's logic
+
+    def put_item(self, item: Any, priority: float = 0.0) -> SimEvent:
+        return self.put((priority, item))
+
+    def _do_put(self, pair: Any) -> None:
+        priority, item = pair
+        self._seq += 1
+        heapq.heappush(self._heap, (priority, self._seq, item))
+
+    def _do_get(self) -> Any:
+        return heapq.heappop(self._heap)[2]
+
+    @property
+    def items(self) -> tuple:
+        return tuple(item for _, _, item in sorted(self._heap))

@@ -1,0 +1,133 @@
+"""Structured tracing and counters for simulations.
+
+The experiment harnesses rely on counters (packets on the wire, PCI
+transactions, ACKs vs NACKs, retransmissions) to verify the paper's
+architectural claims — e.g. that receiver-driven retransmission halves
+the number of barrier packets, or that the NIC-based barrier removes the
+per-step host/PCI crossings.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Optional
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """One trace line: what happened, where, when."""
+
+    time: float
+    category: str
+    source: str
+    message: str
+    fields: tuple = ()
+
+    def __str__(self) -> str:
+        extra = " ".join(f"{k}={v}" for k, v in self.fields)
+        return f"[{self.time:10.3f}us] {self.category:<12} {self.source:<16} {self.message} {extra}".rstrip()
+
+
+class Tracer:
+    """Collects trace records and named counters.
+
+    Recording is cheap when disabled (``enabled=False`` keeps counters
+    but drops records); category filtering lets tests capture only the
+    traffic they assert on.
+    """
+
+    def __init__(
+        self,
+        enabled: bool = False,
+        categories: Optional[Iterable[str]] = None,
+        max_records: int = 1_000_000,
+    ):
+        self.enabled = enabled
+        self.categories = set(categories) if categories is not None else None
+        self.max_records = max_records
+        self.records: list[TraceRecord] = []
+        self.counters: Counter = Counter()
+
+    # ------------------------------------------------------------------
+    def record(
+        self,
+        time: float,
+        category: str,
+        source: str,
+        message: str,
+        **fields: Any,
+    ) -> None:
+        if not self.enabled:
+            return
+        if self.categories is not None and category not in self.categories:
+            return
+        if len(self.records) >= self.max_records:
+            return
+        self.records.append(
+            TraceRecord(time, category, source, message, tuple(fields.items()))
+        )
+
+    def count(self, name: str, n: int = 1) -> None:
+        self.counters[name] += n
+
+    # ------------------------------------------------------------------
+    def by_category(self, category: str) -> list[TraceRecord]:
+        return [r for r in self.records if r.category == category]
+
+    def clear(self) -> None:
+        self.records.clear()
+        self.counters.clear()
+
+    def snapshot(self) -> dict[str, int]:
+        """A plain-dict copy of the counters (for diffs in tests)."""
+        return dict(self.counters)
+
+    def delta(self, before: dict[str, int]) -> dict[str, int]:
+        """Counter changes since a :meth:`snapshot`."""
+        out: dict[str, int] = {}
+        for key, val in self.counters.items():
+            change = val - before.get(key, 0)
+            if change:
+                out[key] = change
+        return out
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<Tracer enabled={self.enabled} records={len(self.records)} "
+            f"counters={len(self.counters)}>"
+        )
+
+
+@dataclass
+class StatAccumulator:
+    """Running mean/min/max/count without storing samples.
+
+    Used for per-iteration barrier latencies where the paper reports the
+    average of 10,000 iterations.
+    """
+
+    count: int = 0
+    total: float = 0.0
+    min_value: float = field(default=float("inf"))
+    max_value: float = field(default=float("-inf"))
+
+    def add(self, value: float) -> None:
+        self.count += 1
+        self.total += value
+        if value < self.min_value:
+            self.min_value = value
+        if value > self.max_value:
+            self.max_value = value
+
+    @property
+    def mean(self) -> float:
+        if self.count == 0:
+            raise ZeroDivisionError("no samples")
+        return self.total / self.count
+
+    def merge(self, other: "StatAccumulator") -> None:
+        self.count += other.count
+        self.total += other.total
+        self.min_value = min(self.min_value, other.min_value)
+        self.max_value = max(self.max_value, other.max_value)

@@ -1,0 +1,5 @@
+"""Inspection tools built on :class:`repro.sim.Tracer` records."""
+
+from repro.tools.flow import message_flow, wire_sequence_diagram
+
+__all__ = ["message_flow", "wire_sequence_diagram"]

@@ -1,0 +1,122 @@
+"""Wire-traffic inspection: message flows and sequence diagrams.
+
+Run any experiment with an enabled tracer
+(``Tracer(enabled=True, categories={"wire"})``), then render what the
+protocol actually did — e.g. watch one dissemination barrier's three
+rounds, or see a NACK retransmission recover a dropped hop::
+
+    tracer = Tracer(enabled=True, categories={"wire"})
+    cluster = build_myrinet_cluster(..., tracer=tracer)
+    ... run one barrier ...
+    print(wire_sequence_diagram(tracer, nodes=8))
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.sim.trace import TraceRecord, Tracer
+
+_KIND_GLYPH = {
+    "data": "D",
+    "ack": "a",
+    "nack": "N",
+    "barrier": "B",
+    "rdma": "R",
+    "event": "e",
+    "bcast": "C",
+}
+
+
+@dataclass(frozen=True)
+class WireEvent:
+    """One delivered packet, decoded from a trace record."""
+
+    time: float
+    sent_at: float
+    kind: str
+    src: int
+    dst: int
+    size: int
+
+    @property
+    def latency(self) -> float:
+        return self.time - self.sent_at
+
+
+def _decode(record: TraceRecord) -> Optional[WireEvent]:
+    fields = dict(record.fields)
+    if "kind" not in fields:
+        return None
+    return WireEvent(
+        time=record.time,
+        sent_at=fields.get("sent_at", record.time),
+        kind=fields["kind"],
+        src=fields["src"],
+        dst=fields["dst"],
+        size=fields.get("size", 0),
+    )
+
+
+def wire_events(
+    tracer: Tracer,
+    t0: Optional[float] = None,
+    t1: Optional[float] = None,
+) -> list[WireEvent]:
+    """All delivered packets in ``[t0, t1]``, in delivery order."""
+    events = []
+    for record in tracer.by_category("wire"):
+        event = _decode(record)
+        if event is None:
+            continue
+        if t0 is not None and event.time < t0:
+            continue
+        if t1 is not None and event.time > t1:
+            continue
+        events.append(event)
+    return events
+
+
+def message_flow(
+    tracer: Tracer,
+    t0: Optional[float] = None,
+    t1: Optional[float] = None,
+) -> str:
+    """A line-per-message log: delivery time, route, kind, wire latency."""
+    lines = [f"{'time(us)':>10} {'route':>12} {'kind':<8} {'bytes':>6} {'wire(us)':>9}"]
+    for event in wire_events(tracer, t0, t1):
+        lines.append(
+            f"{event.time:>10.3f} {event.src:>4} -> {event.dst:<4} "
+            f"{event.kind:<8} {event.size:>6} {event.latency:>9.3f}"
+        )
+    return "\n".join(lines)
+
+
+def wire_sequence_diagram(
+    tracer: Tracer,
+    nodes: int,
+    t0: Optional[float] = None,
+    t1: Optional[float] = None,
+    max_rows: int = 200,
+) -> str:
+    """An ASCII sequence diagram: one column per node, one row per
+    delivered packet (glyph = packet kind at the destination, ``*`` at
+    the source)."""
+    events = wire_events(tracer, t0, t1)[:max_rows]
+    if not events:
+        return "(no wire traffic in window)"
+    width = 4
+    header = f"{'time(us)':>10} |" + "".join(f"{f'n{i}':>{width}}" for i in range(nodes))
+    lines = [header, "-" * len(header)]
+    for event in events:
+        cells = [" " * width] * nodes
+        glyph = _KIND_GLYPH.get(event.kind, "?")
+        if 0 <= event.src < nodes:
+            cells[event.src] = f"{'*':>{width}}"
+        if 0 <= event.dst < nodes:
+            cells[event.dst] = f"{glyph:>{width}}"
+        lines.append(f"{event.time:>10.3f} |" + "".join(cells))
+    legend = "  ".join(f"{glyph}={kind}" for kind, glyph in _KIND_GLYPH.items())
+    lines.append(f"(* = sender; {legend})")
+    return "\n".join(lines)

@@ -1,0 +1,20 @@
+"""Network topologies for the two interconnects.
+
+- :class:`~repro.topology.crossbar.ClosTopology` — Myrinet 2000 style:
+  16-port crossbar switches, single switch for small clusters, two-level
+  Clos (leaf + spine) beyond the radix.
+- :class:`~repro.topology.fat_tree.QuaternaryFatTree` — Quadrics QsNet
+  style: Elite switches (8 ports: 4 down / 4 up) arranged in a
+  dimension-*n* quaternary fat tree, 4^n nodes.
+
+Both expose the :class:`~repro.topology.base.Topology` interface: a set
+of node ports, switch identifiers, and ``route(src, dst)`` returning the
+ordered list of switch hops a packet traverses (source routing, as both
+networks use in hardware).
+"""
+
+from repro.topology.base import Route, Topology
+from repro.topology.crossbar import ClosTopology
+from repro.topology.fat_tree import QuaternaryFatTree
+
+__all__ = ["Topology", "Route", "ClosTopology", "QuaternaryFatTree"]

@@ -1,0 +1,76 @@
+"""Topology interface shared by the Myrinet and Quadrics fabrics."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+
+@dataclass(frozen=True)
+class Route:
+    """A source route: the ordered switches between two NICs.
+
+    ``hops`` is empty only for self-delivery (loopback).  The number of
+    link traversals is ``len(hops) + 1`` for a non-loopback route
+    (NIC → first switch, switch → switch, last switch → NIC).
+    """
+
+    src: int
+    dst: int
+    hops: tuple[str, ...]
+
+    @property
+    def switch_count(self) -> int:
+        return len(self.hops)
+
+    @property
+    def link_count(self) -> int:
+        if self.src == self.dst:
+            return 0
+        return len(self.hops) + 1
+
+
+class Topology:
+    """Base class: ``n_nodes`` NIC ports interconnected by switches."""
+
+    def __init__(self, n_nodes: int):
+        if n_nodes < 1:
+            raise ValueError(f"need at least one node, got {n_nodes}")
+        self.n_nodes = n_nodes
+
+    # -- interface -------------------------------------------------------
+    def route(self, src: int, dst: int) -> Route:
+        """The source route from NIC ``src`` to NIC ``dst``."""
+        raise NotImplementedError
+
+    def switches(self) -> Sequence[str]:
+        """All switch identifiers."""
+        raise NotImplementedError
+
+    def link_capacity(self, a: str, b: str) -> int:
+        """Parallel physical links behind the directional edge ``a -> b``.
+
+        Topology classes whose switch identifiers aggregate several
+        physical switches (e.g. a fat-tree *stage group*) override this
+        so the fabric models the real bisection.  Default: one link.
+        """
+        return 1
+
+    # -- shared helpers ----------------------------------------------------
+    def _check_port(self, port: int) -> None:
+        if not 0 <= port < self.n_nodes:
+            raise ValueError(
+                f"port {port} out of range for {self.n_nodes}-node topology"
+            )
+
+    def max_hops(self) -> int:
+        """Worst-case switch count over all (src, dst) pairs."""
+        worst = 0
+        for s in range(self.n_nodes):
+            for d in range(self.n_nodes):
+                if s != d:
+                    worst = max(worst, self.route(s, d).switch_count)
+        return worst
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<{type(self).__name__} nodes={self.n_nodes}>"

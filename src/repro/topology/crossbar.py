@@ -1,0 +1,91 @@
+"""Myrinet-style crossbar / Clos topology.
+
+Myrinet 2000 interconnects hosts through 16-port wormhole crossbar
+switches.  Small clusters (the paper's 8- and 16-node systems) hang off a
+single crossbar; larger systems cascade crossbars into a two-level Clos:
+leaf switches own hosts, spine switches interconnect leaves.
+
+Routing is deterministic source routing (as in real Myrinet): the spine
+for a (src-leaf, dst-leaf) pair is chosen by a static hash so a given
+pair always takes the same path.
+"""
+
+from __future__ import annotations
+
+from repro.topology.base import Route, Topology
+
+
+class ClosTopology(Topology):
+    """Single crossbar or two-level Clos of ``radix``-port crossbars.
+
+    Parameters
+    ----------
+    n_nodes:
+        Number of host NICs.
+    radix:
+        Ports per crossbar switch (16 for Myrinet 2000's Xbar16).
+
+    With two levels, each leaf uses ``radix // 2`` ports down (hosts) and
+    ``radix // 2`` up (spines), the classic folded-Clos split, giving a
+    maximum of ``(radix // 2) ** 2`` hosts.
+    """
+
+    def __init__(self, n_nodes: int, radix: int = 16):
+        super().__init__(n_nodes)
+        if radix < 2:
+            raise ValueError(f"radix must be >= 2, got {radix}")
+        self.radix = radix
+        half = radix // 2
+        if n_nodes <= radix:
+            self.levels = 1
+            self.n_leaves = 1
+            self.n_spines = 0
+        elif n_nodes <= half * half:
+            self.levels = 2
+            self.n_leaves = -(-n_nodes // half)  # ceil division
+            self.n_spines = half
+        else:
+            raise ValueError(
+                f"{n_nodes} nodes exceeds two-level Clos capacity "
+                f"{half * half} for radix {radix}"
+            )
+        self._hosts_per_leaf = n_nodes if self.levels == 1 else half
+
+    # ------------------------------------------------------------------
+    def leaf_of(self, port: int) -> int:
+        self._check_port(port)
+        return port // self._hosts_per_leaf
+
+    def switches(self) -> list[str]:
+        if self.levels == 1:
+            return ["xbar0"]
+        leaves = [f"leaf{i}" for i in range(self.n_leaves)]
+        spines = [f"spine{i}" for i in range(self.n_spines)]
+        return leaves + spines
+
+    def _spine_for(self, src: int, dst: int) -> int:
+        # Static deterministic spine selection (source-routed networks
+        # pick the path at the sender; Myrinet's mapper computes the
+        # dispersive route set).  Per-source spreading keeps the flows
+        # of a shifted-permutation collective (dst = src + 2^m) on
+        # distinct spines — each source owns one spine, so no two flows
+        # from one leaf share an uplink and no two flows into one leaf
+        # share a downlink.
+        return src % self.n_spines
+
+    def route(self, src: int, dst: int) -> Route:
+        self._check_port(src)
+        self._check_port(dst)
+        if src == dst:
+            return Route(src, dst, ())
+        if self.levels == 1:
+            return Route(src, dst, ("xbar0",))
+        src_leaf, dst_leaf = self.leaf_of(src), self.leaf_of(dst)
+        if src_leaf == dst_leaf:
+            return Route(src, dst, (f"leaf{src_leaf}",))
+        spine = self._spine_for(src, dst)
+        return Route(
+            src,
+            dst,
+            (f"leaf{src_leaf}", f"spine{spine}", f"leaf{dst_leaf}"),
+        )

@@ -1,0 +1,95 @@
+"""Unit tests for cluster assembly."""
+
+import pytest
+
+from repro.cluster import (
+    MyrinetCluster,
+    QuadricsCluster,
+    build_cluster,
+    build_myrinet_cluster,
+    build_quadrics_cluster,
+    get_profile,
+)
+from repro.network import FaultInjector
+
+
+def test_build_myrinet_by_name():
+    cluster = build_myrinet_cluster("lanai_xp_xeon2400", nodes=4)
+    assert isinstance(cluster, MyrinetCluster)
+    assert cluster.n == 4
+    assert len(cluster.nics) == 4
+    assert len(cluster.ports) == 4
+    assert len(cluster.pcis) == 4
+
+
+def test_build_quadrics_by_name():
+    cluster = build_quadrics_cluster("elan3_piii700", nodes=8)
+    assert isinstance(cluster, QuadricsCluster)
+    assert len(cluster.nics) == 8
+
+
+def test_build_by_profile_object():
+    profile = get_profile("lanai91_piii700")
+    cluster = build_myrinet_cluster(profile, nodes=2)
+    assert cluster.profile is profile
+
+
+def test_build_cluster_dispatches_on_network():
+    assert isinstance(build_cluster("lanai_xp_xeon2400", 2), MyrinetCluster)
+    assert isinstance(build_cluster("elan3_piii700", 2), QuadricsCluster)
+
+
+def test_wrong_network_rejected():
+    with pytest.raises(ValueError, match="not a Myrinet"):
+        build_myrinet_cluster("elan3_piii700", nodes=2)
+    with pytest.raises(ValueError, match="not a Quadrics"):
+        build_quadrics_cluster("lanai_xp_xeon2400", nodes=2)
+
+
+def test_node_count_limits():
+    with pytest.raises(ValueError):
+        build_myrinet_cluster("lanai_xp_xeon2400", nodes=0)
+    with pytest.raises(ValueError, match="at most"):
+        build_myrinet_cluster("lanai_xp_xeon2400", nodes=65)
+
+
+def test_quadrics_rejects_fault_injection():
+    """QsNet is reliable in hardware (§4): loss injection is meaningless."""
+    faults = FaultInjector()
+    with pytest.raises(ValueError, match="reliably"):
+        QuadricsCluster(get_profile("elan3_piii700"), 4, faults=faults)
+
+
+def test_myrinet_accepts_fault_injection():
+    faults = FaultInjector()
+    cluster = build_myrinet_cluster("lanai_xp_xeon2400", nodes=2, faults=faults)
+    assert cluster.faults is faults
+
+
+def test_myrinet_topology_is_clos():
+    from repro.topology import ClosTopology
+
+    cluster = build_myrinet_cluster("lanai_xp_xeon2400", nodes=32)
+    assert isinstance(cluster.topology, ClosTopology)
+    assert cluster.topology.levels == 2
+
+
+def test_quadrics_topology_is_fat_tree():
+    from repro.topology import QuaternaryFatTree
+
+    cluster = build_quadrics_cluster(nodes=16)
+    assert isinstance(cluster.topology, QuaternaryFatTree)
+
+
+def test_hardware_barrier_factory():
+    cluster = build_quadrics_cluster(nodes=4)
+    hw = cluster.hardware_barrier()
+    assert hw.ranks == (0, 1, 2, 3)
+    hw_sub = cluster.hardware_barrier([1, 3])
+    assert hw_sub.ranks == (1, 3)
+
+
+def test_shared_simulator_and_tracer():
+    cluster = build_myrinet_cluster("lanai_xp_xeon2400", nodes=3)
+    assert all(nic.sim is cluster.sim for nic in cluster.nics)
+    assert all(nic.tracer is cluster.tracer for nic in cluster.nics)

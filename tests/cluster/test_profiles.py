@@ -1,0 +1,79 @@
+"""Unit tests for hardware profiles."""
+
+import pytest
+
+from repro.cluster import PROFILES, HardwareProfile, get_profile
+from repro.host import HostParams
+from repro.myrinet import GmParams
+from repro.network import WireParams
+from repro.pci import PciParams
+
+
+def test_three_paper_systems_present():
+    assert set(PROFILES) == {
+        "lanai_xp_xeon2400",
+        "lanai91_piii700",
+        "elan3_piii700",
+    }
+
+
+def test_get_profile():
+    assert get_profile("elan3_piii700").network == "quadrics"
+    with pytest.raises(ValueError, match="unknown profile"):
+        get_profile("infiniband")
+
+
+def test_network_kinds():
+    assert get_profile("lanai_xp_xeon2400").network == "myrinet"
+    assert get_profile("lanai91_piii700").network == "myrinet"
+
+
+def test_myrinet_profiles_have_gm_params():
+    for name in ("lanai_xp_xeon2400", "lanai91_piii700"):
+        assert get_profile(name).gm is not None
+        assert get_profile(name).elan is None
+
+
+def test_quadrics_profile_has_elan_params():
+    profile = get_profile("elan3_piii700")
+    assert profile.elan is not None
+    assert profile.gm is None
+
+
+def test_profile_validation():
+    wire = WireParams(0.1, 0.3, 0.05, 250.0)
+    pci = PciParams(0.5, 0.5, 400.0)
+    host = HostParams(1, 1, 0.5, 0.5, 0.5)
+    with pytest.raises(ValueError, match="unknown network"):
+        HardwareProfile("x", "infiniband", "", 8, wire, pci, host)
+    with pytest.raises(ValueError, match="GmParams"):
+        HardwareProfile("x", "myrinet", "", 8, wire, pci, host)
+    with pytest.raises(ValueError, match="ElanParams"):
+        HardwareProfile("x", "quadrics", "", 8, wire, pci, host)
+
+
+def test_slower_nic_has_higher_task_costs():
+    """LANai 9.1 (133 MHz) must cost more per task than LANai-XP (225 MHz)."""
+    xp = get_profile("lanai_xp_xeon2400").gm
+    old = get_profile("lanai91_piii700").gm
+    for field in ("t_rx_header", "t_coll_trigger", "t_inject", "t_sdma_event"):
+        assert getattr(old, field) > getattr(xp, field), field
+
+
+def test_faster_bus_on_xeon_cluster():
+    xp = get_profile("lanai_xp_xeon2400").pci
+    p3 = get_profile("lanai91_piii700").pci
+    assert xp.pio_write_us < p3.pio_write_us
+    assert xp.bandwidth_bytes_per_us > p3.bandwidth_bytes_per_us
+
+
+def test_faster_host_on_xeon_cluster():
+    xp = get_profile("lanai_xp_xeon2400").host
+    p3 = get_profile("lanai91_piii700").host
+    assert xp.send_overhead_us < p3.send_overhead_us
+    assert xp.recv_overhead_us < p3.recv_overhead_us
+
+
+def test_barrier_packet_is_padded_static_ack():
+    gm = get_profile("lanai_xp_xeon2400").gm
+    assert gm.barrier_packet_bytes == gm.ack_bytes + gm.barrier_payload_bytes

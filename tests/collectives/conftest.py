@@ -1,0 +1,42 @@
+"""Fixtures for end-to-end barrier tests on the test clusters."""
+
+import pytest
+
+from tests.myrinet.conftest import MyrinetTestCluster
+from tests.quadrics.conftest import QuadricsTestCluster
+
+from repro.collectives import (
+    NicCollectiveBarrierEngine,
+    NicDirectBarrierEngine,
+    ProcessGroup,
+)
+
+
+def make_group(cluster, algorithm="dissemination", nodes=None):
+    nodes = list(range(len(cluster.nics))) if nodes is None else nodes
+    return ProcessGroup(nodes, algorithm=algorithm)
+
+
+def install_engines(cluster, group, engine_cls=NicCollectiveBarrierEngine):
+    engines = []
+    for rank, node in enumerate(group.node_ids):
+        engines.append(engine_cls(cluster.nics[node], group, rank))
+    return engines
+
+
+@pytest.fixture
+def mcluster():
+    return MyrinetTestCluster(n=8)
+
+
+@pytest.fixture
+def qcluster8():
+    return QuadricsTestCluster(n=8)
+
+
+def run_all(cluster, programs, until=None):
+    procs = [cluster.sim.process(p) for p in programs]
+    cluster.sim.run(until=until)
+    for proc in procs:
+        assert proc.completion.processed, f"{proc.name} never finished"
+    return procs

@@ -1,0 +1,206 @@
+"""End-to-end tests for NIC-based Alltoall (Bruck) and Allreduce."""
+
+import pytest
+
+from repro.collectives import (
+    NicAllreduceEngine,
+    NicAlltoallEngine,
+    ProcessGroup,
+    nic_allreduce,
+    nic_alltoall,
+)
+from repro.network import FaultInjector, PacketKind
+from repro.sim import DeterministicRng
+from tests.collectives.conftest import run_all
+from tests.myrinet.conftest import MyrinetTestCluster
+
+
+def setup_alltoall(cluster, nodes=None):
+    nodes = list(range(len(cluster.nics))) if nodes is None else nodes
+    group = ProcessGroup(nodes)
+    engines = [
+        NicAlltoallEngine(cluster.nics[node], group, rank)
+        for rank, node in enumerate(group.node_ids)
+    ]
+    return group, engines
+
+
+def setup_allreduce(cluster, nodes=None):
+    nodes = list(range(len(cluster.nics))) if nodes is None else nodes
+    group = ProcessGroup(nodes)
+    engines = [
+        NicAllreduceEngine(cluster.nics[node], group, rank)
+        for rank, node in enumerate(group.node_ids)
+    ]
+    return group, engines
+
+
+class TestAlltoall:
+    @pytest.mark.parametrize("n", [2, 3, 4, 5, 7, 8])
+    def test_every_block_reaches_its_destination(self, n):
+        cluster = MyrinetTestCluster(n=n)
+        group, engines = setup_alltoall(cluster)
+        results = {}
+
+        def prog(node):
+            rank = group.rank_of(node)
+            blocks = {dst: f"{rank}->{dst}" for dst in range(n)}
+            received = yield from nic_alltoall(cluster.ports[node], group, 0, blocks)
+            results[rank] = received
+
+        run_all(cluster, [prog(i) for i in range(n)])
+        for dst in range(n):
+            assert results[dst] == {src: f"{src}->{dst}" for src in range(n)}
+        assert all(e.completed == 1 for e in engines)
+        assert all(e.states == {} for e in engines)
+
+    def test_log_rounds_not_linear(self):
+        """Bruck: N * ceil(log2 N) messages, not N * (N-1)."""
+        n = 8
+        cluster = MyrinetTestCluster(n=n)
+        group, _ = setup_alltoall(cluster)
+
+        def prog(node):
+            blocks = {dst: node * 10 + dst for dst in range(n)}
+            yield from nic_alltoall(cluster.ports[node], group, 0, blocks)
+
+        run_all(cluster, [prog(i) for i in range(n)])
+        assert cluster.tracer.counters["wire.bcast"] == n * 3  # log2(8) rounds
+
+    def test_missing_block_rejected(self):
+        cluster = MyrinetTestCluster(n=4)
+        group, _ = setup_alltoall(cluster)
+
+        def prog():
+            yield from nic_alltoall(cluster.ports[0], group, 0, {0: "a", 1: "b"})
+
+        proc = cluster.sim.process(prog())
+        proc.completion.add_callback(lambda e: e.defuse() if not e.ok else None)
+        cluster.sim.run()
+        assert isinstance(proc.completion.value, ValueError)
+
+    def test_consecutive_alltoalls(self):
+        n = 4
+        cluster = MyrinetTestCluster(n=n)
+        group, engines = setup_alltoall(cluster)
+
+        def prog(node):
+            for seq in range(4):
+                blocks = {dst: (node, dst, seq) for dst in range(n)}
+                received = yield from nic_alltoall(
+                    cluster.ports[node], group, seq, blocks
+                )
+                assert received == {src: (src, node, seq) for src in range(n)}
+
+        run_all(cluster, [prog(i) for i in range(n)])
+        assert all(e.completed == 4 for e in engines)
+
+    def test_loss_recovered(self):
+        faults = FaultInjector()
+        faults.drop_nth_matching(lambda p: p.kind == PacketKind.BCAST, occurrence=3)
+        cluster = MyrinetTestCluster(n=8, faults=faults)
+        group, engines = setup_alltoall(cluster)
+
+        def prog(node):
+            blocks = {dst: node * 100 + dst for dst in range(8)}
+            received = yield from nic_alltoall(cluster.ports[node], group, 0, blocks)
+            assert received == {src: src * 100 + node for src in range(8)}
+
+        run_all(cluster, [prog(i) for i in range(8)])
+        resends = (
+            cluster.tracer.counters.get("alltoall.nack_retransmit", 0)
+            + cluster.tracer.counters.get("alltoall.nack_stale_resend", 0)
+        )
+        assert resends >= 1
+
+    def test_random_loss(self):
+        faults = FaultInjector(rng=DeterministicRng(8), drop_probability=0.03)
+        cluster = MyrinetTestCluster(n=8, faults=faults)
+        group, engines = setup_alltoall(cluster)
+
+        def prog(node):
+            for seq in range(5):
+                blocks = {dst: (node, dst) for dst in range(8)}
+                received = yield from nic_alltoall(
+                    cluster.ports[node], group, seq, blocks
+                )
+                assert len(received) == 8
+
+        run_all(cluster, [prog(i) for i in range(8)])
+        assert all(e.completed == 5 for e in engines)
+
+
+class TestAllreduce:
+    @pytest.mark.parametrize("n", [2, 3, 5, 8])
+    def test_sum(self, n):
+        cluster = MyrinetTestCluster(n=n)
+        group, engines = setup_allreduce(cluster)
+        results = []
+
+        def prog(node):
+            result = yield from nic_allreduce(
+                cluster.ports[node], group, 0, value=node + 1, op="sum"
+            )
+            results.append(result)
+
+        run_all(cluster, [prog(i) for i in range(n)])
+        assert results == [n * (n + 1) // 2] * n
+
+    @pytest.mark.parametrize(
+        "op,expected", [("max", 7), ("min", 0), ("prod", 0), ("sum", 28)]
+    )
+    def test_operators(self, op, expected):
+        cluster = MyrinetTestCluster(n=8)
+        group, _ = setup_allreduce(cluster)
+        results = []
+
+        def prog(node):
+            result = yield from nic_allreduce(
+                cluster.ports[node], group, 0, value=node, op=op
+            )
+            results.append(result)
+
+        run_all(cluster, [prog(i) for i in range(8)])
+        assert results == [expected] * 8
+
+    def test_unknown_op_fails_engine(self):
+        cluster = MyrinetTestCluster(n=2)
+        group, _ = setup_allreduce(cluster)
+
+        def prog(node):
+            yield from nic_allreduce(cluster.ports[node], group, 0, 1, op="xor")
+
+        procs = [cluster.sim.process(prog(i)) for i in range(2)]
+        with pytest.raises(ValueError, match="unknown reduction op"):
+            cluster.sim.run()
+
+    def test_non_power_of_two_no_double_count(self):
+        """The wrap-around trap: N=5 dissemination partial-sums would
+        double-count; rank-keyed gather-combine must not."""
+        cluster = MyrinetTestCluster(n=5)
+        group, _ = setup_allreduce(cluster)
+        results = []
+
+        def prog(node):
+            result = yield from nic_allreduce(
+                cluster.ports[node], group, 0, value=1, op="sum"
+            )
+            results.append(result)
+
+        run_all(cluster, [prog(i) for i in range(5)])
+        assert results == [5] * 5
+
+    def test_loss_recovered(self):
+        faults = FaultInjector(rng=DeterministicRng(2), drop_probability=0.04)
+        cluster = MyrinetTestCluster(n=8, faults=faults)
+        group, engines = setup_allreduce(cluster)
+
+        def prog(node):
+            for seq in range(5):
+                result = yield from nic_allreduce(
+                    cluster.ports[node], group, seq, value=node, op="sum"
+                )
+                assert result == 28
+
+        run_all(cluster, [prog(i) for i in range(8)])
+        assert all(e.completed == 5 for e in engines)

@@ -1,0 +1,116 @@
+"""Unit-level tests of the shared data-collective engine machinery."""
+
+import pytest
+
+from repro.collectives import ProcessGroup
+from repro.collectives.allgather import NicAllgatherEngine, nic_allgather
+from repro.collectives.data_engine import DataCollMsg, _DataState
+from repro.network import FaultInjector, Packet, PacketKind
+from tests.collectives.conftest import run_all
+from tests.myrinet.conftest import MyrinetTestCluster
+
+
+class TestDataState:
+    def test_initial(self):
+        state = _DataState(3)
+        assert state.seq == 3
+        assert not state.started and not state.complete
+        assert state.pending == {} and state.sent_messages == {}
+
+    def test_cancel_timer_noop(self):
+        _DataState(0).cancel_timer()
+
+
+class TestEngineGuards:
+    def test_wrong_node_rejected(self):
+        cluster = MyrinetTestCluster(n=2)
+        group = ProcessGroup([0, 1])
+        with pytest.raises(ValueError):
+            NicAllgatherEngine(cluster.nics[0], group, rank=1)
+
+    def test_unknown_command(self):
+        cluster = MyrinetTestCluster(n=2)
+        group = ProcessGroup([0, 1])
+        NicAllgatherEngine(cluster.nics[0], group, 0)
+        cluster.nics[0].post_engine_command((group.group_id, "frobnicate", 0))
+        with pytest.raises(ValueError, match="unknown allgather command"):
+            cluster.sim.run()
+
+    def test_barrier_packet_rejected(self):
+        cluster = MyrinetTestCluster(n=2)
+        group = ProcessGroup([0, 1])
+        engine = NicAllgatherEngine(cluster.nics[0], group, 0)
+        packet = Packet(1, 0, PacketKind.BARRIER, 8, payload=None)
+        with pytest.raises(TypeError):
+            list(engine.on_barrier_packet(packet))
+
+
+class TestDuplicateSuppression:
+    def test_duplicate_in_flight_message_ignored(self):
+        """A retransmission racing the original must merge only once."""
+        cluster = MyrinetTestCluster(n=4)
+        group = ProcessGroup([0, 1, 2, 3])
+        engines = [
+            NicAllgatherEngine(cluster.nics[i], group, i) for i in range(4)
+        ]
+        # Duplicate every allgather data packet on the wire.
+        original = cluster.fabric.transmit
+
+        def duplicating(packet):
+            original(packet)
+            if packet.kind == PacketKind.BCAST:
+                clone = Packet(
+                    packet.src, packet.dst, packet.kind,
+                    packet.size_bytes, payload=packet.payload,
+                )
+                original(clone)
+
+        cluster.fabric.transmit = duplicating
+
+        def prog(node):
+            gathered = yield from nic_allgather(cluster.ports[node], group, 0, node)
+            assert gathered == {r: r for r in range(4)}
+
+        run_all(cluster, [prog(i) for i in range(4)])
+        assert cluster.tracer.counters["allgather.rx_duplicate"] >= 1
+        assert all(e.completed == 1 for e in engines)
+
+    def test_archive_bounded(self):
+        cluster = MyrinetTestCluster(n=2)
+        group = ProcessGroup([0, 1])
+        engines = [NicAllgatherEngine(cluster.nics[i], group, i) for i in range(2)]
+
+        def prog(node):
+            for seq in range(12):
+                yield from nic_allgather(cluster.ports[node], group, seq, node)
+
+        run_all(cluster, [prog(i) for i in range(2)])
+        assert all(len(e.archive) <= 8 for e in engines)
+        assert all(e.done_through == 11 for e in engines)
+
+
+class TestGiveUp:
+    def test_dead_sender_terminates_simulation(self):
+        """Black-holing a peer: the collective never completes, but the
+
+        NACK loop gives up after the retry budget (no infinite sim)."""
+        import dataclasses
+
+        from tests.myrinet.conftest import TEST_GM
+
+        gm = dataclasses.replace(TEST_GM, max_retries=3, nack_timeout_us=50.0)
+        faults = FaultInjector()
+        faults.drop_all_matching(lambda p: p.src == 1)  # rank 1 mute
+        cluster = MyrinetTestCluster(n=4, gm=gm, faults=faults)
+        group = ProcessGroup([0, 1, 2, 3])
+        for i in range(4):
+            NicAllgatherEngine(cluster.nics[i], group, i)
+
+        def prog(node):
+            yield from nic_allgather(cluster.ports[node], group, 0, node)
+
+        procs = [cluster.sim.process(prog(i)) for i in range(4)]
+        cluster.sim.run()  # MUST terminate
+        assert cluster.tracer.counters["allgather.gave_up"] >= 1
+        # Rank 2 (waiting on rank 1) cannot have completed.
+        assert not all(p.completion.processed for p in procs)

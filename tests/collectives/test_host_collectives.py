@@ -1,0 +1,156 @@
+"""Tests for the host-based extension-collective baselines."""
+
+import pytest
+
+from repro.collectives import ProcessGroup
+from repro.collectives.host_collectives import (
+    host_allgather,
+    host_alltoall,
+    host_broadcast,
+)
+from tests.collectives.conftest import run_all
+from tests.myrinet.conftest import MyrinetTestCluster
+
+
+@pytest.mark.parametrize("n", [2, 3, 5, 8])
+def test_host_broadcast(n):
+    cluster = MyrinetTestCluster(n=n)
+    group = ProcessGroup(list(range(n)))
+    got = {}
+
+    def prog(node):
+        value = yield from host_broadcast(
+            cluster.ports[node], group, 0, 64,
+            value="blob" if node == 0 else None,
+        )
+        got[node] = value
+
+    run_all(cluster, [prog(i) for i in range(n)])
+    assert got == {i: "blob" for i in range(n)}
+
+
+def test_host_broadcast_consecutive():
+    cluster = MyrinetTestCluster(n=4)
+    group = ProcessGroup([0, 1, 2, 3])
+    got = {i: [] for i in range(4)}
+
+    def prog(node):
+        for seq in range(3):
+            value = yield from host_broadcast(
+                cluster.ports[node], group, seq, 32,
+                value=seq if node == 0 else None,
+            )
+            got[node].append(value)
+
+    run_all(cluster, [prog(i) for i in range(4)])
+    assert all(v == [0, 1, 2] for v in got.values())
+
+
+@pytest.mark.parametrize("n", [2, 3, 5, 8])
+def test_host_allgather(n):
+    cluster = MyrinetTestCluster(n=n)
+    group = ProcessGroup(list(range(n)))
+    got = {}
+
+    def prog(node):
+        known = yield from host_allgather(cluster.ports[node], group, 0, node * 3)
+        got[node] = known
+
+    run_all(cluster, [prog(i) for i in range(n)])
+    expected = {r: r * 3 for r in range(n)}
+    assert all(k == expected for k in got.values())
+
+
+@pytest.mark.parametrize("n", [2, 3, 5, 8])
+def test_host_alltoall(n):
+    cluster = MyrinetTestCluster(n=n)
+    group = ProcessGroup(list(range(n)))
+    got = {}
+
+    def prog(node):
+        blocks = {dst: (node, dst) for dst in range(n)}
+        received = yield from host_alltoall(cluster.ports[node], group, 0, blocks)
+        got[node] = received
+
+    run_all(cluster, [prog(i) for i in range(n)])
+    for dst in range(n):
+        assert got[dst] == {src: (src, dst) for src in range(n)}
+
+
+def test_host_alltoall_validates_blocks():
+    cluster = MyrinetTestCluster(n=4)
+    group = ProcessGroup([0, 1, 2, 3])
+
+    def prog():
+        yield from host_alltoall(cluster.ports[0], group, 0, {0: "x"})
+
+    proc = cluster.sim.process(prog())
+    proc.completion.add_callback(lambda e: e.defuse() if not e.ok else None)
+    cluster.sim.run()
+    assert isinstance(proc.completion.value, ValueError)
+
+
+def test_nic_collectives_beat_host_baselines():
+    """The paper's offload argument extends to every §9 collective."""
+    from repro.collectives import (
+        NicAllgatherEngine,
+        NicBroadcastEngine,
+        nic_allgather,
+        nic_broadcast_recv,
+        nic_broadcast_root,
+    )
+
+    n = 8
+
+    # Host broadcast.
+    cluster = MyrinetTestCluster(n=n)
+    group = ProcessGroup(list(range(n)))
+
+    def host_bc(node):
+        for seq in range(10):
+            yield from host_broadcast(
+                cluster.ports[node], group, seq, 64,
+                value="v" if node == 0 else None,
+            )
+
+    run_all(cluster, [host_bc(i) for i in range(n)])
+    host_bc_time = cluster.sim.now
+
+    # NIC broadcast.
+    cluster2 = MyrinetTestCluster(n=n)
+    group2 = ProcessGroup(list(range(n)))
+    for rank in range(n):
+        NicBroadcastEngine(cluster2.nics[rank], group2, rank)
+
+    def nic_bc_root():
+        for seq in range(10):
+            yield from nic_broadcast_root(cluster2.ports[0], group2, seq, 64, "v")
+
+    def nic_bc_leaf(node):
+        for seq in range(10):
+            yield from nic_broadcast_recv(cluster2.ports[node], group2, seq)
+
+    run_all(cluster2, [nic_bc_root()] + [nic_bc_leaf(i) for i in range(1, n)])
+    assert cluster2.sim.now < host_bc_time
+
+    # Host allgather vs NIC allgather.
+    cluster3 = MyrinetTestCluster(n=n)
+    group3 = ProcessGroup(list(range(n)))
+
+    def host_ag(node):
+        for seq in range(10):
+            yield from host_allgather(cluster3.ports[node], group3, seq, node)
+
+    run_all(cluster3, [host_ag(i) for i in range(n)])
+
+    cluster4 = MyrinetTestCluster(n=n)
+    group4 = ProcessGroup(list(range(n)))
+    for rank in range(n):
+        NicAllgatherEngine(cluster4.nics[rank], group4, rank)
+
+    def nic_ag(node):
+        for seq in range(10):
+            yield from nic_allgather(cluster4.ports[node], group4, seq, node)
+
+    run_all(cluster4, [nic_ag(i) for i in range(n)])
+    assert cluster4.sim.now < cluster3.sim.now

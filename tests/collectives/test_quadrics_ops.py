@@ -1,0 +1,91 @@
+"""Unit tests for the chained-RDMA barrier's chain construction."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.collectives.algorithms import Phase, make_schedule
+from repro.collectives.quadrics_barrier import _Op, _flatten_ops
+
+
+class TestFlattenOps:
+    def test_dissemination_alternates_send_wait(self):
+        phases = make_schedule("dissemination", 8).phases(0)
+        ops = _flatten_ops(phases)
+        kinds = [op.kind for op in ops]
+        assert kinds == ["send", "wait"] * 3
+
+    def test_gather_broadcast_leaf(self):
+        phases = make_schedule("gather-broadcast", 8).phases(7)
+        ops = _flatten_ops(phases)
+        # Leaf: send to parent, then wait for the release.
+        assert [op.kind for op in ops] == ["send", "wait"]
+
+    def test_gather_broadcast_root(self):
+        phases = make_schedule("gather-broadcast", 8).phases(0)
+        ops = _flatten_ops(phases)
+        assert [op.kind for op in ops] == ["wait", "send"]
+
+    def test_adjacent_sends_merge(self):
+        phases = (
+            Phase(sends=(1,), recvs=()),
+            Phase(sends=(2,), recvs=(3,)),
+        )
+        ops = _flatten_ops(phases)
+        assert ops[0] == _Op("send", (1, 2))
+        assert ops[1] == _Op("wait", (3,))
+
+    def test_empty_phases_disappear(self):
+        phases = (Phase(), Phase(sends=(1,), recvs=(2,)))
+        ops = _flatten_ops(phases)
+        assert len(ops) == 2
+
+    def test_recv_then_send_order(self):
+        phases = (Phase(sends=(1,), recvs=(2,), send_first=False),)
+        ops = _flatten_ops(phases)
+        assert [op.kind for op in ops] == ["wait", "send"]
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    n=st.integers(min_value=2, max_value=64),
+    rank_frac=st.floats(min_value=0.0, max_value=0.999),
+    algo=st.sampled_from(["dissemination", "pairwise-exchange", "gather-broadcast"]),
+)
+def test_ops_preserve_all_peers(n, rank_frac, algo):
+    """Flattening loses no sends/recvs and never merges waits."""
+    rank = int(rank_frac * n)
+    phases = make_schedule(algo, n).phases(rank)
+    ops = _flatten_ops(phases)
+    sends = [p for op in ops if op.kind == "send" for p in op.peers]
+    waits = [p for op in ops if op.kind == "wait" for p in op.peers]
+    assert sorted(sends) == sorted(d for ph in phases for d in ph.sends)
+    assert sorted(waits) == sorted(s for ph in phases for s in ph.recvs)
+    # No two adjacent sends (they must have merged).
+    for a, b in zip(ops, ops[1:]):
+        assert not (a.kind == "send" and b.kind == "send")
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    n=st.integers(min_value=2, max_value=32),
+    algo=st.sampled_from(["dissemination", "pairwise-exchange", "gather-broadcast"]),
+)
+def test_every_send_lands_in_exactly_one_remote_wait(n, algo):
+    """The sender's remote_wait_index lookup is well-defined: each
+
+    (sender → receiver) pair appears in exactly one wait op of the
+    receiver."""
+    schedule = make_schedule(algo, n)
+    flat = {rank: _flatten_ops(schedule.phases(rank)) for rank in range(n)}
+    for sender in range(n):
+        for op in flat[sender]:
+            if op.kind != "send":
+                continue
+            for dst in op.peers:
+                hits = [
+                    t
+                    for t, dst_op in enumerate(flat[dst])
+                    if dst_op.kind == "wait" and sender in dst_op.peers
+                ]
+                assert len(hits) == 1, (algo, n, sender, dst)

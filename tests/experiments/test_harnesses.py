@@ -1,0 +1,105 @@
+"""Smoke tests: every experiment harness runs and hits its anchors.
+
+These run the quick variants (few iterations, few points) — enough to
+verify the harness wiring and the *shape* assertions; the benchmarks
+run the full-fidelity versions.
+"""
+
+import pytest
+
+from repro.experiments import ablation, extensions, fig6, fig7, skew
+from repro.experiments.common import (
+    ExperimentResult,
+    Series,
+    ascii_plot,
+    latency_table,
+)
+
+
+class TestCommon:
+    def test_series_at(self):
+        s = Series("x", [2, 4, 8], [1.0, 2.0, 3.0])
+        assert s.at(4) == 2.0
+        with pytest.raises(ValueError):
+            s.at(16)
+
+    def test_latency_table_includes_all_points(self):
+        s1 = Series("a", [2, 4], [1.0, 2.0])
+        s2 = Series("b", [4, 8], [3.0, 4.0])
+        table = latency_table([s1, s2])
+        assert "--" in table  # missing cells rendered
+        assert "1.00" in table and "4.00" in table
+
+    def test_ascii_plot_renders(self):
+        s = Series("a", [2, 4, 8], [1.0, 2.0, 3.0])
+        plot = ascii_plot([s], title="demo")
+        assert "demo" in plot
+        assert "o a" in plot
+
+    def test_ascii_plot_empty(self):
+        assert ascii_plot([]) == "(no data)"
+
+    def test_anchor_table_ratio(self):
+        result = ExperimentResult(
+            "x", "t", [], paper_anchors={"k": 2.0}, measured_anchors={"k": 1.0}
+        )
+        assert "0.50" in result.anchor_table()
+
+    def test_anchor_table_missing_measurement(self):
+        result = ExperimentResult("x", "t", [], paper_anchors={"k": 2.0})
+        assert "--" in result.anchor_table()
+
+
+@pytest.mark.slow
+class TestQuickRuns:
+    def test_fig6_quick(self):
+        result = fig6.run(quick=True, iterations=15)
+        assert result.exp_id == "fig6"
+        nic = next(s for s in result.series if s.label == "NIC-DS")
+        host = next(s for s in result.series if s.label == "Host-DS")
+        assert host.at(8) > 2.0 * nic.at(8)
+
+    def test_fig7_quick(self):
+        result = fig7.run(quick=True, iterations=15)
+        nic = next(s for s in result.series if s.label == "NIC-Barrier-DS")
+        tree = next(s for s in result.series if s.label == "Elan-Barrier")
+        assert tree.at(8) > 2.0 * nic.at(8)
+        # NIC barrier beats the HW barrier at 2 nodes (paper §8.2).
+        hw = next(s for s in result.series if s.label == "Elan-HW-Barrier")
+        assert nic.at(2) < hw.at(2)
+
+    def test_ablation_quick(self):
+        result = ablation.run(quick=True, iterations=15)
+        assert result.measured_anchors[
+            "direct wire packets per barrier / collective"
+        ] == pytest.approx(2.0)
+
+    def test_skew_quick(self):
+        result = skew.run(quick=True, iterations=8)
+        hw_cost = next(s for s in result.series if s.label == "hgsync-cost")
+        nic_cost = next(s for s in result.series if s.label == "NIC-chained-cost")
+        # Under heavy skew the hardware barrier's overhead exceeds the
+        # NIC barrier's.
+        assert hw_cost.latencies[-1] > nic_cost.latencies[-1]
+
+    def test_extensions_quick(self):
+        result = extensions.run(quick=True, iterations=10)
+        bcast = next(s for s in result.series if s.label == "bcast-64B")
+        assert bcast.latencies == sorted(bcast.latencies)
+        alltoall = next(s for s in result.series if s.label == "alltoall-4B")
+        assert alltoall.latencies == sorted(alltoall.latencies)
+
+    def test_sensitivity_quick(self):
+        from repro.experiments import sensitivity
+
+        result = sensitivity.run(quick=True, iterations=10)
+        host = next(
+            s for s in result.series if s.label == "host-vs-poll-interval"
+        )
+        nic = next(s for s in result.series if s.label == "nic-vs-poll-interval")
+        host_growth = host.latencies[-1] - host.latencies[0]
+        nic_growth = nic.latencies[-1] - nic.latencies[0]
+        # Host-based pays the polling lag per step; NIC-based once.
+        assert host_growth > 1.5 * nic_growth
+        loss = next(s for s in result.series if "loss" in s.label)
+        assert loss.latencies[-1] > loss.latencies[0]

@@ -1,0 +1,68 @@
+"""Unit tests for the host CPU model."""
+
+import pytest
+
+from repro.host import HostCpu, HostParams
+from repro.sim import Simulator
+
+PARAMS = HostParams(
+    send_overhead_us=0.8,
+    recv_overhead_us=0.5,
+    poll_us=0.2,
+    poll_interval_us=0.1,
+    barrier_call_us=0.3,
+)
+
+
+def test_params_validation():
+    with pytest.raises(ValueError):
+        HostParams(-1, 0, 0, 0, 0)
+
+
+def test_compute_advances_time():
+    sim = Simulator()
+    cpu = HostCpu(sim, PARAMS, node_id=0)
+    stamps = []
+
+    def prog():
+        yield from cpu.compute(2.5)
+        stamps.append(sim.now)
+
+    sim.process(prog())
+    sim.run()
+    assert stamps == [pytest.approx(2.5)]
+    assert cpu.busy_us == pytest.approx(2.5)
+
+
+def test_negative_compute_rejected():
+    sim = Simulator()
+    cpu = HostCpu(sim, PARAMS, node_id=0)
+
+    def prog():
+        yield from cpu.compute(-1.0)
+
+    proc = sim.process(prog())
+    proc.completion.add_callback(lambda e: e.defuse() if not e.ok else None)
+    sim.run()
+    assert isinstance(proc.completion.value, ValueError)
+
+
+def test_cpu_serializes_threads():
+    sim = Simulator()
+    cpu = HostCpu(sim, PARAMS, node_id=0)
+    done = {}
+
+    def thread(name):
+        yield from cpu.compute(1.0)
+        done[name] = sim.now
+
+    sim.process(thread("t1"))
+    sim.process(thread("t2"))
+    sim.run()
+    assert done["t1"] == pytest.approx(1.0)
+    assert done["t2"] == pytest.approx(2.0)
+
+
+def test_default_name():
+    sim = Simulator()
+    assert HostCpu(sim, PARAMS, node_id=3).name == "host3"

@@ -1,0 +1,195 @@
+"""Integration tests for the MPI-style facade."""
+
+import pytest
+
+from repro.cluster import build_myrinet_cluster, build_quadrics_cluster
+from repro.mpi import MyrinetRankComm, QuadricsRankComm, create_communicators
+
+
+def run_programs(cluster, programs):
+    procs = [cluster.sim.process(p) for p in programs]
+    cluster.sim.run()
+    for proc in procs:
+        assert proc.completion.processed, f"{proc.name} never finished"
+
+
+def myrinet_comms(n=4, **kwargs):
+    cluster = build_myrinet_cluster("lanai_xp_xeon2400", nodes=n)
+    return cluster, create_communicators(cluster, **kwargs)
+
+
+class TestCreate:
+    def test_one_handle_per_rank(self):
+        cluster, comms = myrinet_comms(4)
+        assert len(comms) == 4
+        assert [c.rank for c in comms] == [0, 1, 2, 3]
+        assert all(c.size == 4 for c in comms)
+
+    def test_myrinet_type(self):
+        _, comms = myrinet_comms(2)
+        assert all(isinstance(c, MyrinetRankComm) for c in comms)
+
+    def test_quadrics_type(self):
+        cluster = build_quadrics_cluster(nodes=4)
+        comms = create_communicators(cluster)
+        assert all(isinstance(c, QuadricsRankComm) for c in comms)
+
+    def test_node_subset_and_permutation(self):
+        cluster, comms = myrinet_comms(8, nodes=[6, 2, 4])
+        assert len(comms) == 3
+        assert [c.node for c in comms] == [6, 2, 4]
+
+    def test_not_a_cluster(self):
+        with pytest.raises(TypeError):
+            create_communicators(object())
+
+
+class TestBarrier:
+    def test_barrier_synchronizes(self):
+        cluster, comms = myrinet_comms(4)
+        entries, exits = {}, {}
+
+        def program(comm):
+            yield comm.rank * 10.0
+            entries[comm.rank] = cluster.sim.now
+            yield from comm.barrier()
+            exits[comm.rank] = cluster.sim.now
+
+        run_programs(cluster, [program(c) for c in comms])
+        assert min(exits.values()) >= max(entries.values())
+
+    def test_repeated_barriers_auto_sequence(self):
+        cluster, comms = myrinet_comms(4)
+        counts = {c.rank: 0 for c in comms}
+
+        def program(comm):
+            for _ in range(5):
+                yield from comm.barrier()
+                counts[comm.rank] += 1
+
+        run_programs(cluster, [program(c) for c in comms])
+        assert all(v == 5 for v in counts.values())
+
+    def test_quadrics_barrier(self):
+        cluster = build_quadrics_cluster(nodes=8)
+        comms = create_communicators(cluster)
+        exits = {}
+
+        def program(comm):
+            for _ in range(3):
+                yield from comm.barrier()
+            exits[comm.rank] = cluster.sim.now
+
+        run_programs(cluster, [program(c) for c in comms])
+        assert len(exits) == 8
+
+
+class TestBcast:
+    def test_root_zero(self):
+        cluster, comms = myrinet_comms(4)
+        got = {}
+
+        def program(comm):
+            value = yield from comm.bcast(
+                value="payload" if comm.rank == 0 else None, size_bytes=64
+            )
+            got[comm.rank] = value
+
+        run_programs(cluster, [program(c) for c in comms])
+        assert got == {r: "payload" for r in range(4)}
+
+    def test_nonzero_root(self):
+        cluster, comms = myrinet_comms(4)
+        got = {}
+
+        def program(comm):
+            value = yield from comm.bcast(
+                value=42 if comm.rank == 2 else None, root=2
+            )
+            got[comm.rank] = value
+
+        run_programs(cluster, [program(c) for c in comms])
+        assert got == {r: 42 for r in range(4)}
+
+    def test_root_out_of_range(self):
+        cluster, comms = myrinet_comms(2)
+
+        def program(comm):
+            yield from comm.bcast(value=1, root=5)
+
+        proc = cluster.sim.process(program(comms[0]))
+        proc.completion.add_callback(lambda e: e.defuse() if not e.ok else None)
+        cluster.sim.run()
+        assert isinstance(proc.completion.value, ValueError)
+
+    def test_multiple_roots_interleaved(self):
+        cluster, comms = myrinet_comms(4)
+        got = {r: [] for r in range(4)}
+
+        def program(comm):
+            for root in (0, 1, 0, 3):
+                value = yield from comm.bcast(
+                    value=f"from{root}" if comm.rank == root else None, root=root
+                )
+                got[comm.rank].append(value)
+
+        run_programs(cluster, [program(c) for c in comms])
+        for r in range(4):
+            assert got[r] == ["from0", "from1", "from0", "from3"]
+
+
+class TestAllgather:
+    def test_gathers_all(self):
+        cluster, comms = myrinet_comms(4)
+        got = {}
+
+        def program(comm):
+            gathered = yield from comm.allgather(comm.rank * 7)
+            got[comm.rank] = gathered
+
+        run_programs(cluster, [program(c) for c in comms])
+        expected = {r: r * 7 for r in range(4)}
+        assert all(g == expected for g in got.values())
+
+    def test_alltoall(self):
+        cluster, comms = myrinet_comms(4)
+        got = {}
+
+        def program(comm):
+            blocks = {dst: (comm.rank, dst) for dst in range(comm.size)}
+            received = yield from comm.alltoall(blocks)
+            got[comm.rank] = received
+
+        run_programs(cluster, [program(c) for c in comms])
+        for dst in range(4):
+            assert got[dst] == {src: (src, dst) for src in range(4)}
+
+    def test_allreduce(self):
+        cluster, comms = myrinet_comms(4)
+        sums, maxes = [], []
+
+        def program(comm):
+            total = yield from comm.allreduce(comm.rank + 1, op="sum")
+            sums.append(total)
+            peak = yield from comm.allreduce(comm.rank, op="max")
+            maxes.append(peak)
+
+        run_programs(cluster, [program(c) for c in comms])
+        assert sums == [10] * 4
+        assert maxes == [3] * 4
+
+    def test_mixed_collectives_in_one_program(self):
+        cluster, comms = myrinet_comms(4)
+        log = {r: [] for r in range(4)}
+
+        def program(comm):
+            yield from comm.barrier()
+            v = yield from comm.bcast(value="b" if comm.rank == 0 else None)
+            log[comm.rank].append(v)
+            gathered = yield from comm.allgather(comm.rank)
+            log[comm.rank].append(gathered)
+            yield from comm.barrier()
+
+        run_programs(cluster, [program(c) for c in comms])
+        for r in range(4):
+            assert log[r] == ["b", {0: 0, 1: 1, 2: 2, 3: 3}]

@@ -1,0 +1,89 @@
+"""Shared fixtures: a minimal Myrinet test cluster."""
+
+import pytest
+
+from repro.host import HostCpu, HostParams
+from repro.myrinet import GmParams, GmPort, LanaiNic
+from repro.network import Fabric, FaultInjector, WireParams
+from repro.pci import PciBus, PciParams
+from repro.sim import Simulator, Tracer
+from repro.topology import ClosTopology
+
+TEST_GM = GmParams(
+    t_sdma_event=1.0,
+    t_token_schedule=0.5,
+    t_packet_alloc=0.5,
+    t_fill=0.5,
+    t_inject=0.5,
+    t_send_record=0.5,
+    t_rx_header=1.0,
+    t_rdma_setup=0.5,
+    t_recv_event=0.5,
+    t_ack_gen=0.5,
+    t_ack_process=0.5,
+    t_token_complete=0.5,
+    t_retransmit=0.5,
+    t_coll_start=1.0,
+    t_coll_trigger=1.0,
+    t_coll_complete=1.0,
+    t_nack_gen=0.5,
+    t_nack_process=0.5,
+    ack_timeout_us=200.0,
+    nack_timeout_us=500.0,
+    send_packet_count=4,
+    recv_token_count=8,
+)
+
+TEST_WIRE = WireParams(
+    inject_us=0.1,
+    switch_latency_us=0.3,
+    propagation_us=0.05,
+    bandwidth_bytes_per_us=250.0,
+)
+
+TEST_PCI = PciParams(pio_write_us=0.5, dma_setup_us=0.5, bandwidth_bytes_per_us=400.0)
+
+TEST_HOST = HostParams(
+    send_overhead_us=0.5,
+    recv_overhead_us=0.5,
+    poll_us=0.3,
+    poll_interval_us=0.5,
+    barrier_call_us=0.3,
+)
+
+
+class MyrinetTestCluster:
+    """A handful of nodes on one crossbar, for unit tests."""
+
+    def __init__(self, n=4, gm=TEST_GM, faults=None, tracer=None):
+        self.sim = Simulator()
+        self.tracer = tracer or Tracer()
+        self.fabric = Fabric(
+            self.sim, ClosTopology(n), TEST_WIRE, tracer=self.tracer, faults=faults
+        )
+        self.pcis = [
+            PciBus(self.sim, TEST_PCI, name=f"pci{i}", tracer=self.tracer)
+            for i in range(n)
+        ]
+        self.cpus = [HostCpu(self.sim, TEST_HOST, node_id=i) for i in range(n)]
+        self.nics = [
+            LanaiNic(self.sim, i, gm, self.fabric, self.pcis[i], tracer=self.tracer)
+            for i in range(n)
+        ]
+        self.ports = [
+            GmPort(self.sim, i, self.nics[i], self.cpus[i], self.pcis[i])
+            for i in range(n)
+        ]
+
+
+@pytest.fixture
+def cluster():
+    return MyrinetTestCluster()
+
+
+@pytest.fixture
+def lossy_cluster():
+    faults = FaultInjector()
+    c = MyrinetTestCluster(faults=faults)
+    c.faults = faults
+    return c

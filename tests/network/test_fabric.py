@@ -1,0 +1,139 @@
+"""Unit tests for the wormhole fabric."""
+
+import pytest
+
+from repro.network import Fabric, FaultInjector, Packet, PacketKind, WireParams
+from repro.sim import Simulator, Tracer
+from repro.topology import ClosTopology, QuaternaryFatTree
+
+PARAMS = WireParams(
+    inject_us=0.1,
+    switch_latency_us=0.3,
+    propagation_us=0.05,
+    bandwidth_bytes_per_us=250.0,
+)
+
+
+def make_fabric(n=4, topo_cls=ClosTopology, faults=None, params=PARAMS):
+    sim = Simulator()
+    fabric = Fabric(sim, topo_cls(n), params, faults=faults)
+    inboxes = {i: [] for i in range(n)}
+    for i in range(n):
+        fabric.attach(i, lambda p, i=i: inboxes[i].append(p))
+    return sim, fabric, inboxes
+
+
+def test_wire_params_validation():
+    with pytest.raises(ValueError):
+        WireParams(0.1, 0.3, 0.05, 0.0)
+    with pytest.raises(ValueError):
+        WireParams(-0.1, 0.3, 0.05, 100.0)
+
+
+def test_delivery_latency_single_crossbar():
+    sim, fabric, inboxes = make_fabric()
+    pkt = Packet(0, 1, PacketKind.BARRIER, size_bytes=25)
+    fabric.transmit(pkt)
+    sim.run()
+    # inject 0.1 + 1 switch * 0.3 + 2 links * 0.05 + 25/250
+    assert pkt.latency == pytest.approx(0.1 + 0.3 + 0.1 + 0.1)
+    assert inboxes[1] == [pkt]
+
+
+def test_delivery_records_timestamps():
+    sim, fabric, _ = make_fabric()
+    pkt = Packet(0, 2, PacketKind.DATA, 100)
+    sim.schedule(5.0, fabric.transmit, pkt)
+    sim.run()
+    assert pkt.sent_at == 5.0
+    assert pkt.delivered_at > 5.0
+
+
+def test_unattached_port_rejected():
+    sim = Simulator()
+    fabric = Fabric(sim, ClosTopology(4), PARAMS)
+    with pytest.raises(ValueError):
+        fabric.transmit(Packet(0, 1, PacketKind.DATA, 8))
+
+
+def test_double_attach_rejected():
+    sim, fabric, _ = make_fabric()
+    with pytest.raises(ValueError):
+        fabric.attach(0, lambda p: None)
+
+
+def test_link_contention_serializes():
+    """Two packets on the same directional link queue up."""
+    sim, fabric, inboxes = make_fabric()
+    big = Packet(0, 1, PacketKind.DATA, size_bytes=2500)  # 10us serialization
+    small = Packet(0, 1, PacketKind.DATA, size_bytes=25)
+    fabric.transmit(big)
+    fabric.transmit(small)
+    sim.run()
+    # The small packet can't claim the nic0->xbar0 link until big drains.
+    assert small.delivered_at > big.delivered_at
+
+
+def test_disjoint_paths_do_not_interact():
+    sim, fabric, inboxes = make_fabric()
+    a = Packet(0, 1, PacketKind.DATA, 2500)
+    b = Packet(2, 3, PacketKind.DATA, 2500)
+    fabric.transmit(a)
+    fabric.transmit(b)
+    sim.run()
+    assert a.delivered_at == pytest.approx(b.delivered_at)
+
+
+def test_dropped_packet_never_arrives():
+    fi = FaultInjector()
+    fi.drop_nth_matching(lambda p: True)
+    sim, fabric, inboxes = make_fabric(faults=fi)
+    fabric.transmit(Packet(0, 1, PacketKind.BARRIER, 8))
+    sim.run()
+    assert inboxes[1] == []
+    assert fi.dropped == 1
+
+
+def test_counters():
+    sim, fabric, _ = make_fabric()
+    tracer = fabric.tracer
+    fabric.transmit(Packet(0, 1, PacketKind.BARRIER, 8))
+    fabric.transmit(Packet(1, 2, PacketKind.ACK, 8))
+    sim.run()
+    assert tracer.counters["wire.packets"] == 2
+    assert tracer.counters["wire.barrier"] == 1
+    assert tracer.counters["wire.ack"] == 1
+    assert fabric.delivered_count == 2
+
+
+def test_fat_tree_farther_nodes_take_longer():
+    sim, fabric, _ = make_fabric(n=16, topo_cls=QuaternaryFatTree)
+    near = Packet(0, 1, PacketKind.RDMA, 8)   # same leaf: 1 switch
+    far = Packet(0, 15, PacketKind.RDMA, 8)   # via root: 3 switches
+    fabric.transmit(near)
+    fabric.transmit(far)
+    sim.run()
+    assert far.latency > near.latency
+
+
+def test_hardware_broadcast_reaches_all_simultaneously():
+    sim, fabric, inboxes = make_fabric(n=16, topo_cls=QuaternaryFatTree)
+    pkt = Packet(0, 0, PacketKind.BCAST, 8)
+    fabric.broadcast(pkt, targets=range(16))
+    sim.run()
+    assert all(len(inboxes[i]) == 1 for i in range(16))
+    assert pkt.delivered_at is not None
+
+
+def test_hardware_broadcast_rejected_on_clos():
+    sim, fabric, _ = make_fabric(n=4, topo_cls=ClosTopology)
+    with pytest.raises(TypeError):
+        fabric.broadcast(Packet(0, 0, PacketKind.BCAST, 8), targets=range(4))
+
+
+def test_broadcast_requires_attached_targets():
+    sim = Simulator()
+    fabric = Fabric(sim, QuaternaryFatTree(4), PARAMS)
+    fabric.attach(0, lambda p: None)
+    with pytest.raises(ValueError):
+        fabric.broadcast(Packet(0, 0, PacketKind.BCAST, 8), targets=[0, 1])

@@ -1,0 +1,70 @@
+"""Unit tests for fault injection."""
+
+import pytest
+
+from repro.network import DropPlan, FaultInjector, Packet, PacketKind
+from repro.sim import DeterministicRng
+
+
+def _pkt(src=0, dst=1, kind=PacketKind.BARRIER):
+    return Packet(src, dst, kind, 8)
+
+
+class TestDropPlan:
+    def test_drops_first_match(self):
+        plan = DropPlan(lambda p: p.dst == 1)
+        assert plan.should_drop(_pkt(dst=1)) is True
+        assert plan.fired
+
+    def test_one_shot(self):
+        plan = DropPlan(lambda p: True)
+        assert plan.should_drop(_pkt()) is True
+        assert plan.should_drop(_pkt()) is False
+
+    def test_counts_occurrences(self):
+        plan = DropPlan(lambda p: p.kind == PacketKind.BARRIER, occurrence=3)
+        assert plan.should_drop(_pkt()) is False
+        assert plan.should_drop(_pkt(kind=PacketKind.ACK)) is False  # no match
+        assert plan.should_drop(_pkt()) is False
+        assert plan.should_drop(_pkt()) is True
+
+    def test_non_matching_never_counted(self):
+        plan = DropPlan(lambda p: p.src == 9, occurrence=1)
+        for _ in range(5):
+            assert plan.should_drop(_pkt(src=0)) is False
+        assert not plan.fired
+
+
+class TestFaultInjector:
+    def test_no_faults_by_default(self):
+        fi = FaultInjector()
+        assert not any(fi.should_drop(_pkt()) for _ in range(100))
+        assert fi.dropped == 0
+        assert fi.inspected == 100
+
+    def test_probabilistic_requires_rng(self):
+        with pytest.raises(ValueError):
+            FaultInjector(drop_probability=0.5)
+
+    def test_probability_range_validated(self):
+        with pytest.raises(ValueError):
+            FaultInjector(rng=DeterministicRng(1), drop_probability=1.0)
+
+    def test_probabilistic_drops_roughly_at_rate(self):
+        fi = FaultInjector(rng=DeterministicRng(42), drop_probability=0.2)
+        drops = sum(fi.should_drop(_pkt()) for _ in range(2000))
+        assert 300 <= drops <= 500  # 0.2 +/- slack
+
+    def test_deterministic_given_seed(self):
+        def run():
+            fi = FaultInjector(rng=DeterministicRng(7), drop_probability=0.3)
+            return [fi.should_drop(_pkt()) for _ in range(50)]
+
+        assert run() == run()
+
+    def test_scripted_plan_takes_priority(self):
+        fi = FaultInjector()
+        fi.drop_nth_matching(lambda p: p.dst == 3, occurrence=2)
+        assert fi.should_drop(_pkt(dst=3)) is False
+        assert fi.should_drop(_pkt(dst=3)) is True
+        assert fi.dropped == 1

@@ -1,0 +1,96 @@
+"""Unit tests for the PCI bus model."""
+
+import pytest
+
+from repro.pci import DmaDirection, PciBus, PciParams
+from repro.sim import Simulator
+
+PCI_66 = PciParams(pio_write_us=0.5, dma_setup_us=0.8, bandwidth_bytes_per_us=400.0)
+
+
+def test_params_validation():
+    with pytest.raises(ValueError):
+        PciParams(0.5, 0.8, 0.0)
+    with pytest.raises(ValueError):
+        PciParams(-0.5, 0.8, 100.0)
+
+
+def test_dma_time_formula():
+    assert PCI_66.dma_time(400) == pytest.approx(0.8 + 1.0)
+
+
+def test_pio_write_costs_fixed_time():
+    sim = Simulator()
+    bus = PciBus(sim, PCI_66)
+    stamps = []
+
+    def prog():
+        yield from bus.pio_write()
+        stamps.append(sim.now)
+
+    sim.process(prog())
+    sim.run()
+    assert stamps == [pytest.approx(0.5)]
+    assert bus.pio_count == 1
+
+
+def test_dma_costs_setup_plus_transfer():
+    sim = Simulator()
+    bus = PciBus(sim, PCI_66)
+    stamps = []
+
+    def prog():
+        yield from bus.dma(800, DmaDirection.NIC_TO_HOST)
+        stamps.append(sim.now)
+
+    sim.process(prog())
+    sim.run()
+    assert stamps == [pytest.approx(0.8 + 2.0)]
+    assert bus.dma_count == 1
+    assert bus.bytes_transferred == 800
+
+
+def test_negative_dma_rejected():
+    sim = Simulator()
+    bus = PciBus(sim, PCI_66)
+
+    def prog():
+        yield from bus.dma(-1, DmaDirection.HOST_TO_NIC)
+
+    proc = sim.process(prog())
+    proc.completion.add_callback(lambda e: e.defuse() if not e.ok else None)
+    sim.run()
+    assert isinstance(proc.completion.value, ValueError)
+
+
+def test_bus_arbitration_serializes_masters():
+    """Two DMA masters on one bus can't transfer concurrently."""
+    sim = Simulator()
+    bus = PciBus(sim, PCI_66)
+    done = {}
+
+    def master(name):
+        yield from bus.dma(400, DmaDirection.HOST_TO_NIC)  # 1.8us each
+        done[name] = sim.now
+
+    sim.process(master("a"))
+    sim.process(master("b"))
+    sim.run()
+    assert done["a"] == pytest.approx(1.8)
+    assert done["b"] == pytest.approx(3.6)
+
+
+def test_direction_counters():
+    sim = Simulator()
+    bus = PciBus(sim, PCI_66)
+
+    def prog():
+        yield from bus.dma(8, DmaDirection.HOST_TO_NIC)
+        yield from bus.dma(8, DmaDirection.NIC_TO_HOST)
+        yield from bus.dma(8, DmaDirection.NIC_TO_HOST)
+
+    sim.process(prog())
+    sim.run()
+    assert bus.tracer.counters["pci.dma.host_to_nic"] == 1
+    assert bus.tracer.counters["pci.dma.nic_to_host"] == 2
+    assert bus.transactions == 3

@@ -1,0 +1,87 @@
+"""Unit tests for Elan event words."""
+
+import pytest
+
+from repro.quadrics import ElanEvent
+
+
+def test_initial_count_zero():
+    assert ElanEvent().count == 0
+
+
+def test_set_event_increments():
+    ev = ElanEvent()
+    ev.set_event()
+    ev.set_event(3)
+    assert ev.count == 4
+
+
+def test_set_event_validation():
+    with pytest.raises(ValueError):
+        ElanEvent().set_event(0)
+
+
+def test_arm_threshold_validation():
+    with pytest.raises(ValueError):
+        ElanEvent().arm(0, lambda: None)
+
+
+def test_action_fires_at_threshold():
+    ev = ElanEvent()
+    fired = []
+    ev.arm(2, lambda: fired.append("go"))
+    ev.set_event()
+    assert fired == []
+    ev.set_event()
+    assert fired == ["go"]
+
+
+def test_action_fires_immediately_if_count_already_reached():
+    """Early set-events accumulate — the property that makes
+
+    back-to-back barriers safe (§7 semantics)."""
+    ev = ElanEvent()
+    ev.set_event(5)
+    fired = []
+    ev.arm(3, lambda: fired.append("late-armer"))
+    assert fired == ["late-armer"]
+
+
+def test_action_fires_once():
+    ev = ElanEvent()
+    fired = []
+    ev.arm(1, lambda: fired.append(1))
+    ev.set_event()
+    ev.set_event()
+    assert fired == [1]
+
+
+def test_multiple_actions_different_thresholds():
+    ev = ElanEvent()
+    fired = []
+    ev.arm(1, lambda: fired.append("a"))
+    ev.arm(3, lambda: fired.append("b"))
+    ev.set_event()
+    assert fired == ["a"]
+    ev.set_event(2)
+    assert fired == ["a", "b"]
+
+
+def test_armed_count():
+    ev = ElanEvent()
+    ev.arm(5, lambda: None)
+    ev.arm(6, lambda: None)
+    assert ev.armed_count == 2
+    ev.set_event(5)
+    assert ev.armed_count == 1
+
+
+def test_cumulative_thresholds_model_consecutive_barriers():
+    """Barrier k arms threshold k+1 on the same event word."""
+    ev = ElanEvent()
+    completions = []
+    for k in range(3):
+        ev.arm(k + 1, lambda k=k: completions.append(k))
+    for _ in range(3):
+        ev.set_event()
+    assert completions == [0, 1, 2]

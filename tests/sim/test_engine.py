@@ -1,0 +1,163 @@
+"""Unit tests for the discrete-event kernel."""
+
+import pytest
+
+from repro.sim import Simulator
+
+
+def test_time_starts_at_zero():
+    sim = Simulator()
+    assert sim.now == 0.0
+
+
+def test_schedule_runs_callback_at_delay():
+    sim = Simulator()
+    seen = []
+    sim.schedule(5.0, lambda: seen.append(sim.now))
+    sim.run()
+    assert seen == [5.0]
+
+
+def test_schedule_order_by_time():
+    sim = Simulator()
+    seen = []
+    sim.schedule(10.0, seen.append, "late")
+    sim.schedule(1.0, seen.append, "early")
+    sim.schedule(5.0, seen.append, "mid")
+    sim.run()
+    assert seen == ["early", "mid", "late"]
+
+
+def test_same_time_events_fifo():
+    sim = Simulator()
+    seen = []
+    for i in range(20):
+        sim.schedule(3.0, seen.append, i)
+    sim.run()
+    assert seen == list(range(20))
+
+
+def test_negative_delay_rejected():
+    sim = Simulator()
+    with pytest.raises(ValueError):
+        sim.schedule(-0.1, lambda: None)
+
+
+def test_zero_delay_runs_at_current_time():
+    sim = Simulator()
+    times = []
+    sim.schedule(2.0, lambda: sim.schedule(0.0, lambda: times.append(sim.now)))
+    sim.run()
+    assert times == [2.0]
+
+
+def test_cancel_prevents_execution():
+    sim = Simulator()
+    seen = []
+    handle = sim.schedule(1.0, seen.append, "x")
+    handle.cancel()
+    sim.run()
+    assert seen == []
+
+
+def test_cancel_is_idempotent():
+    sim = Simulator()
+    handle = sim.schedule(1.0, lambda: None)
+    handle.cancel()
+    handle.cancel()
+    sim.run()
+
+
+def test_run_until_advances_clock_even_when_idle():
+    sim = Simulator()
+    sim.run(until=100.0)
+    assert sim.now == 100.0
+
+
+def test_run_until_excludes_later_events():
+    sim = Simulator()
+    seen = []
+    sim.schedule(5.0, seen.append, "in")
+    sim.schedule(50.0, seen.append, "out")
+    sim.run(until=10.0)
+    assert seen == ["in"]
+    assert sim.now == 10.0
+    sim.run()
+    assert seen == ["in", "out"]
+
+
+def test_run_until_boundary_inclusive():
+    sim = Simulator()
+    seen = []
+    sim.schedule(10.0, seen.append, "edge")
+    sim.run(until=10.0)
+    assert seen == ["edge"]
+
+
+def test_run_until_in_past_rejected():
+    sim = Simulator()
+    sim.schedule(5.0, lambda: None)
+    sim.run()
+    with pytest.raises(ValueError):
+        sim.run(until=1.0)
+
+
+def test_step_returns_false_when_idle():
+    sim = Simulator()
+    assert sim.step() is False
+    sim.schedule(1.0, lambda: None)
+    assert sim.step() is True
+    assert sim.step() is False
+
+
+def test_peek_skips_cancelled():
+    sim = Simulator()
+    h1 = sim.schedule(1.0, lambda: None)
+    sim.schedule(2.0, lambda: None)
+    h1.cancel()
+    assert sim.peek() == 2.0
+
+
+def test_peek_empty_is_inf():
+    sim = Simulator()
+    assert sim.peek() == float("inf")
+
+
+def test_nested_scheduling_from_callbacks():
+    sim = Simulator()
+    seen = []
+
+    def chain(n):
+        seen.append((sim.now, n))
+        if n > 0:
+            sim.schedule(1.0, chain, n - 1)
+
+    sim.schedule(0.0, chain, 3)
+    sim.run()
+    assert seen == [(0.0, 3), (1.0, 2), (2.0, 1), (3.0, 0)]
+
+
+def test_run_until_event_stops_early():
+    from repro.sim import SimEvent
+
+    sim = Simulator()
+    ev = SimEvent(sim)
+    seen = []
+    sim.schedule(1.0, ev.succeed)
+    sim.schedule(5.0, seen.append, "later")
+    sim.run(until_event=ev)
+    assert ev.processed
+    assert seen == []
+
+
+def test_clock_monotonic_across_many_events():
+    sim = Simulator()
+    stamps = []
+    import random
+
+    rng = random.Random(7)
+    for _ in range(500):
+        sim.schedule(rng.uniform(0, 100), lambda: stamps.append(sim.now))
+    sim.run()
+    assert stamps == sorted(stamps)
+    assert len(stamps) == 500

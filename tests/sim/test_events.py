@@ -1,0 +1,228 @@
+"""Unit tests for events and condition combinators."""
+
+import pytest
+
+from repro.sim import AllOf, AnyOf, EventAlreadyTriggered, SimEvent, Simulator, Timeout
+
+
+def test_event_lifecycle():
+    sim = Simulator()
+    ev = SimEvent(sim)
+    assert not ev.triggered and not ev.processed
+    ev.succeed(42)
+    assert ev.triggered and not ev.processed
+    sim.run()
+    assert ev.processed
+    assert ev.ok is True
+    assert ev.value == 42
+
+
+def test_value_before_trigger_raises():
+    sim = Simulator()
+    ev = SimEvent(sim)
+    with pytest.raises(RuntimeError):
+        _ = ev.value
+
+
+def test_double_succeed_raises():
+    sim = Simulator()
+    ev = SimEvent(sim)
+    ev.succeed()
+    with pytest.raises(EventAlreadyTriggered):
+        ev.succeed()
+
+
+def test_fail_then_succeed_raises():
+    sim = Simulator()
+    ev = SimEvent(sim)
+    ev.fail(ValueError("boom"))
+    ev.defuse()
+    with pytest.raises(EventAlreadyTriggered):
+        ev.succeed()
+    sim.run()
+
+
+def test_fail_requires_exception():
+    sim = Simulator()
+    ev = SimEvent(sim)
+    with pytest.raises(TypeError):
+        ev.fail("not an exception")
+
+
+def test_callbacks_run_in_order():
+    sim = Simulator()
+    ev = SimEvent(sim)
+    seen = []
+    ev.add_callback(lambda e: seen.append(1))
+    ev.add_callback(lambda e: seen.append(2))
+    ev.succeed()
+    sim.run()
+    assert seen == [1, 2]
+
+
+def test_callback_after_processed_still_fires():
+    sim = Simulator()
+    ev = SimEvent(sim)
+    ev.succeed("v")
+    sim.run()
+    seen = []
+    ev.add_callback(lambda e: seen.append(e.value))
+    sim.run()
+    assert seen == ["v"]
+
+
+def test_remove_callback():
+    sim = Simulator()
+    ev = SimEvent(sim)
+    seen = []
+    cb = lambda e: seen.append(1)
+    ev.add_callback(cb)
+    assert ev.remove_callback(cb) is True
+    assert ev.remove_callback(cb) is False
+    ev.succeed()
+    sim.run()
+    assert seen == []
+
+
+def test_unhandled_failure_raises_from_run():
+    sim = Simulator()
+    ev = SimEvent(sim)
+    ev.fail(RuntimeError("nobody listening"))
+    with pytest.raises(RuntimeError, match="nobody listening"):
+        sim.run()
+
+
+def test_defused_failure_does_not_raise():
+    sim = Simulator()
+    ev = SimEvent(sim)
+    ev.fail(RuntimeError("handled elsewhere"))
+    ev.defuse()
+    sim.run()
+
+
+def test_timeout_fires_at_delay():
+    sim = Simulator()
+    t = Timeout(sim, 7.5, value="done")
+    seen = []
+    t.add_callback(lambda e: seen.append((sim.now, e.value)))
+    sim.run()
+    assert seen == [(7.5, "done")]
+
+
+def test_timeout_negative_rejected():
+    sim = Simulator()
+    with pytest.raises(ValueError):
+        Timeout(sim, -1.0)
+
+
+def test_timeout_cannot_be_retriggered():
+    sim = Simulator()
+    t = Timeout(sim, 1.0)
+    with pytest.raises(EventAlreadyTriggered):
+        t.succeed()
+    sim.run()
+
+
+class TestAllOf:
+    def test_waits_for_all(self):
+        sim = Simulator()
+        evs = [SimEvent(sim) for _ in range(3)]
+        combo = AllOf(sim, evs)
+        seen = []
+        combo.add_callback(lambda e: seen.append(e.value))
+        evs[1].succeed("b")
+        sim.run()
+        assert seen == []
+        evs[0].succeed("a")
+        evs[2].succeed("c")
+        sim.run()
+        assert seen == [["a", "b", "c"]]
+
+    def test_values_keep_child_order(self):
+        sim = Simulator()
+        evs = [SimEvent(sim) for _ in range(3)]
+        combo = AllOf(sim, evs)
+        out = []
+        combo.add_callback(lambda e: out.append(e.value))
+        evs[2].succeed(2)
+        evs[0].succeed(0)
+        evs[1].succeed(1)
+        sim.run()
+        assert out == [[0, 1, 2]]
+
+    def test_empty_succeeds_immediately(self):
+        sim = Simulator()
+        combo = AllOf(sim, [])
+        sim.run()
+        assert combo.processed and combo.ok
+
+    def test_fails_fast_on_child_failure(self):
+        sim = Simulator()
+        evs = [SimEvent(sim) for _ in range(2)]
+        combo = AllOf(sim, evs)
+        failures = []
+        combo.add_callback(lambda e: failures.append(e.value) if not e.ok else None)
+        evs[0].fail(ValueError("child died"))
+        sim.run()
+        assert len(failures) == 1
+        # The never-triggered sibling must not block anything.
+        assert not evs[1].triggered
+
+    def test_late_failure_after_trigger_is_defused(self):
+        sim = Simulator()
+        evs = [SimEvent(sim) for _ in range(2)]
+        combo = AllOf(sim, evs)
+        combo.add_callback(lambda e: None)
+        evs[0].fail(ValueError("first"))
+        sim.run()
+        evs[1].fail(ValueError("second"))
+        sim.run()  # must not raise: combo already failed, second defused
+
+
+class TestAnyOf:
+    def test_first_success_wins(self):
+        sim = Simulator()
+        evs = [SimEvent(sim) for _ in range(3)]
+        combo = AnyOf(sim, evs)
+        out = []
+        combo.add_callback(lambda e: out.append(e.value))
+        evs[2].succeed("winner")
+        sim.run()
+        winner_event, winner_value = out[0]
+        assert winner_event is evs[2]
+        assert winner_value == "winner"
+
+    def test_later_success_ignored(self):
+        sim = Simulator()
+        evs = [SimEvent(sim) for _ in range(2)]
+        combo = AnyOf(sim, evs)
+        combo.add_callback(lambda e: None)
+        evs[0].succeed("first")
+        sim.run()
+        evs[1].succeed("second")
+        sim.run()
+        assert combo.value[0] is evs[0]
+
+    def test_all_failures_fails(self):
+        sim = Simulator()
+        evs = [SimEvent(sim) for _ in range(2)]
+        combo = AnyOf(sim, evs)
+        out = []
+        combo.add_callback(lambda e: out.append(e.ok))
+        evs[0].fail(ValueError("a"))
+        evs[1].fail(ValueError("b"))
+        sim.run()
+        assert out == [False]
+
+    def test_single_failure_does_not_fail_combo(self):
+        sim = Simulator()
+        evs = [SimEvent(sim) for _ in range(2)]
+        combo = AnyOf(sim, evs)
+        out = []
+        combo.add_callback(lambda e: out.append(e.ok))
+        evs[0].fail(ValueError("a"))
+        sim.run()
+        assert out == []
+        evs[1].succeed("ok")
+        sim.run()
+        assert out == [True]

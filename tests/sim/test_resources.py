@@ -1,0 +1,230 @@
+"""Unit tests for Resource, Store and PriorityStore."""
+
+import pytest
+
+from repro.sim import PriorityStore, Resource, Simulator, Store
+
+
+class TestResource:
+    def test_capacity_validation(self):
+        sim = Simulator()
+        with pytest.raises(ValueError):
+            Resource(sim, capacity=0)
+
+    def test_grant_within_capacity_is_immediate(self):
+        sim = Simulator()
+        res = Resource(sim, capacity=2)
+        r1, r2 = res.request(), res.request()
+        assert r1.triggered and r2.triggered
+        assert res.in_use == 2
+
+    def test_serialization_order(self):
+        sim = Simulator()
+        res = Resource(sim, capacity=1)
+        spans = {}
+
+        def worker(name, hold):
+            yield res.request()
+            start = sim.now
+            yield hold
+            res.release()
+            spans[name] = (start, sim.now)
+
+        sim.process(worker("a", 5.0))
+        sim.process(worker("b", 3.0))
+        sim.process(worker("c", 1.0))
+        sim.run()
+        assert spans["a"] == (0.0, 5.0)
+        assert spans["b"] == (5.0, 8.0)
+        assert spans["c"] == (8.0, 9.0)
+
+    def test_release_without_request_raises(self):
+        sim = Simulator()
+        res = Resource(sim)
+        with pytest.raises(RuntimeError):
+            res.release()
+
+    def test_release_hands_over_to_waiter(self):
+        sim = Simulator()
+        res = Resource(sim, capacity=1)
+        res.request()
+        waiting = res.request()
+        assert not waiting.triggered
+        assert res.queue_length == 1
+        res.release()
+        assert waiting.triggered
+        assert res.in_use == 1
+        sim.run()
+
+    def test_cancel_request(self):
+        sim = Simulator()
+        res = Resource(sim, capacity=1)
+        res.request()
+        pending = res.request()
+        assert res.cancel_request(pending) is True
+        assert res.cancel_request(pending) is False
+        res.release()
+        assert res.in_use == 0
+        sim.run()
+
+
+class TestStore:
+    def test_put_then_get(self):
+        sim = Simulator()
+        store = Store(sim)
+        store.put("x")
+        got = store.get()
+        assert got.triggered and got.value == "x"
+        sim.run()
+
+    def test_get_blocks_until_put(self):
+        sim = Simulator()
+        store = Store(sim)
+        out = []
+
+        def consumer():
+            out.append((yield store.get()))
+            out.append(sim.now)
+
+        sim.process(consumer())
+        sim.schedule(4.0, store.put, "late-item")
+        sim.run()
+        assert out == ["late-item", 4.0]
+
+    def test_fifo_ordering(self):
+        sim = Simulator()
+        store = Store(sim)
+        for i in range(5):
+            store.put(i)
+        out = []
+
+        def consumer():
+            for _ in range(5):
+                out.append((yield store.get()))
+
+        sim.process(consumer())
+        sim.run()
+        assert out == [0, 1, 2, 3, 4]
+
+    def test_multiple_getters_fifo(self):
+        sim = Simulator()
+        store = Store(sim)
+        out = []
+
+        def consumer(name):
+            item = yield store.get()
+            out.append((name, item))
+
+        sim.process(consumer("g1"))
+        sim.process(consumer("g2"))
+        sim.schedule(1.0, store.put, "a")
+        sim.schedule(2.0, store.put, "b")
+        sim.run()
+        assert out == [("g1", "a"), ("g2", "b")]
+
+    def test_capacity_blocks_put(self):
+        sim = Simulator()
+        store = Store(sim, capacity=1)
+        p1 = store.put("a")
+        p2 = store.put("b")
+        assert p1.triggered and not p2.triggered
+        got = store.get()
+        assert got.value == "a"
+        assert p2.triggered  # admitted when slot freed
+        assert store.items == ("b",)
+        sim.run()
+
+    def test_try_get(self):
+        sim = Simulator()
+        store = Store(sim)
+        assert store.try_get() is None
+        store.put("z")
+        assert store.try_get() == "z"
+        assert store.try_get() is None
+        sim.run()
+
+    def test_try_get_with_waiting_getters_raises(self):
+        sim = Simulator()
+        store = Store(sim)
+        store.get()  # now a getter is queued
+        with pytest.raises(RuntimeError):
+            store.try_get()
+
+    def test_cancel_get(self):
+        sim = Simulator()
+        store = Store(sim)
+        ev = store.get()
+        assert store.cancel_get(ev) is True
+        store.put("x")
+        assert store.items == ("x",)
+        sim.run()
+
+    def test_len_and_items(self):
+        sim = Simulator()
+        store = Store(sim)
+        assert len(store) == 0
+        store.put(1)
+        store.put(2)
+        assert len(store) == 2
+        assert store.items == (1, 2)
+        sim.run()
+
+    def test_capacity_validation(self):
+        sim = Simulator()
+        with pytest.raises(ValueError):
+            Store(sim, capacity=0)
+
+
+class TestPriorityStore:
+    def test_lowest_priority_first(self):
+        sim = Simulator()
+        ps = PriorityStore(sim)
+        ps.put_item("low-urgency", priority=10)
+        ps.put_item("urgent", priority=1)
+        ps.put_item("medium", priority=5)
+        out = []
+
+        def consumer():
+            for _ in range(3):
+                out.append((yield ps.get()))
+
+        sim.process(consumer())
+        sim.run()
+        assert out == ["urgent", "medium", "low-urgency"]
+
+    def test_equal_priority_is_fifo(self):
+        sim = Simulator()
+        ps = PriorityStore(sim)
+        for i in range(4):
+            ps.put_item(i, priority=0)
+        out = []
+
+        def consumer():
+            for _ in range(4):
+                out.append((yield ps.get()))
+
+        sim.process(consumer())
+        sim.run()
+        assert out == [0, 1, 2, 3]
+
+    def test_blocking_get_wakes_on_priority_put(self):
+        sim = Simulator()
+        ps = PriorityStore(sim)
+        out = []
+
+        def consumer():
+            out.append((yield ps.get()))
+
+        sim.process(consumer())
+        sim.schedule(1.0, ps.put_item, "item", 3)
+        sim.run()
+        assert out == ["item"]
+
+    def test_items_sorted_view(self):
+        sim = Simulator()
+        ps = PriorityStore(sim)
+        ps.put_item("c", 3)
+        ps.put_item("a", 1)
+        ps.put_item("b", 2)
+        assert ps.items == ("a", "b", "c")
+        sim.run()

@@ -1,0 +1,97 @@
+"""Unit tests for tracing and statistics."""
+
+import pytest
+
+from repro.sim.trace import StatAccumulator, Tracer
+
+
+class TestTracer:
+    def test_disabled_tracer_drops_records_keeps_counters(self):
+        tr = Tracer(enabled=False)
+        tr.record(1.0, "wire", "nic0", "send")
+        tr.count("packets")
+        assert tr.records == []
+        assert tr.counters["packets"] == 1
+
+    def test_enabled_records(self):
+        tr = Tracer(enabled=True)
+        tr.record(2.5, "wire", "nic0", "send", size=8)
+        assert len(tr.records) == 1
+        rec = tr.records[0]
+        assert rec.time == 2.5
+        assert rec.category == "wire"
+        assert rec.fields == (("size", 8),)
+
+    def test_category_filter(self):
+        tr = Tracer(enabled=True, categories={"wire"})
+        tr.record(1.0, "wire", "a", "x")
+        tr.record(1.0, "pci", "a", "y")
+        assert len(tr.records) == 1
+        assert tr.by_category("wire")[0].message == "x"
+        assert tr.by_category("pci") == []
+
+    def test_max_records_cap(self):
+        tr = Tracer(enabled=True, max_records=3)
+        for i in range(10):
+            tr.record(float(i), "c", "s", "m")
+        assert len(tr.records) == 3
+
+    def test_count_increments(self):
+        tr = Tracer()
+        tr.count("acks")
+        tr.count("acks", 4)
+        assert tr.counters["acks"] == 5
+
+    def test_snapshot_and_delta(self):
+        tr = Tracer()
+        tr.count("packets", 10)
+        before = tr.snapshot()
+        tr.count("packets", 7)
+        tr.count("nacks", 2)
+        assert tr.delta(before) == {"packets": 7, "nacks": 2}
+
+    def test_delta_ignores_unchanged(self):
+        tr = Tracer()
+        tr.count("steady", 5)
+        before = tr.snapshot()
+        assert tr.delta(before) == {}
+
+    def test_clear(self):
+        tr = Tracer(enabled=True)
+        tr.record(0.0, "c", "s", "m")
+        tr.count("x")
+        tr.clear()
+        assert tr.records == [] and not tr.counters
+
+    def test_record_str_contains_fields(self):
+        tr = Tracer(enabled=True)
+        tr.record(1.0, "wire", "nic3", "inject", dest=5)
+        text = str(tr.records[0])
+        assert "wire" in text and "nic3" in text and "dest=5" in text
+
+
+class TestStatAccumulator:
+    def test_empty_mean_raises(self):
+        acc = StatAccumulator()
+        with pytest.raises(ZeroDivisionError):
+            _ = acc.mean
+
+    def test_mean_min_max(self):
+        acc = StatAccumulator()
+        for v in [2.0, 4.0, 6.0]:
+            acc.add(v)
+        assert acc.mean == pytest.approx(4.0)
+        assert acc.min_value == 2.0
+        assert acc.max_value == 6.0
+        assert acc.count == 3
+
+    def test_merge(self):
+        a, b = StatAccumulator(), StatAccumulator()
+        a.add(1.0)
+        a.add(3.0)
+        b.add(10.0)
+        a.merge(b)
+        assert a.count == 3
+        assert a.mean == pytest.approx(14.0 / 3.0)
+        assert a.max_value == 10.0
+        assert a.min_value == 1.0

@@ -1,0 +1,66 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro._version import __version__
+from repro.cli import main
+
+
+def test_profiles_lists_all(capsys):
+    assert main(["profiles"]) == 0
+    out = capsys.readouterr().out
+    assert "lanai_xp_xeon2400" in out
+    assert "lanai91_piii700" in out
+    assert "elan3_piii700" in out
+
+
+def test_run_default(capsys):
+    assert main(["run", "--iterations", "10", "--warmup", "2", "--nodes", "4"]) == 0
+    out = capsys.readouterr().out
+    assert "mean" in out
+    assert "nic-collective" in out
+
+
+def test_run_quadrics(capsys):
+    code = main([
+        "run", "--profile", "elan3_piii700", "--barrier", "nic-chained",
+        "--nodes", "4", "--iterations", "5", "--warmup", "2",
+    ])
+    assert code == 0
+    assert "nic-chained" in capsys.readouterr().out
+
+
+def test_run_with_counters(capsys):
+    main([
+        "run", "--nodes", "4", "--iterations", "5", "--warmup", "2", "--counters",
+    ])
+    assert "wire.barrier" in capsys.readouterr().out
+
+
+def test_run_rejects_bad_barrier():
+    with pytest.raises(SystemExit):
+        main(["run", "--barrier", "magic"])
+
+
+def test_version(capsys):
+    with pytest.raises(SystemExit) as exc:
+        main(["--version"])
+    assert exc.value.code == 0
+    assert __version__ in capsys.readouterr().out
+
+
+def test_requires_command():
+    with pytest.raises(SystemExit):
+        main([])
+
+
+@pytest.mark.slow
+def test_experiment_subcommand(capsys):
+    assert main(["experiment", "ablation", "--quick"]) == 0
+    out = capsys.readouterr().out
+    assert "ablation" in out
+
+
+def test_experiment_rejects_unknown():
+    with pytest.raises(SystemExit):
+        main(["experiment", "fig99"])

@@ -1,0 +1,95 @@
+"""Unit tests for the Myrinet Clos/crossbar topology."""
+
+import pytest
+
+from repro.topology import ClosTopology
+
+
+def test_single_switch_for_small_cluster():
+    topo = ClosTopology(8)
+    assert topo.levels == 1
+    assert topo.switches() == ["xbar0"]
+
+
+def test_sixteen_nodes_fit_one_xbar16():
+    topo = ClosTopology(16, radix=16)
+    assert topo.levels == 1
+
+
+def test_route_through_single_crossbar():
+    topo = ClosTopology(8)
+    route = topo.route(0, 5)
+    assert route.hops == ("xbar0",)
+    assert route.switch_count == 1
+    assert route.link_count == 2
+
+
+def test_loopback_route_is_empty():
+    topo = ClosTopology(8)
+    route = topo.route(3, 3)
+    assert route.hops == ()
+    assert route.link_count == 0
+
+
+def test_two_level_clos_created_beyond_radix():
+    topo = ClosTopology(32, radix=16)
+    assert topo.levels == 2
+    assert topo.n_leaves == 4
+    assert topo.n_spines == 8
+
+
+def test_two_level_same_leaf_route():
+    topo = ClosTopology(32, radix=16)
+    # ports 0..7 live on leaf0
+    route = topo.route(0, 7)
+    assert route.hops == ("leaf0",)
+
+
+def test_two_level_cross_leaf_route():
+    topo = ClosTopology(32, radix=16)
+    route = topo.route(0, 31)
+    assert len(route.hops) == 3
+    assert route.hops[0] == "leaf0"
+    assert route.hops[0].startswith("leaf")
+    assert route.hops[1].startswith("spine")
+    assert route.hops[2] == "leaf3"
+    assert route.link_count == 4
+
+
+def test_route_is_deterministic():
+    topo = ClosTopology(64, radix=16)
+    assert topo.route(1, 60) == topo.route(1, 60)
+
+
+def test_capacity_limit_enforced():
+    with pytest.raises(ValueError):
+        ClosTopology(65, radix=16)  # two-level max is 8*8 = 64
+
+
+def test_port_range_validation():
+    topo = ClosTopology(8)
+    with pytest.raises(ValueError):
+        topo.route(0, 8)
+    with pytest.raises(ValueError):
+        topo.route(-1, 0)
+
+
+def test_all_pairs_have_routes():
+    topo = ClosTopology(32, radix=16)
+    for s in range(32):
+        for d in range(32):
+            route = topo.route(s, d)
+            if s != d:
+                assert 1 <= route.switch_count <= 3
+
+
+def test_max_hops():
+    assert ClosTopology(8).max_hops() == 1
+    assert ClosTopology(32, radix=16).max_hops() == 3
+
+
+def test_invalid_construction():
+    with pytest.raises(ValueError):
+        ClosTopology(0)
+    with pytest.raises(ValueError):
+        ClosTopology(4, radix=1)

@@ -1,0 +1,86 @@
+"""Unit tests for the Quadrics quaternary fat tree."""
+
+import pytest
+
+from repro.topology import QuaternaryFatTree
+
+
+def test_dimension_inferred():
+    assert QuaternaryFatTree(4).dimension == 1
+    assert QuaternaryFatTree(5).dimension == 2
+    assert QuaternaryFatTree(16).dimension == 2
+    assert QuaternaryFatTree(17).dimension == 3
+    assert QuaternaryFatTree(1024).dimension == 5
+
+
+def test_explicit_dimension_validated():
+    with pytest.raises(ValueError):
+        QuaternaryFatTree(17, dimension=2)
+
+
+def test_same_leaf_route_one_switch():
+    topo = QuaternaryFatTree(16, dimension=2)
+    route = topo.route(0, 3)  # both under elite_l1_0
+    assert route.hops == ("elite_l1_0",)
+
+
+def test_cross_leaf_route_climbs_to_root():
+    topo = QuaternaryFatTree(16, dimension=2)
+    route = topo.route(0, 5)
+    assert route.hops == ("elite_l1_0", "elite_l2_0", "elite_l1_1")
+    assert route.switch_count == 3
+
+
+def test_route_switch_count_formula():
+    topo = QuaternaryFatTree(64, dimension=3)
+    # lca at level l => 2l-1 switches
+    for src, dst in [(0, 1), (0, 4), (0, 16), (5, 21), (63, 0)]:
+        level = topo.lca_level(src, dst)
+        assert topo.route(src, dst).switch_count == 2 * level - 1
+
+
+def test_lca_level_zero_for_self():
+    topo = QuaternaryFatTree(16)
+    assert topo.lca_level(7, 7) == 0
+
+
+def test_lca_level_symmetric():
+    topo = QuaternaryFatTree(64, dimension=3)
+    for src, dst in [(0, 1), (3, 17), (60, 2)]:
+        assert topo.lca_level(src, dst) == topo.lca_level(dst, src)
+
+
+def test_loopback_route():
+    topo = QuaternaryFatTree(8)
+    assert topo.route(2, 2).hops == ()
+
+
+def test_broadcast_hops():
+    assert QuaternaryFatTree(4, dimension=1).broadcast_hops() == 1
+    assert QuaternaryFatTree(16, dimension=2).broadcast_hops() == 3
+    assert QuaternaryFatTree(1024, dimension=5).broadcast_hops() == 9
+
+
+def test_switch_inventory():
+    topo = QuaternaryFatTree(16, dimension=2)
+    switches = topo.switches()
+    assert len([s for s in switches if "_l1_" in s]) == 4
+    assert len([s for s in switches if "_l2_" in s]) == 1
+
+
+def test_all_routes_valid_8_nodes():
+    """The paper's 8-node Elan3 system is a dimension-2 tree."""
+    topo = QuaternaryFatTree(8, dimension=2)
+    for s in range(8):
+        for d in range(8):
+            route = topo.route(s, d)
+            if s == d:
+                assert route.switch_count == 0
+            else:
+                assert route.switch_count in (1, 3)
+
+
+def test_port_validation():
+    topo = QuaternaryFatTree(8)
+    with pytest.raises(ValueError):
+        topo.route(0, 9)

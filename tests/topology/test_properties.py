@@ -1,0 +1,80 @@
+"""Property-based tests over both topologies."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.topology import ClosTopology, QuaternaryFatTree
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    n=st.integers(min_value=2, max_value=64),
+    data=st.data(),
+)
+def test_clos_routes_well_formed(n, data):
+    topo = ClosTopology(n, radix=16)
+    src = data.draw(st.integers(min_value=0, max_value=n - 1))
+    dst = data.draw(st.integers(min_value=0, max_value=n - 1))
+    route = topo.route(src, dst)
+    assert route.src == src and route.dst == dst
+    if src == dst:
+        assert route.hops == ()
+    else:
+        # Route must start at src's leaf and end at dst's leaf.
+        switches = set(topo.switches())
+        assert all(hop in switches for hop in route.hops)
+        assert route.link_count == route.switch_count + 1
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    n=st.integers(min_value=2, max_value=256),
+    data=st.data(),
+)
+def test_fat_tree_routes_well_formed(n, data):
+    topo = QuaternaryFatTree(n)
+    src = data.draw(st.integers(min_value=0, max_value=n - 1))
+    dst = data.draw(st.integers(min_value=0, max_value=n - 1))
+    route = topo.route(src, dst)
+    if src == dst:
+        assert route.hops == ()
+        return
+    level = topo.lca_level(src, dst)
+    assert route.switch_count == 2 * level - 1
+    # Palindrome levels: climb 1..L then descend L-1..1.
+    levels = [int(h.split("_l")[1].split("_")[0]) for h in route.hops]
+    assert levels == list(range(1, level + 1)) + list(range(level - 1, 0, -1))
+
+
+@settings(max_examples=40, deadline=None)
+@given(n=st.integers(min_value=2, max_value=128), data=st.data())
+def test_fat_tree_route_symmetric_in_length(n, data):
+    topo = QuaternaryFatTree(n)
+    src = data.draw(st.integers(min_value=0, max_value=n - 1))
+    dst = data.draw(st.integers(min_value=0, max_value=n - 1))
+    forward = topo.route(src, dst)
+    back = topo.route(dst, src)
+    assert forward.switch_count == back.switch_count
+
+
+@settings(max_examples=40, deadline=None)
+@given(n=st.integers(min_value=2, max_value=64), data=st.data())
+def test_clos_route_symmetric_in_length(n, data):
+    topo = ClosTopology(n, radix=16)
+    src = data.draw(st.integers(min_value=0, max_value=n - 1))
+    dst = data.draw(st.integers(min_value=0, max_value=n - 1))
+    assert (
+        topo.route(src, dst).switch_count == topo.route(dst, src).switch_count
+    )
+
+
+@settings(max_examples=30, deadline=None)
+@given(dim=st.integers(min_value=1, max_value=5))
+def test_fat_tree_capacity_structure(dim):
+    topo = QuaternaryFatTree(4**dim, dimension=dim)
+    for level in range(1, dim):
+        a = f"elite_l{level}_0"
+        b = f"elite_l{level + 1}_0"
+        assert topo.link_capacity(a, b) == 4**level
+        assert topo.link_capacity(b, a) == 4**level
