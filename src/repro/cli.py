@@ -57,7 +57,7 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
     from repro.experiments.common import print_experiment
 
     module = importlib.import_module(f"repro.experiments.{args.name}")
-    print_experiment(module.run(quick=args.quick))
+    print_experiment(module.run(quick=args.quick, jobs=args.jobs))
     return 0
 
 
@@ -67,7 +67,7 @@ def _cmd_report(args: argparse.Namespace) -> int:
     forwarded = []
     if args.quick:
         forwarded.append("--quick")
-    forwarded.extend(["--out", args.out])
+    forwarded.extend(["--out", args.out, "--jobs", str(args.jobs)])
     return report_main(forwarded)
 
 
@@ -109,10 +109,14 @@ def build_parser() -> argparse.ArgumentParser:
     exp_parser = sub.add_parser("experiment", help="run one experiment harness")
     exp_parser.add_argument("name", choices=EXPERIMENT_NAMES)
     exp_parser.add_argument("--quick", action="store_true")
+    exp_parser.add_argument("--jobs", type=int, default=1,
+                            help="worker processes for sweep points (1 = serial)")
 
     report_parser = sub.add_parser("report", help="regenerate EXPERIMENTS.md")
     report_parser.add_argument("--quick", action="store_true")
     report_parser.add_argument("--out", default="EXPERIMENTS.md")
+    report_parser.add_argument("--jobs", type=int, default=1,
+                               help="worker processes for sweep points (1 = serial)")
 
     return parser
 

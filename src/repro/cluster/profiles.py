@@ -196,7 +196,7 @@ PROFILES: dict[str, HardwareProfile] = {
             "8-node dual-Xeon 2.4 GHz, PCI-X 133 MHz/64-bit, Myrinet 2000 "
             "with 225 MHz LANai-XP NICs (paper Fig. 6 / Fig. 8b)"
         ),
-        max_nodes=64,
+        max_nodes=512,  # three-level Clos of Xbar16 crossbars
         wire=_MYRINET_WIRE,
         pci=_PCIX_133,
         host=_HOST_XEON_2400,
@@ -209,7 +209,7 @@ PROFILES: dict[str, HardwareProfile] = {
             "16-node quad-P-III 700 MHz, PCI 66 MHz/64-bit, Myrinet 2000 "
             "with 133 MHz LANai 9.1 NICs (paper Fig. 5)"
         ),
-        max_nodes=64,
+        max_nodes=512,  # three-level Clos of Xbar16 crossbars
         wire=_MYRINET_WIRE,
         pci=_PCI_66,
         host=_HOST_PIII_700,
@@ -232,9 +232,21 @@ PROFILES: dict[str, HardwareProfile] = {
 
 
 def get_profile(name: str) -> HardwareProfile:
-    try:
-        return PROFILES[name]
-    except KeyError:
-        raise ValueError(
-            f"unknown profile {name!r}; choose from {sorted(PROFILES)}"
-        ) from None
+    """Look up a hardware profile by name.
+
+    Lookup is forgiving about spelling variants of the same profile:
+    case-insensitive, and dashes/underscores are interchangeable or
+    omissible — ``LANAI_91_PIII_700``, ``lanai-xp-xeon2400`` and
+    ``Elan3_PIII700`` all resolve.  Unknown names raise ``ValueError``
+    listing the canonical choices.
+    """
+    profile = PROFILES.get(name)
+    if profile is not None:
+        return profile
+    folded = name.lower().replace("-", "").replace("_", "")
+    for key, candidate in PROFILES.items():
+        if key.replace("_", "") == folded:
+            return candidate
+    raise ValueError(
+        f"unknown profile {name!r}; choose from {sorted(PROFILES)}"
+    )

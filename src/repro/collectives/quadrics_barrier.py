@@ -100,6 +100,8 @@ class QuadricsChainedBarrier:
                 if op.kind == "wait" and self.rank in op.peers:
                     self.remote_wait_index[dst_rank] = t
         self.barriers_completed = 0
+        self._done_name = self._done_event()
+        self._plan, self._head = self._build_plan()
 
     # ------------------------------------------------------------------
     # Event-word naming and cumulative thresholds
@@ -137,46 +139,58 @@ class QuadricsChainedBarrier:
             )
         return descriptors
 
+    def _build_plan(self):
+        """Precompute the seq-invariant part of the chain.
+
+        Event words, descriptor contents and the armed actions are the
+        same every iteration — only the (linear-in-seq) thresholds
+        change.  Descriptors are deliberately shared across iterations:
+        they are never mutated, and a packet snapshots nothing beyond a
+        reference to them.
+        """
+        nic = self.port.nic
+        ops = self.ops
+        head: list[RdmaDescriptor] = []
+        plan: list[tuple] = []  # (ElanEvent, per-barrier count, actions)
+        for t, op in enumerate(ops):
+            next_gate = (
+                self._wait_event(t + 1) if t + 1 < len(ops) else self._done_name
+            )
+            if op.kind == "send":
+                if t == 0:
+                    head = self._descriptors(op, next_gate)
+                # A send op at t > 0 is issued by op t-1's firing —
+                # which is always a wait op (adjacent sends merged), so
+                # it is armed as that wait's action below.
+            else:  # wait
+                event = nic.event(self._wait_event(t))
+                if t + 1 < len(ops) and ops[t + 1].kind == "send":
+                    follow = self._descriptors(ops[t + 1], self._gate_after(t + 1))
+                    actions = tuple(
+                        (lambda d=descriptor: nic.issue_rdma(d))
+                        for descriptor in follow
+                    )
+                else:
+                    # wait -> wait/done: a chained set-event (SRAM write).
+                    actions = (nic.event(next_gate).set_event,)
+                plan.append((event, self._per_barrier(t), actions))
+        return plan, head
+
     def _arm_chain(self, seq: int) -> list[RdmaDescriptor]:
         """Arm every link of this barrier's chain; return the head
         descriptors the host must trigger itself (if the chain starts
         with a send)."""
-        nic = self.port.nic
-        ops = self.ops
-        head: list[RdmaDescriptor] = []
-        for t, op in enumerate(ops):
-            next_gate = (
-                self._wait_event(t + 1) if t + 1 < len(ops) else self._done_event()
-            )
-            if op.kind == "send":
-                descriptors = self._descriptors(op, next_gate)
-                if t == 0:
-                    head = descriptors
-                # A send op at t > 0 is issued by op t-1's firing —
-                # which is always a wait op (adjacent sends merged), so
-                # it is armed below as that wait's action.
-            else:  # wait
-                event = nic.event(self._wait_event(t))
-                threshold = self._threshold(seq, t)
-                if t + 1 < len(ops) and ops[t + 1].kind == "send":
-                    follow = self._descriptors(ops[t + 1], self._gate_after(t + 1))
-                    for descriptor in follow:
-                        event.arm(
-                            threshold,
-                            lambda d=descriptor: nic.issue_rdma(d),
-                        )
-                else:
-                    # wait -> wait/done: a chained set-event (SRAM write).
-                    event.arm(
-                        threshold,
-                        lambda name=next_gate: nic.event(name).set_event(),
-                    )
-        nic.arm_host_notify(
-            self._done_event(),
-            seq + 1,  # the done word collects exactly one set per barrier
+        s1 = seq + 1
+        for event, per_barrier, actions in self._plan:
+            threshold = s1 * per_barrier
+            for action in actions:
+                event.arm(threshold, action)
+        self.port.nic.arm_host_notify(
+            self._done_name,
+            s1,  # the done word collects exactly one set per barrier
             value=BarrierDone(self.group.group_id, seq, completed_at=0.0),
         )
-        return head
+        return self._head
 
     def _gate_after(self, send_op_index: int) -> str:
         """The event a send op's completion feeds (the op after it)."""

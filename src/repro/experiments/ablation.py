@@ -13,9 +13,10 @@ barrier:
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import partial
 
 from repro.cluster import build_myrinet_cluster, run_barrier_experiment
-from repro.experiments.common import ExperimentResult, Series
+from repro.experiments.common import ExperimentResult, Series, parallel_map
 
 PROFILE = "lanai91_piii700"
 NODES = 8
@@ -78,9 +79,15 @@ def measure(barrier: str, iterations: int = 100) -> SchemeAccounting:
     )
 
 
-def run(quick: bool = False, iterations: int | None = None) -> ExperimentResult:
+def run(
+    quick: bool = False, iterations: int | None = None, jobs: int = 1
+) -> ExperimentResult:
     iters = iterations or (30 if quick else 100)
-    rows = [measure(b, iters) for b in ("host", "nic-direct", "nic-collective")]
+    rows = parallel_map(
+        partial(measure, iterations=iters),
+        ("host", "nic-direct", "nic-collective"),
+        jobs=jobs,
+    )
     by = {r.barrier: r for r in rows}
     ratio = (
         by["nic-direct"].wire_packets_per_barrier

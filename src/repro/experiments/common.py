@@ -1,9 +1,17 @@
-"""Shared experiment plumbing: sweeps, tables, ASCII plots."""
+"""Shared experiment plumbing: sweeps, tables, ASCII plots.
+
+Sweeps fan out over worker processes when ``jobs > 1``.  Every figure
+point is an independent simulation (fresh simulator, deterministic
+seed), so the parallel path returns bit-identical latencies to the
+serial one — the only thing that changes is wall-clock time.
+"""
 
 from __future__ import annotations
 
+from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
-from typing import Iterable, Optional, Sequence
+from functools import partial
+from typing import Callable, Iterable, Optional, Sequence
 
 from repro.cluster import (
     build_myrinet_cluster,
@@ -54,6 +62,50 @@ class ExperimentResult:
 # ----------------------------------------------------------------------
 # Sweeps
 # ----------------------------------------------------------------------
+def parallel_map(fn: Callable, items: Iterable, jobs: int = 1) -> list:
+    """Order-preserving map, fanned out over worker processes.
+
+    ``fn`` must be picklable (a module-level function or a
+    :func:`functools.partial` of one).  Each item must be an independent
+    computation — for figure points that holds by construction (fresh
+    simulator per point, deterministic seed), which makes the parallel
+    result bit-identical to the serial one.  ``jobs <= 1`` runs inline.
+    """
+    items = list(items)
+    if jobs > 1 and len(items) > 1:
+        with ProcessPoolExecutor(max_workers=min(jobs, len(items))) as pool:
+            return list(pool.map(fn, items))
+    return [fn(item) for item in items]
+
+
+def sweep_point(
+    network: str,
+    profile: str,
+    barrier: str,
+    algorithm: str,
+    n: int,
+    iterations: int = 100,
+    warmup: int = 20,
+    seed: int = 0,
+) -> float:
+    """One figure point: build a fresh cluster, run, return the mean
+    barrier latency in µs.  Module-level so sweeps can ship it to
+    worker processes."""
+    if network == "myrinet":
+        cluster = build_myrinet_cluster(profile, nodes=n)
+    else:
+        cluster = build_quadrics_cluster(profile, nodes=n)
+    result = run_barrier_experiment(
+        cluster,
+        barrier,
+        algorithm,
+        iterations=iterations,
+        warmup=warmup,
+        seed=seed,
+    )
+    return result.mean_latency_us
+
+
 def sweep(
     network: str,
     profile: str,
@@ -64,28 +116,27 @@ def sweep(
     iterations: int = 100,
     warmup: int = 20,
     seed: int = 0,
+    jobs: int = 1,
 ) -> Series:
     """Measure one barrier flavour across node counts.
 
     Every point gets a fresh cluster (fresh simulator), exactly like
-    re-running the paper's benchmark per configuration.
+    re-running the paper's benchmark per configuration.  ``jobs > 1``
+    measures the points in parallel worker processes; latencies are
+    bit-identical to the serial sweep.
     """
-    ns, lats = [], []
-    for n in n_values:
-        if network == "myrinet":
-            cluster = build_myrinet_cluster(profile, nodes=n)
-        else:
-            cluster = build_quadrics_cluster(profile, nodes=n)
-        result = run_barrier_experiment(
-            cluster,
-            barrier,
-            algorithm,
-            iterations=iterations,
-            warmup=warmup,
-            seed=seed,
-        )
-        ns.append(n)
-        lats.append(result.mean_latency_us)
+    ns = list(n_values)
+    point = partial(
+        sweep_point,
+        network,
+        profile,
+        barrier,
+        algorithm,
+        iterations=iterations,
+        warmup=warmup,
+        seed=seed,
+    )
+    lats = parallel_map(point, ns, jobs=jobs)
     return Series(label or f"{barrier}-{algorithm}", ns, lats)
 
 

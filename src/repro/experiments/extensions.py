@@ -16,9 +16,16 @@ from repro.collectives import (
     nic_broadcast_recv,
     nic_broadcast_root,
 )
+from functools import partial
+
 from repro.collectives.allgather import NicAllgatherEngine, nic_allgather
 from repro.collectives.alltoall import NicAlltoallEngine, nic_alltoall
-from repro.experiments.common import ExperimentResult, Series, print_experiment
+from repro.experiments.common import (
+    ExperimentResult,
+    Series,
+    parallel_map,
+    print_experiment,
+)
 
 PROFILE = "lanai_xp_xeon2400"
 
@@ -84,33 +91,46 @@ def _alltoall_point(n: int, repeats: int) -> float:
     return max(finish) / repeats
 
 
-def run(quick: bool = False, iterations: int | None = None) -> ExperimentResult:
+def _barrier_point(n: int, repeats: int) -> float:
+    return run_barrier_experiment(
+        build_myrinet_cluster(PROFILE, nodes=n),
+        "nic-collective",
+        iterations=repeats,
+        warmup=5,
+    ).mean_latency_us
+
+
+def run(
+    quick: bool = False, iterations: int | None = None, jobs: int = 1
+) -> ExperimentResult:
     repeats = iterations or (15 if quick else 40)
     n_values = [2, 4, 8] if quick else [2, 4, 8, 16, 32]
     barrier = Series(
         "barrier",
         n_values,
-        [
-            run_barrier_experiment(
-                build_myrinet_cluster(PROFILE, nodes=n),
-                "nic-collective",
-                iterations=repeats,
-                warmup=5,
-            ).mean_latency_us
-            for n in n_values
-        ],
+        parallel_map(partial(_barrier_point, repeats=repeats), n_values, jobs=jobs),
     )
     bcast_small = Series(
-        "bcast-64B", n_values, [_broadcast_point(n, 64, repeats) for n in n_values]
+        "bcast-64B", n_values,
+        parallel_map(
+            partial(_broadcast_point, size_bytes=64, repeats=repeats),
+            n_values, jobs=jobs,
+        ),
     )
     bcast_large = Series(
-        "bcast-4KB", n_values, [_broadcast_point(n, 4096, repeats) for n in n_values]
+        "bcast-4KB", n_values,
+        parallel_map(
+            partial(_broadcast_point, size_bytes=4096, repeats=repeats),
+            n_values, jobs=jobs,
+        ),
     )
     allgather = Series(
-        "allgather-4B", n_values, [_allgather_point(n, repeats) for n in n_values]
+        "allgather-4B", n_values,
+        parallel_map(partial(_allgather_point, repeats=repeats), n_values, jobs=jobs),
     )
     alltoall = Series(
-        "alltoall-4B", n_values, [_alltoall_point(n, repeats) for n in n_values]
+        "alltoall-4B", n_values,
+        parallel_map(partial(_alltoall_point, repeats=repeats), n_values, jobs=jobs),
     )
     return ExperimentResult(
         exp_id="extensions",

@@ -20,18 +20,20 @@ PAPER_ANCHORS = {
 }
 
 
-def run(quick: bool = False, iterations: int | None = None) -> ExperimentResult:
+def run(
+    quick: bool = False, iterations: int | None = None, jobs: int = 1
+) -> ExperimentResult:
     iters = iterations or (30 if quick else 150)
     n_values = [2, 4, 6, 8, 10, 12, 14, 16] if quick else list(range(2, 17))
     series = [
         sweep("myrinet", PROFILE, "nic-collective", "dissemination", n_values,
-              label="NIC-DS", iterations=iters),
+              label="NIC-DS", iterations=iters, jobs=jobs),
         sweep("myrinet", PROFILE, "nic-collective", "pairwise-exchange", n_values,
-              label="NIC-PE", iterations=iters),
+              label="NIC-PE", iterations=iters, jobs=jobs),
         sweep("myrinet", PROFILE, "host", "dissemination", n_values,
-              label="Host-DS", iterations=iters),
+              label="Host-DS", iterations=iters, jobs=jobs),
         sweep("myrinet", PROFILE, "host", "pairwise-exchange", n_values,
-              label="Host-PE", iterations=iters),
+              label="Host-PE", iterations=iters, jobs=jobs),
     ]
     nic16 = series[0].at(16)
     host16 = series[2].at(16)

@@ -24,18 +24,20 @@ PAPER_ANCHORS = {
 }
 
 
-def run(quick: bool = False, iterations: int | None = None) -> ExperimentResult:
+def run(
+    quick: bool = False, iterations: int | None = None, jobs: int = 1
+) -> ExperimentResult:
     iters = iterations or (30 if quick else 150)
     n_values = [2, 4, 8] if quick else list(range(2, 9))
     series = [
         sweep("quadrics", PROFILE, "nic-chained", "dissemination", n_values,
-              label="NIC-Barrier-DS", iterations=iters),
+              label="NIC-Barrier-DS", iterations=iters, jobs=jobs),
         sweep("quadrics", PROFILE, "nic-chained", "pairwise-exchange", n_values,
-              label="NIC-Barrier-PE", iterations=iters),
+              label="NIC-Barrier-PE", iterations=iters, jobs=jobs),
         sweep("quadrics", PROFILE, "gsync", "dissemination", n_values,
-              label="Elan-Barrier", iterations=iters),
+              label="Elan-Barrier", iterations=iters, jobs=jobs),
         sweep("quadrics", PROFILE, "hgsync", "dissemination", n_values,
-              label="Elan-HW-Barrier", iterations=iters),
+              label="Elan-HW-Barrier", iterations=iters, jobs=jobs),
     ]
     nic8 = series[0].at(8)
     gsync8 = series[2].at(8)

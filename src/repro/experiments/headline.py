@@ -12,12 +12,15 @@
 
 from __future__ import annotations
 
-from repro.cluster import (
-    build_myrinet_cluster,
-    build_quadrics_cluster,
-    run_barrier_experiment,
+from functools import partial
+
+from repro.experiments.common import (
+    ExperimentResult,
+    Series,
+    parallel_map,
+    print_experiment,
+    sweep_point,
 )
-from repro.experiments.common import ExperimentResult, Series, print_experiment
 from repro.model import fit_barrier_model
 
 PAPER_ANCHORS = {
@@ -33,30 +36,43 @@ PAPER_ANCHORS = {
 }
 
 
-def _latency(cluster, barrier, iterations):
-    return run_barrier_experiment(
-        cluster, barrier, "dissemination", iterations=iterations, warmup=20
-    ).mean_latency_us
+def _headline_point(iterations: int, spec) -> float:
+    network, profile, barrier, n = spec
+    return sweep_point(
+        network, profile, barrier, "dissemination", n,
+        iterations=iterations, warmup=20,
+    )
 
 
-def run(quick: bool = False, iterations: int | None = None) -> ExperimentResult:
+QUAD_FIT_NS = (2, 4, 8, 16, 32)
+MYRI_FIT_NS = (2, 4, 8, 16)
+
+
+def run(
+    quick: bool = False, iterations: int | None = None, jobs: int = 1
+) -> ExperimentResult:
     iters = iterations or (40 if quick else 150)
 
-    quad_nic = _latency(build_quadrics_cluster(nodes=8), "nic-chained", iters)
-    quad_tree = _latency(build_quadrics_cluster(nodes=8), "gsync", iters)
-    xp_nic = _latency(build_myrinet_cluster("lanai_xp_xeon2400", nodes=8), "nic-collective", iters)
-    xp_host = _latency(build_myrinet_cluster("lanai_xp_xeon2400", nodes=8), "host", iters)
-    l91_nic = _latency(build_myrinet_cluster("lanai91_piii700", nodes=16), "nic-collective", iters)
-    l91_host = _latency(build_myrinet_cluster("lanai91_piii700", nodes=16), "host", iters)
-    l91_direct = _latency(build_myrinet_cluster("lanai91_piii700", nodes=16), "nic-direct", iters)
-
+    quad, xp, l91 = "elan3_piii700", "lanai_xp_xeon2400", "lanai91_piii700"
+    specs = [
+        ("quadrics", quad, "nic-chained", 8),
+        ("quadrics", quad, "gsync", 8),
+        ("myrinet", xp, "nic-collective", 8),
+        ("myrinet", xp, "host", 8),
+        ("myrinet", l91, "nic-collective", 16),
+        ("myrinet", l91, "host", 16),
+        ("myrinet", l91, "nic-direct", 16),
+    ]
     # Model extrapolations fitted from testbed-scale sweeps (the
     # paper's own methodology — and, for Myrinet, the single-crossbar
     # regime; see fig8's notes).
-    quad_pts = [(n, _latency(build_quadrics_cluster(nodes=n), "nic-chained", iters))
-                for n in (2, 4, 8, 16, 32)]
-    myri_pts = [(n, _latency(build_myrinet_cluster("lanai_xp_xeon2400", nodes=n), "nic-collective", iters))
-                for n in (2, 4, 8, 16)]
+    specs += [("quadrics", quad, "nic-chained", n) for n in QUAD_FIT_NS]
+    specs += [("myrinet", xp, "nic-collective", n) for n in MYRI_FIT_NS]
+    lats = parallel_map(partial(_headline_point, iters), specs, jobs=jobs)
+
+    quad_nic, quad_tree, xp_nic, xp_host, l91_nic, l91_host, l91_direct = lats[:7]
+    quad_pts = list(zip(QUAD_FIT_NS, lats[7:7 + len(QUAD_FIT_NS)]))
+    myri_pts = list(zip(MYRI_FIT_NS, lats[7 + len(QUAD_FIT_NS):]))
     fit_q = fit_barrier_model([p[0] for p in quad_pts], [p[1] for p in quad_pts],
                               t_init=quad_pts[0][1])
     fit_m = fit_barrier_model([p[0] for p in myri_pts], [p[1] for p in myri_pts],

@@ -23,10 +23,16 @@ dataclasses; each point uses ``dataclasses.replace``):
 from __future__ import annotations
 
 import dataclasses
+from functools import partial
 
 from repro.cluster import build_myrinet_cluster, get_profile, run_barrier_experiment
 from repro.cluster.profiles import HardwareProfile
-from repro.experiments.common import ExperimentResult, Series, print_experiment
+from repro.experiments.common import (
+    ExperimentResult,
+    Series,
+    parallel_map,
+    print_experiment,
+)
 from repro.network import FaultInjector
 from repro.sim import DeterministicRng
 
@@ -52,15 +58,50 @@ def _latency(profile, barrier, iterations, faults=None):
     return result, cluster
 
 
-def nack_timeout_sweep(iterations: int) -> tuple[Series, Series, list[str]]:
-    base = get_profile(BASE)
+def _nack_point(timeout: float, iterations: int) -> tuple[float, int]:
+    profile = _with_gm(get_profile(BASE), nack_timeout_us=timeout)
+    result, cluster = _latency(profile, "nic-collective", iterations)
+    return (
+        result.mean_latency_us,
+        cluster.tracer.counters.get("coll.nack_sent", 0),
+    )
+
+
+def _pool_point(size: int, iterations: int) -> tuple[float, float]:
+    profile = _with_gm(get_profile(BASE), send_packet_count=size)
+    return (
+        _latency(profile, "nic-direct", iterations)[0].mean_latency_us,
+        _latency(profile, "nic-collective", iterations)[0].mean_latency_us,
+    )
+
+
+def _poll_point(interval: float, iterations: int) -> tuple[float, float]:
+    profile = _with_host(get_profile(BASE), poll_interval_us=interval)
+    return (
+        _latency(profile, "host", iterations)[0].mean_latency_us,
+        _latency(profile, "nic-collective", iterations)[0].mean_latency_us,
+    )
+
+
+def _loss_point(rate: float, iterations: int) -> float:
+    faults = (
+        FaultInjector(rng=DeterministicRng(1, f"loss{rate}"), drop_probability=rate)
+        if rate
+        else None
+    )
+    result, _ = _latency(get_profile(BASE), "nic-collective", iterations, faults=faults)
+    return result.mean_latency_us
+
+
+def nack_timeout_sweep(
+    iterations: int, jobs: int = 1
+) -> tuple[Series, Series, list[str]]:
     timeouts = [20.0, 50.0, 100.0, 500.0, 1500.0]
-    latencies, spurious = [], []
-    for timeout in timeouts:
-        profile = _with_gm(base, nack_timeout_us=timeout)
-        result, cluster = _latency(profile, "nic-collective", iterations)
-        latencies.append(result.mean_latency_us)
-        spurious.append(cluster.tracer.counters.get("coll.nack_sent", 0))
+    points = parallel_map(
+        partial(_nack_point, iterations=iterations), timeouts, jobs=jobs
+    )
+    latencies = [lat for lat, _ in points]
+    spurious = [n for _, n in points]
     notes = [
         f"clean wire, NACK timeout {timeouts} us -> spurious NACKs {spurious}",
     ]
@@ -71,16 +112,15 @@ def nack_timeout_sweep(iterations: int) -> tuple[Series, Series, list[str]]:
     )
 
 
-def pool_size_sweep(iterations: int) -> tuple[Series, Series, list[str]]:
-    base = get_profile(BASE)
+def pool_size_sweep(
+    iterations: int, jobs: int = 1
+) -> tuple[Series, Series, list[str]]:
     sizes = [1, 2, 4, 8]
-    direct, collective = [], []
-    for size in sizes:
-        profile = _with_gm(base, send_packet_count=size)
-        direct.append(_latency(profile, "nic-direct", iterations)[0].mean_latency_us)
-        collective.append(
-            _latency(profile, "nic-collective", iterations)[0].mean_latency_us
-        )
+    points = parallel_map(
+        partial(_pool_point, iterations=iterations), sizes, jobs=jobs
+    )
+    direct = [d for d, _ in points]
+    collective = [c for _, c in points]
     notes = [
         "pool size does not move either scheme: barrier traffic keeps "
         "<= 1 packet outstanding per peer, so the static packet's win "
@@ -93,14 +133,15 @@ def pool_size_sweep(iterations: int) -> tuple[Series, Series, list[str]]:
     )
 
 
-def poll_interval_sweep(iterations: int) -> tuple[Series, Series, list[str]]:
-    base = get_profile(BASE)
+def poll_interval_sweep(
+    iterations: int, jobs: int = 1
+) -> tuple[Series, Series, list[str]]:
     intervals = [0.2, 0.6, 1.2, 2.4, 4.8]
-    host, nic = [], []
-    for interval in intervals:
-        profile = _with_host(base, poll_interval_us=interval)
-        host.append(_latency(profile, "host", iterations)[0].mean_latency_us)
-        nic.append(_latency(profile, "nic-collective", iterations)[0].mean_latency_us)
+    points = parallel_map(
+        partial(_poll_point, iterations=iterations), intervals, jobs=jobs
+    )
+    host = [h for h, _ in points]
+    nic = [n for _, n in points]
     host_slope = (host[-1] - host[0]) / (intervals[-1] - intervals[0])
     nic_slope = (nic[-1] - nic[0]) / (intervals[-1] - intervals[0])
     notes = [
@@ -115,18 +156,11 @@ def poll_interval_sweep(iterations: int) -> tuple[Series, Series, list[str]]:
     )
 
 
-def loss_rate_sweep(iterations: int) -> tuple[Series, list[str]]:
-    base = get_profile(BASE)
+def loss_rate_sweep(iterations: int, jobs: int = 1) -> tuple[Series, list[str]]:
     rates = [0.0, 0.005, 0.01, 0.02, 0.05]
-    latencies = []
-    for rate in rates:
-        faults = (
-            FaultInjector(rng=DeterministicRng(1, f"loss{rate}"), drop_probability=rate)
-            if rate
-            else None
-        )
-        result, _ = _latency(base, "nic-collective", iterations, faults=faults)
-        latencies.append(result.mean_latency_us)
+    latencies = parallel_map(
+        partial(_loss_point, iterations=iterations), rates, jobs=jobs
+    )
     notes = [
         "all barriers complete under loss; each lost message costs about "
         "one NACK timeout on that iteration's critical path",
@@ -134,14 +168,16 @@ def loss_rate_sweep(iterations: int) -> tuple[Series, list[str]]:
     return Series("latency-vs-loss(x1000)", [int(r * 1000) for r in rates], latencies), notes
 
 
-def run(quick: bool = False, iterations: int | None = None) -> ExperimentResult:
+def run(
+    quick: bool = False, iterations: int | None = None, jobs: int = 1
+) -> ExperimentResult:
     iters = iterations or (20 if quick else 60)
     series: list[Series] = []
     notes: list[str] = []
-    s1, s2, n1 = nack_timeout_sweep(iters)
-    s3, s4, n2 = pool_size_sweep(iters)
-    s5, s6, n3 = poll_interval_sweep(iters)
-    s7, n4 = loss_rate_sweep(iters)
+    s1, s2, n1 = nack_timeout_sweep(iters, jobs=jobs)
+    s3, s4, n2 = pool_size_sweep(iters, jobs=jobs)
+    s5, s6, n3 = poll_interval_sweep(iters, jobs=jobs)
+    s7, n4 = loss_rate_sweep(iters, jobs=jobs)
     series.extend([s1, s2, s3, s4, s5, s6, s7])
     notes.extend(n1 + n2 + n3 + n4)
     notes.append("x-axes differ per series (us / pool slots / 0.1us / loss x1000)")

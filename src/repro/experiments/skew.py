@@ -14,9 +14,16 @@ NIC barrier's event counters absorb early arrivals for free.
 
 from __future__ import annotations
 
+from functools import partial
+
 from repro.cluster import build_quadrics_cluster
 from repro.collectives import ProcessGroup, QuadricsChainedBarrier
-from repro.experiments.common import ExperimentResult, Series, print_experiment
+from repro.experiments.common import (
+    ExperimentResult,
+    Series,
+    parallel_map,
+    print_experiment,
+)
 from repro.quadrics import elan_hgsync
 from repro.sim import DeterministicRng
 
@@ -71,15 +78,19 @@ def _measure_nic(skew_us: float, iterations: int, seed: int = 0):
     return cost
 
 
-def run(quick: bool = False, iterations: int | None = None) -> ExperimentResult:
+def run(
+    quick: bool = False, iterations: int | None = None, jobs: int = 1
+) -> ExperimentResult:
     iters = iterations or (20 if quick else 60)
     skews = [0.0, 2.0, 5.0, 10.0, 20.0, 40.0]
-    hw_costs, hw_retries, nic_costs = [], [], []
-    for skew in skews:
-        cost, retries = _measure_hgsync(skew, iters)
-        hw_costs.append(cost)
-        hw_retries.append(retries / iters)
-        nic_costs.append(_measure_nic(skew, iters))
+    hw_points = parallel_map(
+        partial(_measure_hgsync, iterations=iters), skews, jobs=jobs
+    )
+    nic_costs = parallel_map(
+        partial(_measure_nic, iterations=iters), skews, jobs=jobs
+    )
+    hw_costs = [cost for cost, _ in hw_points]
+    hw_retries = [retries / iters for _, retries in hw_points]
     # Abuse the N axis as "skew in us" for the table/plot.
     series = [
         Series("hgsync-cost", [int(s) for s in skews], hw_costs),

@@ -74,6 +74,10 @@ class Fabric:
         self.faults = faults
         self._handlers: dict[int, DeliveryHandler] = {}
         self._links: dict[tuple[str, str], Resource] = {}
+        # Topologies are immutable for the lifetime of a simulation, so
+        # the route, its link resources, and the size-independent head
+        # latency are memoized per (src, dst) pair.
+        self._route_cache: dict[tuple[int, int], tuple] = {}
         self.delivered_count = 0
 
     # ------------------------------------------------------------------
@@ -98,6 +102,16 @@ class Fabric:
         nodes = [f"nic{route.src}", *route.hops, f"nic{route.dst}"]
         return [self._link(a, b) for a, b in zip(nodes, nodes[1:])]
 
+    def _route_entry(self, src: int, dst: int) -> tuple:
+        entry = self._route_cache.get((src, dst))
+        if entry is None:
+            route = self.topology.route(src, dst)
+            links = self._path_links(route)
+            head = self.params.head_latency(route.switch_count, route.link_count)
+            entry = (route, links, head)
+            self._route_cache[(src, dst)] = entry
+        return entry
+
     # ------------------------------------------------------------------
     def transmit(self, packet: Packet) -> None:
         """Fire-and-forget: inject ``packet``; it arrives later (or not).
@@ -108,45 +122,75 @@ class Fabric:
         if packet.dst not in self._handlers:
             raise ValueError(f"no NIC attached at port {packet.dst}")
         packet.sent_at = self.sim.now
-        self.tracer.count(f"wire.{packet.kind}")
-        self.tracer.count("wire.packets")
+        tracer = self.tracer
+        tracer.count(f"wire.{packet.kind}")
+        tracer.count("wire.packets")
         if self.faults is not None and self.faults.should_drop(packet):
-            self.tracer.count("wire.dropped")
-            self.tracer.record(
-                self.sim.now, "wire", f"nic{packet.src}", "DROPPED", pkt=packet.wire_id
+            tracer.count("wire.dropped")
+            if tracer.enabled:
+                tracer.record(
+                    self.sim.now, "wire", f"nic{packet.src}", "DROPPED",
+                    pkt=packet.wire_id,
+                )
+            return
+        # Fast path: if every link on the route is free right now, claim
+        # them synchronously and schedule a single completion call — the
+        # worm sails through with no queuing.  This skips the per-packet
+        # Process and the per-link request-event machinery, which
+        # dominate kernel time on clean barrier traffic (contention on
+        # disjoint dissemination paths is the exception, not the rule).
+        _route, links, head = self._route_entry(packet.src, packet.dst)
+        for idx, link in enumerate(links):
+            if not link.try_acquire():
+                for claimed in links[:idx]:
+                    claimed.release()
+                break
+        else:
+            latency = head + self.params.serialization(packet.size_bytes)
+            self.sim.schedule_detached(
+                latency, self._complete_fast, packet, links
             )
             return
         self.sim.process(self._deliver(packet), name=f"wire:{packet.wire_id}")
 
+    def _complete_fast(self, packet: Packet, links: list[Resource]) -> None:
+        """Tail of an uncontended delivery: free the path, hand over."""
+        for link in links:
+            link.release()
+        self._finish(packet)
+
     def _deliver(self, packet: Packet):
-        route = self.topology.route(packet.src, packet.dst)
+        _route, links, head = self._route_entry(packet.src, packet.dst)
         serialization = self.params.serialization(packet.size_bytes)
         # Wormhole path: claim each directional link in order, then let
         # the whole worm drain.  Head latency accrues while claiming.
-        links = self._path_links(route)
         claimed: list[Resource] = []
         for link in links:
             req = link.request()
             yield req
             claimed.append(link)
-        yield self.params.head_latency(route.switch_count, route.link_count)
+        yield head
         yield serialization
         for link in claimed:
             link.release()
+        self._finish(packet)
+
+    def _finish(self, packet: Packet) -> None:
         packet.delivered_at = self.sim.now
         self.delivered_count += 1
-        self.tracer.record(
-            self.sim.now,
-            "wire",
-            f"nic{packet.src}",
-            f"delivered {packet.kind} to nic{packet.dst}",
-            pkt=packet.wire_id,
-            kind=packet.kind,
-            src=packet.src,
-            dst=packet.dst,
-            sent_at=packet.sent_at,
-            size=packet.size_bytes,
-        )
+        if self.tracer.enabled:
+            self.tracer.record(
+                self.sim.now,
+                "wire",
+                f"nic{packet.src}",
+                f"delivered {packet.kind} to nic{packet.dst}",
+                pkt=packet.wire_id,
+                kind=packet.kind,
+                src=packet.src,
+                dst=packet.dst,
+                sent_at=packet.sent_at,
+                size=packet.size_bytes,
+            )
         self._handlers[packet.dst](packet)
 
     # ------------------------------------------------------------------

@@ -16,6 +16,7 @@ Elan NIC").
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass
 from typing import Any, Optional
 
@@ -84,14 +85,18 @@ class Elan3Nic:
         # RDMA-deposited values readable by the host after the paired
         # event fires (the "memory the RDMA wrote into").
         self.rdma_mailbox: dict[str, object] = {}
-        self._rx_queue = Store(sim, name=f"{self.name}.rx")
+        # Receive side is a callback-driven state machine (strictly one
+        # packet in processing at a time, like the old rx-loop process):
+        # _rx_busy gates entry, arrivals during processing back up here.
+        self._rx_backlog: deque[Packet] = deque()
+        self._rx_busy = False
+        self._rx_waiting_desc: Optional[RdmaDescriptor] = None
         # Host-visible notifications (host memory words the host polls).
         self.host_events = Store(sim, name=f"{self.name}.host_events")
         # Tport receive queue (messages already matched by the thread).
         self.tport_queue = Store(sim, name=f"{self.name}.tport")
 
         fabric.attach(node_id, self._on_wire_packet)
-        sim.process(self._rx_loop(), name=f"{self.name}.rxloop")
 
     # ------------------------------------------------------------------
     # Events
@@ -117,19 +122,57 @@ class Elan3Nic:
         self.event(trigger).arm(threshold, lambda: self._notify_host(value))
 
     def _notify_host(self, value: Any) -> None:
-        self.sim.process(self._notify_host_proc(value), name=f"{self.name}.notify")
+        # Callback chain (event unit -> PCI DMA -> host word), same
+        # timing as the old generator process without allocating one.
+        if self.event_unit.try_acquire():
+            self.sim.schedule_detached(
+                self.params.t_host_event, self._notify_unit_done, value
+            )
+        else:
+            ev = self.event_unit.request()
+            ev.add_callback(
+                lambda _ev, v=value: self.sim.schedule_detached(
+                    self.params.t_host_event, self._notify_unit_done, v
+                )
+            )
 
-    def _notify_host_proc(self, value: Any):
-        yield from self._unit_task(self.event_unit, self.params.t_host_event)
-        yield from self.pci.dma(8, DmaDirection.NIC_TO_HOST)
-        self.host_events.put(value)
+    def _notify_unit_done(self, value: Any) -> None:
+        self.event_unit.release()
+        self.pci.dma_async(8, DmaDirection.NIC_TO_HOST, self.host_events.put, value)
 
     # ------------------------------------------------------------------
     # RDMA engine
     # ------------------------------------------------------------------
     def issue_rdma(self, descriptor: RdmaDescriptor) -> None:
         """Queue a descriptor on the DMA engine (fire-and-forget)."""
+        # Fast path for the barrier's bread and butter: a zero-byte
+        # notification RDMA on an idle engine needs no host-memory DMA
+        # and therefore no process — one scheduled call covers the
+        # engine's issue time.  (try_acquire only succeeds when no
+        # waiter is queued, so FIFO fairness is preserved.)
+        if descriptor.size_bytes == 0 and self.dma_engine.try_acquire():
+            self.sim.schedule_detached(
+                self.params.t_rdma_issue, self._rdma_issue_done, descriptor
+            )
+            return
         self.sim.process(self._rdma_proc(descriptor), name=f"{self.name}.rdma")
+
+    def _rdma_issue_done(self, descriptor: RdmaDescriptor) -> None:
+        """Tail of the fast path: inject the packet, free the engine."""
+        p = self.params
+        self.tracer.count("elan.rdma_issued")
+        self.fabric.transmit(
+            Packet(
+                src=self.node_id,
+                dst=descriptor.dst,
+                kind=PacketKind.RDMA,
+                size_bytes=p.rdma_packet_bytes,
+                payload=descriptor,
+            )
+        )
+        self.dma_engine.release()
+        if descriptor.local_event is not None:
+            self.event(descriptor.local_event).set_event()
 
     def _rdma_proc(self, descriptor: RdmaDescriptor):
         p = self.params
@@ -156,32 +199,69 @@ class Elan3Nic:
     # Receive side
     # ------------------------------------------------------------------
     def _on_wire_packet(self, packet: Packet) -> None:
-        self._rx_queue.put(packet)
+        if self._rx_busy:
+            self._rx_backlog.append(packet)
+        else:
+            self._rx_busy = True
+            self._rx_start(packet)
 
-    def _rx_loop(self):
-        p = self.params
-        while True:
-            packet = yield self._rx_queue.get()
-            descriptor: RdmaDescriptor = packet.payload
-            if isinstance(descriptor, RdmaDescriptor):
-                if descriptor.size_bytes > 0:
-                    # Deposit the data into host memory (true RDMA).
-                    yield from self.pci.dma(
-                        descriptor.size_bytes, DmaDirection.NIC_TO_HOST
-                    )
-                yield from self._unit_task(self.event_unit, p.t_event_fire)
-                self.tracer.count("elan.event_fired")
-                if descriptor.payload is not None:
-                    self.rdma_mailbox[descriptor.remote_event] = descriptor.payload
-                self.event(descriptor.remote_event).set_event()
+    def _rx_start(self, packet: Packet) -> None:
+        descriptor = packet.payload
+        if type(descriptor) is RdmaDescriptor and descriptor.size_bytes == 0:
+            # The barrier's notification RDMA: only the event unit is
+            # involved, so the whole receive is a callback chain.
+            if self.event_unit.try_acquire():
+                self.sim.schedule_detached(
+                    self.params.t_event_fire, self._rx_fire, descriptor
+                )
             else:
-                # Tport message: matched by the thread processor, then
-                # handed to the host.  Payload and completion word ride
-                # one DMA burst (Elan3 writes host memory directly).
-                yield from self._unit_task(self.thread_cpu, p.t_tport_match)
-                yield from self._unit_task(self.event_unit, p.t_host_event)
-                yield from self.pci.dma(packet.size_bytes, DmaDirection.NIC_TO_HOST)
-                self.tport_queue.put(packet.payload)
+                self._rx_waiting_desc = descriptor
+                self.event_unit.request().add_callback(self._rx_unit_granted)
+            return
+        self.sim.process(self._rx_slow(packet), name=f"{self.name}.rx")
+
+    def _rx_unit_granted(self, _ev) -> None:
+        descriptor = self._rx_waiting_desc
+        self._rx_waiting_desc = None
+        self.sim.schedule_detached(self.params.t_event_fire, self._rx_fire, descriptor)
+
+    def _rx_fire(self, descriptor: RdmaDescriptor) -> None:
+        self.event_unit.release()
+        self.tracer.count("elan.event_fired")
+        if descriptor.payload is not None:
+            self.rdma_mailbox[descriptor.remote_event] = descriptor.payload
+        self.event(descriptor.remote_event).set_event()
+        self._rx_next()
+
+    def _rx_next(self) -> None:
+        if self._rx_backlog:
+            self._rx_start(self._rx_backlog.popleft())
+        else:
+            self._rx_busy = False
+
+    def _rx_slow(self, packet: Packet):
+        p = self.params
+        descriptor = packet.payload
+        if isinstance(descriptor, RdmaDescriptor):
+            if descriptor.size_bytes > 0:
+                # Deposit the data into host memory (true RDMA).
+                yield from self.pci.dma(
+                    descriptor.size_bytes, DmaDirection.NIC_TO_HOST
+                )
+            yield from self._unit_task(self.event_unit, p.t_event_fire)
+            self.tracer.count("elan.event_fired")
+            if descriptor.payload is not None:
+                self.rdma_mailbox[descriptor.remote_event] = descriptor.payload
+            self.event(descriptor.remote_event).set_event()
+        else:
+            # Tport message: matched by the thread processor, then
+            # handed to the host.  Payload and completion word ride
+            # one DMA burst (Elan3 writes host memory directly).
+            yield from self._unit_task(self.thread_cpu, p.t_tport_match)
+            yield from self._unit_task(self.event_unit, p.t_host_event)
+            yield from self.pci.dma(packet.size_bytes, DmaDirection.NIC_TO_HOST)
+            self.tport_queue.put(packet.payload)
+        self._rx_next()
 
     # ------------------------------------------------------------------
     # Thread processor (tport send side)

@@ -44,10 +44,17 @@ class ElanEvent:
         self._fire_ready()
 
     def _fire_ready(self) -> None:
-        ready = [a for a in self._armed if self.count >= a[0]]
+        armed = self._armed
+        if not armed:
+            return
+        count = self.count
+        ready = [a for a in armed if count >= a[0]]
         if not ready:
             return
-        self._armed = [a for a in self._armed if self.count < a[0]]
+        if len(ready) == len(armed):
+            self._armed = []
+        else:
+            self._armed = [a for a in armed if count < a[0]]
         for _, action in ready:
             action()
 

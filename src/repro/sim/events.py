@@ -9,6 +9,11 @@ time, so causality between same-time events follows scheduling order.
 Callbacks attached after processing fire on the next scheduler tick at the
 current time (never synchronously), which keeps process resumption order
 deterministic.
+
+Hot-path layout: the overwhelmingly common case is an event with exactly
+one waiter (a process blocked on it, or a fabric delivery callback), so
+the first callback lives in an inline slot (``_cb1``) and the overflow
+list is only allocated for the second and later callbacks.
 """
 
 from __future__ import annotations
@@ -33,7 +38,7 @@ class SimEvent:
     attached with :meth:`add_callback`.
     """
 
-    __slots__ = ("sim", "name", "_state", "_ok", "_value", "_callbacks", "_defused")
+    __slots__ = ("sim", "name", "_state", "_ok", "_value", "_cb1", "_callbacks", "_defused")
 
     def __init__(self, sim: Simulator, name: Optional[str] = None):
         self.sim = sim
@@ -41,7 +46,8 @@ class SimEvent:
         self._state = PENDING
         self._ok: Optional[bool] = None
         self._value: Any = None
-        self._callbacks: list[Callable[["SimEvent"], None]] = []
+        self._cb1: Optional[Callable[["SimEvent"], None]] = None
+        self._callbacks: Optional[list[Callable[["SimEvent"], None]]] = None
         self._defused = False
 
     # ------------------------------------------------------------------
@@ -95,16 +101,23 @@ class SimEvent:
         self._state = TRIGGERED
         self._ok = ok
         self._value = value
-        self.sim.schedule(0.0, self._process)
+        self.sim.schedule_detached(0.0, self._process)
 
     def _process(self) -> None:
         self._state = PROCESSED
-        callbacks, self._callbacks = self._callbacks, []
-        if not callbacks and self._ok is False and not self._defused:
-            self.sim.report_unhandled(self._value)
+        cb1 = self._cb1
+        callbacks = self._callbacks
+        self._cb1 = None
+        self._callbacks = None
+        if cb1 is None and callbacks is None:
+            if self._ok is False and not self._defused:
+                self.sim.report_unhandled(self._value)
             return
-        for cb in callbacks:
-            cb(self)
+        if cb1 is not None:
+            cb1(self)
+        if callbacks is not None:
+            for cb in callbacks:
+                cb(self)
 
     # ------------------------------------------------------------------
     # Callbacks
@@ -116,17 +129,33 @@ class SimEvent:
         for the current time (asynchronously, preserving determinism).
         """
         if self._state == PROCESSED:
-            self.sim.schedule(0.0, fn, self)
+            self.sim.schedule_detached(0.0, fn, self)
+        elif self._cb1 is None and self._callbacks is None:
+            self._cb1 = fn
+        elif self._callbacks is None:
+            self._callbacks = [fn]
         else:
             self._callbacks.append(fn)
 
     def remove_callback(self, fn: Callable[["SimEvent"], None]) -> bool:
         """Detach a pending callback; returns True if it was attached."""
-        try:
-            self._callbacks.remove(fn)
+        # Equality, not identity: callers pass bound methods, and each
+        # attribute access creates a fresh (but ==) bound-method object.
+        if self._cb1 is not None and self._cb1 == fn:
+            # Keep attachment order: the overflow list (if any) now
+            # contains every remaining callback, oldest first.
+            if self._callbacks:
+                self._cb1 = self._callbacks.pop(0)
+            else:
+                self._cb1 = None
             return True
-        except ValueError:
-            return False
+        if self._callbacks is not None:
+            try:
+                self._callbacks.remove(fn)
+                return True
+            except ValueError:
+                return False
+        return False
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         label = self.name or type(self).__name__
@@ -147,7 +176,7 @@ class Timeout(SimEvent):
         self._state = TRIGGERED
         self._ok = True
         self._value = value
-        sim.schedule(delay, self._process)
+        sim.schedule_detached(delay, self._process)
 
 
 class _Condition(SimEvent):

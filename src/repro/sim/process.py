@@ -100,7 +100,22 @@ class Process:
                 return
 
             value, exc = None, None
+            cls = type(target)
+            if cls is float or cls is int:
+                # Fast path for the dominant yield: a plain sleep.
+                # Scheduling the generator resume directly skips the
+                # Timeout event, its callback registration, and the
+                # extra event-processing hop — same resume time, same
+                # FIFO position (one scheduled call either way).
+                if target < 0:
+                    raise ValueError(f"negative timeout {target!r}")
+                self._resume_handle = self.sim.schedule(
+                    target, self._step, None, None
+                )
+                return
             if isinstance(target, (int, float)):
+                # Numeric subclasses (e.g. numpy scalars, bool) take the
+                # generic event path.
                 target = Timeout(self.sim, float(target))
             elif isinstance(target, Process):
                 target = target.completion

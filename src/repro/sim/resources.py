@@ -40,6 +40,7 @@ class Resource:
         self.sim = sim
         self.capacity = capacity
         self.name = name or "resource"
+        self._req_name = self.name + ".request"
         self._in_use = 0
         self._waiters: deque[SimEvent] = deque()
 
@@ -52,13 +53,24 @@ class Resource:
         return len(self._waiters)
 
     def request(self) -> SimEvent:
-        ev = SimEvent(self.sim, name=f"{self.name}.request")
+        ev = SimEvent(self.sim, name=self._req_name)
         if self._in_use < self.capacity:
             self._in_use += 1
             ev.succeed(self)
         else:
             self._waiters.append(ev)
         return ev
+
+    def try_acquire(self) -> bool:
+        """Claim a unit synchronously if one is free (no event, no wait).
+
+        The fabric's uncontended-delivery fast path uses this; pair every
+        successful call with :meth:`release`.
+        """
+        if self._in_use < self.capacity:
+            self._in_use += 1
+            return True
+        return False
 
     def cancel_request(self, ev: SimEvent) -> bool:
         """Withdraw a still-queued request.  Returns True if it was queued."""
@@ -103,6 +115,8 @@ class Store:
         self.sim = sim
         self.capacity = capacity
         self.name = name or "store"
+        self._put_name = self.name + ".put"
+        self._get_name = self.name + ".get"
         self._items: deque[Any] = deque()
         self._getters: deque[SimEvent] = deque()
         self._putters: deque[tuple[SimEvent, Any]] = deque()
@@ -128,7 +142,7 @@ class Store:
 
     # -- operations ------------------------------------------------------
     def put(self, item: Any) -> SimEvent:
-        ev = SimEvent(self.sim, name=f"{self.name}.put")
+        ev = SimEvent(self.sim, name=self._put_name)
         if len(self._items) < self.capacity:
             self._do_put(item)
             ev.succeed(item)
@@ -138,7 +152,7 @@ class Store:
         return ev
 
     def get(self) -> SimEvent:
-        ev = SimEvent(self.sim, name=f"{self.name}.get")
+        ev = SimEvent(self.sim, name=self._get_name)
         if self._items:
             ev.succeed(self._do_get())
             self._admit_putters()

@@ -35,6 +35,12 @@ class Tracer:
     Recording is cheap when disabled (``enabled=False`` keeps counters
     but drops records); category filtering lets tests capture only the
     traffic they assert on.
+
+    ``counting=False`` turns :meth:`count` into a bound no-op — zero
+    work beyond the call itself — for perf-critical sweeps that only
+    consume latencies.  Hot paths that build per-record field dicts
+    should additionally guard on :attr:`enabled` before calling
+    :meth:`record`, so a disabled tracer costs nothing at all.
     """
 
     def __init__(
@@ -42,12 +48,18 @@ class Tracer:
         enabled: bool = False,
         categories: Optional[Iterable[str]] = None,
         max_records: int = 1_000_000,
+        counting: bool = True,
     ):
         self.enabled = enabled
         self.categories = set(categories) if categories is not None else None
         self.max_records = max_records
+        self.counting = counting
         self.records: list[TraceRecord] = []
         self.counters: Counter = Counter()
+        if not counting:
+            # Shadow the method with a no-op so the 50-odd call sites in
+            # the NIC/fabric models pay only a function call.
+            self.count = self._count_disabled
 
     # ------------------------------------------------------------------
     def record(
@@ -70,6 +82,10 @@ class Tracer:
 
     def count(self, name: str, n: int = 1) -> None:
         self.counters[name] += n
+
+    @staticmethod
+    def _count_disabled(name: str, n: int = 1) -> None:
+        return None
 
     # ------------------------------------------------------------------
     def by_category(self, category: str) -> list[TraceRecord]:

@@ -1,5 +1,11 @@
 """Inspection tools built on :class:`repro.sim.Tracer` records."""
 
 from repro.tools.flow import message_flow, wire_sequence_diagram
+from repro.tools.perfbench import bench_point, run_benchmarks
 
-__all__ = ["message_flow", "wire_sequence_diagram"]
+__all__ = [
+    "bench_point",
+    "message_flow",
+    "run_benchmarks",
+    "wire_sequence_diagram",
+]

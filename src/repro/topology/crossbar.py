@@ -2,12 +2,15 @@
 
 Myrinet 2000 interconnects hosts through 16-port wormhole crossbar
 switches.  Small clusters (the paper's 8- and 16-node systems) hang off a
-single crossbar; larger systems cascade crossbars into a two-level Clos:
-leaf switches own hosts, spine switches interconnect leaves.
+single crossbar; larger systems cascade crossbars into a two-level Clos
+(leaf switches own hosts, spine switches interconnect leaves), and the
+largest into a three-level Clos: pods of two-level sub-Clos networks
+joined by a top stage — the layout of the era's 256+ host Myrinet
+machines, and what lets fig8's measured series reach 512 nodes.
 
-Routing is deterministic source routing (as in real Myrinet): the spine
-for a (src-leaf, dst-leaf) pair is chosen by a static hash so a given
-pair always takes the same path.
+Routing is deterministic source routing (as in real Myrinet): the
+intermediate switches for a (src, dst) pair are chosen by a static hash
+so a given pair always takes the same path.
 """
 
 from __future__ import annotations
@@ -16,7 +19,7 @@ from repro.topology.base import Route, Topology
 
 
 class ClosTopology(Topology):
-    """Single crossbar or two-level Clos of ``radix``-port crossbars.
+    """One-, two- or three-level folded Clos of ``radix``-port crossbars.
 
     Parameters
     ----------
@@ -25,9 +28,16 @@ class ClosTopology(Topology):
     radix:
         Ports per crossbar switch (16 for Myrinet 2000's Xbar16).
 
-    With two levels, each leaf uses ``radix // 2`` ports down (hosts) and
-    ``radix // 2`` up (spines), the classic folded-Clos split, giving a
-    maximum of ``(radix // 2) ** 2`` hosts.
+    Every switch splits its ports half down / half up, the classic
+    folded-Clos split with ``half = radix // 2``:
+
+    - one level: up to ``radix`` hosts on a single crossbar;
+    - two levels: leaves own hosts, spines join leaves — up to
+      ``half**2`` hosts;
+    - three levels: pods of ``half**2`` hosts (a two-level sub-Clos of
+      leaves and mid switches) joined by a top stage of ``half**2``
+      crossbars, top ``t`` reaching mid ``t // half`` in every pod —
+      up to ``half**3`` hosts (512 for Myrinet's radix 16).
     """
 
     def __init__(self, n_nodes: int, radix: int = 16):
@@ -36,32 +46,54 @@ class ClosTopology(Topology):
             raise ValueError(f"radix must be >= 2, got {radix}")
         self.radix = radix
         half = radix // 2
+        self._half = half
         if n_nodes <= radix:
             self.levels = 1
             self.n_leaves = 1
             self.n_spines = 0
+            self.n_pods = 1
         elif n_nodes <= half * half:
             self.levels = 2
             self.n_leaves = -(-n_nodes // half)  # ceil division
             self.n_spines = half
+            self.n_pods = 1
+        elif n_nodes <= half * half * half:
+            self.levels = 3
+            self.n_leaves = -(-n_nodes // half)
+            self.n_spines = 0
+            self.n_pods = -(-n_nodes // (half * half))
+            self.n_tops = half * half
         else:
             raise ValueError(
-                f"{n_nodes} nodes exceeds two-level Clos capacity "
-                f"{half * half} for radix {radix}"
+                f"{n_nodes} nodes exceeds three-level Clos capacity "
+                f"{half ** 3} for radix {radix}"
             )
         self._hosts_per_leaf = n_nodes if self.levels == 1 else half
+        self._hosts_per_pod = half * half
 
     # ------------------------------------------------------------------
     def leaf_of(self, port: int) -> int:
         self._check_port(port)
         return port // self._hosts_per_leaf
 
+    def pod_of(self, port: int) -> int:
+        self._check_port(port)
+        return port // self._hosts_per_pod
+
     def switches(self) -> list[str]:
         if self.levels == 1:
             return ["xbar0"]
         leaves = [f"leaf{i}" for i in range(self.n_leaves)]
-        spines = [f"spine{i}" for i in range(self.n_spines)]
-        return leaves + spines
+        if self.levels == 2:
+            spines = [f"spine{i}" for i in range(self.n_spines)]
+            return leaves + spines
+        mids = [
+            f"mid{p}_{m}"
+            for p in range(self.n_pods)
+            for m in range(self._half)
+        ]
+        tops = [f"top{t}" for t in range(self.n_tops)]
+        return leaves + mids + tops
 
     def _spine_for(self, src: int, dst: int) -> int:
         # Static deterministic spine selection (source-routed networks
@@ -83,9 +115,37 @@ class ClosTopology(Topology):
         src_leaf, dst_leaf = self.leaf_of(src), self.leaf_of(dst)
         if src_leaf == dst_leaf:
             return Route(src, dst, (f"leaf{src_leaf}",))
-        spine = self._spine_for(src, dst)
+        if self.levels == 2:
+            spine = self._spine_for(src, dst)
+            return Route(
+                src,
+                dst,
+                (f"leaf{src_leaf}", f"spine{spine}", f"leaf{dst_leaf}"),
+            )
+        src_pod, dst_pod = self.pod_of(src), self.pod_of(dst)
+        if src_pod == dst_pod:
+            # Intra-pod: the pod's mid stage acts as the spine; the
+            # same per-source ownership keeps one leaf's flows on
+            # distinct mids.
+            mid = src % self._half
+            return Route(
+                src,
+                dst,
+                (f"leaf{src_leaf}", f"mid{src_pod}_{mid}", f"leaf{dst_leaf}"),
+            )
+        # Inter-pod: each source owns one top switch (src % half**2 is
+        # unique within a pod), which fixes the mid in both pods — the
+        # three-level analogue of _spine_for's dispersive routing.
+        top = src % self.n_tops
+        mid = top // self._half
         return Route(
             src,
             dst,
-            (f"leaf{src_leaf}", f"spine{spine}", f"leaf{dst_leaf}"),
+            (
+                f"leaf{src_leaf}",
+                f"mid{src_pod}_{mid}",
+                f"top{top}",
+                f"mid{dst_pod}_{mid}",
+                f"leaf{dst_leaf}",
+            ),
         )

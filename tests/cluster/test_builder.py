@@ -50,7 +50,15 @@ def test_node_count_limits():
     with pytest.raises(ValueError):
         build_myrinet_cluster("lanai_xp_xeon2400", nodes=0)
     with pytest.raises(ValueError, match="at most"):
-        build_myrinet_cluster("lanai_xp_xeon2400", nodes=65)
+        build_myrinet_cluster("lanai_xp_xeon2400", nodes=513)
+
+
+def test_myrinet_three_level_clos_capacity():
+    """The three-level folded Clos of Xbar16s reaches 512 hosts."""
+    cluster = build_myrinet_cluster("lanai_xp_xeon2400", nodes=65)
+    assert cluster.topology.levels == 3
+    cluster512 = build_myrinet_cluster("lanai_xp_xeon2400", nodes=512)
+    assert cluster512.n == 512
 
 
 def test_quadrics_rejects_fault_injection():

@@ -23,6 +23,22 @@ def test_get_profile():
         get_profile("infiniband")
 
 
+def test_get_profile_accepts_name_variants():
+    """Case, extra underscores, and dashes all resolve to the same
+    profile object (exact registry keys stay the fast path)."""
+    canonical = get_profile("lanai91_piii700")
+    for alias in (
+        "LANAI91_PIII700",
+        "lanai_91_piii_700",
+        "LANAI-91-PIII-700",
+        "Lanai91-PIII700",
+    ):
+        assert get_profile(alias) is canonical
+    assert get_profile("ELAN3-PIII-700") is get_profile("elan3_piii700")
+    with pytest.raises(ValueError, match="unknown profile"):
+        get_profile("lanai91piii700x")
+
+
 def test_network_kinds():
     assert get_profile("lanai_xp_xeon2400").network == "myrinet"
     assert get_profile("lanai91_piii700").network == "myrinet"

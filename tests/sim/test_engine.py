@@ -150,6 +150,90 @@ def test_run_until_event_stops_early():
     assert seen == []
 
 
+def test_run_until_and_until_event_time_bound_wins():
+    """When the time bound hits first, ``now`` still lands on ``until``
+    and the event stays pending for a later run."""
+    from repro.sim import SimEvent
+
+    sim = Simulator()
+    ev = SimEvent(sim)
+    sim.schedule(50.0, ev.succeed)
+    sim.run(until=10.0, until_event=ev)
+    assert not ev.processed
+    assert sim.now == 10.0
+    sim.run(until_event=ev)
+    assert ev.processed
+    assert sim.now == 50.0
+
+
+def test_run_until_and_until_event_event_bound_wins():
+    from repro.sim import SimEvent
+
+    sim = Simulator()
+    ev = SimEvent(sim)
+    seen = []
+    sim.schedule(2.0, ev.succeed)
+    sim.schedule(8.0, seen.append, "later")
+    sim.run(until=10.0, until_event=ev)
+    assert ev.processed
+    assert sim.now == 2.0
+    assert seen == []
+
+
+def test_run_until_with_event_idle_heap_advances_clock():
+    """Time bound + event on an empty heap: clock still advances."""
+    from repro.sim import SimEvent
+
+    sim = Simulator()
+    ev = SimEvent(sim)
+    sim.run(until=25.0, until_event=ev)
+    assert not ev.processed
+    assert sim.now == 25.0
+
+
+def test_detached_and_handle_entries_share_fifo_order():
+    """Both heap-entry shapes tie-break on the global sequence number:
+    same-time entries run in scheduling order regardless of shape."""
+    sim = Simulator()
+    seen = []
+    sim.schedule(1.0, seen.append, "handle-a")
+    sim.schedule_detached(1.0, seen.append, "detached-b")
+    sim.schedule(1.0, seen.append, "handle-c")
+    sim.schedule_detached(1.0, seen.append, "detached-d")
+    sim.run()
+    assert seen == ["handle-a", "detached-b", "handle-c", "detached-d"]
+
+
+def test_detached_entries_counted_and_uncancellable():
+    sim = Simulator()
+    seen = []
+    before = sim.events_scheduled
+    assert sim.schedule_detached(1.0, seen.append, "x") is None
+    assert sim.events_scheduled == before + 1
+    with pytest.raises(ValueError):
+        sim.schedule_detached(-1.0, seen.append, "never")
+    sim.run()
+    assert seen == ["x"]
+
+
+def test_detached_fifo_survives_compaction():
+    """Heap compaction (after many cancels) preserves the FIFO
+    tie-break between surviving same-time entries of both shapes."""
+    sim = Simulator()
+    seen = []
+    handles = [sim.schedule(5.0, seen.append, f"cancelled{i}") for i in range(2048)]
+    sim.schedule(5.0, seen.append, "keep-1")
+    sim.schedule_detached(5.0, seen.append, "keep-2")
+    sim.schedule(5.0, seen.append, "keep-3")
+    for handle in handles:
+        handle.cancel()
+    sim.schedule(5.0, seen.append, "keep-4")  # triggers compaction
+    assert len(sim._heap) < 100, "compaction did not fire"
+    sim.schedule_detached(5.0, seen.append, "keep-5")
+    sim.run()
+    assert seen == ["keep-1", "keep-2", "keep-3", "keep-4", "keep-5"]
+
+
 def test_clock_monotonic_across_many_events():
     sim = Simulator()
     stamps = []

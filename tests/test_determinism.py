@@ -89,6 +89,39 @@ def test_packet_conservation_under_loss():
     assert cluster.fabric.delivered_count == sent - faults.dropped
 
 
+def _series_key(result):
+    return [
+        (s.label, tuple(s.n_values), tuple(s.latencies)) for s in result.series
+    ]
+
+
+@pytest.mark.parametrize("module_name", ["fig5", "fig7"])
+def test_parallel_sweep_bit_identical_to_serial(module_name):
+    """--jobs fans points out to worker processes; each point is an
+    independent simulator with a fixed seed, so the fan-out must not
+    change a single bit of any series."""
+    import importlib
+
+    module = importlib.import_module(f"repro.experiments.{module_name}")
+    serial = module.run(quick=True, jobs=1)
+    parallel = module.run(quick=True, jobs=4)
+    assert _series_key(serial) == _series_key(parallel)
+    assert serial.measured_anchors == parallel.measured_anchors
+
+
+def test_parallel_map_preserves_order_and_serial_fallback():
+    from repro.experiments.common import parallel_map
+
+    items = list(range(12))
+    assert parallel_map(_square, items, jobs=1) == [i * i for i in items]
+    assert parallel_map(_square, items, jobs=3) == [i * i for i in items]
+    assert parallel_map(_square, [], jobs=3) == []
+
+
+def _square(x):
+    return x * x
+
+
 def test_different_seeds_permute_differently():
     perms = set()
     for seed in range(6):

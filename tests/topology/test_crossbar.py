@@ -63,7 +63,38 @@ def test_route_is_deterministic():
 
 def test_capacity_limit_enforced():
     with pytest.raises(ValueError):
-        ClosTopology(65, radix=16)  # two-level max is 8*8 = 64
+        ClosTopology(513, radix=16)  # three-level max is 8^3 = 512
+
+
+def test_three_level_clos_beyond_two_level_capacity():
+    topo = ClosTopology(65, radix=16)
+    assert topo.levels == 3
+
+
+def test_three_level_routes():
+    topo = ClosTopology(512, radix=16)
+    # ports 0..63 share pod 0; same-pod traffic stays below the tops
+    same_pod = topo.route(0, 63)
+    assert len(same_pod.hops) == 3
+    assert same_pod.hops[0].startswith("leaf")
+    assert same_pod.hops[1].startswith("mid0_")
+    assert same_pod.hops[2].startswith("leaf")
+    # cross-pod traffic climbs to a top switch: 5 hops, 6 links
+    cross_pod = topo.route(0, 511)
+    assert len(cross_pod.hops) == 5
+    assert cross_pod.hops[2].startswith("top")
+    assert cross_pod.link_count == 6
+    # still deterministic
+    assert topo.route(0, 511) == topo.route(0, 511)
+
+
+def test_three_level_all_pairs_sample():
+    topo = ClosTopology(512, radix=16)
+    for s in range(0, 512, 61):
+        for d in range(0, 512, 53):
+            route = topo.route(s, d)
+            if s != d:
+                assert 1 <= route.switch_count <= 5
 
 
 def test_port_range_validation():
