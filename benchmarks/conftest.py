@@ -7,7 +7,6 @@ Tolerances are deliberately loose (the substitution argument in
 DESIGN.md §1 targets shape, not microsecond equality).
 """
 
-import pytest
 
 from repro.cluster import (
     build_myrinet_cluster,

@@ -10,7 +10,6 @@ Quantifies each elimination on identical workloads:
   barrier drops from the direct scheme to the collective scheme.
 """
 
-import pytest
 
 from repro.cluster import build_myrinet_cluster, run_barrier_experiment
 

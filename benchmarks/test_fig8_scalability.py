@@ -7,10 +7,9 @@ neighbourhood, plus the structural property that latency steps with
 ceil(log2 N).
 """
 
-import pytest
 
 from benchmarks.conftest import assert_close, measure_myrinet, measure_quadrics
-from repro.model import PAPER_MYRINET_XP, PAPER_QUADRICS_ELAN3, fit_barrier_model
+from repro.model import PAPER_MYRINET_XP, fit_barrier_model
 
 
 def _fit(points):

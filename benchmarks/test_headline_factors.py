@@ -9,7 +9,6 @@ Every number the abstract quotes, regenerated and checked as a band:
   protocol* roughly doubles what plain NIC offload achieved.
 """
 
-import pytest
 
 from benchmarks.conftest import assert_close, measure_myrinet, measure_quadrics
 

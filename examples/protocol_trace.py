@@ -8,7 +8,10 @@ Renders what §3/§6 describe, packet by packet:
 2. the same barrier under the prior-work direct scheme — every ``B``
    answered by an ``a`` (ACK): twice the traffic;
 3. a lossy run — the dropped hop recovered by an ``N`` (NACK) and a
-   retransmitted ``B``.
+   retransmitted ``B``;
+4. the same barrier as a *span timeline* — per-component lanes (LANai
+   CPU, PCI bus, wire hops) plus the critical path that attributes
+   every microsecond of the barrier's latency to a protocol step.
 
 Run:  python examples/protocol_trace.py
 """
@@ -22,7 +25,7 @@ from repro.collectives import (
 )
 from repro.network import FaultInjector, PacketKind
 from repro.sim import Tracer
-from repro.tools import wire_sequence_diagram
+from repro.tools import ascii_timeline, critical_path, wire_sequence_diagram
 
 NODES = 8
 
@@ -74,7 +77,21 @@ def main() -> None:
     print(wire_sequence_diagram(tracer, nodes=NODES))
     print(f"-> dropped {faults.dropped}, NACKs "
           f"{tracer.counters.get('wire.nack', 0)}, barrier still completed "
-          f"at t={cluster.sim.now:.1f}us (one NACK timeout on the critical path)")
+          f"at t={cluster.sim.now:.1f}us (one NACK timeout on the critical path)\n")
+
+    print("=" * 70)
+    print("4. The same barrier as a span timeline + critical path")
+    print("=" * 70)
+    cluster, tracer = one_barrier(NicCollectiveBarrierEngine)
+    t1 = cluster.sim.now
+    print(ascii_timeline(tracer, 0.0, t1, width=56))
+    path = critical_path(tracer, 0.0, t1)
+    print("\ncritical path (what the last rank was waiting on):")
+    print(path.table())
+    print()
+    print(path.summary())
+    print("\n(For the interactive version: `python -m repro trace`, then "
+          "load trace.json at https://ui.perfetto.dev)")
 
 
 if __name__ == "__main__":

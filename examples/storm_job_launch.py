@@ -18,14 +18,8 @@ Run:  python examples/storm_job_launch.py
 """
 
 from repro.cluster import build_myrinet_cluster
-from repro.collectives import (
-    NicBroadcastEngine,
-    ProcessGroup,
-    nic_broadcast_recv,
-    nic_broadcast_root,
-)
+from repro.collectives import ProcessGroup
 from repro.collectives.host_collectives import host_allgather, host_broadcast
-from repro.collectives.allgather import NicAllgatherEngine, nic_allgather
 from repro.mpi import create_communicators
 
 NODES = 8

@@ -9,6 +9,9 @@ Commands:
   fig8, headline, ablation, skew, extensions, sensitivity).
 - ``report``      — regenerate EXPERIMENTS.md (delegates to
   :mod:`repro.experiments.report`).
+- ``trace``       — run a small traced experiment; write Chrome-trace
+  JSON (open at https://ui.perfetto.dev), print an ASCII timeline, the
+  critical path of one barrier iteration, and the counter audit.
 """
 
 from __future__ import annotations
@@ -49,6 +52,66 @@ def _cmd_run(args: argparse.Namespace) -> int:
         for key in sorted(result.counters):
             print(f"  {key:<24} {result.counters[key]}")
     return 0
+
+
+_TRACE_DEFAULT_BARRIER = {"quadrics": "nic-chained", "myrinet": "nic-collective"}
+_TRACE_DEFAULT_PROFILE = {"quadrics": "elan3_piii700", "myrinet": "lanai_xp_xeon2400"}
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from repro.cluster import build_cluster, get_profile, run_barrier_experiment
+    from repro.sim import Tracer
+    from repro.tools import (
+        ascii_timeline,
+        audit_counters,
+        critical_path,
+        write_chrome_trace,
+    )
+
+    profile = get_profile(args.profile or _TRACE_DEFAULT_PROFILE[args.network])
+    if profile.network != args.network:
+        print(f"profile {profile.name} is not a {args.network} profile", file=sys.stderr)
+        return 2
+    barrier = args.barrier or _TRACE_DEFAULT_BARRIER[args.network]
+
+    tracer = Tracer(enabled=True)
+    cluster = build_cluster(profile, args.nodes, tracer=tracer)
+    result = run_barrier_experiment(
+        cluster,
+        barrier,
+        iterations=args.iterations,
+        warmup=args.warmup,
+        seed=args.seed,
+    )
+    print(result)
+
+    write_chrome_trace(tracer, args.out)
+    print(f"wrote {args.out} ({len(tracer.spans)} spans; open at https://ui.perfetto.dev)")
+
+    t0, t1 = result.iteration_window(-1)
+    print(f"\n--- timeline, last timed iteration [{t0:.3f}..{t1:.3f}us] ---")
+    print(ascii_timeline(tracer, t0, t1))
+
+    path = critical_path(tracer, t0, t1)
+    print("\n--- critical path ---")
+    print(path.table())
+    print()
+    print(path.summary())
+
+    print("\n--- counter audit ---")
+    try:
+        audit = audit_counters(
+            dict(tracer.counters),
+            barrier,
+            args.nodes,
+            args.warmup + args.iterations,
+            profile=profile.name,
+        )
+    except ValueError as exc:
+        print(f"(skipped: {exc})")
+        return 0
+    print(audit.table())
+    return 0 if audit.passed else 1
 
 
 def _cmd_experiment(args: argparse.Namespace) -> int:
@@ -112,6 +175,26 @@ def build_parser() -> argparse.ArgumentParser:
     exp_parser.add_argument("--jobs", type=int, default=1,
                             help="worker processes for sweep points (1 = serial)")
 
+    trace_parser = sub.add_parser(
+        "trace",
+        help="trace one experiment: Perfetto JSON + timeline + critical path + audit",
+    )
+    trace_parser.add_argument("--network", default="quadrics",
+                              choices=["quadrics", "myrinet"])
+    trace_parser.add_argument("--profile", default=None,
+                              help="hardware profile (default: per network)")
+    trace_parser.add_argument(
+        "--barrier", default=None,
+        choices=["host", "nic-direct", "nic-collective", "gsync", "hgsync", "nic-chained"],
+        help="default: nic-chained (quadrics) / nic-collective (myrinet)",
+    )
+    trace_parser.add_argument("-n", "--nodes", type=int, default=16)
+    trace_parser.add_argument("--iterations", type=int, default=5)
+    trace_parser.add_argument("--warmup", type=int, default=2)
+    trace_parser.add_argument("--seed", type=int, default=0)
+    trace_parser.add_argument("--out", default="trace.json",
+                              help="Chrome-trace JSON output path")
+
     report_parser = sub.add_parser("report", help="regenerate EXPERIMENTS.md")
     report_parser.add_argument("--quick", action="store_true")
     report_parser.add_argument("--out", default="EXPERIMENTS.md")
@@ -129,6 +212,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "run": _cmd_run,
         "experiment": _cmd_experiment,
         "report": _cmd_report,
+        "trace": _cmd_trace,
     }
     return handlers[args.command](args)
 

@@ -44,7 +44,8 @@ class _ClusterBase:
             for i in range(nodes)
         ]
         self.cpus = [
-            HostCpu(self.sim, profile.host, node_id=i) for i in range(nodes)
+            HostCpu(self.sim, profile.host, node_id=i, tracer=self.tracer)
+            for i in range(nodes)
         ]
 
     def _make_topology(self, nodes: int):  # pragma: no cover - abstract
@@ -108,6 +109,7 @@ class QuadricsCluster(_ClusterBase):
             ranks if ranks is not None else range(self.n),
             t_flag_check_us=elan.t_hw_flag_check,
             retry_backoff_us=elan.hw_retry_backoff_us,
+            tracer=self.tracer,
         )
 
 

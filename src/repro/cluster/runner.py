@@ -45,6 +45,18 @@ class BarrierResult:
     total_us: float
     node_permutation: tuple[int, ...] = ()
     counters: dict[str, int] = field(default_factory=dict)
+    # When each timed iteration's last rank exited its barrier, plus the
+    # timed-region start: the windows the trace tools decompose.
+    timed_start_us: float = 0.0
+    iteration_ends_us: tuple[float, ...] = ()
+
+    def iteration_window(self, index: int = -1) -> tuple[float, float]:
+        """The ``[start, end]`` sim-time window of one timed iteration."""
+        ends = (self.timed_start_us, *self.iteration_ends_us)
+        if not self.iteration_ends_us:
+            raise ValueError("no timed iterations recorded")
+        index = range(len(self.iteration_ends_us))[index]  # normalize
+        return ends[index], ends[index + 1]
 
     def __str__(self) -> str:
         return (
@@ -71,9 +83,13 @@ class _IterationTracker:
         if self.pending[seq] == 0:
             now = self.cluster.sim.now
             self.iter_end[seq] = now
+            tracer = self.cluster.tracer
+            if tracer.enabled:
+                start = self.iter_end[seq - 1] if seq > 0 else 0.0
+                tracer.add_span(start, now, "run", f"barrier[{seq}]", seq=seq)
             if seq == self.warmup - 1:
                 self.timed_start = now
-                self.counter_base = self.cluster.tracer.snapshot()
+                self.counter_base = tracer.snapshot()
 
 
 def _barrier_step(cluster, kind: str, group: ProcessGroup, drivers, hw, node: int, seq: int):
@@ -183,4 +199,6 @@ def run_barrier_experiment(
         total_us=timed[-1] - tracker.timed_start,
         node_permutation=tuple(order),
         counters=cluster.tracer.delta(tracker.counter_base),
+        timed_start_us=tracker.timed_start,
+        iteration_ends_us=tuple(timed),
     )

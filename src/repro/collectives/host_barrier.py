@@ -26,7 +26,7 @@ def host_barrier(port: "GmPort", group: ProcessGroup, seq: int):
     iterations are safe.
     """
     rank = group.rank_of(port.node_id)
-    yield from port.cpu.compute(port.cpu.params.barrier_call_us)
+    yield from port.cpu.compute(port.cpu.params.barrier_call_us, "barrier_call")
     phases = group.schedule.phases(rank)
     for phase_idx, phase in enumerate(phases):
         if phase.send_first:

@@ -77,7 +77,7 @@ class _NicBarrierEngineBase:
 
     def _on_start(self, seq: int):
         nic = self.nic
-        yield from nic.cpu_task(nic.params.t_coll_start)
+        yield from nic.cpu_task(nic.params.t_coll_start, "coll_start")
         state = self._state(seq)
         state.started = True
         state.start_time = nic.sim.now
@@ -88,7 +88,7 @@ class _NicBarrierEngineBase:
     def on_barrier_packet(self, packet: Packet):
         msg: BarrierMsg = packet.payload
         nic = self.nic
-        yield from nic.cpu_task(nic.params.t_coll_trigger)
+        yield from nic.cpu_task(nic.params.t_coll_trigger, "coll_trigger")
         if msg.seq <= self.done_through:
             # Late duplicate (a retransmission that raced the original):
             # the barrier already completed here.
@@ -135,7 +135,7 @@ class _NicBarrierEngineBase:
     def _complete(self, state: CollectiveGroupState):
         nic = self.nic
         state.cancel_nack_timer()
-        yield from nic.cpu_task(nic.params.t_coll_complete)
+        yield from nic.cpu_task(nic.params.t_coll_complete, "coll_complete")
         self.barriers_completed += 1
         nic.tracer.count("coll.barrier_complete")
         del self.states[state.seq]
@@ -172,7 +172,7 @@ class NicDirectBarrierEngine(_NicBarrierEngineBase):
     def _send_message(self, state: CollectiveGroupState, phase: int, dst: int):
         nic = self.nic
         state.send_record.mark_sent(phase, dst)
-        yield from nic.cpu_task(nic.params.t_sdma_event)  # build the token
+        yield from nic.cpu_task(nic.params.t_sdma_event, "build_token")
         token = SendToken(
             dst=self.group.node_of(dst),
             size_bytes=nic.params.barrier_payload_bytes,
@@ -245,7 +245,7 @@ class NicCollectiveBarrierEngine(_NicBarrierEngineBase):
         """A peer is missing one of our messages: retransmit it."""
         nack: BarrierNack = packet.payload
         nic = self.nic
-        yield from nic.cpu_task(nic.params.t_nack_process)
+        yield from nic.cpu_task(nic.params.t_nack_process, "nack_process")
         state = self.states.get(nack.seq)
         if state is not None and not state.send_record.was_sent(
             nack.phase, nack.requester
@@ -273,7 +273,7 @@ def nic_barrier(port: "GmPort", group: ProcessGroup, seq: int):
     completion event appears in its receive-event queue — the entire
     point of NIC offload.
     """
-    yield from port.cpu.compute(port.cpu.params.barrier_call_us)
+    yield from port.cpu.compute(port.cpu.params.barrier_call_us, "barrier_call")
     yield from port.pci.pio_write()
     port.nic.post_engine_command((group.group_id, "start", seq))
     done = yield from port.recv_matching(

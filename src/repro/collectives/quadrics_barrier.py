@@ -203,7 +203,7 @@ class QuadricsChainedBarrier:
         """One barrier: arm the chain, trigger the head, await the tail."""
         port = self.port
         nic = port.nic
-        yield from port.cpu.compute(port.cpu.params.barrier_call_us)
+        yield from port.cpu.compute(port.cpu.params.barrier_call_us, "barrier_call")
         # One command crossing re-arms the descriptor list for this
         # iteration (the SRAM writes ride the same PIO burst).
         yield from port._command()

@@ -11,7 +11,7 @@ latency bump at non-power-of-two node counts (its two extra steps).
 
 from __future__ import annotations
 
-from repro.experiments.common import ExperimentResult, Series, print_experiment, sweep
+from repro.experiments.common import ExperimentResult, print_experiment, sweep
 
 PROFILE = "lanai91_piii700"
 PAPER_ANCHORS = {

@@ -11,7 +11,7 @@ PCI-X bus is faster — less for offload to win.
 
 from __future__ import annotations
 
-from repro.experiments.common import ExperimentResult, Series, print_experiment, sweep
+from repro.experiments.common import ExperimentResult, print_experiment, sweep
 
 PROFILE = "lanai_xp_xeon2400"
 PAPER_ANCHORS = {

@@ -14,7 +14,7 @@ at small N* (its test-and-set costs more network transactions).
 
 from __future__ import annotations
 
-from repro.experiments.common import ExperimentResult, Series, print_experiment, sweep
+from repro.experiments.common import ExperimentResult, print_experiment, sweep
 
 PROFILE = "elan3_piii700"
 PAPER_ANCHORS = {

@@ -5,7 +5,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Optional
 
-from repro.sim import Resource, Simulator
+from repro.sim import Resource, Simulator, Tracer
 
 
 @dataclass(frozen=True)
@@ -55,22 +55,33 @@ class HostCpu:
         params: HostParams,
         node_id: int,
         name: Optional[str] = None,
+        tracer: Optional[Tracer] = None,
     ):
         self.sim = sim
         self.params = params
         self.node_id = node_id
         self.name = name or f"host{node_id}"
+        self.tracer = tracer or Tracer()
         self._cpu = Resource(sim, capacity=1, name=f"{self.name}.cpu")
         self.busy_us = 0.0
 
-    def compute(self, us: float):
-        """Occupy the CPU for ``us`` microseconds (yield from a process)."""
+    def compute(self, us: float, label: Optional[str] = None):
+        """Occupy the CPU for ``us`` microseconds (yield from a process).
+
+        ``label`` names the software step on the host lane of a span
+        timeline (e.g. ``barrier_call``, ``poll``); it costs nothing
+        when tracing is disabled.
+        """
         if us < 0:
             raise ValueError(f"negative compute time {us}")
         yield self._cpu.request()
         yield us
         self._cpu.release()
         self.busy_us += us
+        tracer = self.tracer
+        if tracer.enabled:
+            now = self.sim.now
+            tracer.add_span(now - us, now, self.name, label or "compute")
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"<HostCpu {self.name} busy={self.busy_us:.1f}us>"

@@ -71,7 +71,7 @@ class GmPort:
         event when ``wait_completion`` is requested, after blocking on
         it; otherwise returns immediately after the doorbell.
         """
-        yield from self.cpu.compute(self.cpu.params.send_overhead_us)
+        yield from self.cpu.compute(self.cpu.params.send_overhead_us, "send_overhead")
         completion: Optional[SimEvent] = None
         if wait_completion:
             completion = SimEvent(self.sim, name=f"send_done@{self.node_id}")
@@ -113,7 +113,7 @@ class GmPort:
         else:
             event = yield queue.get()
             yield params.poll_interval_us / 2.0
-        yield from self.cpu.compute(params.poll_us)
+        yield from self.cpu.compute(params.poll_us, "poll")
         return event
 
     def recv_matching(self, matches: Callable[[Any], bool]):
@@ -128,7 +128,7 @@ class GmPort:
         for i, ev in enumerate(self._pending):
             if matches(ev):
                 self._pending.pop(i)
-                yield from self.cpu.compute(params.recv_overhead_us)
+                yield from self.cpu.compute(params.recv_overhead_us, "recv_overhead")
                 if isinstance(ev, GmRecvEvent):
                     yield from self.provide_receive_buffer()
                 return ev
@@ -138,7 +138,7 @@ class GmPort:
                 if not event.completion.triggered:
                     event.completion.succeed(event)
             if matches(event):
-                yield from self.cpu.compute(params.recv_overhead_us)
+                yield from self.cpu.compute(params.recv_overhead_us, "recv_overhead")
                 if isinstance(event, GmRecvEvent):
                     yield from self.provide_receive_buffer()
                 return event

@@ -48,7 +48,7 @@ class ControlProgram:
         nic = self.nic
         while True:
             token = yield nic.host_event_queue.get()
-            yield from nic.cpu_task(nic.params.t_sdma_event)
+            yield from nic.cpu_task(nic.params.t_sdma_event, "sdma_event")
             nic.enqueue_send_token(token)
 
     def _send_scheduler(self):
@@ -66,7 +66,7 @@ class ControlProgram:
                     nic.rr_ring.append(extra)
                 dst = nic.rr_ring.popleft()
                 queue = nic.send_queues[dst]
-                yield from nic.cpu_task(nic.params.t_token_schedule)
+                yield from nic.cpu_task(nic.params.t_token_schedule, "token_schedule")
                 token = queue.popleft()
                 yield from self._transmit_token(token)
                 if queue:
@@ -84,11 +84,11 @@ class ControlProgram:
             # Wait for a send packet buffer (held until the ACK arrives,
             # so a retransmission does not have to re-claim one).
             yield nic.packet_pool.request()
-            yield from nic.cpu_task(p.t_packet_alloc)
+            yield from nic.cpu_task(p.t_packet_alloc, "packet_alloc")
             if token.notify_host:
                 # Data lives in host memory: DMA it into the send packet.
                 yield from nic.pci.dma(chunk, DmaDirection.HOST_TO_NIC)
-            yield from nic.cpu_task(p.t_fill)
+            yield from nic.cpu_task(p.t_fill, "fill")
             seq = nic.next_seq[token.dst]
             nic.next_seq[token.dst] = seq + 1
             record = SendRecord(
@@ -102,9 +102,9 @@ class ControlProgram:
             )
             nic.send_records[(token.dst, seq)] = record
             token.packets_outstanding += 1
-            yield from nic.cpu_task(p.t_send_record)
+            yield from nic.cpu_task(p.t_send_record, "send_record")
             nic.arm_record_timer(record)
-            yield from nic.cpu_task(p.t_inject)
+            yield from nic.cpu_task(p.t_inject, "inject")
             nic.fabric.transmit(
                 Packet(
                     src=nic.node_id,
@@ -128,7 +128,7 @@ class ControlProgram:
         p = nic.params
         while True:
             packet = yield nic.rx_queue.get()
-            yield from nic.cpu_task(p.t_rx_header)
+            yield from nic.cpu_task(p.t_rx_header, "rx_header")
             if packet.kind == PacketKind.DATA:
                 yield from self._handle_data(packet)
             elif packet.kind == PacketKind.ACK:
@@ -174,9 +174,9 @@ class ControlProgram:
         nic.recv_tokens_available -= 1
         nic.expect_seq[packet.src] = expected + 1
         payload_bytes = max(packet.size_bytes - p.data_header_bytes, 0)
-        yield from nic.cpu_task(p.t_rdma_setup)
+        yield from nic.cpu_task(p.t_rdma_setup, "rdma_setup")
         yield from nic.pci.dma(payload_bytes, DmaDirection.NIC_TO_HOST)
-        yield from nic.cpu_task(p.t_recv_event)
+        yield from nic.cpu_task(p.t_recv_event, "recv_event")
         from repro.myrinet.gm_api import GmRecvEvent
 
         yield from nic.notify_host(
@@ -207,7 +207,7 @@ class ControlProgram:
 
     def _send_ack(self, packet: Packet):
         nic = self.nic
-        yield from nic.cpu_task(nic.params.t_ack_gen)
+        yield from nic.cpu_task(nic.params.t_ack_gen, "ack_gen")
         nic.fabric.transmit(
             Packet(
                 src=nic.node_id,
@@ -229,7 +229,7 @@ class ControlProgram:
         record.acked = True
         record.cancel_timer()
         nic.packet_pool.release()
-        yield from nic.cpu_task(p.t_ack_process)
+        yield from nic.cpu_task(p.t_ack_process, "ack_process")
         token = record.token
         token.packets_outstanding -= 1
         if (
@@ -237,7 +237,7 @@ class ControlProgram:
             and token.all_packets_sent
             and token.notify_host
         ):
-            yield from nic.cpu_task(p.t_token_complete)
+            yield from nic.cpu_task(p.t_token_complete, "token_complete")
             if token.completion is not None:
                 yield from nic.notify_host(token)
             # (Without a completion event the token is recycled silently.)
@@ -261,9 +261,9 @@ class ControlProgram:
                 continue
             record.retransmits += 1
             nic.tracer.count("gm.retransmit")
-            yield from nic.cpu_task(p.t_retransmit)
+            yield from nic.cpu_task(p.t_retransmit, "retransmit")
             nic.arm_record_timer(record)
-            yield from nic.cpu_task(p.t_inject)
+            yield from nic.cpu_task(p.t_inject, "inject")
             nic.fabric.transmit(
                 Packet(
                     src=nic.node_id,

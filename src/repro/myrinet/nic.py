@@ -47,6 +47,7 @@ class LanaiNic:
         # The LANai processor.
         self.cpu = Resource(sim, capacity=1, name=f"{self.name}.cpu")
         self.busy_us = 0.0
+        self._cpu_lane = f"{self.name}.cpu"
 
         # Host -> NIC work (arrive after the host's PIO doorbell).
         self.host_event_queue = Store(sim, name=f"{self.name}.host_events")
@@ -87,12 +88,20 @@ class LanaiNic:
     # ------------------------------------------------------------------
     # NIC processor
     # ------------------------------------------------------------------
-    def cpu_task(self, cost: float):
-        """Run one control-program task of ``cost`` µs on the LANai."""
+    def cpu_task(self, cost: float, label: Optional[str] = None):
+        """Run one control-program task of ``cost`` µs on the LANai.
+
+        ``label`` names the protocol step on the NIC lane of a span
+        timeline; it costs nothing when tracing is disabled.
+        """
         yield self.cpu.request()
         yield cost
         self.cpu.release()
         self.busy_us += cost
+        tracer = self.tracer
+        if tracer.enabled:
+            now = self.sim.now
+            tracer.add_span(now - cost, now, self._cpu_lane, label or "task")
 
     # ------------------------------------------------------------------
     # Host-facing entry points (called from host-side code)
@@ -134,7 +143,7 @@ class LanaiNic:
         No queue traversal, no packet allocation, no per-packet send
         record, no ACK — only the injection task and the wire.
         """
-        yield from self.cpu_task(self.params.t_inject)
+        yield from self.cpu_task(self.params.t_inject, "coll_inject")
         packet = Packet(
             src=self.node_id,
             dst=dst,
@@ -146,7 +155,7 @@ class LanaiNic:
 
     def send_nack(self, dst: int, payload: Any):
         """Receiver-driven reliability: request a retransmission (§6.3)."""
-        yield from self.cpu_task(self.params.t_nack_gen)
+        yield from self.cpu_task(self.params.t_nack_gen, "nack_gen")
         packet = Packet(
             src=self.node_id,
             dst=dst,

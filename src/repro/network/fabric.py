@@ -191,6 +191,14 @@ class Fabric:
                 sent_at=packet.sent_at,
                 size=packet.size_bytes,
             )
+            self.tracer.add_span(
+                packet.sent_at,
+                self.sim.now,
+                f"wire.n{packet.src}-n{packet.dst}",
+                packet.kind,
+                pkt=packet.wire_id,
+                size=packet.size_bytes,
+            )
         self._handlers[packet.dst](packet)
 
     # ------------------------------------------------------------------
@@ -219,5 +227,15 @@ class Fabric:
 
     def _deliver_broadcast(self, packet: Packet, targets: tuple[int, ...]) -> None:
         packet.delivered_at = self.sim.now
+        if self.tracer.enabled:
+            self.tracer.add_span(
+                packet.sent_at,
+                self.sim.now,
+                f"wire.n{packet.src}-bcast",
+                packet.kind,
+                pkt=packet.wire_id,
+                size=packet.size_bytes,
+                targets=len(targets),
+            )
         for port in targets:
             self._handlers[port](packet)

@@ -85,6 +85,10 @@ class FaultInjector:
         for plan in self.plans:
             if plan.should_drop(packet):
                 self.dropped += 1
+                if plan.fired:
+                    # One-shot plans never match again; pruning keeps the
+                    # per-packet scan from growing with test history.
+                    self.plans.remove(plan)
                 return True
         if self.drop_probability and self.rng.bernoulli(self.drop_probability):
             self.dropped += 1

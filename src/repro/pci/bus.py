@@ -69,6 +69,10 @@ class PciBus:
         self._dma_dir_counter = {
             d: f"{name}.dma.{d.value}" for d in DmaDirection
         }
+        self._dma_span_name = {
+            DmaDirection.HOST_TO_NIC: "dma:h2n",
+            DmaDirection.NIC_TO_HOST: "dma:n2h",
+        }
 
     # ------------------------------------------------------------------
     def pio_write(self, nbytes: int = 8):
@@ -77,7 +81,12 @@ class PciBus:
         yield self.params.pio_write_us
         self._bus.release()
         self.pio_count += 1
-        self.tracer.count(self._pio_counter)
+        tracer = self.tracer
+        tracer.count(self._pio_counter)
+        if tracer.enabled:
+            # The bus was held for exactly the PIO cost ending now.
+            now = self.sim.now
+            tracer.add_span(now - self.params.pio_write_us, now, self.name, "pio_write")
 
     def dma(self, nbytes: int, direction: DmaDirection):
         """One DMA transaction: setup + transfer, bus held throughout."""
@@ -119,8 +128,20 @@ class PciBus:
         self._bus.release()
         self.dma_count += 1
         self.bytes_transferred += nbytes
-        self.tracer.count(self._dma_counter)
-        self.tracer.count(self._dma_dir_counter[direction])
+        tracer = self.tracer
+        tracer.count(self._dma_counter)
+        tracer.count(self._dma_dir_counter[direction])
+        if tracer.enabled:
+            # The bus was held from acquisition to now, i.e. exactly the
+            # transaction time (setup + transfer) ending now.
+            now = self.sim.now
+            tracer.add_span(
+                now - self.params.dma_time(nbytes),
+                now,
+                self.name,
+                self._dma_span_name[direction],
+                bytes=nbytes,
+            )
 
     # ------------------------------------------------------------------
     @property

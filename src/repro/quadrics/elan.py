@@ -76,6 +76,11 @@ class Elan3Nic:
         self.pci = pci
         self.tracer = tracer or Tracer()
         self.name = f"elan{node_id}"
+        # Span lanes, one per functional unit (each is capacity-1, so
+        # spans within a lane never overlap).
+        self._event_lane = f"{self.name}.event"
+        self._dma_lane = f"{self.name}.dma"
+        self._thread_lane = f"{self.name}.thread"
 
         self.event_unit = Resource(sim, 1, name=f"{self.name}.events")
         self.dma_engine = Resource(sim, 1, name=f"{self.name}.dma")
@@ -138,6 +143,12 @@ class Elan3Nic:
 
     def _notify_unit_done(self, value: Any) -> None:
         self.event_unit.release()
+        tracer = self.tracer
+        if tracer.enabled:
+            now = self.sim.now
+            tracer.add_span(
+                now - self.params.t_host_event, now, self._event_lane, "host_notify"
+            )
         self.pci.dma_async(8, DmaDirection.NIC_TO_HOST, self.host_events.put, value)
 
     # ------------------------------------------------------------------
@@ -160,7 +171,14 @@ class Elan3Nic:
     def _rdma_issue_done(self, descriptor: RdmaDescriptor) -> None:
         """Tail of the fast path: inject the packet, free the engine."""
         p = self.params
-        self.tracer.count("elan.rdma_issued")
+        tracer = self.tracer
+        tracer.count("elan.rdma_issued")
+        if tracer.enabled:
+            now = self.sim.now
+            tracer.add_span(
+                now - p.t_rdma_issue, now, self._dma_lane, "rdma_issue",
+                dst=descriptor.dst,
+            )
         self.fabric.transmit(
             Packet(
                 src=self.node_id,
@@ -177,10 +195,14 @@ class Elan3Nic:
     def _rdma_proc(self, descriptor: RdmaDescriptor):
         p = self.params
         yield self.dma_engine.request()
+        span = self.tracer.begin_span(
+            self.sim.now, self._dma_lane, "rdma_issue", dst=descriptor.dst
+        )
         yield p.t_rdma_issue
         if descriptor.size_bytes > 0:
             # Data is fetched from host memory over the PCI bus.
             yield from self.pci.dma(descriptor.size_bytes, DmaDirection.HOST_TO_NIC)
+        self.tracer.end_span(span, self.sim.now)
         self.tracer.count("elan.rdma_issued")
         self.fabric.transmit(
             Packet(
@@ -227,7 +249,14 @@ class Elan3Nic:
 
     def _rx_fire(self, descriptor: RdmaDescriptor) -> None:
         self.event_unit.release()
-        self.tracer.count("elan.event_fired")
+        tracer = self.tracer
+        tracer.count("elan.event_fired")
+        if tracer.enabled:
+            now = self.sim.now
+            tracer.add_span(
+                now - self.params.t_event_fire, now, self._event_lane, "event_fire",
+                event=descriptor.remote_event,
+            )
         if descriptor.payload is not None:
             self.rdma_mailbox[descriptor.remote_event] = descriptor.payload
         self.event(descriptor.remote_event).set_event()
@@ -248,7 +277,9 @@ class Elan3Nic:
                 yield from self.pci.dma(
                     descriptor.size_bytes, DmaDirection.NIC_TO_HOST
                 )
-            yield from self._unit_task(self.event_unit, p.t_event_fire)
+            yield from self._unit_task(
+                self.event_unit, p.t_event_fire, self._event_lane, "event_fire"
+            )
             self.tracer.count("elan.event_fired")
             if descriptor.payload is not None:
                 self.rdma_mailbox[descriptor.remote_event] = descriptor.payload
@@ -257,8 +288,12 @@ class Elan3Nic:
             # Tport message: matched by the thread processor, then
             # handed to the host.  Payload and completion word ride
             # one DMA burst (Elan3 writes host memory directly).
-            yield from self._unit_task(self.thread_cpu, p.t_tport_match)
-            yield from self._unit_task(self.event_unit, p.t_host_event)
+            yield from self._unit_task(
+                self.thread_cpu, p.t_tport_match, self._thread_lane, "tport_match"
+            )
+            yield from self._unit_task(
+                self.event_unit, p.t_host_event, self._event_lane, "host_notify"
+            )
             yield from self.pci.dma(packet.size_bytes, DmaDirection.NIC_TO_HOST)
             self.tport_queue.put(packet.payload)
         self._rx_next()
@@ -270,11 +305,15 @@ class Elan3Nic:
         """Thread-processor half of a tagged send (host already paid
         its library overhead and the PIO)."""
         p = self.params
-        yield from self._unit_task(self.thread_cpu, p.t_thread_step)
+        yield from self._unit_task(
+            self.thread_cpu, p.t_thread_step, self._thread_lane, "thread_step"
+        )
         yield self.dma_engine.request()
+        span = self.tracer.begin_span(self.sim.now, self._dma_lane, "tport_inject", dst=dst)
         yield p.t_rdma_issue
         if size_bytes > 0:
             yield from self.pci.dma(size_bytes, DmaDirection.HOST_TO_NIC)
+        self.tracer.end_span(span, self.sim.now)
         self.fabric.transmit(
             Packet(
                 src=self.node_id,
@@ -287,10 +326,20 @@ class Elan3Nic:
         self.dma_engine.release()
 
     # ------------------------------------------------------------------
-    def _unit_task(self, unit: Resource, cost: float):
+    def _unit_task(
+        self,
+        unit: Resource,
+        cost: float,
+        lane: Optional[str] = None,
+        name: str = "task",
+    ):
         yield unit.request()
         yield cost
         unit.release()
+        tracer = self.tracer
+        if tracer.enabled and lane is not None:
+            now = self.sim.now
+            tracer.add_span(now - cost, now, lane, name)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"<Elan3Nic {self.name} events={len(self._events)}>"

@@ -14,7 +14,7 @@ Provides the pieces the paper compares against and builds on:
 
 from __future__ import annotations
 
-from typing import Any, Callable, Iterable, Optional, Sequence
+from typing import Any, Callable, Optional, Sequence
 
 from repro.host import HostCpu
 from repro.pci import PciBus
@@ -67,7 +67,7 @@ class ElanPort:
     # Tagged message ports (tports)
     # ------------------------------------------------------------------
     def tport_send(self, dst: int, tag: Any, payload: Any = None, size_bytes: int = 0):
-        yield from self.cpu.compute(self.cpu.params.send_overhead_us)
+        yield from self.cpu.compute(self.cpu.params.send_overhead_us, "send_overhead")
         yield from self.pci.pio_write()
         message = TportMessage(src=self.node_id, tag=tag, payload=payload)
         yield from self.nic.tport_inject(dst, message, size_bytes)
@@ -78,7 +78,7 @@ class ElanPort:
         for i, msg in enumerate(self._tport_pending):
             if matches(msg):
                 self._tport_pending.pop(i)
-                yield from self.cpu.compute(params.recv_overhead_us)
+                yield from self.cpu.compute(params.recv_overhead_us, "recv_overhead")
                 return msg
         queue = self.nic.tport_queue
         while True:
@@ -87,9 +87,9 @@ class ElanPort:
             else:
                 msg = yield queue.get()
                 yield params.poll_interval_us / 2.0
-            yield from self.cpu.compute(params.poll_us)
+            yield from self.cpu.compute(params.poll_us, "poll")
             if matches(msg):
-                yield from self.cpu.compute(params.recv_overhead_us)
+                yield from self.cpu.compute(params.recv_overhead_us, "recv_overhead")
                 return msg
             self._tport_pending.append(msg)
 
@@ -105,7 +105,7 @@ class ElanPort:
         for i, ev in enumerate(self._host_event_pending):
             if matches(ev):
                 self._host_event_pending.pop(i)
-                yield from self.cpu.compute(params.recv_overhead_us)
+                yield from self.cpu.compute(params.recv_overhead_us, "recv_overhead")
                 return ev
         queue = self.nic.host_events
         while True:
@@ -114,9 +114,9 @@ class ElanPort:
             else:
                 ev = yield queue.get()
                 yield params.poll_interval_us / 2.0
-            yield from self.cpu.compute(params.poll_us)
+            yield from self.cpu.compute(params.poll_us, "poll")
             if matches(ev):
-                yield from self.cpu.compute(params.recv_overhead_us)
+                yield from self.cpu.compute(params.recv_overhead_us, "recv_overhead")
                 return ev
             self._host_event_pending.append(ev)
 
@@ -151,7 +151,7 @@ def elan_gsync(
     Event words are cumulative, so back-to-back barriers with the same
     ``ranks`` reuse them with growing thresholds.
     """
-    yield from port.cpu.compute(port.cpu.params.barrier_call_us)
+    yield from port.cpu.compute(port.cpu.params.barrier_call_us, "barrier_call")
     ranks = list(ranks)
     index = ranks.index(port.node_id)
     size = len(ranks)
@@ -202,7 +202,7 @@ def elan_hw_broadcast(
     event_name = "hbcast"
     nic.arm_host_notify(event_name, seq + 1, value=("hbcast", seq))
     if port.node_id == root:
-        yield from port.cpu.compute(port.cpu.params.send_overhead_us)
+        yield from port.cpu.compute(port.cpu.params.send_overhead_us, "send_overhead")
         yield from port._command()
         if size_bytes > 0:
             from repro.pci import DmaDirection
@@ -242,7 +242,7 @@ def elan_hgsync(
     if not hw_enabled or hw_barrier is None:
         yield from elan_gsync(port, ranks, seq, degree=degree)
         return
-    yield from port.cpu.compute(port.cpu.params.barrier_call_us)
+    yield from port.cpu.compute(port.cpu.params.barrier_call_us, "barrier_call")
     yield from port.pci.pio_write()
     yield port.nic.params.t_hw_flag_check  # NIC commits the arrived flag
     release = hw_barrier.enter(port.node_id, seq)
@@ -252,5 +252,5 @@ def elan_hgsync(
             break
     # The host discovers the release by polling its memory word.
     yield port.cpu.params.poll_interval_us / 2.0
-    yield from port.cpu.compute(port.cpu.params.poll_us)
-    yield from port.cpu.compute(port.cpu.params.recv_overhead_us)
+    yield from port.cpu.compute(port.cpu.params.poll_us, "poll")
+    yield from port.cpu.compute(port.cpu.params.recv_overhead_us, "recv_overhead")

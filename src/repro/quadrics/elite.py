@@ -24,8 +24,10 @@ from __future__ import annotations
 from collections import defaultdict
 from typing import Iterable
 
+from typing import Optional
+
 from repro.network.fabric import WireParams
-from repro.sim import Simulator, Store
+from repro.sim import Simulator, Store, Tracer
 from repro.topology.fat_tree import QuaternaryFatTree
 
 
@@ -40,10 +42,12 @@ class HardwareBarrier:
         ranks: Iterable[int],
         t_flag_check_us: float,
         retry_backoff_us: float,
+        tracer: Optional[Tracer] = None,
     ):
         self.sim = sim
         self.topology = topology
         self.wire = wire
+        self.tracer = tracer or Tracer()
         self.ranks = tuple(ranks)
         if not self.ranks:
             raise ValueError("hardware barrier needs at least one participant")
@@ -80,11 +84,15 @@ class HardwareBarrier:
     def _controller(self, seq: int):
         expected = set(self.ranks)
         down = self._traversal_us()
+        tracer = self.tracer
         while True:
             self.rounds += 1
+            t0 = self.sim.now
             yield down  # test broadcast reaches every NIC
             yield self.t_flag_check_us  # NICs check their flags (parallel)
             yield down  # combined reply climbs back to the root
+            if tracer.enabled:
+                tracer.add_span(t0, self.sim.now, "elite", "test_round", seq=seq)
             if self._arrived[seq] >= expected:
                 break
             self.retries += 1
@@ -92,10 +100,13 @@ class HardwareBarrier:
         # The *set* half of the atomic test-and-set: a second full
         # transaction commits the flags ("a higher number of network
         # transactions" than a chained-RDMA step, §8.2).
+        t0 = self.sim.now
         yield down
         yield self.t_flag_check_us
         yield down
         yield down  # release broadcast
+        if tracer.enabled:
+            tracer.add_span(t0, self.sim.now, "elite", "set_release", seq=seq)
         del self._arrived[seq]
         for rank in self.ranks:
             self._release[rank].put(seq)

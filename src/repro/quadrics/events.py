@@ -11,7 +11,7 @@ B is still finishing barrier *k*).
 
 from __future__ import annotations
 
-from typing import Any, Callable, Optional
+from typing import Callable
 
 
 class ElanEvent:

@@ -33,7 +33,7 @@ from repro.sim.events import (
 )
 from repro.sim.process import Process, Interrupt
 from repro.sim.resources import Resource, Store, PriorityStore
-from repro.sim.trace import Tracer, TraceRecord
+from repro.sim.trace import Span, StatAccumulator, Tracer, TraceRecord, TraceTruncated
 from repro.sim.rng import DeterministicRng
 
 __all__ = [
@@ -49,7 +49,10 @@ __all__ = [
     "Resource",
     "Store",
     "PriorityStore",
+    "Span",
+    "StatAccumulator",
     "Tracer",
     "TraceRecord",
+    "TraceTruncated",
     "DeterministicRng",
 ]

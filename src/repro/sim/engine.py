@@ -51,7 +51,7 @@ class ScheduledCall:
     cancelled entries accumulate).
     """
 
-    __slots__ = ("time", "seq", "fn", "args", "cancelled", "_sim")
+    __slots__ = ("time", "seq", "fn", "args", "cancelled", "executed", "_sim")
 
     def __init__(self, time: float, seq: int, fn: Callable, args: tuple, sim):
         self.time = time
@@ -59,11 +59,18 @@ class ScheduledCall:
         self.fn = fn
         self.args = args
         self.cancelled = False
+        self.executed = False
         self._sim = sim
 
     def cancel(self) -> None:
-        """Prevent the callback from running.  Idempotent."""
-        if self.cancelled:
+        """Prevent the callback from running.  Idempotent.
+
+        Cancelling a handle whose call already ran (or whose entry has
+        already been reaped from the heap) is a no-op: no entry is
+        buried in the heap anymore, so it must not count toward the
+        compaction accounting.
+        """
+        if self.cancelled or self.executed:
             return
         self.cancelled = True
         # Drop references so cancelled timers do not pin large objects.
@@ -185,7 +192,7 @@ class Simulator:
         """Timestamp of the next pending call, or ``float('inf')``."""
         heap = self._heap
         while heap and heap[0][3] is None and heap[0][2].cancelled:
-            heappop(heap)
+            heappop(heap)[2].executed = True  # entry reaped from the heap
             self._cancelled -= 1
         return heap[0][0] if heap else float("inf")
 
@@ -195,6 +202,7 @@ class Simulator:
         while heap:
             time, _seq, fn, args = heappop(heap)
             if args is None:  # cancellable ScheduledCall entry
+                fn.executed = True  # entry is off the heap: late cancel is a no-op
                 if fn.cancelled:
                     self._cancelled -= 1
                     continue
@@ -225,6 +233,7 @@ class Simulator:
         while heap:
             time, _seq, fn, args = pop(heap)
             if args is None:  # cancellable ScheduledCall entry
+                fn.executed = True  # entry is off the heap: late cancel is a no-op
                 if fn.cancelled:
                     self._cancelled -= 1
                     continue

@@ -108,7 +108,11 @@ class Process:
                 # extra event-processing hop — same resume time, same
                 # FIFO position (one scheduled call either way).
                 if target < 0:
-                    raise ValueError(f"negative timeout {target!r}")
+                    # Thrown into the generator (like a bad yield), so
+                    # the error fails ``completion`` instead of escaping
+                    # into the run loop.
+                    exc = ValueError(f"negative timeout {target!r}")
+                    continue
                 self._resume_handle = self.sim.schedule(
                     target, self._step, None, None
                 )
@@ -116,6 +120,9 @@ class Process:
             if isinstance(target, (int, float)):
                 # Numeric subclasses (e.g. numpy scalars, bool) take the
                 # generic event path.
+                if target < 0:
+                    exc = ValueError(f"negative timeout {target!r}")
+                    continue
                 target = Timeout(self.sim, float(target))
             elif isinstance(target, Process):
                 target = target.completion

@@ -10,7 +10,7 @@ from __future__ import annotations
 
 import hashlib
 import random
-from typing import Optional, Sequence
+from typing import Sequence
 
 
 class DeterministicRng:

@@ -1,11 +1,43 @@
 """Inspection tools built on :class:`repro.sim.Tracer` records."""
 
+from repro.tools.audit import (
+    AUDITABLE_BARRIERS,
+    CounterAudit,
+    CounterCheck,
+    aggregate_counters,
+    audit_counters,
+    expected_counters,
+    run_counter_audit,
+)
 from repro.tools.flow import message_flow, wire_sequence_diagram
 from repro.tools.perfbench import bench_point, run_benchmarks
+from repro.tools.timeline import (
+    CriticalPath,
+    PathStep,
+    ascii_timeline,
+    chrome_trace,
+    component_of,
+    critical_path,
+    write_chrome_trace,
+)
 
 __all__ = [
+    "AUDITABLE_BARRIERS",
+    "CounterAudit",
+    "CounterCheck",
+    "CriticalPath",
+    "PathStep",
+    "aggregate_counters",
+    "ascii_timeline",
+    "audit_counters",
     "bench_point",
+    "chrome_trace",
+    "component_of",
+    "critical_path",
+    "expected_counters",
     "message_flow",
     "run_benchmarks",
+    "run_counter_audit",
     "wire_sequence_diagram",
+    "write_chrome_trace",
 ]

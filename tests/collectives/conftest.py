@@ -7,7 +7,6 @@ from tests.quadrics.conftest import QuadricsTestCluster
 
 from repro.collectives import (
     NicCollectiveBarrierEngine,
-    NicDirectBarrierEngine,
     ProcessGroup,
 )
 

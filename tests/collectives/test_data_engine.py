@@ -4,7 +4,7 @@ import pytest
 
 from repro.collectives import ProcessGroup
 from repro.collectives.allgather import NicAllgatherEngine, nic_allgather
-from repro.collectives.data_engine import DataCollMsg, _DataState
+from repro.collectives.data_engine import _DataState
 from repro.network import FaultInjector, Packet, PacketKind
 from tests.collectives.conftest import run_all
 from tests.myrinet.conftest import MyrinetTestCluster

@@ -8,7 +8,6 @@ from repro.collectives import (
     host_barrier,
     nic_barrier,
 )
-from repro.network import PacketKind
 from tests.collectives.conftest import install_engines, make_group, run_all
 from tests.myrinet.conftest import MyrinetTestCluster
 

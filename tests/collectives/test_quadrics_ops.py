@@ -1,6 +1,5 @@
 """Unit tests for the chained-RDMA barrier's chain construction."""
 
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

@@ -1,6 +1,5 @@
 """Fault-injection tests: receiver-driven NACK retransmission (§6.3)."""
 
-import pytest
 
 from repro.collectives import (
     NicCollectiveBarrierEngine,

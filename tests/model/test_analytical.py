@@ -1,6 +1,5 @@
 """Unit + property tests for the analytical model."""
 
-import math
 
 import pytest
 from hypothesis import given, settings

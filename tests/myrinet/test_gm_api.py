@@ -1,6 +1,5 @@
 """Unit tests for host-side GM API details."""
 
-import pytest
 
 from repro.myrinet import GmRecvEvent
 

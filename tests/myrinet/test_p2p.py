@@ -1,6 +1,5 @@
 """Integration tests of the GM point-to-point protocol."""
 
-import pytest
 
 from repro.network import PacketKind
 

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.network import Fabric, FaultInjector, Packet, PacketKind, WireParams
-from repro.sim import Simulator, Tracer
+from repro.sim import Simulator
 from repro.topology import ClosTopology, QuaternaryFatTree
 
 PARAMS = WireParams(

@@ -68,3 +68,16 @@ class TestFaultInjector:
         assert fi.should_drop(_pkt(dst=3)) is False
         assert fi.should_drop(_pkt(dst=3)) is True
         assert fi.dropped == 1
+
+
+def test_fired_one_shot_plans_are_pruned():
+    # Regression: fired one-shot plans stayed in the injector and were
+    # re-scanned on every subsequent packet.
+    injector = FaultInjector()
+    injector.add_plan(DropPlan(lambda p: p.dst == 1))
+    injector.add_plan(DropPlan(lambda p: p.dst == 2))
+    assert injector.should_drop(_pkt(dst=1)) is True
+    assert len(injector.plans) == 1
+    assert injector.should_drop(_pkt(dst=1)) is False
+    assert injector.should_drop(_pkt(dst=2)) is True
+    assert injector.plans == []

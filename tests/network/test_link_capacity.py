@@ -1,6 +1,5 @@
 """Tests for parallel-link capacities (fat-tree bisection)."""
 
-import pytest
 
 from repro.network import Fabric, Packet, PacketKind, WireParams
 from repro.sim import Simulator

@@ -1,6 +1,5 @@
 """Integration tests for the Elan3 NIC: RDMA, chaining, tports."""
 
-import pytest
 
 from repro.quadrics import RdmaDescriptor
 

@@ -1,6 +1,5 @@
 """Tests for the QsNet hardware data broadcast (elan_hw_broadcast)."""
 
-import pytest
 
 from repro.quadrics import elan_hw_broadcast
 

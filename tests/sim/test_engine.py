@@ -245,3 +245,45 @@ def test_clock_monotonic_across_many_events():
     sim.run()
     assert stamps == sorted(stamps)
     assert len(stamps) == 500
+
+
+class TestLateCancel:
+    """Regression: cancelling a handle whose call already ran used to
+    increment the compaction counter, desynchronizing it from the heap
+    (a later compaction pass would then run on wrong accounting)."""
+
+    def test_cancel_after_execution_is_noop(self):
+        sim = Simulator()
+        seen = []
+        call = sim.schedule(1.0, seen.append, "x")
+        sim.run()
+        assert seen == ["x"]
+        assert call.executed
+        call.cancel()
+        call.cancel()
+        assert not call.cancelled
+        assert sim._cancelled == 0
+
+    def test_cancel_before_execution_still_counts_once(self):
+        sim = Simulator()
+        call = sim.schedule(1.0, lambda: None)
+        call.cancel()
+        call.cancel()
+        assert call.cancelled
+        assert sim._cancelled == 1
+
+    def test_counter_matches_buried_entries(self):
+        # Run a mixed workload, then late-cancel everything that already
+        # fired: the counter must only reflect entries still in the heap.
+        sim = Simulator()
+        fired = [sim.schedule(float(i), lambda: None) for i in range(10)]
+        sim.run()
+        pending = [sim.schedule(100.0 + i, lambda: None) for i in range(5)]
+        for call in fired:
+            call.cancel()
+        assert sim._cancelled == 0
+        for call in pending[:2]:
+            call.cancel()
+        assert sim._cancelled == 2
+        sim.run()
+        assert all(c.executed for c in pending[2:])

@@ -238,3 +238,56 @@ def test_process_return_value_none_by_default():
     proc = sim.process(prog())
     sim.run()
     assert proc.completion.value is None
+
+
+def test_negative_sleep_catchable_inside_process():
+    # Regression: the ValueError for a negative sleep used to be raised
+    # in Process._step itself, escaping into the simulator's run loop
+    # instead of reaching the offending generator.
+    sim = Simulator()
+    caught = []
+
+    def prog():
+        try:
+            yield -1.0
+        except ValueError as err:
+            caught.append(str(err))
+        yield 2.0
+
+    proc = sim.process(prog())
+    sim.run()
+    assert caught and "negative" in caught[0]
+    assert proc.completion.ok is True
+    assert sim.now == 2.0
+
+
+def test_negative_sleep_fails_process_not_run_loop():
+    sim = Simulator()
+
+    def prog():
+        yield -0.5
+
+    proc = sim.process(prog())
+    proc.completion.add_callback(lambda e: e.defuse() if not e.ok else None)
+    sim.run()
+    assert proc.completion.ok is False
+    assert isinstance(proc.completion.value, ValueError)
+
+
+def test_negative_timeout_subclass_also_routed():
+    # The numeric-subclass slow path must apply the same guard.
+    class Weird(float):
+        pass
+
+    sim = Simulator()
+    caught = []
+
+    def prog():
+        try:
+            yield Weird(-3.0)
+        except ValueError:
+            caught.append(sim.now)
+
+    sim.process(prog())
+    sim.run()
+    assert caught == [0.0]

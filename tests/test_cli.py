@@ -64,3 +64,38 @@ def test_experiment_subcommand(capsys):
 def test_experiment_rejects_unknown():
     with pytest.raises(SystemExit):
         main(["experiment", "fig99"])
+
+
+def test_trace_quadrics(tmp_path, capsys):
+    out = tmp_path / "trace.json"
+    code = main([
+        "trace", "--network", "quadrics", "-n", "8",
+        "--iterations", "3", "--warmup", "1", "--out", str(out),
+    ])
+    assert code == 0
+    printed = capsys.readouterr().out
+    assert "critical path" in printed
+    assert "counter audit" in printed
+    assert "PASS" in printed
+    import json
+
+    doc = json.loads(out.read_text())
+    assert any(e["ph"] == "X" for e in doc["traceEvents"])
+
+
+def test_trace_myrinet(tmp_path, capsys):
+    out = tmp_path / "trace.json"
+    code = main([
+        "trace", "--network", "myrinet", "-n", "8",
+        "--iterations", "3", "--warmup", "1", "--out", str(out),
+    ])
+    assert code == 0
+    assert "PASS" in capsys.readouterr().out
+
+
+def test_trace_rejects_profile_network_mismatch(tmp_path):
+    code = main([
+        "trace", "--network", "myrinet", "--profile", "elan3_piii700",
+        "--out", str(tmp_path / "t.json"),
+    ])
+    assert code == 2

@@ -144,3 +144,30 @@ def test_permutation_does_not_change_latency_much():
         )
         latencies.append(result.mean_latency_us)
     assert max(latencies) - min(latencies) < 0.05 * max(latencies)
+
+
+@pytest.mark.parametrize(
+    "build,barrier",
+    [
+        (build_quadrics_cluster, "nic-chained"),
+        (build_myrinet_cluster, "nic-collective"),
+        (build_myrinet_cluster, "host"),
+    ],
+)
+def test_tracing_is_passive(build, barrier):
+    """Span instrumentation must be pure observation: enabling the
+    tracer cannot move a single event (bit-identical latencies)."""
+    from repro.sim import Tracer
+
+    def run(enabled):
+        cluster = build(nodes=8, tracer=Tracer(enabled=enabled))
+        result = run_barrier_experiment(cluster, barrier, iterations=10, warmup=3)
+        return (
+            result.mean_latency_us,
+            result.total_us,
+            result.timed_start_us,
+            result.iteration_ends_us,
+            tuple(sorted(result.counters.items())),
+        )
+
+    assert run(True) == run(False)

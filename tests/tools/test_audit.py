@@ -1,0 +1,77 @@
+"""Tests for the counter audit: protocol-derived expectations vs the
+simulator's measured traffic, across node counts and both networks."""
+
+import pytest
+
+from repro.tools import (
+    AUDITABLE_BARRIERS,
+    aggregate_counters,
+    audit_counters,
+    expected_counters,
+    run_counter_audit,
+)
+
+
+def test_aggregate_collapses_per_node_pci():
+    counters = {
+        "pci0.pio": 3,
+        "pci1.pio": 4,
+        "pci0.dma.nic_to_host": 2,
+        "wire.barrier": 9,
+    }
+    assert aggregate_counters(counters) == {
+        "pci.pio": 7,
+        "pci.dma.nic_to_host": 2,
+        "wire.barrier": 9,
+    }
+
+
+def test_expected_counters_closed_form():
+    # N=8 -> r=3 rounds, so 24 messages per barrier; 2 barriers.
+    exp = expected_counters("nic-collective", nodes=8, barriers=2)
+    assert exp["wire.barrier"] == 48
+    assert exp["wire.ack"] == 0
+    assert exp["pci.pio"] == 16  # one doorbell per rank per barrier
+    direct = expected_counters("nic-direct", nodes=8, barriers=2)
+    assert direct["wire.ack"] == 48  # sender-driven: ACK per packet
+    host = expected_counters("host", nodes=8, barriers=2)
+    assert host["pci.pio"] == 96  # per *message*, not per barrier
+    chained = expected_counters("nic-chained", nodes=8, barriers=2)
+    assert chained["elan.event_fired"] == 48
+
+
+def test_expected_counters_rejects_unknown():
+    with pytest.raises(ValueError, match="auditable"):
+        expected_counters("gsync", nodes=8, barriers=1)
+    with pytest.raises(ValueError):
+        expected_counters("host", nodes=1, barriers=1)
+
+
+def test_audit_counters_reports_failures():
+    expected = expected_counters("nic-collective", nodes=4, barriers=1)
+    measured = {name: value for name, value in expected.items()}
+    measured["wire.barrier"] += 1  # a model regression added a packet
+    audit = audit_counters(measured, "nic-collective", nodes=4, barriers=1)
+    assert not audit.passed
+    assert [c.name for c in audit.failures()] == ["wire.barrier"]
+    assert "FAIL" in audit.table()
+
+
+@pytest.mark.parametrize("nodes", [8, 16, 64])
+@pytest.mark.parametrize("barrier", AUDITABLE_BARRIERS)
+def test_audit_passes_on_real_runs(barrier, nodes):
+    iterations, warmup = (10, 3) if nodes < 64 else (2, 1)
+    audit = run_counter_audit(
+        barrier, nodes=nodes, iterations=iterations, warmup=warmup
+    )
+    assert audit.passed, f"\n{audit.table()}"
+    assert audit.barriers == iterations + warmup
+
+
+def test_audit_seed_insensitive():
+    # The counts are structural — the node permutation must not matter.
+    for seed in (0, 7):
+        audit = run_counter_audit(
+            "nic-chained", nodes=8, iterations=5, warmup=2, seed=seed
+        )
+        assert audit.passed, f"\n{audit.table()}"

@@ -1,6 +1,5 @@
 """Property-based tests over both topologies."""
 
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
