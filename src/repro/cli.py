@@ -12,6 +12,10 @@ Commands:
 - ``trace``       — run a small traced experiment; write Chrome-trace
   JSON (open at https://ui.perfetto.dev), print an ASCII timeline, the
   critical path of one barrier iteration, and the counter audit.
+- ``lint``        — simlint: static protocol-invariant analysis of the
+  simulator sources (exit 0 clean / 1 findings / 2 internal error);
+  ``--perturb`` adds the runtime model checks (tie-break perturbation
+  across every barrier scheme plus a seeded fault run).
 """
 
 from __future__ import annotations
@@ -114,6 +118,21 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     return 0 if audit.passed else 1
 
 
+def _cmd_lint(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from repro.tools.simlint import run_lint
+
+    return run_lint(
+        root=Path(args.path) if args.path else None,
+        perturb=args.perturb,
+        perturb_nodes=args.perturb_nodes,
+        perturb_rounds=args.perturb_rounds,
+        perturb_iterations=args.perturb_iterations,
+        seed=args.seed,
+    )
+
+
 def _cmd_experiment(args: argparse.Namespace) -> int:
     import importlib
 
@@ -195,6 +214,23 @@ def build_parser() -> argparse.ArgumentParser:
     trace_parser.add_argument("--out", default="trace.json",
                               help="Chrome-trace JSON output path")
 
+    lint_parser = sub.add_parser(
+        "lint",
+        help="simlint: static invariant analysis (+ --perturb model checks)",
+    )
+    lint_parser.add_argument(
+        "--path", default=None,
+        help="file or directory to lint (default: the repro package)",
+    )
+    lint_parser.add_argument(
+        "--perturb", action="store_true",
+        help="also run tie-break perturbation over every barrier scheme",
+    )
+    lint_parser.add_argument("--perturb-nodes", type=int, default=16)
+    lint_parser.add_argument("--perturb-rounds", type=int, default=20)
+    lint_parser.add_argument("--perturb-iterations", type=int, default=5)
+    lint_parser.add_argument("--seed", type=int, default=0)
+
     report_parser = sub.add_parser("report", help="regenerate EXPERIMENTS.md")
     report_parser.add_argument("--quick", action="store_true")
     report_parser.add_argument("--out", default="EXPERIMENTS.md")
@@ -213,6 +249,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "experiment": _cmd_experiment,
         "report": _cmd_report,
         "trace": _cmd_trace,
+        "lint": _cmd_lint,
     }
     return handlers[args.command](args)
 

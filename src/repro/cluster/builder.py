@@ -23,6 +23,7 @@ class _ClusterBase:
         nodes: int,
         tracer: Optional[Tracer] = None,
         faults: Optional[FaultInjector] = None,
+        sim: Optional[Simulator] = None,
     ):
         if nodes < 1:
             raise ValueError("cluster needs at least one node")
@@ -32,7 +33,9 @@ class _ClusterBase:
             )
         self.profile = profile
         self.n = nodes
-        self.sim = Simulator()
+        # An injected simulator lets tooling substitute kernel variants
+        # (e.g. simlint's tie-break perturbation simulator).
+        self.sim = sim if sim is not None else Simulator()
         self.tracer = tracer or Tracer()
         self.faults = faults
         self.topology = self._make_topology(nodes)
@@ -58,8 +61,8 @@ class _ClusterBase:
 class MyrinetCluster(_ClusterBase):
     """A Myrinet/GM cluster: LANai NICs + MCP + GM ports."""
 
-    def __init__(self, profile, nodes, tracer=None, faults=None):
-        super().__init__(profile, nodes, tracer, faults)
+    def __init__(self, profile, nodes, tracer=None, faults=None, sim=None):
+        super().__init__(profile, nodes, tracer, faults, sim)
         self.nics = [
             LanaiNic(
                 self.sim, i, profile.gm, self.fabric, self.pcis[i], tracer=self.tracer
@@ -78,13 +81,13 @@ class MyrinetCluster(_ClusterBase):
 class QuadricsCluster(_ClusterBase):
     """A QsNet cluster: Elan3 NICs + Elanlib ports + Elite HW barrier."""
 
-    def __init__(self, profile, nodes, tracer=None, faults=None):
+    def __init__(self, profile, nodes, tracer=None, faults=None, sim=None):
         if faults is not None:
             raise ValueError(
                 "QsNet delivers reliably in hardware; fault injection is a "
                 "Myrinet-only experiment"
             )
-        super().__init__(profile, nodes, tracer, faults=None)
+        super().__init__(profile, nodes, tracer, faults=None, sim=sim)
         self.nics = [
             Elan3Nic(
                 self.sim, i, profile.elan, self.fabric, self.pcis[i], tracer=self.tracer
@@ -123,24 +126,26 @@ def build_myrinet_cluster(
     nodes: int = 8,
     tracer: Optional[Tracer] = None,
     faults: Optional[FaultInjector] = None,
+    sim: Optional[Simulator] = None,
 ) -> MyrinetCluster:
     """Build a Myrinet cluster from a profile name or object."""
     resolved = _resolve(profile)
     if resolved.network != "myrinet":
         raise ValueError(f"profile {resolved.name} is not a Myrinet profile")
-    return MyrinetCluster(resolved, nodes, tracer, faults)
+    return MyrinetCluster(resolved, nodes, tracer, faults, sim)
 
 
 def build_quadrics_cluster(
     profile: Union[str, HardwareProfile] = "elan3_piii700",
     nodes: int = 8,
     tracer: Optional[Tracer] = None,
+    sim: Optional[Simulator] = None,
 ) -> QuadricsCluster:
     """Build a Quadrics cluster from a profile name or object."""
     resolved = _resolve(profile)
     if resolved.network != "quadrics":
         raise ValueError(f"profile {resolved.name} is not a Quadrics profile")
-    return QuadricsCluster(resolved, nodes, tracer)
+    return QuadricsCluster(resolved, nodes, tracer, sim=sim)
 
 
 def build_cluster(
@@ -148,9 +153,10 @@ def build_cluster(
     nodes: int,
     tracer: Optional[Tracer] = None,
     faults: Optional[FaultInjector] = None,
+    sim: Optional[Simulator] = None,
 ):
     """Build whichever cluster type the profile describes."""
     resolved = _resolve(profile)
     if resolved.network == "myrinet":
-        return build_myrinet_cluster(resolved, nodes, tracer, faults)
-    return build_quadrics_cluster(resolved, nodes, tracer)
+        return build_myrinet_cluster(resolved, nodes, tracer, faults, sim)
+    return build_quadrics_cluster(resolved, nodes, tracer, sim=sim)

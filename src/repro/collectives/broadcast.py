@@ -230,7 +230,7 @@ class NicBroadcastEngine:
         del self.states[state.seq]
         self.done_through = max(self.done_through, state.seq)
         self.archive[state.seq] = message
-        while len(self.archive) > 8:
+        while len(self.archive) > nic.params.coll_archive_depth:
             self.archive.pop(min(self.archive))
         yield from nic.notify_host(
             BcastDone(

@@ -235,7 +235,7 @@ class DisseminationDataEngine:
         del self.states[state.seq]
         self.done_through = max(self.done_through, state.seq)
         self.archive[state.seq] = state.sent_messages
-        while len(self.archive) > 8:
+        while len(self.archive) > nic.params.coll_archive_depth:
             self.archive.pop(min(self.archive))
         yield from nic.notify_host(
             DataCollDone(self.group.group_id, state.seq, result)

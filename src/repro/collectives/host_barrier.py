@@ -41,7 +41,8 @@ def _do_sends(port: "GmPort", group: ProcessGroup, rank: int, seq: int, phase_id
     for dst in phase.sends:
         yield from port.send(
             group.node_of(dst),
-            size_bytes=4,  # "all the information ... is an integer"
+            # "all the information ... is an integer" (§3)
+            size_bytes=port.nic.params.barrier_payload_bytes,
             payload=BarrierMsg(group.group_id, seq, rank, phase_idx),
         )
 

@@ -104,15 +104,20 @@ class GmPort:
 
         If an event is already queued the poll finds it immediately;
         otherwise the host blocks and discovers the event half a poll
-        interval (the mean phase lag) after the NIC posts it.
+        interval (the mean phase lag) after the NIC posts it.  An event
+        posted at the very instant polling begins is caught by the first
+        poll — charging the lag there would make the cost depend on
+        put-vs-get scheduling order (simlint SL101).
         """
         params = self.cpu.params
         queue = self.nic.recv_event_queue
         if len(queue) > 0 and queue.getters_waiting == 0:
             event = queue.try_get()
         else:
+            blocked_at = self.sim.now
             event = yield queue.get()
-            yield params.poll_interval_us / 2.0
+            if self.sim.now > blocked_at:
+                yield params.poll_interval_us / 2.0
         yield from self.cpu.compute(params.poll_us, "poll")
         return event
 

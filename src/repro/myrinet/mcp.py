@@ -255,9 +255,16 @@ class ControlProgram:
             if record.retransmits >= p.max_retries:
                 # GM declares the connection dead after the retry
                 # budget; the record is abandoned (and the simulation
-                # is guaranteed to drain).
+                # is guaranteed to drain).  The packet buffer and the
+                # token's outstanding count are released like on an ACK
+                # — otherwise a dead peer permanently leaks pool slots
+                # and later sends to healthy peers starve.  The token's
+                # host completion (if any) is deliberately left
+                # untriggered: the send did fail.
                 nic.tracer.count("gm.peer_dead")
                 nic.send_records.pop((record.dst, record.seq), None)
+                nic.packet_pool.release()
+                record.token.packets_outstanding -= 1
                 continue
             record.retransmits += 1
             nic.tracer.count("gm.retransmit")

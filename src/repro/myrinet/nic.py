@@ -21,7 +21,7 @@ from repro.network import Fabric, Packet, PacketKind
 from repro.myrinet.params import GmParams
 from repro.myrinet.structures import SendRecord, SendToken
 from repro.pci import DmaDirection, PciBus
-from repro.sim import Resource, Simulator, Store, Tracer
+from repro.sim import PriorityStore, Resource, Simulator, Store, Tracer
 
 
 class LanaiNic:
@@ -51,10 +51,14 @@ class LanaiNic:
 
         # Host -> NIC work (arrive after the host's PIO doorbell).
         self.host_event_queue = Store(sim, name=f"{self.name}.host_events")
-        self.engine_cmd_queue = Store(sim, name=f"{self.name}.engine_cmds")
+        self.engine_cmd_queue = PriorityStore(sim, name=f"{self.name}.engine_cmds")
 
-        # Wire -> NIC.
-        self.rx_queue = Store(sim, name=f"{self.name}.rx")
+        # Wire -> NIC.  Same-cycle arrivals are presented in port order
+        # (src, then protocol ids), not event-heap insertion order: the
+        # real LANai's receive DMA arbitrates deterministically, and the
+        # model must not let scheduler tie-breaking pick the service
+        # order (simlint SL101 catches exactly that divergence).
+        self.rx_queue = PriorityStore(sim, name=f"{self.name}.rx")
 
         # P2P send path state.
         self.send_queues: dict[int, deque[SendToken]] = defaultdict(deque)
@@ -67,7 +71,7 @@ class LanaiNic:
 
         # Reliability state.
         self.send_records: dict[tuple[int, int], SendRecord] = {}
-        self.timeout_queue = Store(sim, name=f"{self.name}.timeouts")
+        self.timeout_queue = PriorityStore(sim, name=f"{self.name}.timeouts")
         self.next_seq: dict[int, int] = defaultdict(int)
         self.expect_seq: dict[int, int] = defaultdict(int)
 
@@ -111,8 +115,15 @@ class LanaiNic:
         self.host_event_queue.put(token)
 
     def post_engine_command(self, command: tuple) -> None:
-        """A host command for a collective engine crossed the bus."""
-        self.engine_cmd_queue.put(command)
+        """A host command for a collective engine crossed the bus.
+
+        Same-instant commands (e.g. a NACK-timer pop racing a host
+        start) are ordered by ``(group, kind, seq)``, not by scheduler
+        tie-breaking.
+        """
+        self.engine_cmd_queue.put_item(
+            command, (self.sim.now, command[0], command[1], command[2])
+        )
 
     def provide_recv_tokens(self, count: int = 1) -> None:
         self.recv_tokens_available += count
@@ -135,7 +146,23 @@ class LanaiNic:
     # Wire-facing
     # ------------------------------------------------------------------
     def _on_wire_packet(self, packet: Packet) -> None:
-        self.rx_queue.put(packet)
+        self.rx_queue.put_item(packet, self._arrival_key(packet))
+
+    def _arrival_key(self, packet: Packet) -> tuple:
+        """Canonical receive-arbitration key: arrival time, then port
+        order, then protocol identifiers (so two same-cycle packets from
+        one source — e.g. an original and a NACKed retransmit for
+        different phases — also order deterministically)."""
+        payload = packet.payload
+        return (
+            self.sim.now,
+            packet.src,
+            packet.kind,
+            packet.seq if packet.seq is not None else -1,
+            getattr(payload, "seq", -1),
+            getattr(payload, "phase", -1),
+            getattr(payload, "requester", -1),
+        )
 
     def fast_inject(self, dst: int, payload: Any, kind: str = PacketKind.BARRIER):
         """Collective-protocol send: the padded static packet (§6.2).
@@ -168,7 +195,7 @@ class LanaiNic:
 
     def notify_host(self, event: Any):
         """DMA a completion/receive event into host memory."""
-        yield from self.pci.dma(16, DmaDirection.NIC_TO_HOST)
+        yield from self.pci.dma(self.params.recv_event_bytes, DmaDirection.NIC_TO_HOST)
         self.recv_event_queue.put(event)
 
     # ------------------------------------------------------------------
@@ -197,7 +224,11 @@ class LanaiNic:
     def _on_record_timeout(self, record: SendRecord) -> None:
         record.timer = None
         if not record.acked:
-            self.timeout_queue.put(record)
+            # Timers armed at the same instant expire together; retry in
+            # record-table order, not timer-heap tie-break order.
+            self.timeout_queue.put_item(
+                record, (self.sim.now, record.dst, record.seq)
+            )
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"<LanaiNic {self.name} busy={self.busy_us:.1f}us>"

@@ -59,6 +59,10 @@ class GmParams:
       static ACK packet.
     - ``send_packet_count`` — send packet pool size per NIC.
     - ``recv_token_count`` — receive buffers the host preposts.
+    - ``recv_event_bytes`` — the completion/receive event record the
+      NIC DMAs into the host's event queue.
+    - ``coll_archive_depth`` — completed collective payload sets each
+      engine retains in SRAM to answer stale NACKs (pruned FIFO).
     """
 
     t_sdma_event: float
@@ -91,6 +95,8 @@ class GmParams:
     send_packet_count: int = 8
     recv_token_count: int = 64
     mtu_bytes: int = 4096
+    recv_event_bytes: int = 16
+    coll_archive_depth: int = 8
 
     def __post_init__(self) -> None:
         for f in fields(self):
@@ -104,6 +110,10 @@ class GmParams:
             raise ValueError("need at least one receive token")
         if self.mtu_bytes < 64:
             raise ValueError("unrealistically small MTU")
+        if self.recv_event_bytes < 1:
+            raise ValueError("receive events must have positive size")
+        if self.coll_archive_depth < 1:
+            raise ValueError("need at least one archived collective payload")
         if self.ack_timeout_us <= 0 or self.nack_timeout_us <= 0:
             raise ValueError("timeouts must be positive")
         if self.max_retries < 1:

@@ -18,7 +18,7 @@ drops and scripted deterministic drop plans used by the reliability
 tests.
 """
 
-from repro.network.packet import Packet, PacketKind
+from repro.network.packet import Packet, PacketKind, canonical_packet_key
 from repro.network.faults import DropPlan, FaultInjector
 from repro.network.fabric import Fabric, WireParams
 
@@ -29,4 +29,5 @@ __all__ = [
     "DropPlan",
     "Fabric",
     "WireParams",
+    "canonical_packet_key",
 ]

@@ -10,6 +10,15 @@ Timing model (cut-through / wormhole, used by both Myrinet and QsNet):
   serialization time, acquired in path order — back-to-back packets on
   the same link queue up, packets on disjoint paths don't interact.
 
+Link grants are *arbitrated*, not first-come-first-served on the event
+heap: every request and release lands in a per-link pool, and a
+decision pass runs one delta phase later (:meth:`Simulator.
+schedule_phase`), granting bandwidth in canonical packet order
+(:func:`~repro.network.packet.canonical_packet_key`).  Real switch ports
+arbitrate same-cycle heads deterministically (port order); resolving
+them by event scheduling order instead makes delivery times depend on
+same-timestamp tie-breaking — the schedule race simlint SL101 detects.
+
 Dropped packets (fault injection) consume the send side's time but never
 arrive — exactly how a wormhole network loses a packet whose CRC fails
 at a switch.
@@ -18,11 +27,12 @@ at a switch.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from heapq import heappop, heappush
 from typing import Callable, Iterable, Optional
 
 from repro.network.faults import FaultInjector
-from repro.network.packet import Packet
-from repro.sim import Resource, Simulator, Tracer
+from repro.network.packet import Packet, canonical_packet_key
+from repro.sim import Simulator, Tracer
 from repro.topology.base import Topology
 
 
@@ -56,6 +66,66 @@ class WireParams:
 DeliveryHandler = Callable[[Packet], None]
 
 
+class LinkArbiter:
+    """One directional link's bandwidth units with deterministic grants.
+
+    Requests pool up; a decision pass runs one delta phase later and
+    grants free units in ``(birth phase, canonical key)`` order.  The
+    one-phase lag guarantees every same-instant contender has registered
+    before any winner is picked, whatever order the scheduler popped
+    their events in; it costs zero simulated time.  Requests born while
+    a pass is deciding (a packet granted an earlier hop in that same
+    pass) wait for the next phase — a structural, schedule-independent
+    property of the route.
+    """
+
+    __slots__ = ("sim", "name", "capacity", "in_use", "_pending", "_n", "_pass_at")
+
+    def __init__(self, sim: Simulator, capacity: int, name: str):
+        self.sim = sim
+        self.name = name
+        self.capacity = capacity
+        self.in_use = 0
+        # Heap of (birth_phase, canonical_key, n, grant_callback); ``n``
+        # only separates requests identical in every protocol coordinate
+        # (interchangeable packets) and keeps the comparison off the
+        # callback.
+        self._pending: list[tuple] = []
+        self._n = 0
+        self._pass_at: Optional[tuple[float, int]] = None
+
+    def request(self, key: tuple, grant: Callable[[], None]) -> None:
+        birth = self.sim.current_phase
+        self._n += 1
+        heappush(self._pending, (birth, key, self._n, grant))
+        self._ensure_pass(birth + 1)
+
+    def release(self) -> None:
+        self.in_use -= 1
+        if self._pending:
+            self._ensure_pass(self.sim.current_phase + 1)
+
+    def _ensure_pass(self, phase: int) -> None:
+        # A pass already pending at this instant and this phase or later
+        # will see the triggering state change; otherwise arm one.
+        now = self.sim.now
+        if self._pass_at is not None and self._pass_at >= (now, phase):
+            return
+        self._pass_at = (now, phase)
+        self.sim.schedule_phase(phase, self._pass, phase)
+
+    def _pass(self, phase: int) -> None:
+        self._pass_at = None
+        pending = self._pending
+        while self.in_use < self.capacity and pending and pending[0][0] < phase:
+            _birth, _key, _n, grant = heappop(pending)
+            self.in_use += 1
+            grant()
+        if pending and self.in_use < self.capacity:
+            # Only same-phase births remain; decide them next phase.
+            self._ensure_pass(phase + 1)
+
+
 class Fabric:
     """Connects NIC ports over a topology with wormhole timing."""
 
@@ -73,7 +143,7 @@ class Fabric:
         self.tracer = tracer or Tracer()
         self.faults = faults
         self._handlers: dict[int, DeliveryHandler] = {}
-        self._links: dict[tuple[str, str], Resource] = {}
+        self._links: dict[tuple[str, str], LinkArbiter] = {}
         # Topologies are immutable for the lifetime of a simulation, so
         # the route, its link resources, and the size-independent head
         # latency are memoized per (src, dst) pair.
@@ -89,16 +159,16 @@ class Fabric:
             raise ValueError(f"port {port} already attached")
         self._handlers[port] = handler
 
-    def _link(self, a: str, b: str) -> Resource:
+    def _link(self, a: str, b: str) -> LinkArbiter:
         key = (a, b)
         res = self._links.get(key)
         if res is None:
             capacity = self.topology.link_capacity(a, b)
-            res = Resource(self.sim, capacity=capacity, name=f"link:{a}->{b}")
+            res = LinkArbiter(self.sim, capacity, name=f"link:{a}->{b}")
             self._links[key] = res
         return res
 
-    def _path_links(self, route) -> list[Resource]:
+    def _path_links(self, route) -> list[LinkArbiter]:
         nodes = [f"nic{route.src}", *route.hops, f"nic{route.dst}"]
         return [self._link(a, b) for a, b in zip(nodes, nodes[1:])]
 
@@ -133,45 +203,27 @@ class Fabric:
                     pkt=packet.wire_id,
                 )
             return
-        # Fast path: if every link on the route is free right now, claim
-        # them synchronously and schedule a single completion call — the
-        # worm sails through with no queuing.  This skips the per-packet
-        # Process and the per-link request-event machinery, which
-        # dominate kernel time on clean barrier traffic (contention on
-        # disjoint dissemination paths is the exception, not the rule).
+        # Wormhole path: claim each directional link in order (a
+        # callback chain through the per-link arbiters — no per-packet
+        # Process), then let the whole worm drain.  Head latency accrues
+        # after the claims, exactly as a worm stalled mid-path holds its
+        # upstream channels.
         _route, links, head = self._route_entry(packet.src, packet.dst)
-        for idx, link in enumerate(links):
-            if not link.try_acquire():
-                for claimed in links[:idx]:
-                    claimed.release()
-                break
-        else:
+        self._claim(packet, links, head, 0)
+
+    def _claim(self, packet: Packet, links: list, head: float, idx: int) -> None:
+        if idx == len(links):
             latency = head + self.params.serialization(packet.size_bytes)
-            self.sim.schedule_detached(
-                latency, self._complete_fast, packet, links
-            )
+            self.sim.schedule_detached(latency, self._complete, packet, links)
             return
-        self.sim.process(self._deliver(packet), name=f"wire:{packet.wire_id}")
+        links[idx].request(
+            canonical_packet_key(packet),
+            lambda: self._claim(packet, links, head, idx + 1),
+        )
 
-    def _complete_fast(self, packet: Packet, links: list[Resource]) -> None:
-        """Tail of an uncontended delivery: free the path, hand over."""
+    def _complete(self, packet: Packet, links: list) -> None:
+        """Tail of a delivery: free the path, hand over."""
         for link in links:
-            link.release()
-        self._finish(packet)
-
-    def _deliver(self, packet: Packet):
-        _route, links, head = self._route_entry(packet.src, packet.dst)
-        serialization = self.params.serialization(packet.size_bytes)
-        # Wormhole path: claim each directional link in order, then let
-        # the whole worm drain.  Head latency accrues while claiming.
-        claimed: list[Resource] = []
-        for link in links:
-            req = link.request()
-            yield req
-            claimed.append(link)
-        yield head
-        yield serialization
-        for link in claimed:
             link.release()
         self._finish(packet)
 

@@ -8,6 +8,18 @@ Two mechanisms, composable:
   predicate — lets reliability tests lose exactly the message they want
   (e.g. "drop the first barrier packet from node 3 to node 7 and verify
   the receiver-driven NACK recovers it").
+
+Probabilistic drops draw from a *per-flow* substream keyed by
+``(src, dst, kind)`` rather than one global stream: whether the k-th
+packet of a flow is lost is then a pure function of the flow and k.
+A single global stream consumed in wire-inspection order would make the
+loss pattern depend on how same-timestamp transmissions happen to be
+ordered — exactly the schedule-dependence the simlint perturbation
+runner exists to rule out.  (Within one flow the order is causal: a
+single NIC serializes its injections, so occurrence indices are stable
+under tie-break permutation.)  Scripted :class:`DropPlan` occurrences
+count in inspection order by design — their predicates are expected to
+pin down the flow they target.
 """
 
 from __future__ import annotations
@@ -58,8 +70,17 @@ class FaultInjector:
         self.drop_probability = drop_probability
         self.plans: list[DropPlan] = []
         self._blackholes: list[Callable[[Packet], bool]] = []
+        self._flow_rngs: dict[tuple, DeterministicRng] = {}
         self.dropped: int = 0
         self.inspected: int = 0
+
+    def _flow_rng(self, packet: Packet) -> DeterministicRng:
+        key = (packet.src, packet.dst, packet.kind)
+        stream = self._flow_rngs.get(key)
+        if stream is None:
+            stream = self.rng.substream(f"flow/{packet.src}->{packet.dst}/{packet.kind}")
+            self._flow_rngs[key] = stream
+        return stream
 
     def add_plan(self, plan: DropPlan) -> DropPlan:
         self.plans.append(plan)
@@ -90,7 +111,9 @@ class FaultInjector:
                     # per-packet scan from growing with test history.
                     self.plans.remove(plan)
                 return True
-        if self.drop_probability and self.rng.bernoulli(self.drop_probability):
+        if self.drop_probability and self._flow_rng(packet).bernoulli(
+            self.drop_probability
+        ):
             self.dropped += 1
             return True
         return False

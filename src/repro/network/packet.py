@@ -67,3 +67,29 @@ class Packet:
             f"<Packet #{self.wire_id} {self.kind} {self.src}->{self.dst}"
             f" {self.size_bytes}B seq={self.seq}>"
         )
+
+
+def _payload_id(payload: Any, attr: str) -> int:
+    value = getattr(payload, attr, -1)
+    return value if isinstance(value, int) else -1
+
+
+def canonical_packet_key(packet: Packet) -> tuple:
+    """A total order over packets by protocol coordinates, not identity.
+
+    Used wherever same-instant packets must be sequenced deterministically
+    (link arbitration, NIC receive arbitration): two packets tied on the
+    simulation clock are ordered by port and protocol identifiers, never
+    by scheduler tie-breaking or ``id()``.  Packets equal under this key
+    are interchangeable on the wire.
+    """
+    payload = packet.payload
+    return (
+        packet.src,
+        packet.dst,
+        packet.kind,
+        packet.seq if packet.seq is not None else -1,
+        _payload_id(payload, "seq"),
+        _payload_id(payload, "phase"),
+        _payload_id(payload, "requester"),
+    )

@@ -149,7 +149,10 @@ class Elan3Nic:
             tracer.add_span(
                 now - self.params.t_host_event, now, self._event_lane, "host_notify"
             )
-        self.pci.dma_async(8, DmaDirection.NIC_TO_HOST, self.host_events.put, value)
+        self.pci.dma_async(
+            self.params.host_event_bytes, DmaDirection.NIC_TO_HOST,
+            self.host_events.put, value,
+        )
 
     # ------------------------------------------------------------------
     # RDMA engine
@@ -195,15 +198,17 @@ class Elan3Nic:
     def _rdma_proc(self, descriptor: RdmaDescriptor):
         p = self.params
         yield self.dma_engine.request()
-        span = self.tracer.begin_span(
-            self.sim.now, self._dma_lane, "rdma_issue", dst=descriptor.dst
-        )
+        start = self.sim.now
         yield p.t_rdma_issue
         if descriptor.size_bytes > 0:
             # Data is fetched from host memory over the PCI bus.
             yield from self.pci.dma(descriptor.size_bytes, DmaDirection.HOST_TO_NIC)
-        self.tracer.end_span(span, self.sim.now)
-        self.tracer.count("elan.rdma_issued")
+        tracer = self.tracer
+        if tracer.enabled:
+            tracer.add_span(
+                start, self.sim.now, self._dma_lane, "rdma_issue", dst=descriptor.dst
+            )
+        tracer.count("elan.rdma_issued")
         self.fabric.transmit(
             Packet(
                 src=self.node_id,
@@ -309,11 +314,13 @@ class Elan3Nic:
             self.thread_cpu, p.t_thread_step, self._thread_lane, "thread_step"
         )
         yield self.dma_engine.request()
-        span = self.tracer.begin_span(self.sim.now, self._dma_lane, "tport_inject", dst=dst)
+        start = self.sim.now
         yield p.t_rdma_issue
         if size_bytes > 0:
             yield from self.pci.dma(size_bytes, DmaDirection.HOST_TO_NIC)
-        self.tracer.end_span(span, self.sim.now)
+        tracer = self.tracer
+        if tracer.enabled:
+            tracer.add_span(start, self.sim.now, self._dma_lane, "tport_inject", dst=dst)
         self.fabric.transmit(
             Packet(
                 src=self.node_id,

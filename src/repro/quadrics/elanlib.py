@@ -85,8 +85,14 @@ class ElanPort:
             if len(queue) > 0 and queue.getters_waiting == 0:
                 msg = queue.try_get()
             else:
+                blocked_at = self.sim.now
                 msg = yield queue.get()
-                yield params.poll_interval_us / 2.0
+                # A message landing at the very instant polling begins is
+                # caught by the first poll; only a later arrival pays the
+                # mean phase lag.  (Same-instant cost must not depend on
+                # put-vs-get scheduling order — simlint SL101.)
+                if self.sim.now > blocked_at:
+                    yield params.poll_interval_us / 2.0
             yield from self.cpu.compute(params.poll_us, "poll")
             if matches(msg):
                 yield from self.cpu.compute(params.recv_overhead_us, "recv_overhead")
@@ -112,8 +118,12 @@ class ElanPort:
             if len(queue) > 0 and queue.getters_waiting == 0:
                 ev = queue.try_get()
             else:
+                blocked_at = self.sim.now
                 ev = yield queue.get()
-                yield params.poll_interval_us / 2.0
+                # Same-instant event words are caught by the first poll
+                # (see tport_recv).
+                if self.sim.now > blocked_at:
+                    yield params.poll_interval_us / 2.0
             yield from self.cpu.compute(params.poll_us, "poll")
             if matches(ev):
                 yield from self.cpu.compute(params.recv_overhead_us, "recv_overhead")

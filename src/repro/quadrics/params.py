@@ -34,7 +34,8 @@ class ElanParams:
       degrade when callers are not well synchronized).
 
     Sizing: ``rdma_packet_bytes`` — a zero-byte RDMA still carries a
-    routing/event header on the wire.
+    routing/event header on the wire; ``host_event_bytes`` — the
+    host-memory event word (plus tag) Elan DMAs on a host notification.
     """
 
     t_event_fire: float
@@ -47,11 +48,16 @@ class ElanParams:
     hw_retry_backoff_us: float
     rdma_packet_bytes: int = 32
     tport_packet_bytes: int = 64
+    host_event_bytes: int = 8
 
     def __post_init__(self) -> None:
         for f in fields(self):
             if f.name.startswith(("t_", "hw_")):
                 if getattr(self, f.name) < 0:
                     raise ValueError(f"{f.name} must be non-negative")
-        if self.rdma_packet_bytes < 1 or self.tport_packet_bytes < 1:
+        if (
+            self.rdma_packet_bytes < 1
+            or self.tport_packet_bytes < 1
+            or self.host_event_bytes < 1
+        ):
             raise ValueError("packet sizes must be positive")

@@ -23,6 +23,17 @@ arm ACK/NACK timers hundreds of microseconds out and cancel nearly all
 of them, so when cancelled entries outnumber live ones the heap is
 compacted in one linear pass.
 
+Delta phases
+------------
+:meth:`Simulator.schedule_phase` schedules a call at the *current*
+timestamp but in a later **phase** (a delta cycle, as in VHDL/SystemC):
+all phase-``p`` calls at a timestamp run before any phase-``p+1`` call.
+Arbitration logic (e.g. fabric link grants) uses this to decide *after*
+every same-instant contender has registered, so outcomes never depend on
+how same-time, same-phase events happen to be ordered — the property the
+simlint tie-break perturbation verifies.  The phase lives in the high
+bits of the integer heap key, so ordinary (phase-0) traffic pays nothing.
+
 Two entry shapes share the heap.  :meth:`Simulator.schedule` pushes
 ``(time, seq, call, None)`` with a cancellable :class:`ScheduledCall`;
 :meth:`Simulator.schedule_detached` pushes ``(time, seq, fn, args)``
@@ -41,6 +52,10 @@ from typing import Any, Callable, Optional
 # in it *and* they outnumber the live ones (both conditions keep small
 # simulations from compacting pointlessly).
 _COMPACT_MIN_CANCELLED = 1024
+
+# Heap keys are ``(phase << _PHASE_SHIFT) + seq``: same-time entries
+# order by phase first, then FIFO.  48 bits leave room for ~10^14 events.
+_PHASE_SHIFT = 48
 
 
 class ScheduledCall:
@@ -101,11 +116,17 @@ class Simulator:
 
     def __init__(self) -> None:
         self._now: float = 0.0
-        # Entries: (time, seq, ScheduledCall, None) | (time, seq, fn, args).
+        # Entries: (time, key, ScheduledCall, None) | (time, key, fn, args)
+        # with key = (phase << _PHASE_SHIFT) + seq.
         self._heap: list[tuple] = []
         self._seq: int = 0
+        self._phase: int = 0
         self._cancelled: int = 0
         self._unhandled: list[BaseException] = []
+        # Weak process registry for the quiescence detector
+        # (repro.tools.simlint).  Off by default: sweeps create millions
+        # of short-lived processes and must not accumulate dead refs.
+        self._process_registry: Optional[list] = None
 
     # ------------------------------------------------------------------
     # Clock
@@ -119,6 +140,11 @@ class Simulator:
     def events_scheduled(self) -> int:
         """Total calls scheduled so far (the perfbench throughput metric)."""
         return self._seq
+
+    @property
+    def current_phase(self) -> int:
+        """Delta phase of the call being processed (0 for normal calls)."""
+        return self._phase
 
     # ------------------------------------------------------------------
     # Scheduling
@@ -151,6 +177,20 @@ class Simulator:
         self._seq = seq = self._seq + 1
         heappush(self._heap, (self._now + delay, seq, fn, args))
 
+    def schedule_phase(self, phase: int, fn: Callable, *args: Any) -> None:
+        """Schedule ``fn(*args)`` at the current timestamp in a later phase.
+
+        ``phase`` must exceed :attr:`current_phase`: the call runs after
+        every same-time call of any lower phase, regardless of when those
+        were scheduled.  Detached (no handle, cannot be cancelled).
+        """
+        if phase <= self._phase:
+            raise ValueError(
+                f"phase {phase} not after current phase {self._phase}"
+            )
+        self._seq = seq = self._seq + 1
+        heappush(self._heap, (self._now, (phase << _PHASE_SHIFT) + seq, fn, args))
+
     def _maybe_compact(self) -> None:
         """Drop cancelled entries once they outnumber the live ones.
 
@@ -174,6 +214,32 @@ class Simulator:
         from repro.sim.process import Process
 
         return Process(self, generator, name=name)
+
+    def track_processes(self) -> None:
+        """Keep a weak reference to every process started after this call.
+
+        Enables :meth:`live_processes`, which the simlint quiescence
+        detector uses to enumerate still-blocked processes at the end of
+        a run.  Costs one list append per process creation.
+        """
+        if self._process_registry is None:
+            self._process_registry = []
+
+    def live_processes(self) -> list:
+        """Processes that are still alive (requires :meth:`track_processes`)."""
+        registry = self._process_registry
+        if registry is None:
+            raise RuntimeError("call track_processes() before building the model")
+        alive = []
+        live_refs = []
+        for ref in registry:
+            proc = ref()
+            if proc is not None:
+                live_refs.append(ref)
+                if proc.alive:
+                    alive.append(proc)
+        registry[:] = live_refs  # prune refs to collected processes
+        return alive
 
     def report_unhandled(self, exc: BaseException) -> None:
         """Record a failure nobody is waiting on; re-raised by :meth:`run`.
@@ -210,6 +276,7 @@ class Simulator:
             if time < self._now:  # pragma: no cover - defensive
                 raise RuntimeError("event heap went backwards in time")
             self._now = time
+            self._phase = _seq >> _PHASE_SHIFT
             fn(*args)
             if self._unhandled:
                 exc = self._unhandled[0]
@@ -239,6 +306,7 @@ class Simulator:
                     continue
                 fn, args = fn.fn, fn.args
             self._now = time
+            self._phase = _seq >> _PHASE_SHIFT
             fn(*args)
             if unhandled:
                 exc = unhandled[0]

@@ -13,6 +13,7 @@ reproduction are all written as processes.
 
 from __future__ import annotations
 
+import weakref
 from typing import Any, Generator, Optional
 
 from repro.sim.engine import Simulator
@@ -40,7 +41,10 @@ class Process:
         with its exception.  Yield the process (or this event) to join.
     """
 
-    __slots__ = ("sim", "name", "_gen", "completion", "_waiting_on", "_resume_handle")
+    __slots__ = (
+        "sim", "name", "_gen", "completion", "_waiting_on", "_resume_handle",
+        "__weakref__",
+    )
 
     def __init__(self, sim: Simulator, gen: Generator, name: Optional[str] = None):
         if not hasattr(gen, "send"):
@@ -51,11 +55,20 @@ class Process:
         self.completion = SimEvent(sim, name=f"{self.name}.completion")
         self._waiting_on: Optional[SimEvent] = None
         self._resume_handle = sim.schedule(0.0, self._step, None, None)
+        registry = sim._process_registry
+        if registry is not None:
+            registry.append(weakref.ref(self))
 
     # ------------------------------------------------------------------
     @property
     def alive(self) -> bool:
         return not self.completion.triggered
+
+    @property
+    def waiting_on(self) -> Optional[SimEvent]:
+        """The event this process is currently blocked on (None when it
+        is scheduled to resume, e.g. mid-sleep, or finished)."""
+        return self._waiting_on
 
     def interrupt(self, cause: Any = None) -> None:
         """Throw :class:`Interrupt` into the process at the current time.

@@ -11,6 +11,15 @@ from repro.tools.audit import (
 )
 from repro.tools.flow import message_flow, wire_sequence_diagram
 from repro.tools.perfbench import bench_point, run_benchmarks
+from repro.tools.simlint import (
+    Finding,
+    PerturbationReport,
+    QuiescenceReport,
+    TieBreakSimulator,
+    check_quiescent,
+    perturb_barrier_experiment,
+    run_lint,
+)
 from repro.tools.timeline import (
     CriticalPath,
     PathStep,
@@ -26,18 +35,25 @@ __all__ = [
     "CounterAudit",
     "CounterCheck",
     "CriticalPath",
+    "Finding",
     "PathStep",
+    "PerturbationReport",
+    "QuiescenceReport",
+    "TieBreakSimulator",
     "aggregate_counters",
     "ascii_timeline",
     "audit_counters",
     "bench_point",
+    "check_quiescent",
     "chrome_trace",
     "component_of",
     "critical_path",
     "expected_counters",
     "message_flow",
+    "perturb_barrier_experiment",
     "run_benchmarks",
     "run_counter_audit",
+    "run_lint",
     "wire_sequence_diagram",
     "write_chrome_trace",
 ]

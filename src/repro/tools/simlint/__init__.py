@@ -1,0 +1,76 @@
+"""simlint: protocol-invariant static analysis + DES schedule-race
+detection for the NIC-barrier simulator.
+
+Two halves share one finding vocabulary (stable ``SLxxx`` codes):
+
+- **static rules** (SL001-SL007) — AST analysis of the simulator
+  sources: yield discipline, determinism (wall clock, unseeded RNG,
+  ``id()``, unordered iteration), tracer guards, timing-constant
+  hygiene;
+- **runtime model checks** (SL101-SL106) — the tie-break perturbation
+  runner (same-timestamp event-order permutation must leave results
+  bit-identical) and the quiescence audit (deadlocks, packet-pool /
+  queue / bookkeeping / span leaks, rendered as a wait-for graph).
+
+Entry point: ``python -m repro lint [--perturb]``.
+"""
+
+from repro.tools.simlint.findings import (
+    ALL_RULES,
+    Finding,
+    RUNTIME_RULES,
+    STATIC_RULES,
+)
+from repro.tools.simlint.perturb import (
+    PerturbationReport,
+    TieBreakSimulator,
+    all_scheme_reports,
+    compare_runs,
+    diff_results,
+    perturb_barrier_experiment,
+)
+from repro.tools.simlint.quiescence import (
+    QuiescenceReport,
+    WaitEdge,
+    check_quiescent,
+    run_and_check,
+)
+from repro.tools.simlint.runner import (
+    EXIT_CLEAN,
+    EXIT_FINDINGS,
+    EXIT_INTERNAL,
+    collect_static_findings,
+    default_root,
+    run_lint,
+)
+from repro.tools.simlint.static_rules import (
+    analyze_file,
+    analyze_source,
+    analyze_tree,
+)
+
+__all__ = [
+    "ALL_RULES",
+    "EXIT_CLEAN",
+    "EXIT_FINDINGS",
+    "EXIT_INTERNAL",
+    "Finding",
+    "PerturbationReport",
+    "QuiescenceReport",
+    "RUNTIME_RULES",
+    "STATIC_RULES",
+    "TieBreakSimulator",
+    "WaitEdge",
+    "all_scheme_reports",
+    "analyze_file",
+    "analyze_source",
+    "analyze_tree",
+    "check_quiescent",
+    "collect_static_findings",
+    "compare_runs",
+    "default_root",
+    "diff_results",
+    "perturb_barrier_experiment",
+    "run_and_check",
+    "run_lint",
+]

@@ -1,0 +1,68 @@
+"""Finding objects and the SL0xx/SL1xx rule registry.
+
+Every rule — static (AST) or runtime (perturbation / quiescence) — has a
+stable ``SLxxx`` code so findings can be suppressed, documented and
+tested individually.  Static findings carry a ``file:line`` location and
+a fix-it; runtime findings locate by subsystem (NIC name, process name)
+instead of source line.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation."""
+
+    code: str
+    path: str
+    line: int  # 0 for runtime findings (no source location)
+    message: str
+    fixit: str = ""
+
+    def render(self) -> str:
+        loc = f"{self.path}:{self.line}" if self.line else self.path
+        text = f"{loc}: {self.code} {self.message}"
+        if self.fixit:
+            text += f"\n    fix: {self.fixit}"
+        return text
+
+    def sort_key(self) -> tuple:
+        return (self.path, self.line, self.code, self.message)
+
+
+#: Static rules (AST analysis over src/repro).
+STATIC_RULES: dict[str, str] = {
+    "SL001": "sim-process yield discipline: generators driven by the kernel may "
+             "only yield delays (numbers), SimEvents, or Processes",
+    "SL002": "determinism: wall-clock reads (time.time & friends) are banned in "
+             "simulation code",
+    "SL003": "determinism: unseeded RNG draws are banned in simulation code; use "
+             "DeterministicRng substreams",
+    "SL004": "determinism: id() is allocation-order dependent and must not feed "
+             "simulation logic",
+    "SL005": "determinism: iteration over unordered collections on "
+             "scheduling-adjacent paths",
+    "SL006": "tracer guard: record/begin_span/end_span/add_span must sit behind "
+             "the zero-cost `tracer.enabled` guard",
+    "SL007": "timing-constant hygiene: latency/size literals belong in params / "
+             "profile modules, not inline in protocol code",
+}
+
+#: Runtime rules (perturbation runner + quiescence detector).
+RUNTIME_RULES: dict[str, str] = {
+    "SL101": "schedule race: observable results differ under same-timestamp "
+             "event-order perturbation",
+    "SL102": "deadlock: process still blocked on an unfirable event at "
+             "simulation end",
+    "SL103": "leak: resource units (send packets, functional units) still held "
+             "at simulation end",
+    "SL104": "leak: non-empty queue at simulation end",
+    "SL105": "leak: unmatched bookkeeping (send records / collective state / "
+             "armed timers) at simulation end",
+    "SL106": "leak: tracer span opened but never closed",
+}
+
+ALL_RULES: dict[str, str] = {**STATIC_RULES, **RUNTIME_RULES}

@@ -1,0 +1,263 @@
+"""Deadlock and leak detection at simulation quiescence.
+
+When a barrier run drains the event heap, the model should be *quiescent
+by construction*: every send packet released back to its pool, every
+send record matched by an ACK (or abandoned with its resources freed),
+every per-destination queue empty, every collective state retired, every
+timer disarmed, every tracer span closed.  Anything still held is a leak
+that compounds across iterations (the exact class of bug the GM pool or
+a NACK timer makes easy to write), and any process still blocked on an
+event nobody can fire is a deadlock.
+
+:func:`check_quiescent` walks a cluster after ``sim.run()`` returned and
+reports violations as SL102-SL106 findings, plus a wait-for graph of the
+still-blocked processes.  NIC service loops are *expected* to park on
+their work queue's ``.get`` forever — they appear in the graph but are
+only findings when named in ``must_complete``.
+
+Process enumeration needs ``sim.track_processes()`` called **before**
+the model is built (weak registration happens in ``Process.__init__``);
+without it the detector still performs every state check and only skips
+the deadlock scan.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Optional
+
+from repro.tools.simlint.findings import Finding
+
+#: Event-name suffix of a Store.get — the park position of a service loop.
+_BENIGN_PARK_SUFFIX = ".get"
+
+
+@dataclass(frozen=True)
+class WaitEdge:
+    """One edge of the wait-for graph: a process blocked on an event."""
+
+    process: str
+    event: str
+    benign: bool  # True for a service loop parked on its work queue
+
+    def render(self) -> str:
+        marker = "parked" if self.benign else "BLOCKED"
+        return f"  {self.process} --waits-on--> {self.event}  [{marker}]"
+
+
+@dataclass
+class QuiescenceReport:
+    """Findings plus the wait-for graph for one drained cluster."""
+
+    findings: list[Finding] = field(default_factory=list)
+    graph: list[WaitEdge] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.findings
+
+    def render(self) -> str:
+        lines = [f.render() for f in self.findings]
+        if self.graph:
+            lines.append("wait-for graph:")
+            lines.extend(edge.render() for edge in sorted(
+                self.graph, key=lambda e: (e.benign, e.process)
+            ))
+        return "\n".join(lines) if lines else "quiescent: no leaks, no deadlocks"
+
+
+def _where(cluster, unit: str) -> str:
+    return f"{cluster.profile.name}/{unit}"
+
+
+def _check_processes(
+    cluster, must_complete: Iterable[str], report: QuiescenceReport
+) -> None:
+    sim = cluster.sim
+    if sim._process_registry is None:
+        return  # tracking was not enabled; state checks still run
+    required = set(must_complete)
+    for proc in sim.live_processes():
+        event = proc.waiting_on
+        event_name = event.name if event is not None else "<scheduled resume>"
+        benign = (
+            event is not None
+            and event_name.endswith(_BENIGN_PARK_SUFFIX)
+            and proc.name not in required
+        )
+        report.graph.append(WaitEdge(proc.name, event_name, benign))
+        if benign:
+            continue
+        if event is None:
+            # Alive with no wait and an empty heap: the resume was
+            # cancelled from under it.
+            detail = "alive but not scheduled and not waiting (lost resume)"
+        elif event_name.endswith(".request"):
+            detail = (
+                f"blocked acquiring exhausted resource {event_name[:-8]!r} "
+                "(units held and never released)"
+            )
+        elif event_name.endswith(".completion"):
+            detail = f"blocked joining {event_name[:-11]!r}, which never finished"
+        else:
+            detail = f"blocked on event {event_name!r} that can no longer fire"
+        report.findings.append(Finding(
+            "SL102", _where(cluster, proc.name), 0,
+            f"process {proc.name!r} {detail}",
+            fixit="every blocking wait needs a guaranteed producer; check the "
+                  "wait-for graph for the cycle or the missing release",
+        ))
+
+
+def _check_resource(cluster, unit: str, resource, what: str, report) -> None:
+    if resource.in_use:
+        report.findings.append(Finding(
+            "SL103", _where(cluster, unit), 0,
+            f"{what}: {resource.in_use}/{resource.capacity} unit(s) of "
+            f"{resource.name!r} still held at quiescence",
+            fixit="pair every request()/try_acquire() with a release() on "
+                  "all exits, including failure paths",
+        ))
+
+
+def _check_store(cluster, unit: str, store, report) -> None:
+    if len(store):
+        report.findings.append(Finding(
+            "SL104", _where(cluster, unit), 0,
+            f"queue {store.name!r} still holds {len(store)} item(s) at "
+            "quiescence",
+            fixit="the consumer loop stopped before draining its queue, or "
+                  "a producer enqueued work nobody services",
+        ))
+
+
+def _check_myrinet_nic(cluster, nic, report: QuiescenceReport) -> None:
+    unit = nic.name
+    _check_resource(cluster, unit, nic.packet_pool, "send packet pool", report)
+    _check_resource(cluster, unit, nic.cpu, "LANai processor", report)
+    for store in (
+        nic.host_event_queue, nic.engine_cmd_queue, nic.rx_queue,
+        nic.sched_work, nic.timeout_queue, nic.recv_event_queue,
+    ):
+        _check_store(cluster, unit, store, report)
+    stuck = {dst: len(q) for dst, q in sorted(nic.send_queues.items()) if q}
+    if stuck:
+        report.findings.append(Finding(
+            "SL104", _where(cluster, unit), 0,
+            f"per-destination send queues still hold tokens: {stuck}",
+            fixit="the send scheduler lost a wakeup (pending_dsts out of "
+                  "sync with sched_work?)",
+        ))
+    if nic.pending_dsts or nic.rr_ring:
+        report.findings.append(Finding(
+            "SL104", _where(cluster, unit), 0,
+            f"send scheduler state not drained: pending_dsts="
+            f"{sorted(nic.pending_dsts)} rr_ring={list(nic.rr_ring)}",
+            fixit="destinations must leave pending_dsts exactly when their "
+                  "queue empties",
+        ))
+    if nic.send_records:
+        keys = sorted(nic.send_records)
+        armed = sum(
+            1 for r in nic.send_records.values() if r.timer is not None
+        )
+        report.findings.append(Finding(
+            "SL105", _where(cluster, unit), 0,
+            f"{len(keys)} unmatched send record(s) at quiescence "
+            f"(first: dst={keys[0][0]} seq={keys[0][1]}; {armed} with a "
+            "timer still armed)",
+            fixit="every send record must be retired by an ACK or by the "
+                  "retry-exhaustion path (which must also free its packet)",
+        ))
+    for group_id, engine in sorted(nic.engines.items()):
+        states = getattr(engine, "states", None)
+        if not states:
+            continue
+        armed = sum(
+            1 for s in states.values() if getattr(s, "nack_timer", None) is not None
+        )
+        report.findings.append(Finding(
+            "SL105", _where(cluster, unit), 0,
+            f"collective engine for group {group_id} retains "
+            f"{len(states)} unretired state(s) (seqs {sorted(states)[:4]}"
+            f"{'...' if len(states) > 4 else ''}; {armed} NACK timer(s) "
+            "armed)",
+            fixit="engine states must be deleted on completion and their "
+                  "NACK timers cancelled",
+        ))
+
+
+def _check_quadrics_nic(cluster, nic, report: QuiescenceReport) -> None:
+    unit = nic.name
+    _check_resource(cluster, unit, nic.event_unit, "event unit", report)
+    _check_resource(cluster, unit, nic.dma_engine, "DMA engine", report)
+    _check_resource(cluster, unit, nic.thread_cpu, "thread processor", report)
+    for store in (nic.host_events, nic.tport_queue):
+        _check_store(cluster, unit, store, report)
+    if nic._rx_busy or nic._rx_backlog or nic._rx_waiting_desc is not None:
+        report.findings.append(Finding(
+            "SL104", _where(cluster, unit), 0,
+            f"receive state machine not idle: busy={nic._rx_busy} "
+            f"backlog={len(nic._rx_backlog)} "
+            f"waiting_desc={nic._rx_waiting_desc is not None}",
+            fixit="_rx_next() must run after every packet, including the "
+                  "event-unit-contended path",
+        ))
+
+
+def _check_ports(cluster, report: QuiescenceReport) -> None:
+    for port in getattr(cluster, "ports", ()):
+        unit = f"port{port.node_id}"
+        for attr, what in (
+            ("_pending", "unmatched GM receive events"),
+            ("_tport_pending", "unmatched tport messages"),
+            ("_host_event_pending", "unconsumed host event words"),
+        ):
+            pending = getattr(port, attr, None)
+            if pending:
+                report.findings.append(Finding(
+                    "SL105", _where(cluster, unit), 0,
+                    f"{len(pending)} {what} buffered at quiescence",
+                    fixit="every message a node sends must have a matching "
+                          "receive in the program",
+                ))
+
+
+def check_quiescent(
+    cluster,
+    must_complete: Iterable[str] = (),
+    tracer=None,
+) -> QuiescenceReport:
+    """Audit a drained cluster for deadlocks (SL102) and leaks (SL103-106).
+
+    ``must_complete`` names processes that may not still be alive even
+    parked on a queue (e.g. ``bench@*`` workload drivers).  ``tracer``
+    defaults to the cluster's own tracer.
+    """
+    report = QuiescenceReport()
+    _check_processes(cluster, must_complete, report)
+    for nic in getattr(cluster, "nics", ()):
+        if hasattr(nic, "packet_pool"):
+            _check_myrinet_nic(cluster, nic, report)
+        else:
+            _check_quadrics_nic(cluster, nic, report)
+    _check_ports(cluster, report)
+    tracer = tracer if tracer is not None else getattr(cluster, "tracer", None)
+    if tracer is not None and getattr(tracer, "open_span_count", 0):
+        report.findings.append(Finding(
+            "SL106", _where(cluster, "tracer"), 0,
+            f"{tracer.open_span_count} tracer span(s) opened but never closed",
+            fixit="every begin_span needs an end_span on all exits",
+        ))
+    report.findings.sort(key=Finding.sort_key)
+    return report
+
+
+def run_and_check(
+    cluster,
+    must_complete: Iterable[str] = (),
+    until: Optional[float] = None,
+) -> QuiescenceReport:
+    """Convenience: drive the cluster's simulator, then audit it."""
+    cluster.sim.run(until=until)
+    return check_quiescent(cluster, must_complete=must_complete)

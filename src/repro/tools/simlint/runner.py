@@ -1,0 +1,93 @@
+"""The ``python -m repro lint`` driver.
+
+Runs the static rules over the ``repro`` package (or any ``--path``),
+optionally followed by the runtime model checks (tie-break perturbation
+plus the quiescence audit), and maps the outcome to a CI-friendly exit
+code:
+
+- **0** — clean: no findings;
+- **1** — findings reported (the build should fail);
+- **2** — internal error: unreadable/unparseable input, unknown rule, or
+  the harness itself crashed.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Callable, Optional
+
+from repro.tools.simlint.findings import Finding
+from repro.tools.simlint.static_rules import analyze_file
+
+EXIT_CLEAN = 0
+EXIT_FINDINGS = 1
+EXIT_INTERNAL = 2
+
+
+def default_root() -> Path:
+    """The ``repro`` package directory (the default lint target)."""
+    import repro
+
+    return Path(repro.__file__).parent
+
+
+def collect_static_findings(root: Optional[Path] = None) -> list[Finding]:
+    """Lint every ``*.py`` under ``root``; raises on unreadable input."""
+    root = default_root() if root is None else root
+    if not root.exists():
+        raise FileNotFoundError(f"lint path does not exist: {root}")
+    if root.is_file():
+        return analyze_file(root, root.parent)
+    findings: list[Finding] = []
+    for path in sorted(root.rglob("*.py")):
+        findings.extend(analyze_file(path, root))
+    return sorted(findings, key=Finding.sort_key)
+
+
+def _render_report(
+    findings: list[Finding], header: str, emit: Callable[[str], None]
+) -> None:
+    for finding in findings:
+        emit(finding.render())
+    noun = "finding" if len(findings) == 1 else "findings"
+    emit(f"{header}: {len(findings)} {noun}")
+
+
+def run_lint(
+    root: Optional[Path] = None,
+    perturb: bool = False,
+    perturb_nodes: int = 16,
+    perturb_rounds: int = 20,
+    perturb_iterations: int = 5,
+    seed: int = 0,
+    emit: Callable[[str], None] = print,
+) -> int:
+    """Execute the configured checks and return the process exit code."""
+    try:
+        findings = collect_static_findings(root)
+    except (OSError, SyntaxError, ValueError) as exc:
+        emit(f"simlint: internal error: {exc}")
+        return EXIT_INTERNAL
+    _render_report(findings, "static analysis", emit)
+
+    if perturb:
+        from repro.tools.simlint.perturb import all_scheme_reports
+
+        try:
+            reports = all_scheme_reports(
+                nodes=perturb_nodes,
+                rounds=perturb_rounds,
+                iterations=perturb_iterations,
+                seed=seed,
+            )
+        except Exception as exc:  # harness failure, not a finding
+            emit(f"simlint: internal error during perturbation: {exc}")
+            return EXIT_INTERNAL
+        for report in reports:
+            emit(str(report))
+            findings.extend(report.findings)
+        _render_report(
+            [f for r in reports for f in r.findings], "perturbation", emit
+        )
+
+    return EXIT_FINDINGS if findings else EXIT_CLEAN

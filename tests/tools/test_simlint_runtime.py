@@ -1,0 +1,278 @@
+"""Runtime model checks: delta phases, perturbation, quiescence.
+
+Three kinds of coverage:
+
+- kernel contract tests for :meth:`Simulator.schedule_phase` (the
+  arbitration primitive the fabric's deterministic link grants rely on),
+  on both the stock kernel and the tie-break-perturbed one;
+- injected-violation fixtures: an order-dependent callback must be
+  caught as SL101 by :func:`compare_runs`, a leaked pool unit as SL103
+  and a deadlocked process as SL102 by :func:`check_quiescent`;
+- positive controls: real barrier experiments (including a seeded fault
+  run) stay bit-identical under tie-break permutation and audit clean
+  at quiescence.
+"""
+
+import pytest
+
+from repro.sim import SimEvent, Simulator, Store
+from repro.sim.rng import DeterministicRng
+from repro.tools.simlint import (
+    TieBreakSimulator,
+    check_quiescent,
+    compare_runs,
+    perturb_barrier_experiment,
+)
+
+
+# ----------------------------------------------------------------------
+# Delta-phase kernel contract
+# ----------------------------------------------------------------------
+def _phase_ordering_trace(sim):
+    order = []
+
+    def arm():
+        sim.schedule_phase(2, order.append, "p2")
+        sim.schedule_phase(1, order.append, "p1")
+        order.append("n1")
+
+    sim.schedule(1.0, arm)
+    sim.schedule(1.0, order.append, "n2")
+    sim.run()
+    return order
+
+
+def test_schedule_phase_runs_after_all_same_time_phase0_calls():
+    # p1/p2 are scheduled *before* n2 exists on the heap, yet every
+    # phase-0 call at t=1 runs first — phases order, not arrival.
+    assert _phase_ordering_trace(Simulator()) == ["n1", "n2", "p1", "p2"]
+
+
+def test_tiebreak_simulator_preserves_phase_ordering():
+    # The perturbed kernel randomizes same-phase ties only; the
+    # delta-phase guarantee holds for every permutation.
+    for round_idx in range(5):
+        rng = DeterministicRng(7, f"test/tiebreak/{round_idx}")
+        order = _phase_ordering_trace(TieBreakSimulator(rng))
+        assert set(order[:2]) == {"n1", "n2"}
+        assert order[2:] == ["p1", "p2"]
+
+
+@pytest.mark.parametrize("sim_factory", [
+    Simulator,
+    lambda: TieBreakSimulator(DeterministicRng(0, "test")),
+])
+def test_schedule_phase_rejects_non_future_phase(sim_factory):
+    sim = sim_factory()
+    with pytest.raises(ValueError):
+        sim.schedule_phase(0, print)
+
+    seen = []
+
+    def in_phase_two():
+        seen.append(sim.current_phase)
+        with pytest.raises(ValueError):
+            sim.schedule_phase(2, print)
+
+    sim.schedule_phase(2, in_phase_two)
+    sim.run()
+    assert seen == [2]
+
+
+def test_phase_resets_when_time_advances():
+    sim = Simulator()
+    phases = []
+    sim.schedule(0.0, lambda: sim.schedule_phase(3, lambda: phases.append(sim.current_phase)))
+    sim.schedule(1.0, lambda: phases.append(sim.current_phase))
+    sim.run()
+    assert phases == [3, 0]
+
+
+# ----------------------------------------------------------------------
+# Injected violation: order-dependent callback -> SL101
+# ----------------------------------------------------------------------
+def test_compare_runs_catches_order_dependent_callback():
+    def build_and_run(sim):
+        order = []
+        for tag in ("a", "b", "c"):
+            sim.schedule(1.0, order.append, tag)
+        sim.run()
+        return tuple(order)  # observable leaks the same-time pop order
+
+    findings = compare_runs(build_and_run, rounds=8, seed=0, where="fixture")
+    assert findings
+    assert {f.code for f in findings} == {"SL101"}
+    assert all(f.path == "fixture" for f in findings)
+
+
+def test_compare_runs_passes_order_independent_model():
+    def build_and_run(sim):
+        order = []
+        for tag in ("a", "b", "c"):
+            sim.schedule(1.0, order.append, tag)
+        sim.run()
+        return tuple(sorted(order))  # commutative observable
+
+    assert compare_runs(build_and_run, rounds=8, seed=0) == []
+
+
+# ----------------------------------------------------------------------
+# Injected violations at quiescence: SL102 (deadlock), SL103 (leak)
+# ----------------------------------------------------------------------
+class _FakeProfile:
+    name = "fixture"
+
+
+class _FakeCluster:
+    def __init__(self, sim):
+        self.sim = sim
+        self.profile = _FakeProfile()
+        self.nics = ()
+        self.ports = ()
+        self.tracer = None
+
+
+def test_quiescence_catches_deadlocked_process():
+    sim = Simulator()
+    sim.track_processes()
+    orphan = SimEvent(sim, name="ack.never")
+
+    def waiter():
+        yield orphan  # nobody will ever succeed this
+
+    sim.process(waiter(), name="stuck-sender")
+    sim.run()
+    report = check_quiescent(_FakeCluster(sim))
+    assert [f.code for f in report.findings] == ["SL102"]
+    assert "stuck-sender" in report.findings[0].message
+    edges = [e for e in report.graph if e.process == "stuck-sender"]
+    assert edges and not edges[0].benign
+    assert "ack.never" in report.render()
+
+
+def test_quiescence_treats_parked_service_loop_as_benign():
+    sim = Simulator()
+    sim.track_processes()
+    work = Store(sim, name="nic.work")
+
+    def service_loop():
+        while True:
+            yield work.get()
+
+    sim.process(service_loop(), name="rx-loop")
+    sim.run()
+    report = check_quiescent(_FakeCluster(sim))
+    assert report.ok
+    assert [e.benign for e in report.graph] == [True]
+
+
+def test_quiescence_flags_required_process_even_when_parked():
+    sim = Simulator()
+    sim.track_processes()
+    work = Store(sim, name="bench.work")
+
+    def driver():
+        yield work.get()
+
+    sim.process(driver(), name="bench@0")
+    sim.run()
+    report = check_quiescent(_FakeCluster(sim), must_complete=("bench@0",))
+    assert [f.code for f in report.findings] == ["SL102"]
+
+
+def test_quiescence_catches_leaked_send_packet():
+    from tests.myrinet.conftest import MyrinetTestCluster
+
+    cluster = MyrinetTestCluster(n=2)
+    cluster.profile = _FakeProfile()
+
+    def sender():
+        yield from cluster.ports[0].send(1, 64, payload="hello")
+
+    def receiver():
+        yield from cluster.ports[1].recv_from(0)
+
+    cluster.sim.process(sender())
+    cluster.sim.process(receiver())
+    cluster.sim.run()
+    assert check_quiescent(cluster).ok
+
+    # Inject the violation: a pool unit acquired and never released —
+    # the exact leak the retry-exhaustion path used to exhibit.
+    assert cluster.nics[0].packet_pool.try_acquire()
+    report = check_quiescent(cluster)
+    assert [f.code for f in report.findings] == ["SL103"]
+    assert "pktpool" in report.findings[0].message
+    cluster.nics[0].packet_pool.release()
+
+
+def test_retry_exhaustion_releases_pool_and_records():
+    # Regression for the fault-path leak: a black-holed peer must not
+    # retain pool units, send records, or armed timers once the retry
+    # budget is spent, and the audit must agree.
+    import dataclasses
+
+    from repro.network import FaultInjector, PacketKind
+    from tests.myrinet.conftest import TEST_GM, MyrinetTestCluster
+
+    gm = dataclasses.replace(TEST_GM, max_retries=2, ack_timeout_us=50.0)
+    faults = FaultInjector()
+    faults.drop_all_matching(
+        lambda p: p.kind == PacketKind.DATA and p.dst == 1
+    )
+    cluster = MyrinetTestCluster(n=2, gm=gm, faults=faults)
+    cluster.profile = _FakeProfile()
+
+    def sender():
+        yield from cluster.ports[0].send(1, 32, payload="doomed")
+
+    cluster.sim.process(sender())
+    cluster.sim.run()
+    assert cluster.nics[0].packet_pool.in_use == 0
+    assert cluster.nics[0].send_records == {}
+    assert check_quiescent(cluster).ok
+
+
+# ----------------------------------------------------------------------
+# Positive controls on real experiments (small N keeps these fast)
+# ----------------------------------------------------------------------
+def test_gsync_bit_identical_under_perturbation():
+    # gsync is the regression scheme: same-instant up-RDMAs contending
+    # for the parent's last link exposed schedule-ordered grants before
+    # the fabric arbiter existed.
+    report = perturb_barrier_experiment(
+        "elan3_piii700", "gsync", nodes=8, rounds=3, iterations=3, warmup=1
+    )
+    assert report.ok, report.findings[0].message if report.findings else ""
+
+
+def test_faulty_nic_collective_bit_identical_under_perturbation():
+    report = perturb_barrier_experiment(
+        "lanai_xp_xeon2400", "nic-collective", nodes=8, rounds=3,
+        iterations=3, warmup=1, drop_probability=0.05,
+    )
+    assert report.ok, report.findings[0].message if report.findings else ""
+    assert report.baseline.counters.get("wire.dropped", 0) > 0
+
+
+def test_fault_injection_rejected_on_quadrics():
+    with pytest.raises(ValueError):
+        perturb_barrier_experiment(
+            "elan3_piii700", "gsync", nodes=4, drop_probability=0.1
+        )
+
+
+def test_barrier_run_audits_clean_at_quiescence():
+    from repro.cluster.builder import build_cluster
+    from repro.cluster.profiles import get_profile
+    from repro.cluster.runner import run_barrier_experiment
+
+    sim = Simulator()
+    sim.track_processes()
+    cluster = build_cluster(get_profile("lanai_xp_xeon2400"), 8, sim=sim)
+    run_barrier_experiment(
+        cluster, "nic-collective", iterations=3, warmup=1, seed=0
+    )
+    report = check_quiescent(cluster)
+    assert report.ok, report.render()
+    assert any(e.benign for e in report.graph)  # service loops parked
