@@ -16,6 +16,12 @@ Commands:
   simulator sources (exit 0 clean / 1 findings / 2 internal error);
   ``--perturb`` adds the runtime model checks (tie-break perturbation
   across every barrier scheme plus a seeded fault run).
+- ``chaos``       — the fault-injection campaign: every chaos scenario
+  (loss, corruption, duplication, jitter, link flap, NIC crash, link
+  death, host slowdown, HW-barrier degradation) against every
+  applicable barrier scheme, with per-run invariant checks, quiescence
+  audits, and tie-break determinism rounds (exit 0 pass / 1 fail);
+  ``--report`` additionally writes the markdown degradation report.
 """
 
 from __future__ import annotations
@@ -133,6 +139,33 @@ def _cmd_lint(args: argparse.Namespace) -> int:
     )
 
 
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    from repro.tools.chaos import run_campaign
+
+    networks = (
+        ("myrinet", "quadrics") if args.network == "both" else (args.network,)
+    )
+    campaign = run_campaign(
+        networks=networks,
+        nodes=args.nodes,
+        iterations=args.iterations,
+        rounds=args.rounds,
+        seed=args.seed,
+    )
+    print(campaign.render())
+    if args.report:
+        from repro.experiments.chaos import degradation_report
+
+        document = (
+            "# Chaos campaign\n\n```\n" + campaign.render() + "\n```\n\n"
+            + degradation_report(nodes=args.nodes, seed=args.seed)
+        )
+        with open(args.report, "w") as fh:
+            fh.write(document)
+        print(f"degradation report written to {args.report}")
+    return 0 if campaign.ok else 1
+
+
 def _cmd_experiment(args: argparse.Namespace) -> int:
     import importlib
 
@@ -231,6 +264,21 @@ def build_parser() -> argparse.ArgumentParser:
     lint_parser.add_argument("--perturb-iterations", type=int, default=5)
     lint_parser.add_argument("--seed", type=int, default=0)
 
+    chaos_parser = sub.add_parser(
+        "chaos",
+        help="fault-injection campaign: scenarios x schemes + invariants",
+    )
+    chaos_parser.add_argument("--network", default="both",
+                              choices=["myrinet", "quadrics", "both"])
+    chaos_parser.add_argument("-n", "--nodes", type=int, default=16)
+    chaos_parser.add_argument("--iterations", type=int, default=4,
+                              help="consecutive barriers per run")
+    chaos_parser.add_argument("--rounds", type=int, default=20,
+                              help="tie-break determinism permutations per run")
+    chaos_parser.add_argument("--seed", type=int, default=0)
+    chaos_parser.add_argument("--report", default=None,
+                              help="also write the markdown degradation report here")
+
     report_parser = sub.add_parser("report", help="regenerate EXPERIMENTS.md")
     report_parser.add_argument("--quick", action="store_true")
     report_parser.add_argument("--out", default="EXPERIMENTS.md")
@@ -250,6 +298,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "report": _cmd_report,
         "trace": _cmd_trace,
         "lint": _cmd_lint,
+        "chaos": _cmd_chaos,
     }
     return handlers[args.command](args)
 

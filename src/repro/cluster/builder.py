@@ -82,12 +82,7 @@ class QuadricsCluster(_ClusterBase):
     """A QsNet cluster: Elan3 NICs + Elanlib ports + Elite HW barrier."""
 
     def __init__(self, profile, nodes, tracer=None, faults=None, sim=None):
-        if faults is not None:
-            raise ValueError(
-                "QsNet delivers reliably in hardware; fault injection is a "
-                "Myrinet-only experiment"
-            )
-        super().__init__(profile, nodes, tracer, faults=None, sim=sim)
+        super().__init__(profile, nodes, tracer, faults, sim)
         self.nics = [
             Elan3Nic(
                 self.sim, i, profile.elan, self.fabric, self.pcis[i], tracer=self.tracer
@@ -113,6 +108,9 @@ class QuadricsCluster(_ClusterBase):
             t_flag_check_us=elan.t_hw_flag_check,
             retry_backoff_us=elan.hw_retry_backoff_us,
             tracer=self.tracer,
+            max_rounds=elan.hw_max_rounds,
+            backoff_factor=elan.hw_backoff_factor,
+            backoff_cap_us=elan.hw_backoff_cap_us,
         )
 
 
@@ -139,13 +137,14 @@ def build_quadrics_cluster(
     profile: Union[str, HardwareProfile] = "elan3_piii700",
     nodes: int = 8,
     tracer: Optional[Tracer] = None,
+    faults: Optional[FaultInjector] = None,
     sim: Optional[Simulator] = None,
 ) -> QuadricsCluster:
     """Build a Quadrics cluster from a profile name or object."""
     resolved = _resolve(profile)
     if resolved.network != "quadrics":
         raise ValueError(f"profile {resolved.name} is not a Quadrics profile")
-    return QuadricsCluster(resolved, nodes, tracer, sim=sim)
+    return QuadricsCluster(resolved, nodes, tracer, faults, sim)
 
 
 def build_cluster(
@@ -159,4 +158,4 @@ def build_cluster(
     resolved = _resolve(profile)
     if resolved.network == "myrinet":
         return build_myrinet_cluster(resolved, nodes, tracer, faults, sim)
-    return build_quadrics_cluster(resolved, nodes, tracer, sim=sim)
+    return build_quadrics_cluster(resolved, nodes, tracer, faults, sim)

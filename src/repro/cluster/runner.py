@@ -92,7 +92,16 @@ class _IterationTracker:
                 self.counter_base = tracer.snapshot()
 
 
-def _barrier_step(cluster, kind: str, group: ProcessGroup, drivers, hw, node: int, seq: int):
+def _barrier_step(
+    cluster,
+    kind: str,
+    group: ProcessGroup,
+    drivers,
+    hw,
+    node: int,
+    seq: int,
+    hw_fallback: bool = True,
+):
     """One barrier call at one node, by experiment kind."""
     if kind == "host":
         yield from host_barrier(cluster.ports[node], group, seq)
@@ -101,11 +110,35 @@ def _barrier_step(cluster, kind: str, group: ProcessGroup, drivers, hw, node: in
     elif kind == "gsync":
         yield from elan_gsync(cluster.ports[node], group.node_ids, seq)
     elif kind == "hgsync":
-        yield from elan_hgsync(cluster.ports[node], hw, group.node_ids, seq)
+        yield from elan_hgsync(
+            cluster.ports[node], hw, group.node_ids, seq, fallback=hw_fallback
+        )
     elif kind == "nic-chained":
         yield from drivers[node].barrier(seq)
     else:  # pragma: no cover - guarded earlier
         raise ValueError(kind)
+
+
+def _setup_scheme(cluster, barrier: str, group: ProcessGroup):
+    """Instantiate the per-scheme machinery (engines / drivers / HW
+    barrier) for one experiment; returns ``(drivers, hw)`` for
+    :func:`_barrier_step`."""
+    drivers = None
+    hw = None
+    if barrier == "nic-collective":
+        for rank, node in enumerate(group.node_ids):
+            NicCollectiveBarrierEngine(cluster.nics[node], group, rank)
+    elif barrier == "nic-direct":
+        for rank, node in enumerate(group.node_ids):
+            NicDirectBarrierEngine(cluster.nics[node], group, rank)
+    elif barrier == "nic-chained":
+        drivers = {
+            node: QuadricsChainedBarrier(cluster.ports[node], group)
+            for node in group.node_ids
+        }
+    elif barrier == "hgsync":
+        hw = cluster.hardware_barrier(group.node_ids)
+    return drivers, hw
 
 
 def run_barrier_experiment(
@@ -146,21 +179,7 @@ def run_barrier_experiment(
     order = rng.permutation(cluster.n)[:n] if permute_nodes else list(range(n))
     group = ProcessGroup(order, algorithm=algorithm)
 
-    drivers = None
-    hw = None
-    if barrier == "nic-collective":
-        for rank, node in enumerate(group.node_ids):
-            NicCollectiveBarrierEngine(cluster.nics[node], group, rank)
-    elif barrier == "nic-direct":
-        for rank, node in enumerate(group.node_ids):
-            NicDirectBarrierEngine(cluster.nics[node], group, rank)
-    elif barrier == "nic-chained":
-        drivers = {
-            node: QuadricsChainedBarrier(cluster.ports[node], group)
-            for node in group.node_ids
-        }
-    elif barrier == "hgsync":
-        hw = cluster.hardware_barrier(group.node_ids)
+    drivers, hw = _setup_scheme(cluster, barrier, group)
 
     total = warmup + iterations
     tracker = _IterationTracker(cluster, n, total, warmup)

@@ -30,12 +30,19 @@ from repro.collectives.algorithms import (
     pairwise_exchange,
 )
 from repro.collectives.group import ProcessGroup
-from repro.collectives.messages import BarrierDone, BarrierMsg, BarrierNack
+from repro.collectives.messages import (
+    BarrierDone,
+    BarrierFailed,
+    BarrierFailure,
+    BarrierMsg,
+    BarrierNack,
+)
 from repro.collectives.protocol import CollectiveGroupState, CollectiveSendRecord
 from repro.collectives.myrinet_engines import (
     NicCollectiveBarrierEngine,
     NicDirectBarrierEngine,
     nic_barrier,
+    nic_barrier_teardown,
 )
 from repro.collectives.host_barrier import host_barrier
 from repro.collectives.quadrics_barrier import QuadricsChainedBarrier
@@ -72,11 +79,14 @@ __all__ = [
     "BarrierMsg",
     "BarrierNack",
     "BarrierDone",
+    "BarrierFailed",
+    "BarrierFailure",
     "CollectiveGroupState",
     "CollectiveSendRecord",
     "NicCollectiveBarrierEngine",
     "NicDirectBarrierEngine",
     "nic_barrier",
+    "nic_barrier_teardown",
     "host_barrier",
     "QuadricsChainedBarrier",
     "NicBroadcastEngine",

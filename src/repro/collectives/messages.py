@@ -46,3 +46,38 @@ class BarrierDone:
     seq: int
     completed_at: float
     payload: Any = None
+
+
+@dataclass(frozen=True)
+class BarrierFailed:
+    """Failure notification the NIC DMAs to the host.
+
+    Raised to the host as :class:`BarrierFailure` — the typed
+    escalation surface for retry-budget exhaustion, peer death, and NIC
+    restarts.  A NIC that posts this has already torn down the
+    barrier's volatile state (record, timers, pool units), so the
+    failure never leaks resources.
+    """
+
+    group_id: int
+    seq: int
+    reason: str
+    failed_at: float
+
+
+class BarrierFailure(RuntimeError):
+    """A barrier operation gave up instead of hanging.
+
+    Carried out of the host-side barrier call when the NIC (or the
+    Elite hardware-barrier path with fallback disabled) exhausted its
+    retry budget.
+    """
+
+    def __init__(self, group_id: int, seq: int, reason: str, node: int = -1):
+        super().__init__(
+            f"barrier seq={seq} group={group_id} failed at node {node}: {reason}"
+        )
+        self.group_id = group_id
+        self.seq = seq
+        self.reason = reason
+        self.node = node

@@ -21,10 +21,16 @@ processing contends for the LANai processor like any other MCP task.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING
+from typing import TYPE_CHECKING, Any
 
 from repro.collectives.group import ProcessGroup
-from repro.collectives.messages import BarrierDone, BarrierMsg, BarrierNack
+from repro.collectives.messages import (
+    BarrierDone,
+    BarrierFailed,
+    BarrierFailure,
+    BarrierMsg,
+    BarrierNack,
+)
 from repro.collectives.protocol import CollectiveGroupState
 from repro.myrinet.structures import SendToken
 from repro.network import Packet, PacketKind
@@ -53,6 +59,12 @@ class _NicBarrierEngineBase:
         self.states: dict[int, CollectiveGroupState] = {}
         self.barriers_completed = 0
         self.done_through = -1  # barriers complete in order per rank
+        # Escalation state: failed barriers (seq -> reason), armed
+        # receiver-side watchdogs (direct scheme), and the teardown
+        # latch a host sets after catching a BarrierFailure.
+        self.failed: dict[int, str] = {}
+        self._deadlines: dict[int, Any] = {}
+        self.closed = False
         nic.register_engine(group.group_id, self)
 
     # ------------------------------------------------------------------
@@ -72,6 +84,10 @@ class _NicBarrierEngineBase:
             yield from self._on_start(command[1])
         elif kind == "timeout":
             yield from self._on_nack_timeout(command[1])
+        elif kind in ("deadline", "peer-dead"):
+            yield from self._on_failure_signal(command[1], kind)
+        elif kind == "teardown":
+            yield from self._on_teardown()
         else:
             raise ValueError(f"unknown engine command {command!r}")
 
@@ -83,12 +99,21 @@ class _NicBarrierEngineBase:
         state.start_time = nic.sim.now
         if self.uses_nack_reliability:
             self._arm_nack_timer(state)
+        self._arm_deadline(state)
         yield from self._progress(seq)
 
     def on_barrier_packet(self, packet: Packet):
         msg: BarrierMsg = packet.payload
         nic = self.nic
         yield from nic.cpu_task(nic.params.t_coll_trigger, "coll_trigger")
+        if self.closed:
+            nic.tracer.count("coll.rx_after_teardown")
+            return
+        if msg.seq in self.failed:
+            # The barrier failed here; stray retransmissions from peers
+            # still fighting their own budgets are expected.
+            nic.tracer.count("coll.rx_after_failure")
+            return
         if msg.seq <= self.done_through:
             # Late duplicate (a retransmission that raced the original):
             # the barrier already completed here.
@@ -135,6 +160,7 @@ class _NicBarrierEngineBase:
     def _complete(self, state: CollectiveGroupState):
         nic = self.nic
         state.cancel_nack_timer()
+        self._cancel_deadline(state.seq)
         yield from nic.cpu_task(nic.params.t_coll_complete, "coll_complete")
         self.barriers_completed += 1
         nic.tracer.count("coll.barrier_complete")
@@ -143,6 +169,82 @@ class _NicBarrierEngineBase:
         yield from nic.notify_host(
             BarrierDone(self.group.group_id, state.seq, completed_at=nic.sim.now)
         )
+
+    # ------------------------------------------------------------------
+    # Escalation: fail instead of hang
+    # ------------------------------------------------------------------
+    def _fail(self, seq: int, reason: str):
+        """Tear down one barrier's state and surface the failure.
+
+        Extends the retry-exhaustion leak fix: the engine state, its
+        NACK timer, and any armed deadline are released *before* the
+        host hears about the failure, so a failed barrier leaves the
+        NIC quiescent.
+        """
+        nic = self.nic
+        state = self.states.pop(seq)
+        state.cancel_nack_timer()
+        self._cancel_deadline(seq)
+        self.failed[seq] = reason
+        self.done_through = max(self.done_through, seq)
+        nic.tracer.count("coll.barrier_failed")
+        yield from nic.notify_host(
+            BarrierFailed(self.group.group_id, seq, reason, failed_at=nic.sim.now)
+        )
+
+    def _on_failure_signal(self, seq: int, origin: str):
+        state = self.states.get(seq)
+        if state is None or state.complete or not state.started:
+            # Completed / already failed / not entered before the
+            # signal landed: nothing to escalate.
+            self.nic.tracer.count("coll.stale_failure_signal")
+            return
+        if origin == "deadline":
+            self.nic.tracer.count("coll.deadline_exceeded")
+            reason = "barrier-deadline-exceeded"
+        else:
+            self.nic.tracer.count("coll.peer_dead_escalation")
+            reason = "peer-declared-dead"
+        yield from self._fail(seq, reason)
+
+    def _on_teardown(self):
+        """Host closed the group after catching a failure: drop every
+        remaining state (passive early arrivals included) and discard
+        all future traffic for the group."""
+        nic = self.nic
+        self.closed = True
+        for seq in sorted(self.states):
+            state = self.states.pop(seq)
+            state.cancel_nack_timer()
+            nic.tracer.count("coll.teardown_state_dropped")
+        for seq in sorted(self._deadlines):
+            self._deadlines.pop(seq).cancel()
+        return
+        yield  # pragma: no cover - makes this a generator
+
+    def on_nic_restart(self):
+        """The LANai restarted: engine SRAM state is gone.  Started,
+        incomplete barriers fail up to the host (the driver sees the
+        restart); passive early-arrival states are silently lost —
+        peers recover them through their own reliability machinery."""
+        nic = self.nic
+        for seq in sorted(self.states):
+            state = self.states[seq]
+            if state.started and not state.complete:
+                yield from self._fail(seq, "nic-restart")
+            else:
+                state.cancel_nack_timer()
+                del self.states[seq]
+                nic.tracer.count("coll.crash_state_dropped")
+
+    # -- deadline plumbing (armed only by the direct scheme) -----------
+    def _arm_deadline(self, state: CollectiveGroupState) -> None:
+        pass
+
+    def _cancel_deadline(self, seq: int) -> None:
+        deadline = self._deadlines.pop(seq, None)
+        if deadline is not None:
+            deadline.cancel()
 
     # -- subclass hooks ----------------------------------------------------
     def _send_message(self, state: CollectiveGroupState, phase: int, dst: int):
@@ -182,6 +284,22 @@ class NicDirectBarrierEngine(_NicBarrierEngineBase):
         )
         nic.enqueue_send_token(token)
 
+    def _arm_deadline(self, state: CollectiveGroupState) -> None:
+        # The ACK-based scheme's receivers have no reliability of their
+        # own: if an expected sender dies, nothing here would ever time
+        # out.  A per-barrier watchdog sized from the sender-side
+        # exhaustion horizon (so it cannot fire before a live peer's
+        # retries are spent) converts that hang into a typed failure.
+        nic = self.nic
+        self._deadlines[state.seq] = nic.sim.schedule(
+            nic.params.direct_barrier_deadline_us, self._deadline_fired, state.seq
+        )
+
+    def _deadline_fired(self, seq: int) -> None:
+        self._deadlines.pop(seq, None)
+        if seq in self.states:
+            self.nic.post_engine_command((self.group.group_id, "deadline", seq))
+
     def on_nack(self, packet: Packet):
         # The direct scheme has no receiver-driven reliability; a NACK
         # arriving here indicates a misconfigured experiment.
@@ -213,9 +331,13 @@ class NicCollectiveBarrierEngine(_NicBarrierEngineBase):
 
     # -- receiver-driven retransmission ---------------------------------
     def _arm_nack_timer(self, state: CollectiveGroupState) -> None:
+        # The interval backs off with the round count: a straggler is
+        # probed at the base cadence, a dead peer ever more cheaply.
         nic = self.nic
         state.nack_timer = nic.sim.schedule(
-            nic.params.nack_timeout_us, self._nack_timer_fired, state.seq
+            nic.params.nack_backoff_us(state.nack_rounds),
+            self._nack_timer_fired,
+            state.seq,
         )
 
     def _nack_timer_fired(self, seq: int) -> None:
@@ -228,8 +350,12 @@ class NicCollectiveBarrierEngine(_NicBarrierEngineBase):
             return
         nic = self.nic
         state.nack_rounds += 1
-        if state.nack_rounds > nic.params.max_retries:
+        if state.nack_rounds > nic.params.nack_max_rounds:
+            # Budget exhausted: the missing peers are dead.  Escalate a
+            # typed failure instead of silently abandoning the barrier
+            # (which left the host waiting forever).
             nic.tracer.count("coll.gave_up")
+            yield from self._fail(seq, "nack-retry-budget-exhausted")
             return
         for phase_idx, sender in state.missing_senders():
             nic.tracer.count("coll.nack_timeout")
@@ -246,10 +372,23 @@ class NicCollectiveBarrierEngine(_NicBarrierEngineBase):
         nack: BarrierNack = packet.payload
         nic = self.nic
         yield from nic.cpu_task(nic.params.t_nack_process, "nack_process")
+        if self.closed or nack.seq in self.failed:
+            # This barrier failed here; the requester is about to fail
+            # (or already has) through its own budget.
+            nic.tracer.count("coll.nack_after_failure")
+            return
         state = self.states.get(nack.seq)
-        if state is not None and not state.send_record.was_sent(
-            nack.phase, nack.requester
-        ):
+        if state is None:
+            if nack.seq > self.done_through:
+                # We have not entered this barrier at all yet: nothing
+                # has been sent, so there is nothing to resend — the
+                # message goes out through normal progress once the
+                # host starts the barrier here.  (Conflating this with
+                # "completed here" used to phantom-resend a message for
+                # a barrier this rank never entered.)
+                nic.tracer.count("coll.nack_premature")
+                return
+        elif not state.send_record.was_sent(nack.phase, nack.requester):
             # We genuinely have not sent it yet (we are behind, not the
             # wire); it will go out through normal progress.
             nic.tracer.count("coll.nack_premature")
@@ -270,15 +409,32 @@ def nic_barrier(port: "GmPort", group: ProcessGroup, seq: int):
     """Host side of a NIC-based barrier (either engine).
 
     One PIO to start, then the host is completely uninvolved until the
-    completion event appears in its receive-event queue — the entire
-    point of NIC offload.
+    completion (or failure) event appears in its receive-event queue —
+    the entire point of NIC offload.  A failure event is raised as
+    :class:`BarrierFailure`.
     """
     yield from port.cpu.compute(port.cpu.params.barrier_call_us, "barrier_call")
     yield from port.pci.pio_write()
     port.nic.post_engine_command((group.group_id, "start", seq))
     done = yield from port.recv_matching(
-        lambda ev: isinstance(ev, BarrierDone)
+        lambda ev: isinstance(ev, (BarrierDone, BarrierFailed))
         and ev.group_id == group.group_id
         and ev.seq == seq
     )
+    if isinstance(done, BarrierFailed):
+        raise BarrierFailure(
+            done.group_id, done.seq, done.reason, node=port.nic.node_id
+        )
     return done
+
+
+def nic_barrier_teardown(port: "GmPort", group: ProcessGroup):
+    """Host side of closing a group's engine after a failure.
+
+    One PIO; the engine drops all remaining per-barrier state and
+    discards late traffic for the group, so an application that caught
+    a :class:`BarrierFailure` and stopped using the group leaves a
+    quiescent NIC behind.
+    """
+    yield from port.pci.pio_write()
+    port.nic.post_engine_command((group.group_id, "teardown", -1))

@@ -64,6 +64,11 @@ class HostCpu:
         self.tracer = tracer or Tracer()
         self._cpu = Resource(sim, capacity=1, name=f"{self.name}.cpu")
         self.busy_us = 0.0
+        # Chaos-campaign host slowdown: every software cost on this node
+        # is multiplied by this factor (1.0 = calibrated speed).  A slow
+        # host is the paper's straggler scenario — it stretches barrier
+        # skew without touching the network model.
+        self.slowdown = 1.0
 
     def compute(self, us: float, label: Optional[str] = None):
         """Occupy the CPU for ``us`` microseconds (yield from a process).
@@ -74,6 +79,7 @@ class HostCpu:
         """
         if us < 0:
             raise ValueError(f"negative compute time {us}")
+        us = us * self.slowdown
         yield self._cpu.request()
         yield us
         self._cpu.release()

@@ -129,6 +129,12 @@ class ControlProgram:
         while True:
             packet = yield nic.rx_queue.get()
             yield from nic.cpu_task(p.t_rx_header, "rx_header")
+            if packet.corrupted:
+                # The CRC computed while the packet streamed in does not
+                # match: discard silently.  The sender's timeout (p2p) or
+                # the receiver's NACK timer (collective) recovers.
+                nic.tracer.count("gm.rx_crc_drop")
+                continue
             if packet.kind == PacketKind.DATA:
                 yield from self._handle_data(packet)
             elif packet.kind == PacketKind.ACK:
@@ -250,7 +256,7 @@ class ControlProgram:
         p = nic.params
         while True:
             record = yield nic.timeout_queue.get()
-            if record.acked:
+            if record.acked or record.abandoned:
                 continue
             if record.retransmits >= p.max_retries:
                 # GM declares the connection dead after the retry
@@ -262,13 +268,28 @@ class ControlProgram:
                 # host completion (if any) is deliberately left
                 # untriggered: the send did fail.
                 nic.tracer.count("gm.peer_dead")
+                record.abandoned = True
                 nic.send_records.pop((record.dst, record.seq), None)
                 nic.packet_pool.release()
                 record.token.packets_outstanding -= 1
+                payload = record.payload
+                group_id = getattr(payload, "group_id", None)
+                if (
+                    record.kind == PacketKind.BARRIER
+                    and group_id in nic.engines
+                ):
+                    # Direct-scheme barrier message: escalate to the
+                    # engine so the barrier fails up to the host instead
+                    # of silently missing one peer.
+                    nic.post_engine_command((group_id, "peer-dead", payload.seq))
                 continue
             record.retransmits += 1
             nic.tracer.count("gm.retransmit")
             yield from nic.cpu_task(p.t_retransmit, "retransmit")
+            if record.abandoned:
+                # Torn down (NIC restart) while we waited for the CPU:
+                # re-arming would leak a timer for a dead record.
+                continue
             nic.arm_record_timer(record)
             yield from nic.cpu_task(p.t_inject, "inject")
             nic.fabric.transmit(

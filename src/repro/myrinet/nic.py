@@ -21,7 +21,20 @@ from repro.network import Fabric, Packet, PacketKind
 from repro.myrinet.params import GmParams
 from repro.myrinet.structures import SendRecord, SendToken
 from repro.pci import DmaDirection, PciBus
-from repro.sim import PriorityStore, Resource, Simulator, Store, Tracer
+from repro.sim import ArbitratedResource, PriorityStore, Resource, Simulator, Store, Tracer
+
+#: The MCP main loop's polling priority over its work sources: receive
+#: DMA first (the wormhole fabric backpressures until rx drains), then
+#: expired retransmission timers, then host send events, then the send
+#: scheduler, then collective-engine commands.  Same-instant contention
+#: for the LANai among the five service loops resolves in this order —
+#: a fixed hardware property, not event-scheduling luck (simlint SL101).
+_MCP_LOOP_PRIORITY = {"rx": 0, "timeout": 1, "sdma": 2, "sched": 3, "engine": 4}
+
+
+def _cpu_arbitration_key(process_name: str) -> tuple:
+    loop = process_name.rsplit(".", 1)[-1]
+    return (_MCP_LOOP_PRIORITY.get(loop, len(_MCP_LOOP_PRIORITY)), process_name)
 
 
 class LanaiNic:
@@ -44,8 +57,11 @@ class LanaiNic:
         self.tracer = tracer or Tracer()
         self.name = f"lanai{node_id}"
 
-        # The LANai processor.
-        self.cpu = Resource(sim, capacity=1, name=f"{self.name}.cpu")
+        # The LANai processor.  Arbitrated: same-instant task requests
+        # from different MCP loops grant in _MCP_LOOP_PRIORITY order.
+        self.cpu = ArbitratedResource(
+            sim, capacity=1, name=f"{self.name}.cpu", key_fn=_cpu_arbitration_key
+        )
         self.busy_us = 0.0
         self._cpu_lane = f"{self.name}.cpu"
 
@@ -217,18 +233,66 @@ class LanaiNic:
     # Reliability timers
     # ------------------------------------------------------------------
     def arm_record_timer(self, record: SendRecord) -> None:
+        # Exponential backoff: each retry waits longer (capped), so a
+        # transient outage is probed densely and a long one cheaply.
         record.timer = self.sim.schedule(
-            self.params.ack_timeout_us, self._on_record_timeout, record
+            self.params.ack_backoff_us(record.retransmits),
+            self._on_record_timeout,
+            record,
         )
 
     def _on_record_timeout(self, record: SendRecord) -> None:
         record.timer = None
-        if not record.acked:
+        if not record.acked and not record.abandoned:
             # Timers armed at the same instant expire together; retry in
             # record-table order, not timer-heap tie-break order.
             self.timeout_queue.put_item(
                 record, (self.sim.now, record.dst, record.seq)
             )
+
+    # ------------------------------------------------------------------
+    # Crash / restart (chaos campaign)
+    # ------------------------------------------------------------------
+    def schedule_crash(self, at_us: float, restart_delay_us: float) -> None:
+        """Crash the control program at ``at_us``; restart after
+        ``restart_delay_us``.
+
+        The wire side of the crash (the NIC neither sends nor receives
+        while down) is modeled by the fault injector's matching
+        :meth:`~repro.network.faults.FaultInjector.crash_window` — the
+        NIC side modeled here is the *volatile state loss*: at restart
+        the LANai's SRAM-resident send records and collective engine
+        states are gone, so every in-flight operation is abandoned (its
+        resources released) and in-flight barriers are failed up to the
+        host.  Host-memory-backed queues (send events, receive tokens)
+        survive: the driver re-hands them to the restarted firmware.
+        """
+        if restart_delay_us <= 0:
+            raise ValueError("restart_delay_us must be positive")
+        self.crashed = False
+        self.sim.schedule(at_us, self._crash)
+        self.sim.schedule(at_us + restart_delay_us, self._restart)
+
+    def _crash(self) -> None:
+        self.crashed = True
+        self.tracer.count("gm.nic_crash")
+
+    def _restart(self) -> None:
+        self.crashed = False
+        self.tracer.count("gm.nic_restart")
+        for key in sorted(self.send_records):
+            record = self.send_records.pop(key)
+            record.abandoned = True
+            record.cancel_timer()
+            self.packet_pool.release()
+            record.token.packets_outstanding -= 1
+            self.tracer.count("gm.crash_record_lost")
+        for group_id in sorted(self.engines):
+            handler = getattr(self.engines[group_id], "on_nic_restart", None)
+            if handler is not None:
+                self.sim.process(
+                    handler(), name=f"{self.name}.engine_restart"
+                )
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"<LanaiNic {self.name} busy={self.busy_us:.1f}us>"

@@ -46,9 +46,19 @@ class GmParams:
 
     Reliability:
 
-    - ``ack_timeout_us`` — sender-side retransmission timeout (p2p).
+    - ``ack_timeout_us`` — sender-side retransmission timeout (p2p),
+      the *base* interval of an exponential backoff.
     - ``nack_timeout_us`` — receiver-side missing-message timeout
-      (collective protocol).
+      (collective protocol), likewise the backoff base.
+    - ``backoff_factor`` — per-retry timeout multiplier (GM-style
+      adaptive retransmission; 1.0 restores fixed intervals).
+    - ``backoff_cap_factor`` — the backoff saturates at
+      ``base * backoff_cap_factor`` so a long outage retries at a
+      bounded cadence.
+    - ``max_retries`` / ``nack_max_rounds`` — retry budgets; exhausting
+      one escalates a typed failure instead of retrying forever.
+      Clean runs never retransmit, so the backoff fields cannot move
+      the calibrated latency anchors.
 
     Sizing:
 
@@ -89,6 +99,13 @@ class GmParams:
     #: drops the connection after a retry budget; this also guarantees
     #: simulations terminate even if a protocol stalls permanently).
     max_retries: int = 100
+    #: receiver-side NACK rounds before the collective engine fails the
+    #: barrier (separate budget: a NACK round covers many messages).
+    nack_max_rounds: int = 100
+    #: exponential backoff multiplier per retry; 1.0 = fixed interval.
+    backoff_factor: float = 2.0
+    #: the backed-off interval saturates at ``base * backoff_cap_factor``.
+    backoff_cap_factor: float = 8.0
     data_header_bytes: int = 16
     ack_bytes: int = 8
     barrier_payload_bytes: int = 4
@@ -118,8 +135,44 @@ class GmParams:
             raise ValueError("timeouts must be positive")
         if self.max_retries < 1:
             raise ValueError("need at least one retry")
+        if self.nack_max_rounds < 1:
+            raise ValueError("need at least one NACK round")
+        if self.backoff_factor < 1.0:
+            raise ValueError("backoff_factor must be >= 1.0")
+        if self.backoff_cap_factor < 1.0:
+            raise ValueError("backoff_cap_factor must be >= 1.0")
 
     @property
     def barrier_packet_bytes(self) -> int:
         """The padded static ACK packet used for barrier messages (§6.2)."""
         return self.ack_bytes + self.barrier_payload_bytes
+
+    def _backoff(self, base_us: float, attempt: int) -> float:
+        interval = base_us * self.backoff_factor**attempt
+        return min(interval, base_us * self.backoff_cap_factor)
+
+    def ack_backoff_us(self, retransmits: int) -> float:
+        """The ACK-timeout interval after ``retransmits`` retries."""
+        return self._backoff(self.ack_timeout_us, retransmits)
+
+    def nack_backoff_us(self, rounds: int) -> float:
+        """The NACK-timer interval after ``rounds`` NACK rounds."""
+        return self._backoff(self.nack_timeout_us, rounds)
+
+    @property
+    def p2p_exhaustion_us(self) -> float:
+        """Worst-case time from first injection to the sender declaring
+        the peer dead (the sum of every backed-off timeout interval)."""
+        return sum(self.ack_backoff_us(i) for i in range(self.max_retries + 1))
+
+    @property
+    def direct_barrier_deadline_us(self) -> float:
+        """Receiver-side watchdog for the direct (ACK-based) scheme.
+
+        The direct scheme has no receiver-driven reliability, so a rank
+        whose expected message died with its sender would wait forever.
+        The deadline is the sender-side exhaustion horizon plus one full
+        capped interval of slack — orders of magnitude above any clean
+        barrier, so it only ever fires after a genuine peer death.
+        """
+        return self.p2p_exhaustion_us + self._backoff(self.ack_timeout_us, self.max_retries)

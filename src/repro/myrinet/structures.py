@@ -60,6 +60,11 @@ class SendRecord:
     timer: Any = None  # ScheduledCall handle
     retransmits: int = 0
     acked: bool = False
+    # Set when the record is torn down without an ACK (retry budget
+    # exhausted, NIC restart): in-flight timeout/retransmit work must
+    # drop it instead of resurrecting it and double-releasing its
+    # packet buffer.
+    abandoned: bool = False
 
     def cancel_timer(self) -> None:
         if self.timer is not None:

@@ -14,18 +14,21 @@ packet's serialization time, acquired in path order.
 
 Myrinet provides *no* delivery guarantee (GM adds reliability in the
 control program), so the fabric supports fault injection: probabilistic
-drops and scripted deterministic drop plans used by the reliability
-tests.
+drops, corruption, duplication, delay/jitter, scripted deterministic
+drop plans, and (windowed) black-holes used by the reliability tests
+and the chaos campaign.
 """
 
 from repro.network.packet import Packet, PacketKind, canonical_packet_key
-from repro.network.faults import DropPlan, FaultInjector
+from repro.network.faults import Blackhole, DropPlan, FaultDecision, FaultInjector
 from repro.network.fabric import Fabric, WireParams
 
 __all__ = [
     "Packet",
     "PacketKind",
     "FaultInjector",
+    "FaultDecision",
+    "Blackhole",
     "DropPlan",
     "Fabric",
     "WireParams",

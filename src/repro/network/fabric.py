@@ -195,20 +195,36 @@ class Fabric:
         tracer = self.tracer
         tracer.count(f"wire.{packet.kind}")
         tracer.count("wire.packets")
-        if self.faults is not None and self.faults.should_drop(packet):
-            tracer.count("wire.dropped")
-            if tracer.enabled:
-                tracer.record(
-                    self.sim.now, "wire", f"nic{packet.src}", "DROPPED",
-                    pkt=packet.wire_id,
-                )
-            return
         # Wormhole path: claim each directional link in order (a
         # callback chain through the per-link arbiters — no per-packet
         # Process), then let the whole worm drain.  Head latency accrues
         # after the claims, exactly as a worm stalled mid-path holds its
         # upstream channels.
         _route, links, head = self._route_entry(packet.src, packet.dst)
+        if self.faults is not None:
+            decision = self.faults.inspect(packet)
+            if decision.drop:
+                tracer.count("wire.dropped")
+                if tracer.enabled:
+                    tracer.record(
+                        self.sim.now, "wire", f"nic{packet.src}", "DROPPED",
+                        pkt=packet.wire_id,
+                    )
+                return
+            if decision.corrupt:
+                packet.corrupted = True
+                tracer.count("wire.corrupted")
+            if decision.duplicate:
+                # A switch-level duplicate: an extra copy of the same
+                # protocol packet travels the same path independently.
+                tracer.count("wire.duplicated")
+                self._claim(packet.clone(), links, head, 0)
+            if decision.delay_us > 0.0:
+                tracer.count("wire.delayed")
+                self.sim.schedule_detached(
+                    decision.delay_us, self._claim, packet, links, head, 0
+                )
+                return
         self._claim(packet, links, head, 0)
 
     def _claim(self, packet: Packet, links: list, head: float, idx: int) -> None:

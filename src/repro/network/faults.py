@@ -1,25 +1,38 @@
 """Fault injection for the unreliable (Myrinet) wire.
 
-Two mechanisms, composable:
+Fault classes, composable:
 
 - probabilistic loss: every packet is dropped with ``drop_probability``
   using a deterministic RNG stream;
+- corruption: the packet is *delivered* but flagged corrupted — the
+  receiving NIC's CRC check must discard it and let the sender's
+  timeout (or the receiver-driven NACK) recover;
+- duplication: the packet is delivered twice — receivers must suppress
+  the second copy via their sequence machinery;
+- delay/jitter: the packet is held at the injection point for a random
+  extra delay before entering the wormhole path (switch buffering);
 - scripted loss: a :class:`DropPlan` drops the *k*-th packet matching a
   predicate — lets reliability tests lose exactly the message they want
   (e.g. "drop the first barrier packet from node 3 to node 7 and verify
-  the receiver-driven NACK recovers it").
+  the receiver-driven NACK recovers it");
+- black-holes: a :class:`Blackhole` drops *every* matching packet,
+  optionally only inside a sim-time window — dead links, link flaps
+  (window + heal) and NIC crash windows are all expressed with it.
 
-Probabilistic drops draw from a *per-flow* substream keyed by
-``(src, dst, kind)`` rather than one global stream: whether the k-th
-packet of a flow is lost is then a pure function of the flow and k.
-A single global stream consumed in wire-inspection order would make the
-loss pattern depend on how same-timestamp transmissions happen to be
-ordered — exactly the schedule-dependence the simlint perturbation
-runner exists to rule out.  (Within one flow the order is causal: a
-single NIC serializes its injections, so occurrence indices are stable
-under tie-break permutation.)  Scripted :class:`DropPlan` occurrences
-count in inspection order by design — their predicates are expected to
-pin down the flow they target.
+Probabilistic faults draw from *per-flow, per-class* substreams keyed
+by ``(src, dst, kind)`` rather than one global stream: whether the k-th
+packet of a flow is lost/corrupted/duplicated/delayed is then a pure
+function of the flow, the fault class, and k.  A single global stream
+consumed in wire-inspection order would make the fault pattern depend
+on how same-timestamp transmissions happen to be ordered — exactly the
+schedule-dependence the simlint perturbation runner exists to rule out.
+(Within one flow the order is causal: a single NIC serializes its
+injections, so occurrence indices are stable under tie-break
+permutation.)  Every *enabled* class draws for every inspected packet,
+whatever the scripted faults decide, so stream positions never depend
+on blackhole windows or plan state.  Scripted :class:`DropPlan`
+occurrences count in inspection order by design — their predicates are
+expected to pin down the flow they target.
 """
 
 from __future__ import annotations
@@ -31,12 +44,32 @@ from repro.network.packet import Packet
 from repro.sim.rng import DeterministicRng
 
 
+@dataclass(frozen=True)
+class FaultDecision:
+    """What the injector wants done with one inspected packet.
+
+    ``drop`` wins over everything else; ``corrupt``/``duplicate``/
+    ``delay_us`` compose (a duplicate of a corrupted packet carries the
+    corruption on both copies).
+    """
+
+    drop: bool = False
+    corrupt: bool = False
+    duplicate: bool = False
+    delay_us: float = 0.0
+
+
+_DELIVER = FaultDecision()
+_DROP = FaultDecision(drop=True)
+
+
 @dataclass
 class DropPlan:
     """Drop the ``occurrence``-th (1-based) packet matching ``matches``."""
 
     matches: Callable[[Packet], bool]
     occurrence: int = 1
+    label: str = ""
     _seen: int = field(default=0, init=False)
     _armed: bool = field(default=True, init=False)
 
@@ -53,70 +86,276 @@ class DropPlan:
     def fired(self) -> bool:
         return not self._armed
 
+    @property
+    def seen(self) -> int:
+        """Matching packets observed so far."""
+        return self._seen
+
+    def describe(self) -> str:
+        name = self.label or "drop-plan"
+        return (
+            f"{name}: matched {self._seen} of {self.occurrence} "
+            f"needed occurrences"
+        )
+
+
+class Blackhole:
+    """A handle to one black-hole rule: drop every matching packet.
+
+    Optionally windowed in sim time (``start_us`` inclusive,
+    ``until_us`` exclusive, either side open) — a link flap is a
+    windowed blackhole that "heals" when the window closes; a permanent
+    link death has no window and can be ended early with :meth:`heal`.
+    The handle counts its own drops for the chaos report.
+    """
+
+    __slots__ = ("matches", "start_us", "until_us", "label", "dropped", "healed")
+
+    def __init__(
+        self,
+        matches: Callable[[Packet], bool],
+        start_us: Optional[float] = None,
+        until_us: Optional[float] = None,
+        label: str = "",
+    ):
+        self.matches = matches
+        self.start_us = start_us
+        self.until_us = until_us
+        self.label = label
+        self.dropped = 0
+        self.healed = False
+
+    def active(self, now: float) -> bool:
+        if self.healed:
+            return False
+        if self.start_us is not None and now < self.start_us:
+            return False
+        if self.until_us is not None and now >= self.until_us:
+            return False
+        return True
+
+    def heal(self) -> None:
+        """Stop dropping, permanently (the link came back)."""
+        self.healed = True
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        window = ""
+        if self.start_us is not None or self.until_us is not None:
+            window = f" [{self.start_us}, {self.until_us})"
+        return f"<Blackhole {self.label or 'unnamed'}{window} dropped={self.dropped}>"
+
 
 class FaultInjector:
-    """Decides, per packet, whether the wire loses it."""
+    """Decides, per packet, what the wire does to it."""
 
     def __init__(
         self,
         rng: Optional[DeterministicRng] = None,
         drop_probability: float = 0.0,
+        corrupt_probability: float = 0.0,
+        duplicate_probability: float = 0.0,
+        delay_probability: float = 0.0,
+        delay_jitter_us: float = 0.0,
     ):
-        if drop_probability and rng is None:
-            raise ValueError("probabilistic drops need an rng")
-        if not 0.0 <= drop_probability < 1.0:
-            raise ValueError(f"drop_probability out of range: {drop_probability}")
+        probabilities = {
+            "drop_probability": drop_probability,
+            "corrupt_probability": corrupt_probability,
+            "duplicate_probability": duplicate_probability,
+            "delay_probability": delay_probability,
+        }
+        for name, p in probabilities.items():
+            if not 0.0 <= p < 1.0:
+                raise ValueError(f"{name} out of range: {p}")
+        if any(probabilities.values()) and rng is None:
+            raise ValueError("probabilistic faults need an rng")
+        if delay_jitter_us < 0:
+            raise ValueError(f"delay_jitter_us must be non-negative: {delay_jitter_us}")
         self.rng = rng
         self.drop_probability = drop_probability
+        self.corrupt_probability = corrupt_probability
+        self.duplicate_probability = duplicate_probability
+        self.delay_probability = delay_probability
+        self.delay_jitter_us = delay_jitter_us
         self.plans: list[DropPlan] = []
-        self._blackholes: list[Callable[[Packet], bool]] = []
+        self._blackholes: list[Blackhole] = []
+        # (fault class, flow) -> substream.  The drop class keeps its
+        # pre-existing "flow/..." stream names so seeded drop patterns
+        # survive the addition of the other classes.
         self._flow_rngs: dict[tuple, DeterministicRng] = {}
+        self._flow_drops: dict[tuple, int] = {}
         self.dropped: int = 0
+        self.corrupted: int = 0
+        self.duplicated: int = 0
+        self.delayed: int = 0
         self.inspected: int = 0
 
-    def _flow_rng(self, packet: Packet) -> DeterministicRng:
-        key = (packet.src, packet.dst, packet.kind)
+    def _flow_rng(self, cls: str, packet: Packet) -> DeterministicRng:
+        key = (cls, packet.src, packet.dst, packet.kind)
         stream = self._flow_rngs.get(key)
         if stream is None:
-            stream = self.rng.substream(f"flow/{packet.src}->{packet.dst}/{packet.kind}")
+            stream = self.rng.substream(
+                f"{cls}/{packet.src}->{packet.dst}/{packet.kind}"
+            )
             self._flow_rngs[key] = stream
         return stream
 
+    # -- scripted faults -------------------------------------------------
     def add_plan(self, plan: DropPlan) -> DropPlan:
         self.plans.append(plan)
         return plan
 
     def drop_nth_matching(
-        self, matches: Callable[[Packet], bool], occurrence: int = 1
+        self,
+        matches: Callable[[Packet], bool],
+        occurrence: int = 1,
+        label: str = "",
     ) -> DropPlan:
         """Convenience: register and return a one-shot drop plan."""
-        return self.add_plan(DropPlan(matches, occurrence))
+        return self.add_plan(DropPlan(matches, occurrence, label))
 
-    def drop_all_matching(self, matches: Callable[[Packet], bool]) -> None:
+    def drop_all_matching(
+        self, matches: Callable[[Packet], bool], label: str = ""
+    ) -> Blackhole:
         """Black-hole every packet matching ``matches`` (a dead link /
-        dead peer scenario)."""
-        self._blackholes.append(matches)
+        dead peer scenario).  Returns the handle: call ``heal()`` to
+        bring the link back, read ``dropped`` for its toll."""
+        hole = Blackhole(matches, label=label)
+        self._blackholes.append(hole)
+        return hole
+
+    def blackhole_window(
+        self,
+        matches: Callable[[Packet], bool],
+        start_us: float,
+        until_us: float,
+        label: str = "",
+    ) -> Blackhole:
+        """Black-hole matching packets only inside a sim-time window."""
+        if until_us <= start_us:
+            raise ValueError(f"empty blackhole window [{start_us}, {until_us})")
+        hole = Blackhole(matches, start_us=start_us, until_us=until_us, label=label)
+        self._blackholes.append(hole)
+        return hole
+
+    def flap_link(
+        self, a: int, b: int, start_us: float, until_us: float
+    ) -> Blackhole:
+        """Link flap: the a<->b pair black-holes for a window, then heals."""
+        return self.blackhole_window(
+            lambda p: p.src in (a, b) and p.dst in (a, b),
+            start_us,
+            until_us,
+            label=f"flap:{a}<->{b}",
+        )
+
+    def crash_window(self, node: int, start_us: float, until_us: float) -> Blackhole:
+        """The wire-side half of a NIC crash: while down, the node
+        neither sends nor receives.  The NIC-side half (volatile-state
+        wipe at restart) is :meth:`LanaiNic.schedule_crash`."""
+        return self.blackhole_window(
+            lambda p: p.src == node or p.dst == node,
+            start_us,
+            until_us,
+            label=f"crash:nic{node}",
+        )
+
+    def unfired_plans(self) -> tuple[DropPlan, ...]:
+        """Plans still armed — fired plans are pruned on the spot, so
+        anything left here at quiescence never matched enough packets
+        (the quiescence auditor reports these as SL107)."""
+        return tuple(self.plans)
+
+    # -- the per-packet decision -----------------------------------------
+    def inspect(self, packet: Packet) -> FaultDecision:
+        """Decide what happens to ``packet`` (call once per transmit)."""
+        self.inspected += 1
+        # Draw every enabled probabilistic class before looking at the
+        # scripted faults: the per-flow stream position then advances
+        # once per inspected packet of that flow, unconditionally, so
+        # the k-th packet's fate never depends on blackhole/plan state.
+        p_drop = bool(
+            self.drop_probability
+            and self._flow_rng("flow", packet).bernoulli(self.drop_probability)
+        )
+        corrupt = bool(
+            self.corrupt_probability
+            and self._flow_rng("corrupt", packet).bernoulli(self.corrupt_probability)
+        )
+        duplicate = bool(
+            self.duplicate_probability
+            and self._flow_rng("dup", packet).bernoulli(self.duplicate_probability)
+        )
+        delay_us = 0.0
+        if self.delay_probability:
+            stream = self._flow_rng("delay", packet)
+            if stream.bernoulli(self.delay_probability):
+                delay_us = stream.uniform(0.0, self.delay_jitter_us)
+            else:
+                # Keep the draw count per packet constant within the
+                # class stream whatever the bernoulli said.
+                stream.uniform(0.0, self.delay_jitter_us)
+
+        now = packet.sent_at if packet.sent_at is not None else 0.0
+        dropped = False
+        for hole in self._blackholes:
+            if hole.active(now) and hole.matches(packet):
+                hole.dropped += 1
+                dropped = True
+                break
+        if not dropped:
+            for plan in self.plans:
+                if plan.should_drop(packet):
+                    if plan.fired:
+                        # One-shot plans never match again; pruning keeps
+                        # the per-packet scan from growing with history.
+                        self.plans.remove(plan)
+                    dropped = True
+                    break
+        if dropped or p_drop:
+            self.dropped += 1
+            flow = (packet.src, packet.dst, packet.kind)
+            self._flow_drops[flow] = self._flow_drops.get(flow, 0) + 1
+            return _DROP
+        if not (corrupt or duplicate or delay_us):
+            return _DELIVER
+        if corrupt:
+            self.corrupted += 1
+        if duplicate:
+            self.duplicated += 1
+        if delay_us:
+            self.delayed += 1
+        return FaultDecision(corrupt=corrupt, duplicate=duplicate, delay_us=delay_us)
 
     def should_drop(self, packet: Packet) -> bool:
-        self.inspected += 1
-        for blackhole in self._blackholes:
-            if blackhole(packet):
-                self.dropped += 1
-                return True
-        for plan in self.plans:
-            if plan.should_drop(packet):
-                self.dropped += 1
-                if plan.fired:
-                    # One-shot plans never match again; pruning keeps the
-                    # per-packet scan from growing with test history.
-                    self.plans.remove(plan)
-                return True
-        if self.drop_probability and self._flow_rng(packet).bernoulli(
-            self.drop_probability
-        ):
-            self.dropped += 1
-            return True
-        return False
+        """Boolean-only view of :meth:`inspect` (legacy callers/tests)."""
+        return self.inspect(packet).drop
+
+    # -- reporting -------------------------------------------------------
+    def stats(self) -> dict:
+        """A serializable snapshot for the chaos report."""
+        return {
+            "inspected": self.inspected,
+            "dropped": self.dropped,
+            "corrupted": self.corrupted,
+            "duplicated": self.duplicated,
+            "delayed": self.delayed,
+            "per_flow_drops": {
+                f"{src}->{dst}/{kind}": count
+                for (src, dst, kind), count in sorted(self._flow_drops.items())
+            },
+            "blackholes": [
+                {
+                    "label": hole.label,
+                    "dropped": hole.dropped,
+                    "healed": hole.healed,
+                    "start_us": hole.start_us,
+                    "until_us": hole.until_us,
+                }
+                for hole in self._blackholes
+            ],
+            "plans_armed": len(self.plans),
+            "unfired_plans": [plan.describe() for plan in self.plans],
+        }
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (

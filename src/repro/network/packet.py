@@ -48,12 +48,31 @@ class Packet:
     wire_id: int = field(default_factory=lambda: next(_wire_ids))
     sent_at: Optional[float] = None
     delivered_at: Optional[float] = None
+    # Fault injection: a corrupted packet is delivered, but its CRC
+    # check fails at the receiving NIC, which must discard it.
+    corrupted: bool = False
 
     def __post_init__(self) -> None:
         if self.kind not in PacketKind.ALL:
             raise ValueError(f"unknown packet kind {self.kind!r}")
         if self.size_bytes < 0:
             raise ValueError(f"negative packet size {self.size_bytes}")
+
+    def clone(self) -> "Packet":
+        """A wire-level copy (fresh ``wire_id``) sharing every protocol
+        coordinate — how the fabric models duplicate delivery.  The two
+        copies are interchangeable under :func:`canonical_packet_key`."""
+        dup = Packet(
+            self.src,
+            self.dst,
+            self.kind,
+            self.size_bytes,
+            payload=self.payload,
+            seq=self.seq,
+        )
+        dup.sent_at = self.sent_at
+        dup.corrupted = self.corrupted
+        return dup
 
     @property
     def latency(self) -> Optional[float]:

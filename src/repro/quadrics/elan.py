@@ -226,6 +226,14 @@ class Elan3Nic:
     # Receive side
     # ------------------------------------------------------------------
     def _on_wire_packet(self, packet: Packet) -> None:
+        if packet.corrupted:
+            # Link-level CRC catches the mangled packet at the inbound
+            # port; Elan3 has no end-to-end retransmission above that,
+            # so the chaos campaign points corruption at Myrinet and
+            # this discard exists to keep a stray corrupt packet from
+            # firing events with a mangled descriptor.
+            self.tracer.count("elan.rx_crc_drop")
+            return
         if self._rx_busy:
             self._rx_backlog.append(packet)
         else:

@@ -147,6 +147,7 @@ def elan_gsync(
     ranks: Sequence[int],
     seq: int,
     degree: int = 4,
+    event_prefix: str = "gsync",
 ):
     """Tree-based gather-broadcast barrier (host-driven per level).
 
@@ -159,7 +160,10 @@ def elan_gsync(
     and beats by 2.48x (§8.2).
 
     Event words are cumulative, so back-to-back barriers with the same
-    ``ranks`` reuse them with growing thresholds.
+    ``ranks`` reuse them with growing thresholds; ``event_prefix``
+    gives a caller mixing gsync with another user of the same events
+    (e.g. the hardware-barrier fallback path, whose ``seq`` numbering
+    is independent) its own event words.
     """
     yield from port.cpu.compute(port.cpu.params.barrier_call_us, "barrier_call")
     ranks = list(ranks)
@@ -168,20 +172,22 @@ def elan_gsync(
     children = _tree_children(index, size, degree)
     parent = _tree_parent(index, degree)
     nic = port.nic
+    up_event = f"{event_prefix}_up"
+    down_event = f"{event_prefix}_down"
+    up_word = (f"{event_prefix}-up", seq)
+    down_word = (f"{event_prefix}-down", seq)
     if children:
-        nic.arm_host_notify(
-            "gsync_up", (seq + 1) * len(children), value=("gsync-up", seq)
-        )
-        yield from port.wait_host_event(lambda ev: ev == ("gsync-up", seq))
+        nic.arm_host_notify(up_event, (seq + 1) * len(children), value=up_word)
+        yield from port.wait_host_event(lambda ev: ev == up_word)
     if parent is not None:
         yield from port.trigger_rdma(
-            RdmaDescriptor(dst=ranks[parent], remote_event="gsync_up")
+            RdmaDescriptor(dst=ranks[parent], remote_event=up_event)
         )
-        nic.arm_host_notify("gsync_down", seq + 1, value=("gsync-down", seq))
-        yield from port.wait_host_event(lambda ev: ev == ("gsync-down", seq))
+        nic.arm_host_notify(down_event, seq + 1, value=down_word)
+        yield from port.wait_host_event(lambda ev: ev == down_word)
     for child in children:
         yield from port.trigger_rdma(
-            RdmaDescriptor(dst=ranks[child], remote_event="gsync_down")
+            RdmaDescriptor(dst=ranks[child], remote_event=down_event)
         )
 
 
@@ -243,11 +249,19 @@ def elan_hgsync(
     seq: int,
     hw_enabled: bool = True,
     degree: int = 4,
+    fallback: bool = True,
 ):
     """The hardware barrier; falls back to the tree when disabled.
 
     With hardware broadcast available, entry is a PIO that sets the
     NIC's arrived flag, and the Elite test-and-set does the rest.
+
+    Graceful degradation: when the Elite controller exhausts its probe
+    budget (``ElanParams.hw_max_rounds``) it publishes a failure word
+    instead of the release.  With ``fallback=True`` (the default) the
+    library then runs the software tree barrier for this seq — slower,
+    but correct — counting ``elan.hw_fallback``; with ``fallback=False``
+    the failure surfaces as :class:`~repro.collectives.BarrierFailure`.
     """
     if not hw_enabled or hw_barrier is None:
         yield from elan_gsync(port, ranks, seq, degree=degree)
@@ -256,11 +270,41 @@ def elan_hgsync(
     yield from port.pci.pio_write()
     yield port.nic.params.t_hw_flag_check  # NIC commits the arrived flag
     release = hw_barrier.enter(port.node_id, seq)
+    failed = False
     while True:
         got = yield release.get()
         if got == seq:
             break
-    # The host discovers the release by polling its memory word.
+        if got == ("hw-failed", seq):
+            failed = True
+            break
+    # The host discovers the release (or the failure word) by polling
+    # its memory word.
     yield port.cpu.params.poll_interval_us / 2.0
     yield from port.cpu.compute(port.cpu.params.poll_us, "poll")
     yield from port.cpu.compute(port.cpu.params.recv_overhead_us, "recv_overhead")
+    if not failed:
+        return
+    if not fallback:
+        # Deferred import: collectives imports quadrics pieces at
+        # package-init time, so a top-level import here would be
+        # circular.
+        from repro.collectives.messages import BarrierFailure
+
+        raise BarrierFailure(
+            -1,
+            seq,
+            "hw-barrier-retry-budget-exhausted",
+            node=port.node_id,
+        )
+    port.nic.tracer.count("elan.hw_fallback")
+    # The fallback tree numbers its barriers by *failure ordinal*, not
+    # by the caller's seq: the cumulative gsync event thresholds must
+    # advance by exactly one per tree barrier actually run.
+    yield from elan_gsync(
+        port,
+        ranks,
+        hw_barrier.fallback_ordinal(seq),
+        degree=degree,
+        event_prefix="hwfb",
+    )

@@ -32,6 +32,15 @@ class ElanParams:
     - ``hw_retry_backoff_us`` — wait before re-probing when the test
       finds a missing participant (this is what makes ``hgsync``
       degrade when callers are not well synchronized).
+    - ``hw_max_rounds`` — probe rounds before the controller gives up
+      on a barrier (graceful degradation: ``elan_hgsync`` then falls
+      back to the software tree).  The default is far above anything a
+      straggler can cause, so clean runs never trip it.
+    - ``hw_backoff_factor`` — per-retry multiplier on the probe
+      backoff; the calibrated default 1.0 keeps the clean-run retry
+      cadence (and the Fig. 7 anchors) exactly as before.
+    - ``hw_backoff_cap_us`` — saturation for the backed-off probe
+      interval; 0 means uncapped.
 
     Sizing: ``rdma_packet_bytes`` — a zero-byte RDMA still carries a
     routing/event header on the wire; ``host_event_bytes`` — the
@@ -49,6 +58,9 @@ class ElanParams:
     rdma_packet_bytes: int = 32
     tport_packet_bytes: int = 64
     host_event_bytes: int = 8
+    hw_max_rounds: int = 10000
+    hw_backoff_factor: float = 1.0
+    hw_backoff_cap_us: float = 0.0
 
     def __post_init__(self) -> None:
         for f in fields(self):
@@ -61,3 +73,7 @@ class ElanParams:
             or self.host_event_bytes < 1
         ):
             raise ValueError("packet sizes must be positive")
+        if self.hw_max_rounds < 1:
+            raise ValueError("need at least one hardware-barrier round")
+        if self.hw_backoff_factor < 1.0:
+            raise ValueError("hw_backoff_factor must be >= 1.0")

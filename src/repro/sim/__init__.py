@@ -12,6 +12,7 @@ reproduction environment is offline.  It provides:
 - :class:`~repro.sim.process.Process` — generator-based cooperative
   processes (``yield`` an event / delay / another process to wait on it).
 - :class:`~repro.sim.resources.Resource`,
+  :class:`~repro.sim.resources.ArbitratedResource`,
   :class:`~repro.sim.resources.Store`,
   :class:`~repro.sim.resources.PriorityStore` — synchronization
   primitives used to model NIC processors, DMA engines, buses and queues.
@@ -32,7 +33,7 @@ from repro.sim.events import (
     EventAlreadyTriggered,
 )
 from repro.sim.process import Process, Interrupt
-from repro.sim.resources import Resource, Store, PriorityStore
+from repro.sim.resources import ArbitratedResource, Resource, Store, PriorityStore
 from repro.sim.trace import Span, StatAccumulator, Tracer, TraceRecord, TraceTruncated
 from repro.sim.rng import DeterministicRng
 
@@ -47,6 +48,7 @@ __all__ = [
     "Process",
     "Interrupt",
     "Resource",
+    "ArbitratedResource",
     "Store",
     "PriorityStore",
     "Span",

@@ -123,6 +123,10 @@ class Simulator:
         self._phase: int = 0
         self._cancelled: int = 0
         self._unhandled: list[BaseException] = []
+        # The process whose generator is currently executing (set by
+        # Process._step, None outside process context).  Deterministic
+        # arbiters key same-instant contention on it.
+        self._active_process = None
         # Weak process registry for the quiescence detector
         # (repro.tools.simlint).  Off by default: sweeps create millions
         # of short-lived processes and must not accumulate dead refs.
@@ -145,6 +149,16 @@ class Simulator:
     def current_phase(self) -> int:
         """Delta phase of the call being processed (0 for normal calls)."""
         return self._phase
+
+    @property
+    def active_process(self):
+        """The process currently executing, or ``None`` outside one.
+
+        :class:`~repro.sim.resources.ArbitratedResource` reads this to
+        key same-instant requests by a stable process identity instead
+        of event-heap pop order.
+        """
+        return self._active_process
 
     # ------------------------------------------------------------------
     # Scheduling

@@ -99,6 +99,18 @@ class Process:
 
     def _step(self, value: Any, exc: Optional[BaseException]) -> None:
         self._resume_handle = None
+        # Event callbacks can run another process's _step synchronously
+        # (e.g. a succeed() inside this generator), so the active-process
+        # marker nests: save, set, restore on every exit.
+        sim = self.sim
+        prev_active = sim._active_process
+        sim._active_process = self
+        try:
+            self._drive(value, exc)
+        finally:
+            sim._active_process = prev_active
+
+    def _drive(self, value: Any, exc: Optional[BaseException]) -> None:
         while True:
             try:
                 if exc is not None:

@@ -1,8 +1,12 @@
 """Synchronization primitives: resources and item stores.
 
 - :class:`Resource` — counted semaphore with a FIFO wait queue.  Models
-  serialized hardware: a NIC processor, a PCI bus, a DMA engine, a switch
-  output port.
+  serialized hardware: a PCI bus, a DMA engine, a switch output port.
+- :class:`ArbitratedResource` — counted semaphore whose same-instant
+  grants are *arbitrated* one delta phase later in canonical key order,
+  not first-come-first-served on the event heap.  Models serialized
+  hardware with a defined service priority among concurrent clients —
+  the LANai processor polled by five control-program loops.
 - :class:`Store` — FIFO item queue with blocking ``get`` (and blocking
   ``put`` when capacity-bounded).  Models token queues, event queues and
   packet FIFOs.
@@ -93,6 +97,117 @@ class Resource:
         return (
             f"<Resource {self.name} {self._in_use}/{self.capacity}"
             f" queued={len(self._waiters)}>"
+        )
+
+
+class ArbitratedResource:
+    """A counted resource with deterministic same-instant arbitration.
+
+    :class:`Resource` grants in request order — which, for requests made
+    at the same timestamp by different processes, is event-heap pop
+    order: a schedule race (simlint SL101) when the grant order affects
+    anything observable.  Here every request pools up and a decision
+    pass runs one delta phase later (zero simulated time), granting free
+    units in ``(birth phase, key)`` order — the same scheme the fabric's
+    :class:`~repro.network.fabric.LinkArbiter` uses for link bandwidth.
+
+    ``key_fn`` maps the requesting process's name to an orderable key
+    (default: the name itself); it defines the hardware's service
+    priority among same-instant contenders.  Requests made outside any
+    process must pass an explicit ``key``.
+
+    The interface matches :class:`Resource` (``request``/``release``/
+    ``cancel_request``/``in_use``), so the quiescence auditor and
+    ``yield resource.request()`` call sites work unchanged — but note a
+    granted request resolves one delta phase after it is made, never
+    synchronously.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        capacity: int = 1,
+        name: Optional[str] = None,
+        key_fn=None,
+    ):
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.sim = sim
+        self.capacity = capacity
+        self.name = name or "resource"
+        self._req_name = self.name + ".request"
+        self._key_fn = key_fn
+        self._in_use = 0
+        # Heap of (birth_phase, key, n, event); ``n`` separates requests
+        # with identical keys and keeps the comparison off the event.
+        self._pending: list[tuple] = []
+        self._n = 0
+        self._pass_at: Optional[tuple[float, int]] = None
+
+    @property
+    def in_use(self) -> int:
+        return self._in_use
+
+    @property
+    def queue_length(self) -> int:
+        return sum(1 for entry in self._pending if not entry[3].triggered)
+
+    def request(self, key: Any = None) -> SimEvent:
+        if key is None:
+            proc = self.sim.active_process
+            if proc is None:
+                raise RuntimeError(
+                    f"{self.name}: request outside a process needs an "
+                    "explicit arbitration key"
+                )
+            key = proc.name if self._key_fn is None else self._key_fn(proc.name)
+        ev = SimEvent(self.sim, name=self._req_name)
+        birth = self.sim.current_phase
+        self._n += 1
+        heapq.heappush(self._pending, (birth, key, self._n, ev))
+        self._ensure_pass(birth + 1)
+        return ev
+
+    def cancel_request(self, ev: SimEvent) -> bool:
+        """Withdraw a still-pending request.  Returns True if it was
+        pending (a cancelled entry is skipped by the decision pass)."""
+        for i, entry in enumerate(self._pending):
+            if entry[3] is ev and not ev.triggered:
+                del self._pending[i]
+                heapq.heapify(self._pending)
+                return True
+        return False
+
+    def release(self) -> None:
+        if self._in_use <= 0:
+            raise RuntimeError(f"{self.name}: release without matching request")
+        self._in_use -= 1
+        if self._pending:
+            self._ensure_pass(self.sim.current_phase + 1)
+
+    def _ensure_pass(self, phase: int) -> None:
+        now = self.sim.now
+        if self._pass_at is not None and self._pass_at >= (now, phase):
+            return
+        self._pass_at = (now, phase)
+        self.sim.schedule_phase(phase, self._pass, phase)
+
+    def _pass(self, phase: int) -> None:
+        self._pass_at = None
+        pending = self._pending
+        while self._in_use < self.capacity and pending and pending[0][0] < phase:
+            entry = heapq.heappop(pending)
+            self._in_use += 1
+            entry[3].succeed(self)
+        if pending and self._in_use < self.capacity:
+            # Only same-phase births remain; decide them next phase so
+            # no same-instant contender is missed.
+            self._ensure_pass(phase + 1)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<ArbitratedResource {self.name} {self._in_use}/{self.capacity}"
+            f" pending={len(self._pending)}>"
         )
 
 

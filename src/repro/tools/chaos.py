@@ -1,0 +1,520 @@
+"""Chaos campaign: fault scenarios x barrier schemes, with invariants.
+
+The campaign runs every fault scenario against every applicable barrier
+scheme and asserts, per run:
+
+1. **no hangs** — every rank's program finishes; retry-exhaustion must
+   escalate a typed :class:`~repro.collectives.BarrierFailure`, never
+   block forever;
+2. **exactly-once accounting** — each rank records exactly one outcome
+   (completed or failed, with the failure reason) per barrier;
+3. **expectation** — a ``recover`` scenario completes every barrier, a
+   ``fail`` scenario surfaces at least one failure (and still finishes),
+   a ``degrade`` scenario completes everything while its degradation
+   counter (e.g. the Quadrics HW-barrier fallback) is non-zero;
+4. **quiescence** — the simlint auditor finds no leaked packets,
+   records, engine states, timers or blocked processes (SL102-SL107);
+5. **counter consistency** — the wire's fault counters agree with the
+   injector's, and delivered corruption is accounted for by receiver
+   CRC drops;
+6. **determinism** — the whole faulted run is bit-identical across
+   tie-break permutations of the event schedule (SL101 for chaos).
+
+Scenarios are declarative data (:class:`ChaosScenario`): probabilistic
+fault rates, a link flap / dead link / NIC crash window, a host
+slowdown, and per-protocol parameter overrides (e.g. a reduced retry
+budget so a dead link exhausts it within the scenario).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Optional
+
+from repro.cluster.builder import build_cluster
+from repro.cluster.profiles import HardwareProfile, get_profile
+from repro.cluster.runner import (
+    MYRINET_BARRIERS,
+    QUADRICS_BARRIERS,
+    _barrier_step,
+    _setup_scheme,
+)
+from repro.collectives import BarrierFailure, ProcessGroup
+from repro.network.faults import FaultInjector
+from repro.sim import DeterministicRng, Simulator
+from repro.tools.simlint.perturb import TieBreakSimulator
+from repro.tools.simlint.quiescence import check_quiescent
+
+_DEFAULT_PROFILE = {"myrinet": "lanai_xp_xeon2400", "quadrics": "elan3_piii700"}
+
+
+@dataclass(frozen=True)
+class ChaosScenario:
+    """One declarative fault scenario.
+
+    ``gm_overrides`` / ``elan_overrides`` are ``(field, value)`` pairs
+    applied to the profile's params dataclass — scenarios that need a
+    dead peer to exhaust its retry budget *within* the scenario shrink
+    the budget here instead of waiting out the production one.
+    """
+
+    name: str
+    network: str  # "myrinet" | "quadrics"
+    description: str
+    expect: str = "recover"  # "recover" | "fail" | "degrade"
+    schemes: tuple[str, ...] = ()  # default: every scheme of the network
+    drop_probability: float = 0.0
+    corrupt_probability: float = 0.0
+    duplicate_probability: float = 0.0
+    delay_probability: float = 0.0
+    delay_jitter_us: float = 0.0
+    #: (node_a, node_b, start_us, until_us): black-hole the pair, heal.
+    flap_window: Optional[tuple[int, int, float, float]] = None
+    #: (node_a, node_b): permanent link death (never heals).
+    dead_link: Optional[tuple[int, int]] = None
+    #: (node, at_us, restart_delay_us): NIC crash + restart (Myrinet).
+    crash: Optional[tuple[int, float, float]] = None
+    #: (node, factor): scale every host software cost on one node.
+    slowdown: Optional[tuple[int, float]] = None
+    gm_overrides: tuple[tuple[str, float], ...] = ()
+    elan_overrides: tuple[tuple[str, float], ...] = ()
+    #: tracer counter that must be non-zero when ``expect="degrade"``.
+    degrade_counter: str = ""
+    #: pass ``fallback=False`` to ``elan_hgsync`` (hgsync scheme only).
+    hw_fallback: bool = True
+
+    def __post_init__(self) -> None:
+        if self.network not in _DEFAULT_PROFILE:
+            raise ValueError(f"unknown network {self.network!r}")
+        if self.expect not in ("recover", "fail", "degrade"):
+            raise ValueError(f"unknown expectation {self.expect!r}")
+        if self.expect == "degrade" and not self.degrade_counter:
+            raise ValueError("degrade scenarios need a degrade_counter")
+
+    @property
+    def applicable_schemes(self) -> tuple[str, ...]:
+        if self.schemes:
+            return self.schemes
+        return (
+            MYRINET_BARRIERS if self.network == "myrinet" else QUADRICS_BARRIERS
+        )
+
+
+@dataclass
+class ChaosRunResult:
+    """One scenario x scheme run: outcomes, counters, and violations."""
+
+    scenario: str
+    barrier: str
+    nodes: int
+    iterations: int
+    #: per-rank tuple of per-seq outcomes ("ok" or "fail:<reason>").
+    outcomes: tuple[tuple[str, ...], ...] = ()
+    #: sim time when the last rank finished each barrier seq.
+    seq_end_us: tuple[float, ...] = ()
+    end_us: float = 0.0
+    counters: dict[str, int] = field(default_factory=dict)
+    fault_stats: dict = field(default_factory=dict)
+    quiescence: tuple[str, ...] = ()
+    violations: tuple[str, ...] = ()
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations and not self.quiescence
+
+    @property
+    def failures(self) -> int:
+        return sum(
+            1 for rank in self.outcomes for o in rank if o.startswith("fail:")
+        )
+
+    def comparable(self) -> tuple:
+        """The observables that must be bit-identical under tie-break
+        perturbation of the event schedule."""
+        return (
+            self.outcomes,
+            self.seq_end_us,
+            self.end_us,
+            tuple(sorted(self.counters.items())),
+            repr(self.fault_stats),
+        )
+
+    def __str__(self) -> str:
+        verdict = "ok" if self.ok else "FAILED"
+        return (
+            f"{self.scenario}/{self.barrier} N={self.nodes}: {verdict} "
+            f"({self.failures} barrier failure(s), end={self.end_us:.0f}us)"
+        )
+
+
+def _apply_overrides(profile: HardwareProfile, scenario: ChaosScenario):
+    if scenario.gm_overrides:
+        profile = replace(profile, gm=replace(profile.gm, **dict(scenario.gm_overrides)))
+    if scenario.elan_overrides:
+        profile = replace(
+            profile, elan=replace(profile.elan, **dict(scenario.elan_overrides))
+        )
+    return profile
+
+
+def _arrange_faults(scenario: ChaosScenario, cluster, faults: FaultInjector) -> None:
+    if scenario.flap_window is not None:
+        a, b, start, until = scenario.flap_window
+        faults.flap_link(a, b, start, until)
+    if scenario.dead_link is not None:
+        a, b = scenario.dead_link
+        faults.drop_all_matching(
+            lambda p: p.src in (a, b) and p.dst in (a, b),
+            label=f"dead:{a}<->{b}",
+        )
+    if scenario.crash is not None:
+        node, at_us, restart_delay = scenario.crash
+        faults.crash_window(node, at_us, at_us + restart_delay)
+        cluster.nics[node].schedule_crash(at_us, restart_delay)
+    if scenario.slowdown is not None:
+        node, factor = scenario.slowdown
+        cluster.cpus[node].slowdown = factor
+
+
+def run_chaos_scenario(
+    scenario: ChaosScenario,
+    barrier: str,
+    nodes: int = 16,
+    iterations: int = 4,
+    seed: int = 0,
+    sim: Optional[Simulator] = None,
+) -> ChaosRunResult:
+    """Run one scenario under one barrier scheme and audit the run."""
+    if barrier not in scenario.applicable_schemes:
+        raise ValueError(f"scenario {scenario.name!r} does not cover {barrier!r}")
+    profile = _apply_overrides(
+        get_profile(_DEFAULT_PROFILE[scenario.network]), scenario
+    )
+    probabilistic = (
+        scenario.drop_probability
+        or scenario.corrupt_probability
+        or scenario.duplicate_probability
+        or scenario.delay_probability
+    )
+    rng = (
+        DeterministicRng(seed, f"chaos/{scenario.name}") if probabilistic else None
+    )
+    faults = FaultInjector(
+        rng=rng,
+        drop_probability=scenario.drop_probability,
+        corrupt_probability=scenario.corrupt_probability,
+        duplicate_probability=scenario.duplicate_probability,
+        delay_probability=scenario.delay_probability,
+        delay_jitter_us=scenario.delay_jitter_us,
+    )
+    sim_obj = sim if sim is not None else Simulator()
+    sim_obj.track_processes()
+    cluster = build_cluster(profile, nodes, faults=faults, sim=sim_obj)
+    _arrange_faults(scenario, cluster, faults)
+
+    # Scenario node indices are literal, so the group is the identity
+    # order — the paper's random node permutation would re-aim every
+    # flap/crash/slowdown at a different node per seed.
+    group = ProcessGroup(range(nodes))
+    drivers, hw = _setup_scheme(cluster, barrier, group)
+
+    outcomes: list[list[str]] = [[] for _ in range(nodes)]
+    seq_pending = [nodes] * iterations
+    seq_end = [0.0] * iterations
+
+    def program(rank: int, node: int):
+        for seq in range(iterations):
+            try:
+                yield from _barrier_step(
+                    cluster, barrier, group, drivers, hw, node, seq,
+                    hw_fallback=scenario.hw_fallback,
+                )
+            except BarrierFailure as failure:
+                outcomes[rank].append(f"fail:{failure.reason}")
+            else:
+                outcomes[rank].append("ok")
+            seq_pending[seq] -= 1
+            if seq_pending[seq] == 0:
+                seq_end[seq] = cluster.sim.now
+
+    procs = [
+        cluster.sim.process(program(rank, node), name=f"chaos@{node}")
+        for rank, node in enumerate(group.node_ids)
+    ]
+    cluster.sim.run()
+
+    violations: list[str] = []
+    for proc in procs:
+        if not proc.completion.processed:
+            violations.append(f"HANG: {proc.name} never finished its barriers")
+    for rank, record in enumerate(outcomes):
+        if len(record) != iterations:
+            violations.append(
+                f"rank {rank} recorded {len(record)}/{iterations} outcomes"
+            )
+    total_failures = sum(
+        1 for record in outcomes for o in record if o.startswith("fail:")
+    )
+    total_oks = sum(1 for record in outcomes for o in record if o == "ok")
+    if total_oks + total_failures != nodes * iterations:
+        violations.append(
+            f"outcome accounting broken: {total_oks} ok + {total_failures} "
+            f"failed != {nodes * iterations}"
+        )
+    counters = dict(cluster.tracer.counters)
+    if scenario.expect == "recover" and total_failures:
+        violations.append(
+            f"expected full recovery but {total_failures} barrier(s) failed"
+        )
+    elif scenario.expect == "fail" and not total_failures:
+        violations.append("expected surfaced failures but every barrier passed")
+    elif scenario.expect == "degrade":
+        if total_failures:
+            violations.append(
+                f"expected graceful degradation but {total_failures} "
+                "barrier(s) failed outright"
+            )
+        if not counters.get(scenario.degrade_counter, 0):
+            violations.append(
+                f"expected degradation counter {scenario.degrade_counter!r} "
+                "to fire, but it is zero"
+            )
+
+    stats = faults.stats()
+    for cls in ("dropped", "corrupted", "duplicated", "delayed"):
+        wire = counters.get(f"wire.{cls}", 0)
+        if wire != stats[cls]:
+            violations.append(
+                f"wire.{cls}={wire} disagrees with injector {cls}={stats[cls]}"
+            )
+    if stats["corrupted"]:
+        crc_drops = counters.get("gm.rx_crc_drop", 0) + counters.get(
+            "elan.rx_crc_drop", 0
+        )
+        ceiling = stats["corrupted"] + stats["duplicated"]
+        if not stats["corrupted"] <= crc_drops <= ceiling:
+            violations.append(
+                f"CRC accounting broken: {crc_drops} receiver drops for "
+                f"{stats['corrupted']} corrupted (+{stats['duplicated']} "
+                "duplicated) packets"
+            )
+
+    report = check_quiescent(cluster, must_complete=[p.name for p in procs])
+    return ChaosRunResult(
+        scenario=scenario.name,
+        barrier=barrier,
+        nodes=nodes,
+        iterations=iterations,
+        outcomes=tuple(tuple(r) for r in outcomes),
+        seq_end_us=tuple(seq_end),
+        end_us=cluster.sim.now,
+        counters=counters,
+        fault_stats=stats,
+        quiescence=tuple(f.render() for f in report.findings),
+        violations=tuple(violations),
+    )
+
+
+# ----------------------------------------------------------------------
+# The scenario catalogue: one scenario per fault class, per network.
+# ----------------------------------------------------------------------
+MYRINET_SCENARIOS: tuple[ChaosScenario, ...] = (
+    ChaosScenario(
+        name="drop",
+        network="myrinet",
+        description="2% probabilistic loss on every flow; ACK timeouts and "
+                    "receiver-driven NACKs recover every message",
+        drop_probability=0.02,
+    ),
+    ChaosScenario(
+        name="corrupt",
+        network="myrinet",
+        description="2% of packets delivered mangled; the receiving NIC's "
+                    "CRC discards them and the sender's timeout recovers",
+        corrupt_probability=0.02,
+    ),
+    ChaosScenario(
+        name="duplicate",
+        network="myrinet",
+        description="5% of packets delivered twice; sequence numbers and "
+                    "bit vectors must suppress the copies",
+        duplicate_probability=0.05,
+    ),
+    ChaosScenario(
+        name="delay",
+        network="myrinet",
+        description="20% of packets held up to 5us at injection (switch "
+                    "buffering jitter); pure timing fault",
+        delay_probability=0.2,
+        delay_jitter_us=5.0,
+    ),
+    ChaosScenario(
+        name="flap",
+        network="myrinet",
+        description="the 0<->1 link black-holes for 100us early in the "
+                    "run, then heals; backed-off retransmissions recover",
+        flap_window=(0, 1, 20.0, 120.0),
+    ),
+    ChaosScenario(
+        name="crash",
+        network="myrinet",
+        description="NIC 5 crashes mid-barrier, loses its SRAM state, and "
+                    "restarts 100us later; in-flight barriers fail cleanly "
+                    "and later barriers complete",
+        expect="fail",
+        schemes=("nic-direct", "nic-collective"),
+        crash=(5, 30.0, 100.0),
+        gm_overrides=(
+            ("ack_timeout_us", 200.0),
+            ("max_retries", 4),
+            ("nack_timeout_us", 300.0),
+            ("nack_max_rounds", 5),
+        ),
+    ),
+    ChaosScenario(
+        name="link-death",
+        network="myrinet",
+        description="the 2<->3 link dies permanently; the (shrunk) retry "
+                    "budget exhausts and every rank surfaces a typed "
+                    "BarrierFailure instead of hanging",
+        expect="fail",
+        schemes=("nic-direct", "nic-collective"),
+        dead_link=(2, 3),
+        gm_overrides=(
+            ("ack_timeout_us", 200.0),
+            ("max_retries", 3),
+            ("nack_timeout_us", 300.0),
+            ("nack_max_rounds", 4),
+        ),
+    ),
+    ChaosScenario(
+        name="slow-host",
+        network="myrinet",
+        description="node 3's host runs 3x slower (skewed arrival); "
+                    "barriers stretch but complete",
+        slowdown=(3, 3.0),
+    ),
+)
+
+QUADRICS_SCENARIOS: tuple[ChaosScenario, ...] = (
+    ChaosScenario(
+        name="delay",
+        network="quadrics",
+        description="20% of packets held up to 5us at injection; event "
+                    "thresholds absorb the reordering",
+        schemes=("gsync", "nic-chained"),
+        delay_probability=0.2,
+        delay_jitter_us=5.0,
+    ),
+    ChaosScenario(
+        name="slow-host",
+        network="quadrics",
+        description="node 2's host runs 3x slower; hgsync pays extra probe "
+                    "rounds but completes",
+        slowdown=(2, 3.0),
+    ),
+    ChaosScenario(
+        name="hw-degrade",
+        network="quadrics",
+        description="a 50x-slowed straggler exhausts the Elite probe "
+                    "budget (2 rounds); hgsync falls back to the software "
+                    "tree and still completes",
+        expect="degrade",
+        degrade_counter="elan.hw_fallback",
+        schemes=("hgsync",),
+        slowdown=(2, 50.0),
+        elan_overrides=(("hw_max_rounds", 2),),
+    ),
+    ChaosScenario(
+        name="hw-fail",
+        network="quadrics",
+        description="same straggler, but fallback disabled: the probe "
+                    "budget exhaustion surfaces as BarrierFailure",
+        expect="fail",
+        schemes=("hgsync",),
+        slowdown=(2, 50.0),
+        elan_overrides=(("hw_max_rounds", 2),),
+        hw_fallback=False,
+    ),
+)
+
+ALL_SCENARIOS: tuple[ChaosScenario, ...] = MYRINET_SCENARIOS + QUADRICS_SCENARIOS
+
+
+# ----------------------------------------------------------------------
+# Campaign driver
+# ----------------------------------------------------------------------
+@dataclass
+class CampaignReport:
+    """Every run of a chaos campaign plus the per-run determinism audit."""
+
+    nodes: int
+    iterations: int
+    rounds: int
+    results: list[ChaosRunResult] = field(default_factory=list)
+    #: "scenario/scheme" -> round indices whose results diverged.
+    diverged: dict[str, tuple[int, ...]] = field(default_factory=dict)
+
+    @property
+    def ok(self) -> bool:
+        return all(r.ok for r in self.results) and not self.diverged
+
+    def render(self) -> str:
+        lines = [
+            f"chaos campaign: N={self.nodes}, {self.iterations} barriers/run, "
+            f"{self.rounds} tie-break permutations/run"
+        ]
+        for result in self.results:
+            key = f"{result.scenario}/{result.barrier}"
+            marks = []
+            if result.violations:
+                marks.extend(result.violations)
+            if result.quiescence:
+                marks.append(f"{len(result.quiescence)} quiescence finding(s)")
+            if key in self.diverged:
+                marks.append(
+                    f"DIVERGED in permutation rounds {list(self.diverged[key])}"
+                )
+            verdict = "ok" if not marks else "FAILED: " + "; ".join(marks)
+            lines.append(
+                f"  {key:<28} failures={result.failures:<3} "
+                f"end={result.end_us:>10.1f}us  {verdict}"
+            )
+            for finding in result.quiescence:
+                lines.append(f"    {finding}")
+        lines.append("PASS" if self.ok else "FAIL")
+        return "\n".join(lines)
+
+
+def run_campaign(
+    networks: tuple[str, ...] = ("myrinet", "quadrics"),
+    nodes: int = 16,
+    iterations: int = 4,
+    rounds: int = 20,
+    seed: int = 0,
+) -> CampaignReport:
+    """The full chaos matrix: every scenario x scheme, with ``rounds``
+    extra tie-break-perturbed replays that must be bit-identical."""
+    report = CampaignReport(nodes=nodes, iterations=iterations, rounds=rounds)
+    for scenario in ALL_SCENARIOS:
+        if scenario.network not in networks:
+            continue
+        for barrier in scenario.applicable_schemes:
+            baseline = run_chaos_scenario(
+                scenario, barrier, nodes=nodes, iterations=iterations, seed=seed
+            )
+            report.results.append(baseline)
+            diverged = []
+            for round_idx in range(rounds):
+                rng = DeterministicRng(
+                    seed, f"chaos/tiebreak/{scenario.name}/{barrier}/{round_idx}"
+                )
+                replay = run_chaos_scenario(
+                    scenario, barrier, nodes=nodes, iterations=iterations,
+                    seed=seed, sim=TieBreakSimulator(rng),
+                )
+                if replay.comparable() != baseline.comparable():
+                    diverged.append(round_idx)
+            if diverged:
+                report.diverged[f"{scenario.name}/{barrier}"] = tuple(diverged)
+    return report

@@ -63,6 +63,8 @@ RUNTIME_RULES: dict[str, str] = {
     "SL105": "leak: unmatched bookkeeping (send records / collective state / "
              "armed timers) at simulation end",
     "SL106": "leak: tracer span opened but never closed",
+    "SL107": "fault plan armed but never fired: the scenario ended before the "
+             "targeted flow reached the plan's occurrence",
 }
 
 ALL_RULES: dict[str, str] = {**STATIC_RULES, **RUNTIME_RULES}

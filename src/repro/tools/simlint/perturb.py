@@ -202,6 +202,10 @@ def perturb_barrier_experiment(
     warmup: int = 2,
     seed: int = 0,
     drop_probability: float = 0.0,
+    corrupt_probability: float = 0.0,
+    duplicate_probability: float = 0.0,
+    delay_probability: float = 0.0,
+    delay_jitter_us: float = 0.0,
     algorithm: str = "dissemination",
 ) -> PerturbationReport:
     """Run one barrier experiment under ``rounds`` tie-break permutations.
@@ -209,21 +213,29 @@ def perturb_barrier_experiment(
     The baseline runs on the stock FIFO kernel; every round rebuilds the
     cluster from scratch on a :class:`TieBreakSimulator` seeded from
     ``(seed, round)`` and must reproduce the baseline's results exactly.
-    With ``drop_probability`` set (Myrinet only), each run gets a fault
-    injector built from the *same* seed, so the drop pattern itself is
-    schedule-independent (per-flow substreams) and results must still
-    match.
+    With fault probabilities set, each run gets a fault injector built
+    from the *same* seed, so the fault pattern itself is
+    schedule-independent (per-flow, per-class substreams) and results
+    must still match.  The reliability fault classes (drop, corrupt,
+    duplicate) need GM's retransmission machinery and are Myrinet-only;
+    delay/jitter is a pure timing fault and runs on either network.
     """
     resolved = get_profile(profile)
-    if drop_probability and resolved.network != "myrinet":
+    reliability_faults = drop_probability or corrupt_probability or duplicate_probability
+    if reliability_faults and resolved.network != "myrinet":
         raise ValueError("fault injection is a Myrinet-only experiment")
+    any_faults = reliability_faults or delay_probability
 
     def one_run(sim: Optional[Simulator]) -> BarrierResult:
         faults = None
-        if drop_probability:
+        if any_faults:
             faults = FaultInjector(
                 rng=DeterministicRng(seed, "simlint/faults"),
                 drop_probability=drop_probability,
+                corrupt_probability=corrupt_probability,
+                duplicate_probability=duplicate_probability,
+                delay_probability=delay_probability,
+                delay_jitter_us=delay_jitter_us,
             )
         cluster = build_cluster(resolved, nodes, faults=faults, sim=sim)
         return run_barrier_experiment(
@@ -305,7 +317,9 @@ def all_scheme_reports(
     quadrics_profile: str = "elan3_piii700",
 ) -> list[PerturbationReport]:
     """The full perturbation matrix: every scheme on both networks, plus
-    one seeded fault run on the scheme with the most reliability state."""
+    one seeded faulted run per fault class on the scheme with the most
+    reliability state (so the recovery machinery itself is checked for
+    schedule races, not just the clean path)."""
     reports = [
         perturb_barrier_experiment(
             myrinet_profile, barrier, nodes=nodes, rounds=rounds,
@@ -321,11 +335,17 @@ def all_scheme_reports(
         for barrier in QUADRICS_BARRIERS
     )
     if fault_drop_probability:
-        reports.append(
+        fault_cases = (
+            {"drop_probability": fault_drop_probability},
+            {"corrupt_probability": fault_drop_probability},
+            {"duplicate_probability": fault_drop_probability},
+            {"delay_probability": 0.2, "delay_jitter_us": 5.0},
+        )
+        reports.extend(
             perturb_barrier_experiment(
                 myrinet_profile, "nic-collective", nodes=nodes, rounds=rounds,
-                iterations=iterations, warmup=warmup, seed=seed,
-                drop_probability=fault_drop_probability,
+                iterations=iterations, warmup=warmup, seed=seed, **case,
             )
+            for case in fault_cases
         )
     return reports

@@ -205,6 +205,30 @@ def _check_quadrics_nic(cluster, nic, report: QuiescenceReport) -> None:
         ))
 
 
+def _check_faults(cluster, report: QuiescenceReport) -> None:
+    """SL107: a drop plan that never fired tested nothing.
+
+    A scenario that arms ``drop_nth_matching(..., occurrence=3)`` but
+    whose flow only ever carries two matching packets silently degrades
+    into a fault-free run — the campaign *believes* it exercised the
+    recovery path.  Surfacing the unfired plan turns that silent
+    no-op into a finding.
+    """
+    faults = getattr(cluster, "faults", None)
+    if faults is None:
+        return
+    for plan in getattr(faults, "unfired_plans", lambda: ())():
+        report.findings.append(Finding(
+            "SL107", _where(cluster, "faults"), 0,
+            f"drop plan {plan.describe()} armed but never fired "
+            f"(saw {plan.seen} matching packet(s), needed "
+            f"{plan.occurrence})",
+            fixit="the targeted flow ended before the plan's occurrence; "
+                  "lower the occurrence, widen the match, or extend the "
+                  "scenario",
+        ))
+
+
 def _check_ports(cluster, report: QuiescenceReport) -> None:
     for port in getattr(cluster, "ports", ()):
         unit = f"port{port.node_id}"
@@ -242,6 +266,7 @@ def check_quiescent(
         else:
             _check_quadrics_nic(cluster, nic, report)
     _check_ports(cluster, report)
+    _check_faults(cluster, report)
     tracer = tracer if tracer is not None else getattr(cluster, "tracer", None)
     if tracer is not None and getattr(tracer, "open_span_count", 0):
         report.findings.append(Finding(

@@ -61,11 +61,15 @@ def test_myrinet_three_level_clos_capacity():
     assert cluster512.n == 512
 
 
-def test_quadrics_rejects_fault_injection():
-    """QsNet is reliable in hardware (§4): loss injection is meaningless."""
+def test_quadrics_accepts_fault_injection():
+    """Chaos campaigns inject timing faults (delay, slowdown) on QsNet
+    too; the injector threads through to the fabric like on Myrinet."""
     faults = FaultInjector()
-    with pytest.raises(ValueError, match="reliably"):
-        QuadricsCluster(get_profile("elan3_piii700"), 4, faults=faults)
+    cluster = QuadricsCluster(get_profile("elan3_piii700"), 4, faults=faults)
+    assert cluster.faults is faults
+    assert cluster.fabric.faults is faults
+    built = build_quadrics_cluster("elan3_piii700", nodes=4, faults=faults)
+    assert built.faults is faults
 
 
 def test_myrinet_accepts_fault_injection():

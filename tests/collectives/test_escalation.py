@@ -1,0 +1,158 @@
+"""Retry-exhaustion escalation: typed failures, no hangs, no leaks.
+
+A permanently dead link (or a crashed NIC) must surface a
+:class:`BarrierFailure` with a typed reason once the (shrunk) retry
+budget is spent — within a bounded sim time, with every rank's program
+finishing, and with the quiescence audit finding zero leaked packets,
+records, engine states or timers afterwards.
+"""
+
+from dataclasses import replace
+
+from repro.collectives import (
+    BarrierFailure,
+    NicCollectiveBarrierEngine,
+    NicDirectBarrierEngine,
+    nic_barrier,
+)
+from repro.network import FaultInjector
+from repro.tools.simlint import check_quiescent
+from tests.collectives.conftest import install_engines, make_group, run_all
+from tests.myrinet.conftest import TEST_GM, MyrinetTestCluster
+
+# Budgets shrunk so a dead peer exhausts them within a few hundred
+# microseconds instead of the production-scale timeout horizon.
+FAST_EXHAUST = replace(
+    TEST_GM,
+    ack_timeout_us=20.0,
+    max_retries=2,
+    nack_timeout_us=30.0,
+    nack_max_rounds=3,
+)
+
+
+class _Profile:
+    name = "test"
+
+
+def escalation_cluster(faults, n=4, gm=FAST_EXHAUST):
+    cluster = MyrinetTestCluster(n=n, gm=gm, faults=faults)
+    cluster.faults = faults
+    cluster.profile = _Profile()
+    cluster.sim.track_processes()
+    return cluster
+
+
+def run_barriers_catching(cluster, group, iterations=1):
+    """Per-rank programs that record one outcome per seq and never hang."""
+    outcomes = {node: [] for node in group.node_ids}
+
+    def prog(node):
+        for seq in range(iterations):
+            try:
+                yield from nic_barrier(cluster.ports[node], group, seq)
+            except BarrierFailure as failure:
+                assert failure.seq == seq
+                assert failure.node == node
+                outcomes[node].append(failure.reason)
+            else:
+                outcomes[node].append("ok")
+
+    run_all(cluster, [prog(node) for node in group.node_ids])
+    return outcomes
+
+
+DIRECT_REASONS = {"peer-declared-dead", "barrier-deadline-exceeded"}
+
+
+def test_direct_dead_link_escalates_without_hang_or_leak():
+    faults = FaultInjector()
+    hole = faults.drop_all_matching(
+        lambda p: p.src in (2, 3) and p.dst in (2, 3), label="dead:2<->3"
+    )
+    cluster = escalation_cluster(faults)
+    group = make_group(cluster)
+    install_engines(cluster, group, engine_cls=NicDirectBarrierEngine)
+
+    outcomes = run_barriers_catching(cluster, group)
+
+    reasons = {r for record in outcomes.values() for r in record if r != "ok"}
+    assert reasons and reasons <= DIRECT_REASONS
+    assert hole.dropped > 0
+    # Bounded escalation: the whole run ends within a few deadline
+    # horizons, not at some production-scale timeout.
+    assert cluster.sim.now < 5 * FAST_EXHAUST.direct_barrier_deadline_us
+    report = check_quiescent(cluster)
+    assert report.ok, report.render()
+    for nic in cluster.nics:
+        assert nic.send_records == {}
+        assert nic.packet_pool.in_use == 0
+
+
+def test_collective_dead_link_exhausts_nack_budget():
+    faults = FaultInjector()
+    faults.drop_all_matching(
+        lambda p: p.src in (2, 3) and p.dst in (2, 3), label="dead:2<->3"
+    )
+    cluster = escalation_cluster(faults)
+    group = make_group(cluster)
+    install_engines(cluster, group, engine_cls=NicCollectiveBarrierEngine)
+
+    outcomes = run_barriers_catching(cluster, group)
+
+    reasons = {r for record in outcomes.values() for r in record if r != "ok"}
+    assert reasons == {"nack-retry-budget-exhausted"}
+    assert cluster.tracer.counters["coll.barrier_failed"] >= 1
+    report = check_quiescent(cluster)
+    assert report.ok, report.render()
+    for nic in cluster.nics:
+        for engine in nic.engines.values():
+            assert engine.states == {}
+
+
+def test_crashed_nic_fails_in_flight_barrier_and_rejoins():
+    # NIC 1 crashes mid-run and restarts: its in-flight barrier fails
+    # with a typed reason on every rank, the volatile state is wiped,
+    # and a barrier entered after the restart completes everywhere.
+    faults = FaultInjector()
+    crash_at, restart_delay = 5.0, 60.0
+    faults.crash_window(1, crash_at, crash_at + restart_delay)
+    # Extra NACK rounds so the survivors' backed-off budget spans the
+    # restart skew: recovery, not a failure cascade, after the rejoin.
+    cluster = escalation_cluster(
+        faults, gm=replace(FAST_EXHAUST, nack_max_rounds=6)
+    )
+    cluster.nics[1].schedule_crash(crash_at, restart_delay)
+    group = make_group(cluster)
+    install_engines(cluster, group, engine_cls=NicCollectiveBarrierEngine)
+
+    outcomes = run_barriers_catching(cluster, group, iterations=4)
+
+    flat = [r for record in outcomes.values() for r in record]
+    assert any(r != "ok" for r in flat), "the crash window hit no barrier"
+    allowed = {"ok", "nack-retry-budget-exhausted", "nic-restart"}
+    assert set(flat) <= allowed
+    assert "nic-restart" in outcomes[1]
+    # The final barrier starts well after the restart: full recovery.
+    assert [record[-1] for record in outcomes.values()] == ["ok"] * 4
+    assert cluster.tracer.counters["gm.nic_crash"] == 1
+    assert cluster.tracer.counters["gm.nic_restart"] == 1
+    report = check_quiescent(cluster)
+    assert report.ok, report.render()
+
+
+def test_healed_blackhole_recovers_with_retransmissions():
+    # A link flap long enough to force backed-off retries but shorter
+    # than the budget: the barrier completes once the hole heals.
+    faults = FaultInjector()
+    hole = faults.flap_link(0, 1, 2.0, 45.0)
+    cluster = escalation_cluster(faults)
+    group = make_group(cluster)
+    install_engines(cluster, group, engine_cls=NicCollectiveBarrierEngine)
+
+    outcomes = run_barriers_catching(cluster, group)
+
+    assert all(record == ["ok"] for record in outcomes.values())
+    assert hole.dropped > 0
+    assert cluster.tracer.counters["coll.nack_retransmit"] >= 1
+    assert check_quiescent(cluster).ok

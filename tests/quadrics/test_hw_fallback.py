@@ -1,0 +1,137 @@
+"""Elite HW-barrier probe-budget exhaustion: fallback and escalation.
+
+When a straggler outlives ``max_rounds`` probe rounds, the controller
+publishes a failure word instead of the release.  ``elan_hgsync`` then
+either runs the software tree for that seq (``fallback=True``, counting
+``elan.hw_fallback``) or surfaces a typed
+:class:`~repro.collectives.BarrierFailure` (``fallback=False``) — it
+never hangs either way.
+"""
+
+import pytest
+
+from repro.collectives import BarrierFailure
+from repro.quadrics import HardwareBarrier, elan_hgsync
+from repro.tools.simlint import check_quiescent
+from tests.quadrics.conftest import TEST_ELAN, TEST_WIRE, QuadricsTestCluster
+
+
+class _Profile:
+    name = "test"
+
+
+def tiny_budget_barrier(qc, ranks, max_rounds=2):
+    return HardwareBarrier(
+        qc.sim,
+        qc.topology,
+        TEST_WIRE,
+        ranks,
+        t_flag_check_us=TEST_ELAN.t_hw_flag_check,
+        retry_backoff_us=TEST_ELAN.hw_retry_backoff_us,
+        tracer=qc.tracer,
+        max_rounds=max_rounds,
+    )
+
+
+def straggler_prog(qc, hw, rank, ranks, seq, outcomes, fallback=True, late=100.0):
+    yield late * (1 if rank == ranks[-1] else 0)
+    try:
+        yield from elan_hgsync(qc.ports[rank], hw, ranks, seq, fallback=fallback)
+    except BarrierFailure as failure:
+        outcomes[rank] = failure
+    else:
+        outcomes[rank] = "ok"
+
+
+def run(qc, *programs):
+    procs = [qc.sim.process(p) for p in programs]
+    qc.sim.run()
+    for proc in procs:
+        assert proc.completion.processed, f"{proc} never finished"
+    return procs
+
+
+def test_budget_exhaustion_falls_back_to_software_tree():
+    qc = QuadricsTestCluster(n=4)
+    ranks = list(range(4))
+    hw = tiny_budget_barrier(qc, ranks)
+    outcomes = {}
+
+    run(qc, *(straggler_prog(qc, hw, r, ranks, 0, outcomes) for r in ranks))
+
+    assert all(outcomes[r] == "ok" for r in ranks)
+    assert hw.failures == 1
+    assert qc.tracer.counters["elite.hw_give_up"] == 1
+    # Every rank ran the tree fallback after the failure word.
+    assert qc.tracer.counters["elan.hw_fallback"] == len(ranks)
+
+
+def test_budget_exhaustion_without_fallback_escalates():
+    qc = QuadricsTestCluster(n=4)
+    qc.profile = _Profile()
+    qc.sim.track_processes()
+    ranks = list(range(4))
+    hw = tiny_budget_barrier(qc, ranks)
+    outcomes = {}
+
+    run(
+        qc,
+        *(
+            straggler_prog(qc, hw, r, ranks, 0, outcomes, fallback=False)
+            for r in ranks
+        ),
+    )
+
+    for rank in ranks:
+        failure = outcomes[rank]
+        assert isinstance(failure, BarrierFailure)
+        assert failure.reason == "hw-barrier-retry-budget-exhausted"
+        assert failure.seq == 0
+    # Bounded: the run ends shortly after the last probe round, far
+    # inside the straggler's own arrival skew plus a few backoffs.
+    assert qc.sim.now < 100.0 + 10 * TEST_ELAN.hw_retry_backoff_us
+    report = check_quiescent(qc)
+    assert report.ok, report.render()
+
+
+def test_consecutive_failed_seqs_each_fall_back_once():
+    # fallback_ordinal: the tree fallback numbers its barriers by
+    # failure ordinal, so two exhausted seqs chain two tree barriers
+    # with correctly advancing event thresholds.
+    qc = QuadricsTestCluster(n=4)
+    ranks = list(range(4))
+    hw = tiny_budget_barrier(qc, ranks)
+    outcomes0, outcomes1 = {}, {}
+
+    def prog(rank):
+        yield from straggler_prog(qc, hw, rank, ranks, 0, outcomes0)
+        yield from straggler_prog(qc, hw, rank, ranks, 1, outcomes1)
+
+    run(qc, *(prog(r) for r in ranks))
+
+    assert all(outcomes0[r] == "ok" for r in ranks)
+    assert all(outcomes1[r] == "ok" for r in ranks)
+    assert hw.failures == 2
+    assert hw.fallback_ordinal(0) == 0
+    assert hw.fallback_ordinal(1) == 1
+    assert qc.tracer.counters["elan.hw_fallback"] == 2 * len(ranks)
+
+
+def test_generous_budget_never_falls_back():
+    qc = QuadricsTestCluster(n=4)
+    ranks = list(range(4))
+    hw = tiny_budget_barrier(qc, ranks, max_rounds=10000)
+    outcomes = {}
+
+    run(qc, *(straggler_prog(qc, hw, r, ranks, 0, outcomes) for r in ranks))
+
+    assert all(outcomes[r] == "ok" for r in ranks)
+    assert hw.failures == 0
+    assert hw.retries > 0  # the straggler did force re-probes
+    assert "elan.hw_fallback" not in qc.tracer.counters
+
+
+def test_max_rounds_validation():
+    qc = QuadricsTestCluster(n=2)
+    with pytest.raises(ValueError):
+        tiny_budget_barrier(qc, [0, 1], max_rounds=0)

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.sim import PriorityStore, Resource, Simulator, Store
+from repro.sim import ArbitratedResource, PriorityStore, Resource, Simulator, Store
 
 
 class TestResource:
@@ -228,3 +228,141 @@ class TestPriorityStore:
         ps.put_item("b", 2)
         assert ps.items == ("a", "b", "c")
         sim.run()
+
+
+class TestArbitratedResource:
+    def test_capacity_validation(self):
+        sim = Simulator()
+        with pytest.raises(ValueError):
+            ArbitratedResource(sim, capacity=0)
+
+    def test_grant_is_deferred_never_synchronous(self):
+        sim = Simulator()
+        res = ArbitratedResource(sim)
+        req = res.request(key="a")
+        assert not req.triggered  # decided one delta phase later
+        sim.run()
+        assert req.triggered
+        assert res.in_use == 1
+
+    def test_request_outside_process_needs_explicit_key(self):
+        sim = Simulator()
+        res = ArbitratedResource(sim, name="cpu")
+        with pytest.raises(RuntimeError):
+            res.request()
+
+    def test_key_defaults_to_active_process_name(self):
+        sim = Simulator()
+        res = ArbitratedResource(sim)
+        order = []
+
+        def worker():
+            yield res.request()
+            order.append(sim.now)
+            res.release()
+
+        sim.process(worker(), name="w")
+        sim.run()
+        assert order == [0.0]
+
+    def test_same_instant_contention_grants_in_key_order(self):
+        # Three processes request at t=0; start order is c, a, b but the
+        # arbitration key (the process name) decides who runs first.
+        sim = Simulator()
+        res = ArbitratedResource(sim, capacity=1)
+        order = []
+
+        def worker(name):
+            yield res.request()
+            order.append(name)
+            yield 1.0
+            res.release()
+
+        for name in ("c", "a", "b"):
+            sim.process(worker(name), name=name)
+        sim.run()
+        assert order == ["a", "b", "c"]
+
+    def test_key_fn_overrides_name_order(self):
+        # key_fn inverts the lexicographic order: highest name wins.
+        sim = Simulator()
+        res = ArbitratedResource(
+            sim, key_fn=lambda name: tuple(-ord(ch) for ch in name)
+        )
+        order = []
+
+        def worker(name):
+            yield res.request()
+            order.append(name)
+            yield 1.0
+            res.release()
+
+        for name in ("a", "b", "c"):
+            sim.process(worker(name), name=name)
+        sim.run()
+        assert order == ["c", "b", "a"]
+
+    def test_priority_waiter_overtakes_earlier_lower_priority(self):
+        # This is a priority arbiter, not a FIFO: whenever a unit frees
+        # up, the best *currently pending* key wins — even if a worse
+        # key has been waiting longer (hardware polling-order
+        # semantics, exactly how the LANai services its loops).
+        sim = Simulator()
+        res = ArbitratedResource(sim, capacity=1)
+        order = []
+
+        def holder():
+            yield res.request()
+            yield 5.0
+            res.release()
+
+        def waiter(name, arrive):
+            yield arrive
+            yield res.request()
+            order.append(name)
+            res.release()
+
+        sim.process(holder(), name="h")
+        sim.process(waiter("z-first", 1.0), name="z")
+        sim.process(waiter("a-second", 2.0), name="a")
+        sim.run()
+        assert order == ["a-second", "z-first"]
+
+    def test_release_hands_over_in_key_order(self):
+        sim = Simulator()
+        res = ArbitratedResource(sim, capacity=2)
+        order = []
+
+        def worker(name, hold):
+            yield res.request()
+            order.append((sim.now, name))
+            yield hold
+            res.release()
+
+        for name, hold in (("d", 5.0), ("c", 3.0), ("b", 1.0), ("a", 2.0)):
+            sim.process(worker(name, hold), name=name)
+        sim.run()
+        # a and b win the initial arbitration; c takes b's unit at t=1,
+        # d takes a's at t=2.
+        assert order == [(0.0, "a"), (0.0, "b"), (1.0, "c"), (2.0, "d")]
+
+    def test_cancel_request(self):
+        sim = Simulator()
+        res = ArbitratedResource(sim)
+        holder = res.request(key="a")
+        waiter = res.request(key="b")
+        sim.run()
+        assert holder.triggered and not waiter.triggered
+        assert res.queue_length == 1
+        assert res.cancel_request(waiter) is True
+        assert res.cancel_request(waiter) is False
+        res.release()
+        sim.run()
+        assert not waiter.triggered
+        assert res.in_use == 0
+
+    def test_release_without_request_raises(self):
+        sim = Simulator()
+        res = ArbitratedResource(sim)
+        with pytest.raises(RuntimeError):
+            res.release()

@@ -1,0 +1,144 @@
+"""Chaos campaign runner: scenario plumbing, invariants, SL107."""
+
+import pytest
+
+from repro.cluster.builder import build_cluster
+from repro.cluster.profiles import get_profile
+from repro.cluster.runner import run_barrier_experiment
+from repro.network import FaultInjector
+from repro.sim import DeterministicRng, Simulator
+from repro.tools.chaos import (
+    ALL_SCENARIOS,
+    ChaosScenario,
+    run_campaign,
+    run_chaos_scenario,
+)
+from repro.tools.simlint import check_quiescent
+from repro.tools.simlint.perturb import TieBreakSimulator
+
+
+def scenario(name, network="myrinet"):
+    match = [s for s in ALL_SCENARIOS if s.name == name and s.network == network]
+    assert len(match) == 1
+    return match[0]
+
+
+class TestScenarioValidation:
+    def test_unknown_network_rejected(self):
+        with pytest.raises(ValueError):
+            ChaosScenario(name="x", network="infiniband", description="")
+
+    def test_unknown_expectation_rejected(self):
+        with pytest.raises(ValueError):
+            ChaosScenario(name="x", network="myrinet", description="",
+                          expect="explode")
+
+    def test_degrade_needs_a_counter(self):
+        with pytest.raises(ValueError):
+            ChaosScenario(name="x", network="myrinet", description="",
+                          expect="degrade")
+
+    def test_inapplicable_scheme_rejected(self):
+        with pytest.raises(ValueError):
+            run_chaos_scenario(scenario("crash"), "host", nodes=4)
+
+    def test_catalogue_covers_every_fault_class(self):
+        names = {(s.network, s.name) for s in ALL_SCENARIOS}
+        for required in ("drop", "corrupt", "duplicate", "delay", "flap",
+                         "crash", "link-death", "slow-host"):
+            assert ("myrinet", required) in names
+        for required in ("delay", "slow-host", "hw-degrade", "hw-fail"):
+            assert ("quadrics", required) in names
+
+
+class TestScenarioRuns:
+    def test_recover_scenario_recovers(self):
+        result = run_chaos_scenario(
+            scenario("drop"), "nic-collective", nodes=8, iterations=2
+        )
+        assert result.ok, (result.violations, result.quiescence)
+        assert result.failures == 0
+        assert result.counters["wire.dropped"] > 0
+        assert result.fault_stats["dropped"] == result.counters["wire.dropped"]
+
+    def test_link_death_surfaces_typed_failures(self):
+        result = run_chaos_scenario(
+            scenario("link-death"), "nic-collective", nodes=8, iterations=2
+        )
+        assert result.ok, (result.violations, result.quiescence)
+        assert result.failures > 0
+        reasons = {
+            o.split(":", 1)[1]
+            for record in result.outcomes for o in record
+            if o.startswith("fail:")
+        }
+        assert reasons == {"nack-retry-budget-exhausted"}
+
+    def test_hw_degrade_counts_fallbacks(self):
+        result = run_chaos_scenario(
+            scenario("hw-degrade", "quadrics"), "hgsync", nodes=8, iterations=2
+        )
+        assert result.ok, (result.violations, result.quiescence)
+        assert result.failures == 0
+        assert result.counters["elan.hw_fallback"] > 0
+
+    def test_hw_fail_escalates(self):
+        result = run_chaos_scenario(
+            scenario("hw-fail", "quadrics"), "hgsync", nodes=8, iterations=2
+        )
+        assert result.ok, (result.violations, result.quiescence)
+        assert result.failures > 0
+
+    def test_expectation_violation_is_reported(self):
+        # A fault-free scenario that *expects* failures must not pass.
+        impossible = ChaosScenario(
+            name="nothing-happens",
+            network="myrinet",
+            description="no faults, yet failures expected",
+            expect="fail",
+            schemes=("host",),
+        )
+        result = run_chaos_scenario(impossible, "host", nodes=4, iterations=1)
+        assert not result.ok
+        assert any("expected surfaced failures" in v for v in result.violations)
+
+    def test_faulted_run_bit_identical_under_tiebreak(self):
+        baseline = run_chaos_scenario(
+            scenario("flap"), "nic-collective", nodes=8, iterations=2
+        )
+        replay = run_chaos_scenario(
+            scenario("flap"), "nic-collective", nodes=8, iterations=2,
+            sim=TieBreakSimulator(DeterministicRng(1, "test/tiebreak")),
+        )
+        assert replay.comparable() == baseline.comparable()
+
+
+def test_unfired_drop_plan_surfaces_as_sl107():
+    # A plan whose flow never carries enough matching packets silently
+    # turns the scenario into a fault-free run; the quiescence audit
+    # must say so.
+    faults = FaultInjector()
+    faults.drop_nth_matching(
+        lambda p: p.src == 0 and p.dst == 1, occurrence=10_000,
+        label="too-greedy",
+    )
+    sim = Simulator()
+    sim.track_processes()
+    cluster = build_cluster(
+        get_profile("lanai_xp_xeon2400"), 4, faults=faults, sim=sim
+    )
+    run_barrier_experiment(cluster, "nic-collective", iterations=1, warmup=1)
+    report = check_quiescent(cluster)
+    assert [f.code for f in report.findings] == ["SL107"]
+    assert "too-greedy" in report.findings[0].message
+
+
+def test_campaign_smoke_quadrics():
+    campaign = run_campaign(
+        networks=("quadrics",), nodes=8, iterations=2, rounds=1
+    )
+    assert campaign.ok, campaign.render()
+    assert len(campaign.results) == 7  # delay x2, slow-host x3, hw-degrade, hw-fail
+    rendered = campaign.render()
+    assert rendered.endswith("PASS")
+    assert "hw-degrade/hgsync" in rendered

@@ -328,14 +328,20 @@ def test_repro_package_uses_no_suppressions():
     # itself documents the syntax and is exempt).
     root = default_root()
     offenders = []
+    scanned = []
     for path in sorted(root.rglob("*.py")):
         rel = path.relative_to(root).as_posix()
         if rel.startswith("tools/simlint/"):
             continue
+        scanned.append(rel)
         for lineno, line in enumerate(path.read_text().splitlines(), start=1):
             if _SUPPRESS_RE.search(line):
                 offenders.append(f"{rel}:{lineno}")
     assert offenders == []
+    # The chaos runner and degradation report are simulator sources too
+    # — guard against a future carve-out quietly exempting them.
+    assert "tools/chaos.py" in scanned
+    assert "experiments/chaos.py" in scanned
 
 
 def test_every_static_code_has_a_registry_entry():
