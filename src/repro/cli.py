@@ -22,6 +22,10 @@ Commands:
   applicable barrier scheme, with per-run invariant checks, quiescence
   audits, and tie-break determinism rounds (exit 0 pass / 1 fail);
   ``--report`` additionally writes the markdown degradation report.
+- ``cache``       — inspect/maintain the persistent run cache
+  (``stats``, ``gc``, ``clear``).  ``report``/``experiment``/``trace``/
+  ``chaos`` take ``--cache/--no-cache``; ``REPRO_CACHE=0`` disables
+  caching globally and ``REPRO_CACHE_DIR`` moves the cache root.
 """
 
 from __future__ import annotations
@@ -77,6 +81,7 @@ def _cmd_trace(args: argparse.Namespace) -> int:
         critical_path,
         write_chrome_trace,
     )
+    from repro.tools.runcache import point_request, resolve_cache
 
     profile = get_profile(args.profile or _TRACE_DEFAULT_PROFILE[args.network])
     if profile.network != args.network:
@@ -94,6 +99,31 @@ def _cmd_trace(args: argparse.Namespace) -> int:
         seed=args.seed,
     )
     print(result)
+
+    # A traced run can never be *served* from the cache (the spans are
+    # the product), but tracing is bit-identical to the untraced run,
+    # so the cache still stores and cross-checks the point's latency —
+    # a warm mismatch is a determinism regression, caught here.
+    cache = resolve_cache("auto" if args.cache else None)
+    if cache is not None:
+        request = point_request(
+            args.network, profile, barrier, "dissemination", args.nodes,
+            iterations=args.iterations, warmup=args.warmup, seed=args.seed,
+        )
+        cached = cache.get(request)
+        if cached is None:
+            cache.put(request, result.mean_latency_us)
+            print("run cache: cold (latency stored)", file=sys.stderr)
+        elif cached != result.mean_latency_us:
+            print(
+                f"run cache: WARM MISMATCH — cached {cached}us != measured "
+                f"{result.mean_latency_us}us under the same source digest",
+                file=sys.stderr,
+            )
+            return 1
+        else:
+            print("run cache: warm (latency verified)", file=sys.stderr)
+        cache.write_stats()
 
     write_chrome_trace(tracer, args.out)
     print(f"wrote {args.out} ({len(tracer.spans)} spans; open at https://ui.perfetto.dev)")
@@ -141,7 +171,9 @@ def _cmd_lint(args: argparse.Namespace) -> int:
 
 def _cmd_chaos(args: argparse.Namespace) -> int:
     from repro.tools.chaos import run_campaign
+    from repro.tools.runcache import atomic_write_text, resolve_cache
 
+    cache = resolve_cache("auto" if args.cache else None)
     networks = (
         ("myrinet", "quadrics") if args.network == "both" else (args.network,)
     )
@@ -151,6 +183,7 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
         iterations=args.iterations,
         rounds=args.rounds,
         seed=args.seed,
+        cache=cache,
     )
     print(campaign.render())
     if args.report:
@@ -160,9 +193,10 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
             "# Chaos campaign\n\n```\n" + campaign.render() + "\n```\n\n"
             + degradation_report(nodes=args.nodes, seed=args.seed)
         )
-        with open(args.report, "w") as fh:
-            fh.write(document)
+        atomic_write_text(args.report, document)
         print(f"degradation report written to {args.report}")
+    if cache is not None:
+        cache.write_stats()
     return 0 if campaign.ok else 1
 
 
@@ -170,9 +204,13 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
     import importlib
 
     from repro.experiments.common import print_experiment
+    from repro.tools.runcache import resolve_cache
 
+    cache = resolve_cache("auto" if args.cache else None)
     module = importlib.import_module(f"repro.experiments.{args.name}")
-    print_experiment(module.run(quick=args.quick, jobs=args.jobs))
+    print_experiment(module.run(quick=args.quick, jobs=args.jobs, cache=cache))
+    if cache is not None:
+        cache.write_stats()
     return 0
 
 
@@ -182,8 +220,38 @@ def _cmd_report(args: argparse.Namespace) -> int:
     forwarded = []
     if args.quick:
         forwarded.append("--quick")
+    if not args.cache:
+        forwarded.append("--no-cache")
     forwarded.extend(["--out", args.out, "--jobs", str(args.jobs)])
     return report_main(forwarded)
+
+
+def _cmd_cache(args: argparse.Namespace) -> int:
+    from repro.tools.runcache import RunCache, cache_enabled, default_root
+
+    cache = RunCache(args.dir or default_root())
+    if args.action == "stats":
+        print(f"cache root   : {cache.root}")
+        print(f"enabled      : {cache_enabled()}")
+        print(f"entries      : {cache.entry_count()}")
+        print(f"total bytes  : {cache.total_bytes()}")
+        last = cache.read_last_run_stats()
+        if last is None:
+            print("last run     : (no recorded run)")
+        else:
+            print(
+                f"last run     : {last.get('hits', 0)} hits, "
+                f"{last.get('misses', 0)} misses, "
+                f"{last.get('stores', 0)} stores, "
+                f"{last.get('corrupt', 0)} corrupt"
+            )
+    elif args.action == "gc":
+        removed, kept = cache.gc()
+        print(f"gc: removed {removed} stale entries, kept {kept}")
+    elif args.action == "clear":
+        removed = cache.clear()
+        print(f"clear: removed {removed} entries")
+    return 0
 
 
 EXPERIMENT_NAMES = [
@@ -221,11 +289,18 @@ def build_parser() -> argparse.ArgumentParser:
     run_parser.add_argument("--counters", action="store_true",
                             help="print traffic counters")
 
+    cache_flag = dict(
+        action=argparse.BooleanOptionalAction, default=True,
+        help="serve unchanged points from the run cache "
+        "(--no-cache: re-simulate everything)",
+    )
+
     exp_parser = sub.add_parser("experiment", help="run one experiment harness")
     exp_parser.add_argument("name", choices=EXPERIMENT_NAMES)
     exp_parser.add_argument("--quick", action="store_true")
     exp_parser.add_argument("--jobs", type=int, default=1,
                             help="worker processes for sweep points (1 = serial)")
+    exp_parser.add_argument("--cache", **cache_flag)
 
     trace_parser = sub.add_parser(
         "trace",
@@ -246,6 +321,7 @@ def build_parser() -> argparse.ArgumentParser:
     trace_parser.add_argument("--seed", type=int, default=0)
     trace_parser.add_argument("--out", default="trace.json",
                               help="Chrome-trace JSON output path")
+    trace_parser.add_argument("--cache", **cache_flag)
 
     lint_parser = sub.add_parser(
         "lint",
@@ -278,12 +354,27 @@ def build_parser() -> argparse.ArgumentParser:
     chaos_parser.add_argument("--seed", type=int, default=0)
     chaos_parser.add_argument("--report", default=None,
                               help="also write the markdown degradation report here")
+    chaos_parser.add_argument("--cache", **cache_flag)
 
     report_parser = sub.add_parser("report", help="regenerate EXPERIMENTS.md")
     report_parser.add_argument("--quick", action="store_true")
     report_parser.add_argument("--out", default="EXPERIMENTS.md")
     report_parser.add_argument("--jobs", type=int, default=1,
                                help="worker processes for sweep points (1 = serial)")
+    report_parser.add_argument("--cache", **cache_flag)
+
+    cache_parser = sub.add_parser(
+        "cache", help="inspect/maintain the persistent run cache"
+    )
+    cache_parser.add_argument(
+        "action", choices=["stats", "gc", "clear"],
+        help="stats: entry count/bytes/last-run counters; gc: drop "
+        "entries from older source trees; clear: drop everything",
+    )
+    cache_parser.add_argument(
+        "--dir", default=None,
+        help="cache root (default: $REPRO_CACHE_DIR or ./.repro-cache)",
+    )
 
     return parser
 
@@ -299,6 +390,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "trace": _cmd_trace,
         "lint": _cmd_lint,
         "chaos": _cmd_chaos,
+        "cache": _cmd_cache,
     }
     return handlers[args.command](args)
 

@@ -38,6 +38,11 @@ from repro.collectives.messages import (
     BarrierNack,
 )
 from repro.collectives.protocol import CollectiveGroupState, CollectiveSendRecord
+from repro.collectives.data_engine import (
+    CollectiveFailure,
+    DataCollDone,
+    DataCollFailed,
+)
 from repro.collectives.myrinet_engines import (
     NicCollectiveBarrierEngine,
     NicDirectBarrierEngine,
@@ -83,6 +88,9 @@ __all__ = [
     "BarrierFailure",
     "CollectiveGroupState",
     "CollectiveSendRecord",
+    "CollectiveFailure",
+    "DataCollDone",
+    "DataCollFailed",
     "NicCollectiveBarrierEngine",
     "NicDirectBarrierEngine",
     "nic_barrier",

@@ -10,15 +10,26 @@ NIC applies the reduction operator before DMAing a single value to the
 host.
 
 Supported operators are fixed-name (both sides of a reduction must
-agree, as in MPI): ``sum``, ``prod``, ``min``, ``max``.
+agree, as in MPI): ``sum``, ``prod``, ``min``, ``max``.  Every message
+carries the sender's operator name alongside the gathered map; the
+receiving NIC validates it against its own before merging, so an
+operator mismatch fails the sequence with a typed
+:class:`~repro.collectives.data_engine.DataCollFailed` instead of
+silently reducing with whichever operator the local rank happened to
+pick.  The operator name rides the message header, not the data
+payload, so wire bytes are unchanged from Allgather.
 """
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Any, Callable
+from typing import TYPE_CHECKING, Any, Callable, Optional
 
 from repro.collectives.allgather import BYTES_PER_VALUE, NicAllgatherEngine
-from repro.collectives.data_engine import _DataState, host_start_data_collective
+from repro.collectives.data_engine import (
+    DataCollMsg,
+    _DataState,
+    host_start_data_collective,
+)
 from repro.collectives.group import ProcessGroup
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -32,22 +43,53 @@ OPS: dict[str, Callable[[Any, Any], Any]] = {
 }
 
 
+class _ReduceState(_DataState):
+    """Allgather state plus the reduction operator this rank was given."""
+
+    __slots__ = ("op_name",)
+
+    def __init__(self, seq: int):
+        super().__init__(seq)
+        self.op_name: Optional[str] = None
+
+
 class NicAllreduceEngine(NicAllgatherEngine):
     """Per-(NIC, group) Allreduce engine."""
 
     counter_prefix = "allreduce"
+    state_cls = _ReduceState
 
-    def _init_data(self, state: _DataState, args: tuple) -> None:
+    def _init_data(self, state: _ReduceState, args: tuple) -> None:
         value, op_name = args
         if op_name not in OPS:
             raise ValueError(f"unknown reduction op {op_name!r}; use {sorted(OPS)}")
         state.data = {self.rank: value}
-        # Stash the operator out-of-band (not part of the gathered map).
-        state.op_name = op_name  # type: ignore[attr-defined]
+        state.op_name = op_name
 
-    def _finish(self, state: _DataState) -> tuple[Any, int]:
+    def _phase_payload(self, state: _ReduceState, phase: int) -> tuple[Any, int]:
+        items = tuple(sorted(state.data.items()))
+        # The op name travels in the logical header: wire bytes count
+        # only the gathered values, identical to Allgather.
+        return (state.op_name, items), BYTES_PER_VALUE * len(items)
+
+    def _merge(self, state: _ReduceState, payload: Any, phase: int) -> None:
+        _op_name, items = payload
+        state.data.update(dict(items))
+
+    def _validate(
+        self, state: _ReduceState, message: DataCollMsg
+    ) -> Optional[str]:
+        sender_op = message.payload[0]
+        if sender_op != state.op_name:
+            return (
+                f"allreduce op mismatch: rank {message.sender} used "
+                f"{sender_op!r}, local op is {state.op_name!r}"
+            )
+        return None
+
+    def _finish(self, state: _ReduceState) -> tuple[Any, int]:
         assert len(state.data) == self.group.size
-        op = OPS[state.op_name]  # type: ignore[attr-defined]
+        op = OPS[state.op_name]
         values = [state.data[rank] for rank in sorted(state.data)]
         result = values[0]
         for value in values[1:]:

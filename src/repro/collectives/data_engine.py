@@ -25,6 +25,7 @@ from typing import TYPE_CHECKING, Any, Optional
 
 from repro.collectives.algorithms import dissemination
 from repro.collectives.group import ProcessGroup
+from repro.collectives.messages import BarrierFailure
 from repro.network import Packet, PacketKind
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -64,13 +65,35 @@ class DataCollDone:
     result: Any
 
 
+@dataclass(frozen=True)
+class DataCollFailed:
+    """Failure notification the NIC DMAs to the host.
+
+    Posted when the engine detects an unrecoverable protocol violation
+    (e.g. ranks disagreeing on the Allreduce operator).  The NIC has
+    already torn the sequence's state down; the host-side wrapper
+    raises it as :class:`CollectiveFailure`.
+    """
+
+    group_id: int
+    seq: int
+    reason: str
+    failed_at: float
+
+
+class CollectiveFailure(BarrierFailure):
+    """A data collective gave up instead of hanging — same typed
+    escalation surface as :class:`~repro.collectives.messages
+    .BarrierFailure`, so existing handlers catch both."""
+
+
 class _DataState:
     """Per-(rank, sequence) progress for one data collective."""
 
     __slots__ = (
         "seq", "data", "phase", "started", "complete", "in_progress",
         "sent_current_phase", "sent_messages", "pending", "nack_timer",
-        "nack_rounds", "op_name",
+        "nack_rounds",
     )
 
     def __init__(self, seq: int):
@@ -85,7 +108,6 @@ class _DataState:
         self.pending: dict[int, DataCollMsg] = {}  # sender -> message
         self.nack_timer = None
         self.nack_rounds = 0
-        self.op_name: Optional[str] = None  # used by Allreduce
 
     def cancel_timer(self) -> None:
         if self.nack_timer is not None:
@@ -97,6 +119,9 @@ class DisseminationDataEngine:
     """Base NIC engine for dissemination-patterned data collectives."""
 
     counter_prefix = "datacoll"
+    #: Per-sequence state class; subclasses needing extra fields (e.g.
+    #: Allreduce's operator) override with a ``_DataState`` subclass.
+    state_cls = _DataState
 
     def __init__(self, nic: "LanaiNic", group: ProcessGroup, rank: int):
         if group.node_of(rank) != nic.node_id:
@@ -128,11 +153,18 @@ class DisseminationDataEngine:
     def _finish(self, state: _DataState) -> tuple[Any, int]:
         raise NotImplementedError
 
+    def _validate(self, state: _DataState, message: DataCollMsg) -> Optional[str]:
+        """Check an arrived message against this rank's collective
+        arguments before merging.  A non-``None`` reason fails the
+        sequence with a typed :class:`DataCollFailed` instead of
+        silently merging inconsistent contributions."""
+        return None
+
     # -- plumbing --------------------------------------------------------
     def _state(self, seq: int) -> _DataState:
         state = self.states.get(seq)
         if state is None:
-            state = _DataState(seq)
+            state = self.state_cls(seq)
             self.states[seq] = state
         return state
 
@@ -194,6 +226,10 @@ class DisseminationDataEngine:
                 if message is None or message.phase != state.phase:
                     return
                 del state.pending[src]
+                reason = self._validate(state, message)
+                if reason is not None:
+                    yield from self._fail(state, reason)
+                    return
                 self._merge(state, message.payload, state.phase)
                 state.phase += 1
                 state.sent_current_phase = False
@@ -239,6 +275,25 @@ class DisseminationDataEngine:
             self.archive.pop(min(self.archive))
         yield from nic.notify_host(
             DataCollDone(self.group.group_id, state.seq, result)
+        )
+
+    def _fail(self, state: _DataState, reason: str):
+        """Tear the sequence down and notify the host with a typed failure.
+
+        Mirrors ``_complete``'s teardown (timer, state table, archive)
+        so a failed sequence leaves no dangling NIC resources, but DMAs
+        a :class:`DataCollFailed` instead of a result.
+        """
+        nic = self.nic
+        state.cancel_timer()
+        nic.tracer.count(f"{self.counter_prefix}.failed")
+        del self.states[state.seq]
+        self.done_through = max(self.done_through, state.seq)
+        self.archive[state.seq] = state.sent_messages
+        while len(self.archive) > nic.params.coll_archive_depth:
+            self.archive.pop(min(self.archive))
+        yield from nic.notify_host(
+            DataCollFailed(self.group.group_id, state.seq, reason, nic.sim.now)
         )
 
     # -- receiver-driven reliability ----------------------------------------
@@ -310,8 +365,12 @@ def host_start_data_collective(port, group: ProcessGroup, seq: int, args: tuple,
         yield from port.pci.dma(contribute_bytes, DmaDirection.HOST_TO_NIC)
     port.nic.post_engine_command((group.group_id, "start", seq) + args)
     done = yield from port.recv_matching(
-        lambda ev: isinstance(ev, DataCollDone)
+        lambda ev: isinstance(ev, (DataCollDone, DataCollFailed))
         and ev.group_id == group.group_id
         and ev.seq == seq
     )
+    if isinstance(done, DataCollFailed):
+        raise CollectiveFailure(
+            group.group_id, seq, done.reason, node=port.node_id
+        )
     return done.result

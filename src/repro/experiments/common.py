@@ -11,13 +11,14 @@ from __future__ import annotations
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 from functools import partial
-from typing import Callable, Iterable, Optional, Sequence
+from typing import Any, Callable, Iterable, Optional, Sequence
 
 from repro.cluster import (
     build_myrinet_cluster,
     build_quadrics_cluster,
     run_barrier_experiment,
 )
+from repro.tools.runcache import RunCache, point_request
 
 
 @dataclass
@@ -29,7 +30,14 @@ class Series:
     latencies: list[float]
 
     def at(self, n: int) -> float:
-        return self.latencies[self.n_values.index(n)]
+        try:
+            index = self.n_values.index(n)
+        except ValueError:
+            raise KeyError(
+                f"series {self.label!r} has no point at N={n} "
+                f"(available: {self.n_values})"
+            ) from None
+        return self.latencies[index]
 
 
 @dataclass
@@ -62,7 +70,15 @@ class ExperimentResult:
 # ----------------------------------------------------------------------
 # Sweeps
 # ----------------------------------------------------------------------
-def parallel_map(fn: Callable, items: Iterable, jobs: int = 1) -> list:
+def parallel_map(
+    fn: Callable,
+    items: Iterable,
+    jobs: int = 1,
+    cache: Optional[RunCache] = None,
+    key_fn: Optional[Callable[[Any], dict]] = None,
+    encode: Optional[Callable[[Any], Any]] = None,
+    decode: Optional[Callable[[Any], Any]] = None,
+) -> list:
     """Order-preserving map, fanned out over worker processes.
 
     ``fn`` must be picklable (a module-level function or a
@@ -70,8 +86,32 @@ def parallel_map(fn: Callable, items: Iterable, jobs: int = 1) -> list:
     computation — for figure points that holds by construction (fresh
     simulator per point, deterministic seed), which makes the parallel
     result bit-identical to the serial one.  ``jobs <= 1`` runs inline.
+
+    With ``cache`` and ``key_fn`` set, each item's run request is probed
+    first and only the misses are shipped to the pool; hits merge back
+    in item order.  Workers never touch the cache — keys are computed
+    and entries written in the parent, so no cross-process locking is
+    needed.  ``encode``/``decode`` convert between ``fn``'s return value
+    and its JSON payload (identity for plain floats).
     """
     items = list(items)
+    if cache is not None and key_fn is not None:
+        requests = [key_fn(item) for item in items]
+        results: list = [None] * len(items)
+        miss_slots = []
+        for slot, request in enumerate(requests):
+            payload = cache.get(request)
+            if payload is None:
+                miss_slots.append(slot)
+            else:
+                results[slot] = decode(payload) if decode is not None else payload
+        computed = parallel_map(fn, [items[s] for s in miss_slots], jobs=jobs)
+        for slot, value in zip(miss_slots, computed):
+            cache.put(
+                requests[slot], encode(value) if encode is not None else value
+            )
+            results[slot] = value
+        return results
     if jobs > 1 and len(items) > 1:
         with ProcessPoolExecutor(max_workers=min(jobs, len(items))) as pool:
             return list(pool.map(fn, items))
@@ -117,13 +157,15 @@ def sweep(
     warmup: int = 20,
     seed: int = 0,
     jobs: int = 1,
+    cache: Optional[RunCache] = None,
 ) -> Series:
     """Measure one barrier flavour across node counts.
 
     Every point gets a fresh cluster (fresh simulator), exactly like
     re-running the paper's benchmark per configuration.  ``jobs > 1``
     measures the points in parallel worker processes; latencies are
-    bit-identical to the serial sweep.
+    bit-identical to the serial sweep.  With ``cache`` set, previously
+    measured points are served from disk and only the misses simulate.
     """
     ns = list(n_values)
     point = partial(
@@ -136,8 +178,28 @@ def sweep(
         warmup=warmup,
         seed=seed,
     )
-    lats = parallel_map(point, ns, jobs=jobs)
+    key_fn = partial(
+        _sweep_request, network, profile, barrier, algorithm,
+        iterations=iterations, warmup=warmup, seed=seed,
+    )
+    lats = parallel_map(point, ns, jobs=jobs, cache=cache, key_fn=key_fn)
     return Series(label or f"{barrier}-{algorithm}", ns, lats)
+
+
+def _sweep_request(
+    network: str,
+    profile: str,
+    barrier: str,
+    algorithm: str,
+    n: int,
+    iterations: int,
+    warmup: int,
+    seed: int,
+) -> dict:
+    return point_request(
+        network, profile, barrier, algorithm, n,
+        iterations=iterations, warmup=warmup, seed=seed,
+    )
 
 
 # ----------------------------------------------------------------------

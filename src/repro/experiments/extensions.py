@@ -26,8 +26,20 @@ from repro.experiments.common import (
     parallel_map,
     print_experiment,
 )
+from repro.tools.runcache import RunCache, run_request
 
 PROFILE = "lanai_xp_xeon2400"
+
+
+def _ext_key_fn(kind: str, repeats: int, **extra):
+    from repro.cluster import get_profile
+
+    def build(n):
+        return run_request(
+            kind, params=get_profile(PROFILE), n=n, repeats=repeats, **extra
+        )
+
+    return build
 
 
 def _broadcast_point(n: int, size_bytes: int, repeats: int) -> float:
@@ -101,20 +113,24 @@ def _barrier_point(n: int, repeats: int) -> float:
 
 
 def run(
-    quick: bool = False, iterations: int | None = None, jobs: int = 1
+    quick: bool = False, iterations: int | None = None, jobs: int = 1,
+    cache: RunCache | None = None,
 ) -> ExperimentResult:
     repeats = iterations or (15 if quick else 40)
     n_values = [2, 4, 8] if quick else [2, 4, 8, 16, 32]
     barrier = Series(
         "barrier",
         n_values,
-        parallel_map(partial(_barrier_point, repeats=repeats), n_values, jobs=jobs),
+        parallel_map(partial(_barrier_point, repeats=repeats), n_values, jobs=jobs,
+                     cache=cache, key_fn=_ext_key_fn("ext-barrier", repeats)),
     )
     bcast_small = Series(
         "bcast-64B", n_values,
         parallel_map(
             partial(_broadcast_point, size_bytes=64, repeats=repeats),
             n_values, jobs=jobs,
+            cache=cache,
+            key_fn=_ext_key_fn("ext-broadcast", repeats, size_bytes=64),
         ),
     )
     bcast_large = Series(
@@ -122,15 +138,19 @@ def run(
         parallel_map(
             partial(_broadcast_point, size_bytes=4096, repeats=repeats),
             n_values, jobs=jobs,
+            cache=cache,
+            key_fn=_ext_key_fn("ext-broadcast", repeats, size_bytes=4096),
         ),
     )
     allgather = Series(
         "allgather-4B", n_values,
-        parallel_map(partial(_allgather_point, repeats=repeats), n_values, jobs=jobs),
+        parallel_map(partial(_allgather_point, repeats=repeats), n_values, jobs=jobs,
+                     cache=cache, key_fn=_ext_key_fn("ext-allgather", repeats)),
     )
     alltoall = Series(
         "alltoall-4B", n_values,
-        parallel_map(partial(_alltoall_point, repeats=repeats), n_values, jobs=jobs),
+        parallel_map(partial(_alltoall_point, repeats=repeats), n_values, jobs=jobs,
+                     cache=cache, key_fn=_ext_key_fn("ext-alltoall", repeats)),
     )
     return ExperimentResult(
         exp_id="extensions",

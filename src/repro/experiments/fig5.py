@@ -12,6 +12,7 @@ latency bump at non-power-of-two node counts (its two extra steps).
 from __future__ import annotations
 
 from repro.experiments.common import ExperimentResult, print_experiment, sweep
+from repro.tools.runcache import RunCache
 
 PROFILE = "lanai91_piii700"
 PAPER_ANCHORS = {
@@ -21,19 +22,20 @@ PAPER_ANCHORS = {
 
 
 def run(
-    quick: bool = False, iterations: int | None = None, jobs: int = 1
+    quick: bool = False, iterations: int | None = None, jobs: int = 1,
+    cache: RunCache | None = None,
 ) -> ExperimentResult:
     iters = iterations or (30 if quick else 150)
     n_values = [2, 4, 6, 8, 10, 12, 14, 16] if quick else list(range(2, 17))
     series = [
         sweep("myrinet", PROFILE, "nic-collective", "dissemination", n_values,
-              label="NIC-DS", iterations=iters, jobs=jobs),
+              label="NIC-DS", iterations=iters, jobs=jobs, cache=cache),
         sweep("myrinet", PROFILE, "nic-collective", "pairwise-exchange", n_values,
-              label="NIC-PE", iterations=iters, jobs=jobs),
+              label="NIC-PE", iterations=iters, jobs=jobs, cache=cache),
         sweep("myrinet", PROFILE, "host", "dissemination", n_values,
-              label="Host-DS", iterations=iters, jobs=jobs),
+              label="Host-DS", iterations=iters, jobs=jobs, cache=cache),
         sweep("myrinet", PROFILE, "host", "pairwise-exchange", n_values,
-              label="Host-PE", iterations=iters, jobs=jobs),
+              label="Host-PE", iterations=iters, jobs=jobs, cache=cache),
     ]
     nic16 = series[0].at(16)
     host16 = series[2].at(16)

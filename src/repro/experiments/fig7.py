@@ -15,6 +15,7 @@ at small N* (its test-and-set costs more network transactions).
 from __future__ import annotations
 
 from repro.experiments.common import ExperimentResult, print_experiment, sweep
+from repro.tools.runcache import RunCache
 
 PROFILE = "elan3_piii700"
 PAPER_ANCHORS = {
@@ -25,19 +26,20 @@ PAPER_ANCHORS = {
 
 
 def run(
-    quick: bool = False, iterations: int | None = None, jobs: int = 1
+    quick: bool = False, iterations: int | None = None, jobs: int = 1,
+    cache: RunCache | None = None,
 ) -> ExperimentResult:
     iters = iterations or (30 if quick else 150)
     n_values = [2, 4, 8] if quick else list(range(2, 9))
     series = [
         sweep("quadrics", PROFILE, "nic-chained", "dissemination", n_values,
-              label="NIC-Barrier-DS", iterations=iters, jobs=jobs),
+              label="NIC-Barrier-DS", iterations=iters, jobs=jobs, cache=cache),
         sweep("quadrics", PROFILE, "nic-chained", "pairwise-exchange", n_values,
-              label="NIC-Barrier-PE", iterations=iters, jobs=jobs),
+              label="NIC-Barrier-PE", iterations=iters, jobs=jobs, cache=cache),
         sweep("quadrics", PROFILE, "gsync", "dissemination", n_values,
-              label="Elan-Barrier", iterations=iters, jobs=jobs),
+              label="Elan-Barrier", iterations=iters, jobs=jobs, cache=cache),
         sweep("quadrics", PROFILE, "hgsync", "dissemination", n_values,
-              label="Elan-HW-Barrier", iterations=iters, jobs=jobs),
+              label="Elan-HW-Barrier", iterations=iters, jobs=jobs, cache=cache),
     ]
     nic8 = series[0].at(8)
     gsync8 = series[2].at(8)

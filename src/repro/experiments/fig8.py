@@ -28,6 +28,7 @@ from repro.experiments.common import (
     sweep_point,
 )
 from repro.model import PAPER_MYRINET_XP, PAPER_QUADRICS_ELAN3, fit_barrier_model
+from repro.tools.runcache import RunCache, point_request
 
 MODEL_POINTS = [2, 4, 8, 16, 32, 64, 128, 256, 512, 1024]
 PAPER_ANCHORS = {
@@ -63,17 +64,27 @@ def _measure_point(network: str, profile: str, barrier: str, spec) -> float:
 
 def _measured_series(
     network: str, profile: str, barrier: str, ns, label: str,
-    iters: int, jobs: int,
+    iters: int, jobs: int, cache: RunCache | None = None,
 ) -> Series:
     specs = [(n, *_point_schedule(n, iters)) for n in ns]
+
+    def key_fn(spec):
+        n, iterations, warmup = spec
+        return point_request(
+            network, profile, barrier, "dissemination", n,
+            iterations=iterations, warmup=warmup, seed=0,
+        )
+
     lats = parallel_map(
-        partial(_measure_point, network, profile, barrier), specs, jobs=jobs
+        partial(_measure_point, network, profile, barrier), specs, jobs=jobs,
+        cache=cache, key_fn=key_fn,
     )
     return Series(label, list(ns), lats)
 
 
 def run(
-    quick: bool = False, iterations: int | None = None, jobs: int = 1
+    quick: bool = False, iterations: int | None = None, jobs: int = 1,
+    cache: RunCache | None = None,
 ) -> ExperimentResult:
     iters = iterations or (20 if quick else 60)
     myri_ns = [2, 4, 8, 16] if quick else [2, 4, 8, 16, 32, 64, 128, 256, 512]
@@ -81,11 +92,11 @@ def run(
 
     measured_m = _measured_series(
         "myrinet", "lanai_xp_xeon2400", "nic-collective", myri_ns,
-        "Myrinet-sim", iters, jobs,
+        "Myrinet-sim", iters, jobs, cache=cache,
     )
     measured_q = _measured_series(
         "quadrics", "elan3_piii700", "nic-chained", quad_ns,
-        "Quadrics-sim", iters, jobs,
+        "Quadrics-sim", iters, jobs, cache=cache,
     )
 
     # Fit with the paper's own methodology: from testbed-scale points.

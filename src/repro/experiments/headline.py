@@ -22,6 +22,7 @@ from repro.experiments.common import (
     sweep_point,
 )
 from repro.model import fit_barrier_model
+from repro.tools.runcache import RunCache, point_request
 
 PAPER_ANCHORS = {
     "Quadrics NIC barrier @ 8 (us)": 5.60,
@@ -49,7 +50,8 @@ MYRI_FIT_NS = (2, 4, 8, 16)
 
 
 def run(
-    quick: bool = False, iterations: int | None = None, jobs: int = 1
+    quick: bool = False, iterations: int | None = None, jobs: int = 1,
+    cache: RunCache | None = None,
 ) -> ExperimentResult:
     iters = iterations or (40 if quick else 150)
 
@@ -68,7 +70,17 @@ def run(
     # regime; see fig8's notes).
     specs += [("quadrics", quad, "nic-chained", n) for n in QUAD_FIT_NS]
     specs += [("myrinet", xp, "nic-collective", n) for n in MYRI_FIT_NS]
-    lats = parallel_map(partial(_headline_point, iters), specs, jobs=jobs)
+    def key_fn(spec):
+        network, profile, barrier, n = spec
+        return point_request(
+            network, profile, barrier, "dissemination", n,
+            iterations=iters, warmup=20, seed=0,
+        )
+
+    lats = parallel_map(
+        partial(_headline_point, iters), specs, jobs=jobs,
+        cache=cache, key_fn=key_fn,
+    )
 
     quad_nic, quad_tree, xp_nic, xp_host, l91_nic, l91_host, l91_direct = lats[:7]
     quad_pts = list(zip(QUAD_FIT_NS, lats[7:7 + len(QUAD_FIT_NS)]))

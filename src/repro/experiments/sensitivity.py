@@ -35,6 +35,7 @@ from repro.experiments.common import (
 )
 from repro.network import FaultInjector
 from repro.sim import DeterministicRng
+from repro.tools.runcache import RunCache, run_request
 
 BASE = "lanai91_piii700"
 NODES = 8
@@ -94,11 +95,18 @@ def _loss_point(rate: float, iterations: int) -> float:
 
 
 def nack_timeout_sweep(
-    iterations: int, jobs: int = 1
+    iterations: int, jobs: int = 1, cache: RunCache | None = None
 ) -> tuple[Series, Series, list[str]]:
     timeouts = [20.0, 50.0, 100.0, 500.0, 1500.0]
     points = parallel_map(
-        partial(_nack_point, iterations=iterations), timeouts, jobs=jobs
+        partial(_nack_point, iterations=iterations), timeouts, jobs=jobs,
+        cache=cache,
+        key_fn=lambda t: run_request(
+            "sens-nack",
+            params=_with_gm(get_profile(BASE), nack_timeout_us=t),
+            nodes=NODES, iterations=iterations,
+        ),
+        decode=lambda p: (p[0], p[1]),
     )
     latencies = [lat for lat, _ in points]
     spurious = [n for _, n in points]
@@ -113,11 +121,18 @@ def nack_timeout_sweep(
 
 
 def pool_size_sweep(
-    iterations: int, jobs: int = 1
+    iterations: int, jobs: int = 1, cache: RunCache | None = None
 ) -> tuple[Series, Series, list[str]]:
     sizes = [1, 2, 4, 8]
     points = parallel_map(
-        partial(_pool_point, iterations=iterations), sizes, jobs=jobs
+        partial(_pool_point, iterations=iterations), sizes, jobs=jobs,
+        cache=cache,
+        key_fn=lambda s: run_request(
+            "sens-pool",
+            params=_with_gm(get_profile(BASE), send_packet_count=s),
+            nodes=NODES, iterations=iterations,
+        ),
+        decode=lambda p: (p[0], p[1]),
     )
     direct = [d for d, _ in points]
     collective = [c for _, c in points]
@@ -134,11 +149,18 @@ def pool_size_sweep(
 
 
 def poll_interval_sweep(
-    iterations: int, jobs: int = 1
+    iterations: int, jobs: int = 1, cache: RunCache | None = None
 ) -> tuple[Series, Series, list[str]]:
     intervals = [0.2, 0.6, 1.2, 2.4, 4.8]
     points = parallel_map(
-        partial(_poll_point, iterations=iterations), intervals, jobs=jobs
+        partial(_poll_point, iterations=iterations), intervals, jobs=jobs,
+        cache=cache,
+        key_fn=lambda i: run_request(
+            "sens-poll",
+            params=_with_host(get_profile(BASE), poll_interval_us=i),
+            nodes=NODES, iterations=iterations,
+        ),
+        decode=lambda p: (p[0], p[1]),
     )
     host = [h for h, _ in points]
     nic = [n for _, n in points]
@@ -156,10 +178,17 @@ def poll_interval_sweep(
     )
 
 
-def loss_rate_sweep(iterations: int, jobs: int = 1) -> tuple[Series, list[str]]:
+def loss_rate_sweep(
+    iterations: int, jobs: int = 1, cache: RunCache | None = None
+) -> tuple[Series, list[str]]:
     rates = [0.0, 0.005, 0.01, 0.02, 0.05]
     latencies = parallel_map(
-        partial(_loss_point, iterations=iterations), rates, jobs=jobs
+        partial(_loss_point, iterations=iterations), rates, jobs=jobs,
+        cache=cache,
+        key_fn=lambda r: run_request(
+            "sens-loss", params=get_profile(BASE), nodes=NODES,
+            iterations=iterations, rate=r, fault_seed=1,
+        ),
     )
     notes = [
         "all barriers complete under loss; each lost message costs about "
@@ -169,15 +198,16 @@ def loss_rate_sweep(iterations: int, jobs: int = 1) -> tuple[Series, list[str]]:
 
 
 def run(
-    quick: bool = False, iterations: int | None = None, jobs: int = 1
+    quick: bool = False, iterations: int | None = None, jobs: int = 1,
+    cache: RunCache | None = None,
 ) -> ExperimentResult:
     iters = iterations or (20 if quick else 60)
     series: list[Series] = []
     notes: list[str] = []
-    s1, s2, n1 = nack_timeout_sweep(iters, jobs=jobs)
-    s3, s4, n2 = pool_size_sweep(iters, jobs=jobs)
-    s5, s6, n3 = poll_interval_sweep(iters, jobs=jobs)
-    s7, n4 = loss_rate_sweep(iters, jobs=jobs)
+    s1, s2, n1 = nack_timeout_sweep(iters, jobs=jobs, cache=cache)
+    s3, s4, n2 = pool_size_sweep(iters, jobs=jobs, cache=cache)
+    s5, s6, n3 = poll_interval_sweep(iters, jobs=jobs, cache=cache)
+    s7, n4 = loss_rate_sweep(iters, jobs=jobs, cache=cache)
     series.extend([s1, s2, s3, s4, s5, s6, s7])
     notes.extend(n1 + n2 + n3 + n4)
     notes.append("x-axes differ per series (us / pool slots / 0.1us / loss x1000)")

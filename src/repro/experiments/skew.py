@@ -24,8 +24,10 @@ from repro.experiments.common import (
     parallel_map,
     print_experiment,
 )
+from repro.cluster import get_profile
 from repro.quadrics import elan_hgsync
 from repro.sim import DeterministicRng
+from repro.tools.runcache import RunCache, run_request
 
 NODES = 8
 PAPER_ANCHORS = {}  # qualitative claim; no numeric anchor in the paper
@@ -79,15 +81,29 @@ def _measure_nic(skew_us: float, iterations: int, seed: int = 0):
 
 
 def run(
-    quick: bool = False, iterations: int | None = None, jobs: int = 1
+    quick: bool = False, iterations: int | None = None, jobs: int = 1,
+    cache: RunCache | None = None,
 ) -> ExperimentResult:
     iters = iterations or (20 if quick else 60)
     skews = [0.0, 2.0, 5.0, 10.0, 20.0, 40.0]
+
+    def key_fn(kind):
+        def build(skew_us):
+            return run_request(
+                kind, params=get_profile("elan3_piii700"), nodes=NODES,
+                skew_us=skew_us, iterations=iters, seed=0,
+            )
+
+        return build
+
     hw_points = parallel_map(
-        partial(_measure_hgsync, iterations=iters), skews, jobs=jobs
+        partial(_measure_hgsync, iterations=iters), skews, jobs=jobs,
+        cache=cache, key_fn=key_fn("skew-hgsync"),
+        decode=lambda p: (p[0], p[1]),
     )
     nic_costs = parallel_map(
-        partial(_measure_nic, iterations=iters), skews, jobs=jobs
+        partial(_measure_nic, iterations=iters), skews, jobs=jobs,
+        cache=cache, key_fn=key_fn("skew-nic"),
     )
     hw_costs = [cost for cost, _ in hw_points]
     hw_retries = [retries / iters for _, retries in hw_points]

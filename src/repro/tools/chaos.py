@@ -42,6 +42,7 @@ from repro.cluster.runner import (
 from repro.collectives import BarrierFailure, ProcessGroup
 from repro.network.faults import FaultInjector
 from repro.sim import DeterministicRng, Simulator
+from repro.tools.runcache import RunCache, run_request
 from repro.tools.simlint.perturb import TieBreakSimulator
 from repro.tools.simlint.quiescence import check_quiescent
 
@@ -176,6 +177,22 @@ def _arrange_faults(scenario: ChaosScenario, cluster, faults: FaultInjector) -> 
         cluster.cpus[node].slowdown = factor
 
 
+def _decode_chaos_result(payload: dict) -> ChaosRunResult:
+    return ChaosRunResult(
+        scenario=payload["scenario"],
+        barrier=payload["barrier"],
+        nodes=payload["nodes"],
+        iterations=payload["iterations"],
+        outcomes=tuple(tuple(rank) for rank in payload["outcomes"]),
+        seq_end_us=tuple(payload["seq_end_us"]),
+        end_us=payload["end_us"],
+        counters=payload["counters"],
+        fault_stats=payload["fault_stats"],
+        quiescence=tuple(payload["quiescence"]),
+        violations=tuple(payload["violations"]),
+    )
+
+
 def run_chaos_scenario(
     scenario: ChaosScenario,
     barrier: str,
@@ -183,13 +200,28 @@ def run_chaos_scenario(
     iterations: int = 4,
     seed: int = 0,
     sim: Optional[Simulator] = None,
+    cache: Optional[RunCache] = None,
 ) -> ChaosRunResult:
-    """Run one scenario under one barrier scheme and audit the run."""
+    """Run one scenario under one barrier scheme and audit the run.
+
+    Only stock-simulator runs consult ``cache`` — tie-break-perturbed
+    replays (``sim=TieBreakSimulator(...)``) exist to *re-execute* the
+    schedule, so they always run live.
+    """
     if barrier not in scenario.applicable_schemes:
         raise ValueError(f"scenario {scenario.name!r} does not cover {barrier!r}")
     profile = _apply_overrides(
         get_profile(_DEFAULT_PROFILE[scenario.network]), scenario
     )
+    request = None
+    if cache is not None and sim is None:
+        request = run_request(
+            "chaos-run", scenario=scenario, params=profile, barrier=barrier,
+            nodes=nodes, iterations=iterations, seed=seed,
+        )
+        payload = cache.get(request)
+        if payload is not None:
+            return _decode_chaos_result(payload)
     probabilistic = (
         scenario.drop_probability
         or scenario.corrupt_probability
@@ -300,7 +332,7 @@ def run_chaos_scenario(
             )
 
     report = check_quiescent(cluster, must_complete=[p.name for p in procs])
-    return ChaosRunResult(
+    run_result = ChaosRunResult(
         scenario=scenario.name,
         barrier=barrier,
         nodes=nodes,
@@ -313,6 +345,9 @@ def run_chaos_scenario(
         quiescence=tuple(f.render() for f in report.findings),
         violations=tuple(violations),
     )
+    if request is not None:
+        cache.put(request, run_result)
+    return run_result
 
 
 # ----------------------------------------------------------------------
@@ -492,16 +527,23 @@ def run_campaign(
     iterations: int = 4,
     rounds: int = 20,
     seed: int = 0,
+    cache: Optional[RunCache] = None,
 ) -> CampaignReport:
     """The full chaos matrix: every scenario x scheme, with ``rounds``
-    extra tie-break-perturbed replays that must be bit-identical."""
+    extra tie-break-perturbed replays that must be bit-identical.
+
+    ``cache`` serves only the baselines; every permutation replay runs
+    live (they are the determinism check) and is compared against the
+    possibly-cached baseline observables.
+    """
     report = CampaignReport(nodes=nodes, iterations=iterations, rounds=rounds)
     for scenario in ALL_SCENARIOS:
         if scenario.network not in networks:
             continue
         for barrier in scenario.applicable_schemes:
             baseline = run_chaos_scenario(
-                scenario, barrier, nodes=nodes, iterations=iterations, seed=seed
+                scenario, barrier, nodes=nodes, iterations=iterations,
+                seed=seed, cache=cache,
             )
             report.results.append(baseline)
             diverged = []

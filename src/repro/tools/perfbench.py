@@ -38,6 +38,12 @@ from typing import Optional, Sequence
 
 from repro.cluster.builder import build_cluster
 from repro.cluster.runner import run_barrier_experiment
+from repro.tools.runcache import (
+    RunCache,
+    atomic_write_text,
+    resolve_cache,
+    run_request,
+)
 
 
 @dataclass(frozen=True)
@@ -94,11 +100,22 @@ BASELINES = {
 }
 
 
-def bench_point(spec: PointSpec, trials: int = 3) -> dict:
-    """Run ``spec`` ``trials`` times and report the best wall time."""
+def bench_point(
+    spec: PointSpec, trials: int = 3, cache: Optional[RunCache] = None
+) -> dict:
+    """Run ``spec`` ``trials`` times and report the best wall time.
+
+    Wall-clock is always re-measured (it depends on the machine, not
+    the model).  The deterministic fields — ``events_scheduled`` and
+    ``mean_latency_us`` — are cross-checked between trials (any drift
+    is a determinism regression) and, with ``cache`` set, against the
+    cached values from previous runs of the same code.
+    """
     best_wall = None
-    events = 0
-    mean_latency = 0.0
+    best_events = 0
+    best_latency = 0.0
+    trial_events: list[int] = []
+    trial_latencies: list[float] = []
     for _ in range(trials):
         cluster = build_cluster(spec.profile, spec.nodes)
         t0 = time.perf_counter()
@@ -107,10 +124,48 @@ def bench_point(spec: PointSpec, trials: int = 3) -> dict:
             iterations=spec.iterations, warmup=spec.warmup, seed=0,
         )
         wall = time.perf_counter() - t0
-        events = cluster.sim.events_scheduled
-        mean_latency = result.mean_latency_us
+        trial_events.append(cluster.sim.events_scheduled)
+        trial_latencies.append(result.mean_latency_us)
         if best_wall is None or wall < best_wall:
             best_wall = wall
+            best_events = cluster.sim.events_scheduled
+            best_latency = result.mean_latency_us
+    if len(set(trial_events)) > 1 or len(set(trial_latencies)) > 1:
+        raise RuntimeError(
+            f"determinism violation on {spec.name}: trials disagree "
+            f"(events {trial_events}, latencies {trial_latencies})"
+        )
+
+    cache_state = "off"
+    if cache is not None:
+        from repro.cluster import get_profile
+
+        request = run_request(
+            "bench-point", params=get_profile(spec.profile),
+            barrier=spec.barrier, nodes=spec.nodes,
+            iterations=spec.iterations, warmup=spec.warmup, seed=0,
+        )
+        cached = cache.get(request)
+        if cached is None:
+            cache.put(
+                request,
+                {"events_scheduled": best_events, "mean_latency_us": best_latency},
+            )
+            cache_state = "cold"
+        else:
+            if (
+                cached["events_scheduled"] != best_events
+                or cached["mean_latency_us"] != best_latency
+            ):
+                raise RuntimeError(
+                    f"determinism violation on {spec.name}: cached "
+                    f"({cached['events_scheduled']} events, "
+                    f"{cached['mean_latency_us']}us) != measured "
+                    f"({best_events} events, {best_latency}us) under the "
+                    "same source digest"
+                )
+            cache_state = "warm"
+
     row = {
         "point": spec.name,
         "profile": spec.profile,
@@ -119,10 +174,11 @@ def bench_point(spec: PointSpec, trials: int = 3) -> dict:
         "iterations": spec.iterations,
         "warmup": spec.warmup,
         "trials": trials,
+        "cache": cache_state,
         "wall_s": round(best_wall, 4),
-        "events_scheduled": events,
-        "events_per_sec": round(events / best_wall),
-        "mean_latency_us": round(mean_latency, 4),
+        "events_scheduled": best_events,
+        "events_per_sec": round(best_events / best_wall),
+        "mean_latency_us": round(best_latency, 4),
     }
     baseline = BASELINES.get(spec.name)
     if baseline is not None:
@@ -140,7 +196,8 @@ def bench_point(spec: PointSpec, trials: int = 3) -> dict:
 
 
 def run_benchmarks(
-    names: Sequence[str], trials: int = 3, verbose: bool = True
+    names: Sequence[str], trials: int = 3, verbose: bool = True,
+    cache: Optional[RunCache] = None,
 ) -> dict:
     """Benchmark the named points and return the report dict."""
     all_points = {**POINTS, **BIG_POINTS}
@@ -153,7 +210,7 @@ def run_benchmarks(
             )
         if verbose:
             print(f"benchmarking {name} ...", file=sys.stderr)
-        row = bench_point(spec, trials=trials)
+        row = bench_point(spec, trials=trials, cache=cache)
         if verbose:
             speed = (
                 f" ({row['wall_speedup']}x vs baseline)"
@@ -187,21 +244,28 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                         help=f"subset of {sorted(POINTS) + sorted(BIG_POINTS)}")
     parser.add_argument("--big", action="store_true",
                         help="include the 512/1024-node extrapolation points")
+    parser.add_argument(
+        "--cache", action=argparse.BooleanOptionalAction, default=True,
+        help="cross-check deterministic fields against the run cache "
+        "(wall time is always re-measured)",
+    )
     args = parser.parse_args(argv)
+    cache = resolve_cache("auto" if args.cache else None)
 
     names = args.points
     if names is None:
         names = list(POINTS)
         if args.big:
             names += list(BIG_POINTS)
-    report = run_benchmarks(names, trials=args.trials)
+    report = run_benchmarks(names, trials=args.trials, cache=cache)
     text = json.dumps(report, indent=2)
     if args.out == "-":
         print(text)
     else:
-        with open(args.out, "w") as fh:
-            fh.write(text + "\n")
+        atomic_write_text(args.out, text + "\n")
         print(f"wrote {args.out}", file=sys.stderr)
+    if cache is not None:
+        cache.write_stats()
     return 0
 
 

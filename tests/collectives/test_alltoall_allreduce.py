@@ -3,6 +3,7 @@
 import pytest
 
 from repro.collectives import (
+    CollectiveFailure,
     NicAllreduceEngine,
     NicAlltoallEngine,
     ProcessGroup,
@@ -173,6 +174,70 @@ class TestAllreduce:
         procs = [cluster.sim.process(prog(i)) for i in range(2)]
         with pytest.raises(ValueError, match="unknown reduction op"):
             cluster.sim.run()
+
+    def test_op_mismatch_raises_typed_failure_on_every_rank(self):
+        """Ranks disagreeing on the operator must not silently reduce
+        with whichever op each rank picked: the NIC detects the
+        mismatch at merge time and escalates a typed failure."""
+        cluster = MyrinetTestCluster(n=2)
+        group, engines = setup_allreduce(cluster)
+        failures = []
+
+        def prog(node, op):
+            try:
+                yield from nic_allreduce(cluster.ports[node], group, 0, 1, op=op)
+            except CollectiveFailure as exc:
+                failures.append(exc)
+
+        run_all(cluster, [prog(0, "sum"), prog(1, "max")])
+        assert len(failures) == 2
+        assert {exc.node for exc in failures} == {0, 1}
+        assert all("op mismatch" in exc.reason for exc in failures)
+        assert all(exc.group_id == group.group_id for exc in failures)
+        # Failure tears the sequence down like completion does: no
+        # dangling state, and the failure counter fired on both NICs.
+        assert all(e.states == {} for e in engines)
+        assert cluster.tracer.counters["allreduce.failed"] == 2
+
+    def test_op_mismatch_does_not_poison_next_sequence(self):
+        """A failed sequence advances done_through; a subsequent
+        agreeing collective on the same group must still complete."""
+        cluster = MyrinetTestCluster(n=2)
+        group, engines = setup_allreduce(cluster)
+        results = []
+
+        def prog(node, bad_op):
+            try:
+                yield from nic_allreduce(
+                    cluster.ports[node], group, 0, 1, op=bad_op
+                )
+            except CollectiveFailure:
+                pass
+            result = yield from nic_allreduce(
+                cluster.ports[node], group, 1, node + 1, op="sum"
+            )
+            results.append(result)
+
+        run_all(cluster, [prog(0, "sum"), prog(1, "prod")])
+        assert results == [3, 3]
+        assert all(e.completed == 1 for e in engines)
+
+    def test_matching_ops_unaffected_by_validation(self):
+        """The happy path carries the op in the logical header; wire
+        bytes (and thus latency) are identical to Allgather's."""
+        cluster = MyrinetTestCluster(n=4)
+        group, _ = setup_allreduce(cluster)
+        done_at = []
+
+        def prog(node):
+            result = yield from nic_allreduce(
+                cluster.ports[node], group, 0, value=node, op="max"
+            )
+            assert result == 3
+            done_at.append(cluster.sim.now)
+
+        run_all(cluster, [prog(i) for i in range(4)])
+        assert cluster.tracer.counters.get("allreduce.failed", 0) == 0
 
     def test_non_power_of_two_no_double_count(self):
         """The wrap-around trap: N=5 dissemination partial-sums would

@@ -1,0 +1,14 @@
+"""Repo-wide test fixtures."""
+
+import pytest
+
+
+@pytest.fixture(autouse=True)
+def _isolated_run_cache(tmp_path, monkeypatch):
+    """Point the run cache at a per-test directory.
+
+    CLI entry points cache by default; without this, tests would write
+    (and worse, *read*) a shared ``.repro-cache/`` in the working
+    directory, coupling test outcomes to whatever ran before.
+    """
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "run-cache"))

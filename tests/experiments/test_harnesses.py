@@ -20,8 +20,13 @@ class TestCommon:
     def test_series_at(self):
         s = Series("x", [2, 4, 8], [1.0, 2.0, 3.0])
         assert s.at(4) == 2.0
-        with pytest.raises(ValueError):
+        with pytest.raises(KeyError, match=r"series 'x' has no point at N=16"):
             s.at(16)
+
+    def test_series_at_names_available_points(self):
+        s = Series("NIC-DS", [2, 4], [1.0, 2.0])
+        with pytest.raises(KeyError, match=r"available: \[2, 4\]"):
+            s.at(8)
 
     def test_latency_table_includes_all_points(self):
         s1 = Series("a", [2, 4], [1.0, 2.0])

@@ -99,3 +99,62 @@ def test_trace_rejects_profile_network_mismatch(tmp_path):
         "--out", str(tmp_path / "t.json"),
     ])
     assert code == 2
+
+
+def test_cache_stats_empty(capsys):
+    assert main(["cache", "stats"]) == 0
+    out = capsys.readouterr().out
+    assert "entries" in out
+    assert "0" in out
+
+
+def test_cache_stats_counts_entries(tmp_path, capsys):
+    from repro.tools.runcache import RunCache, run_request
+
+    cache_dir = tmp_path / "cache"
+    RunCache(cache_dir).put(run_request("t", n=1), 1.0)
+    assert main(["cache", "stats", "--dir", str(cache_dir)]) == 0
+    out = capsys.readouterr().out
+    assert "entries      : 1" in out
+    assert str(cache_dir) in out
+
+
+def test_cache_gc_and_clear(tmp_path, capsys):
+    from repro.tools.runcache import RunCache, run_request
+
+    cache_dir = tmp_path / "cache"
+    cache = RunCache(cache_dir)
+    cache.put(run_request("t", n=1), 1.0)
+    stale = dict(run_request("t", n=2), source_digest="deadbeef")
+    cache.put(stale, 2.0)
+
+    assert main(["cache", "gc", "--dir", str(cache_dir)]) == 0
+    assert "removed 1" in capsys.readouterr().out
+    assert cache.entry_count() == 1
+
+    assert main(["cache", "clear", "--dir", str(cache_dir)]) == 0
+    assert "removed 1" in capsys.readouterr().out
+    assert cache.entry_count() == 0
+
+
+def test_trace_warm_run_verifies_cached_latency(tmp_path, capsys):
+    argv = [
+        "trace", "--network", "myrinet", "-n", "4",
+        "--iterations", "2", "--warmup", "1",
+        "--out", str(tmp_path / "t.json"),
+    ]
+    assert main(argv) == 0
+    assert "run cache: cold" in capsys.readouterr().err
+    assert main(argv) == 0
+    assert "run cache: warm" in capsys.readouterr().err
+
+
+def test_trace_no_cache_stays_silent(tmp_path, capsys):
+    code = main([
+        "trace", "--network", "myrinet", "-n", "4",
+        "--iterations", "2", "--warmup", "1", "--no-cache",
+        "--out", str(tmp_path / "t.json"),
+    ])
+    assert code == 0
+    captured = capsys.readouterr()
+    assert "run cache" not in captured.out + captured.err
