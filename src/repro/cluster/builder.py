@@ -24,6 +24,7 @@ class _ClusterBase:
         tracer: Optional[Tracer] = None,
         faults: Optional[FaultInjector] = None,
         sim: Optional[Simulator] = None,
+        reference: bool = False,
     ):
         if nodes < 1:
             raise ValueError("cluster needs at least one node")
@@ -38,9 +39,15 @@ class _ClusterBase:
         self.sim = sim if sim is not None else Simulator()
         self.tracer = tracer or Tracer()
         self.faults = faults
+        # Reference mode disables the structurally-proven fast paths
+        # (fabric link elision, chained-barrier prearming) so the
+        # equivalence tests can compare batched vs. unbatched runs
+        # bit for bit.
+        self.reference = reference
         self.topology = self._make_topology(nodes)
         self.fabric = Fabric(
-            self.sim, self.topology, profile.wire, tracer=self.tracer, faults=faults
+            self.sim, self.topology, profile.wire, tracer=self.tracer, faults=faults,
+            reference=reference,
         )
         self.pcis = [
             PciBus(self.sim, profile.pci, name=f"pci{i}", tracer=self.tracer)
@@ -61,8 +68,9 @@ class _ClusterBase:
 class MyrinetCluster(_ClusterBase):
     """A Myrinet/GM cluster: LANai NICs + MCP + GM ports."""
 
-    def __init__(self, profile, nodes, tracer=None, faults=None, sim=None):
-        super().__init__(profile, nodes, tracer, faults, sim)
+    def __init__(self, profile, nodes, tracer=None, faults=None, sim=None,
+                 reference=False):
+        super().__init__(profile, nodes, tracer, faults, sim, reference)
         self.nics = [
             LanaiNic(
                 self.sim, i, profile.gm, self.fabric, self.pcis[i], tracer=self.tracer
@@ -81,8 +89,9 @@ class MyrinetCluster(_ClusterBase):
 class QuadricsCluster(_ClusterBase):
     """A QsNet cluster: Elan3 NICs + Elanlib ports + Elite HW barrier."""
 
-    def __init__(self, profile, nodes, tracer=None, faults=None, sim=None):
-        super().__init__(profile, nodes, tracer, faults, sim)
+    def __init__(self, profile, nodes, tracer=None, faults=None, sim=None,
+                 reference=False):
+        super().__init__(profile, nodes, tracer, faults, sim, reference)
         self.nics = [
             Elan3Nic(
                 self.sim, i, profile.elan, self.fabric, self.pcis[i], tracer=self.tracer
@@ -125,12 +134,13 @@ def build_myrinet_cluster(
     tracer: Optional[Tracer] = None,
     faults: Optional[FaultInjector] = None,
     sim: Optional[Simulator] = None,
+    reference: bool = False,
 ) -> MyrinetCluster:
     """Build a Myrinet cluster from a profile name or object."""
     resolved = _resolve(profile)
     if resolved.network != "myrinet":
         raise ValueError(f"profile {resolved.name} is not a Myrinet profile")
-    return MyrinetCluster(resolved, nodes, tracer, faults, sim)
+    return MyrinetCluster(resolved, nodes, tracer, faults, sim, reference)
 
 
 def build_quadrics_cluster(
@@ -139,12 +149,13 @@ def build_quadrics_cluster(
     tracer: Optional[Tracer] = None,
     faults: Optional[FaultInjector] = None,
     sim: Optional[Simulator] = None,
+    reference: bool = False,
 ) -> QuadricsCluster:
     """Build a Quadrics cluster from a profile name or object."""
     resolved = _resolve(profile)
     if resolved.network != "quadrics":
         raise ValueError(f"profile {resolved.name} is not a Quadrics profile")
-    return QuadricsCluster(resolved, nodes, tracer, faults, sim)
+    return QuadricsCluster(resolved, nodes, tracer, faults, sim, reference)
 
 
 def build_cluster(
@@ -153,9 +164,10 @@ def build_cluster(
     tracer: Optional[Tracer] = None,
     faults: Optional[FaultInjector] = None,
     sim: Optional[Simulator] = None,
+    reference: bool = False,
 ):
     """Build whichever cluster type the profile describes."""
     resolved = _resolve(profile)
     if resolved.network == "myrinet":
-        return build_myrinet_cluster(resolved, nodes, tracer, faults, sim)
-    return build_quadrics_cluster(resolved, nodes, tracer, faults, sim)
+        return build_myrinet_cluster(resolved, nodes, tracer, faults, sim, reference)
+    return build_quadrics_cluster(resolved, nodes, tracer, faults, sim, reference)

@@ -196,7 +196,7 @@ PROFILES: dict[str, HardwareProfile] = {
             "8-node dual-Xeon 2.4 GHz, PCI-X 133 MHz/64-bit, Myrinet 2000 "
             "with 225 MHz LANai-XP NICs (paper Fig. 6 / Fig. 8b)"
         ),
-        max_nodes=512,  # three-level Clos of Xbar16 crossbars
+        max_nodes=4096,  # four-level Clos of Xbar16 crossbars
         wire=_MYRINET_WIRE,
         pci=_PCIX_133,
         host=_HOST_XEON_2400,
@@ -209,7 +209,7 @@ PROFILES: dict[str, HardwareProfile] = {
             "16-node quad-P-III 700 MHz, PCI 66 MHz/64-bit, Myrinet 2000 "
             "with 133 MHz LANai 9.1 NICs (paper Fig. 5)"
         ),
-        max_nodes=512,  # three-level Clos of Xbar16 crossbars
+        max_nodes=4096,  # four-level Clos of Xbar16 crossbars
         wire=_MYRINET_WIRE,
         pci=_PCI_66,
         host=_HOST_PIII_700,
@@ -222,7 +222,7 @@ PROFILES: dict[str, HardwareProfile] = {
             "8-node quad-P-III 700 MHz, PCI 66 MHz/64-bit, QsNet/Elan3 "
             "QM-400 on an Elite-16 quaternary fat tree (paper Fig. 7 / 8a)"
         ),
-        max_nodes=1024,
+        max_nodes=16384,  # dimension-7 quaternary fat tree
         wire=_QSNET_WIRE,
         pci=_PCI_66_ELAN,
         host=_HOST_PIII_700_ELAN,

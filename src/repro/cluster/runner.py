@@ -21,6 +21,7 @@ from repro.collectives import (
     QuadricsChainedBarrier,
     host_barrier,
     nic_barrier,
+    prearm_chained_group,
 )
 from repro.quadrics import elan_gsync, elan_hgsync
 from repro.sim import DeterministicRng
@@ -182,6 +183,12 @@ def run_barrier_experiment(
     drivers, hw = _setup_scheme(cluster, barrier, group)
 
     total = warmup + iterations
+    if drivers is not None and not getattr(cluster, "reference", False):
+        # Homogeneous-phase batching: arm every iteration's chain for
+        # all ranks in one setup pass (bit-identical whenever it
+        # applies; see prearm_chained_group).  Reference clusters keep
+        # the per-iteration arm loop for the equivalence tests.
+        prearm_chained_group(drivers, total)
     tracker = _IterationTracker(cluster, n, total, warmup)
 
     def program(node: int):

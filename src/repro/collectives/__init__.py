@@ -37,7 +37,11 @@ from repro.collectives.messages import (
     BarrierMsg,
     BarrierNack,
 )
-from repro.collectives.protocol import CollectiveGroupState, CollectiveSendRecord
+from repro.collectives.protocol import (
+    CollectiveGroupState,
+    CollectiveScheduleLayout,
+    CollectiveSendRecord,
+)
 from repro.collectives.data_engine import (
     CollectiveFailure,
     DataCollDone,
@@ -50,7 +54,10 @@ from repro.collectives.myrinet_engines import (
     nic_barrier_teardown,
 )
 from repro.collectives.host_barrier import host_barrier
-from repro.collectives.quadrics_barrier import QuadricsChainedBarrier
+from repro.collectives.quadrics_barrier import (
+    QuadricsChainedBarrier,
+    prearm_chained_group,
+)
 from repro.collectives.broadcast import (
     BcastDone,
     BcastMsg,
@@ -87,6 +94,7 @@ __all__ = [
     "BarrierFailed",
     "BarrierFailure",
     "CollectiveGroupState",
+    "CollectiveScheduleLayout",
     "CollectiveSendRecord",
     "CollectiveFailure",
     "DataCollDone",

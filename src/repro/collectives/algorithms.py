@@ -25,6 +25,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
+from functools import lru_cache
 from typing import Callable, Optional
 
 
@@ -214,14 +215,25 @@ _BUILDERS: dict[str, Callable[[int], BarrierSchedule]] = {
 }
 
 
-def make_schedule(algorithm: str, n: int) -> BarrierSchedule:
-    """Build a validated schedule by algorithm name."""
-    try:
-        builder = _BUILDERS[algorithm]
-    except KeyError:
-        raise ValueError(
-            f"unknown algorithm {algorithm!r}; choose from {sorted(_BUILDERS)}"
-        ) from None
-    schedule = builder(n)
+@lru_cache(maxsize=8)
+def _validated_schedule(algorithm: str, n: int) -> BarrierSchedule:
+    schedule = _BUILDERS[algorithm](n)
     schedule.validate()
     return schedule
+
+
+def make_schedule(algorithm: str, n: int) -> BarrierSchedule:
+    """Build a validated schedule by algorithm name.
+
+    Schedules are immutable and depend only on ``(algorithm, n)``, so
+    repeat builds (a bench point's trials, a sweep's per-size reference
+    runs) come from a small cache instead of re-deriving and
+    re-validating a quarter-million :class:`Phase` objects at N=16384.
+    The cache is deliberately small: a 16k-rank schedule is tens of
+    megabytes, and a sweep worker only ever revisits its latest sizes.
+    """
+    if algorithm not in _BUILDERS:
+        raise ValueError(
+            f"unknown algorithm {algorithm!r}; choose from {sorted(_BUILDERS)}"
+        )
+    return _validated_schedule(algorithm, n)

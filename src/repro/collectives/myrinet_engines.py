@@ -31,7 +31,7 @@ from repro.collectives.messages import (
     BarrierMsg,
     BarrierNack,
 )
-from repro.collectives.protocol import CollectiveGroupState
+from repro.collectives.protocol import CollectiveGroupState, CollectiveScheduleLayout
 from repro.myrinet.structures import SendToken
 from repro.network import Packet, PacketKind
 
@@ -56,6 +56,9 @@ class _NicBarrierEngineBase:
         self.group = group
         self.rank = rank
         self.phases = group.schedule.phases(rank)
+        # The schedule's bit maps are identical for every barrier this
+        # rank runs: derive them once and share across sequences.
+        self._layout = CollectiveScheduleLayout(self.phases)
         self.states: dict[int, CollectiveGroupState] = {}
         self.barriers_completed = 0
         self.done_through = -1  # barriers complete in order per rank
@@ -71,7 +74,9 @@ class _NicBarrierEngineBase:
     def _state(self, seq: int) -> CollectiveGroupState:
         state = self.states.get(seq)
         if state is None:
-            state = CollectiveGroupState(seq, self.phases, self.nic.sim.now)
+            state = CollectiveGroupState(
+                seq, self.phases, self.nic.sim.now, self._layout
+            )
             self.states[seq] = state
         return state
 

@@ -20,6 +20,40 @@ from typing import Optional
 from repro.collectives.algorithms import Phase
 
 
+class CollectiveScheduleLayout:
+    """The immutable bit-map derivation of one rank's phase schedule.
+
+    Everything in here — the sender→bit map, the (phase, dst)→send-slot
+    map, and the per-phase expected-arrival masks — is a pure function
+    of the phase tuple, identical for every barrier sequence a rank
+    runs.  Computing it once per engine and sharing it across sequences
+    turns the per-iteration state setup into two integer assignments,
+    and turns the per-arrival "is this phase's receive set complete?"
+    scan into a single mask test.
+    """
+
+    __slots__ = ("phases", "bit_of", "slot_of", "recv_masks", "all_sent_mask")
+
+    def __init__(self, phases: tuple[Phase, ...]):
+        self.phases = phases
+        expected: list[int] = []
+        for phase in phases:
+            expected.extend(phase.recvs)
+        if len(set(expected)) != len(expected):
+            raise ValueError("schedule has a duplicate (sender, receiver) pair")
+        self.bit_of = {sender: i for i, sender in enumerate(expected)}
+        slot_of: dict[tuple[int, int], int] = {}
+        for phase_idx, phase in enumerate(phases):
+            for dst in phase.sends:
+                slot_of[(phase_idx, dst)] = len(slot_of)
+        self.slot_of = slot_of
+        self.all_sent_mask = (1 << len(slot_of)) - 1
+        # recv bits are unique per sender, so sum == bitwise-or.
+        self.recv_masks = tuple(
+            sum(1 << self.bit_of[s] for s in phase.recvs) for phase in phases
+        )
+
+
 class CollectiveSendRecord:
     """The single send record for one barrier operation at one rank.
 
@@ -27,13 +61,19 @@ class CollectiveSendRecord:
     pair in schedule order) has been transmitted.
     """
 
-    def __init__(self, seq: int, phases: tuple[Phase, ...], created_at: float):
+    def __init__(
+        self,
+        seq: int,
+        phases: tuple[Phase, ...],
+        created_at: float,
+        layout: Optional[CollectiveScheduleLayout] = None,
+    ):
+        if layout is None:
+            layout = CollectiveScheduleLayout(phases)
         self.seq = seq
         self.created_at = created_at
-        self._slot_of: dict[tuple[int, int], int] = {}
-        for phase_idx, phase in enumerate(phases):
-            for dst in phase.sends:
-                self._slot_of[(phase_idx, dst)] = len(self._slot_of)
+        self._slot_of = layout.slot_of
+        self._all_sent_mask = layout.all_sent_mask
         self.sent_bits = 0
 
     @property
@@ -51,7 +91,7 @@ class CollectiveSendRecord:
 
     @property
     def all_sent(self) -> bool:
-        return self.sent_bits == (1 << len(self._slot_of)) - 1
+        return self.sent_bits == self._all_sent_mask
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (
@@ -67,16 +107,20 @@ class CollectiveGroupState:
     sender rank.  ``phase`` is the next schedule phase to complete.
     """
 
-    def __init__(self, seq: int, phases: tuple[Phase, ...], created_at: float):
+    def __init__(
+        self,
+        seq: int,
+        phases: tuple[Phase, ...],
+        created_at: float,
+        layout: Optional[CollectiveScheduleLayout] = None,
+    ):
+        if layout is None:
+            layout = CollectiveScheduleLayout(phases)
         self.seq = seq
         self.phases = phases
         self.created_at = created_at
-        expected: list[int] = []
-        for phase in phases:
-            expected.extend(phase.recvs)
-        if len(set(expected)) != len(expected):
-            raise ValueError("schedule has a duplicate (sender, receiver) pair")
-        self._bit_of = {sender: i for i, sender in enumerate(expected)}
+        self._layout = layout
+        self._bit_of = layout.bit_of
         self.arrived_bits = 0
         self.phase = 0
         self.started = False
@@ -84,7 +128,7 @@ class CollectiveGroupState:
         self.in_progress = False
         self.sent_current_phase = False
         self.start_time: Optional[float] = None
-        self.send_record = CollectiveSendRecord(seq, phases, created_at)
+        self.send_record = CollectiveSendRecord(seq, phases, created_at, layout)
         self.nack_timer = None  # ScheduledCall handle
         self.nack_rounds = 0
 
@@ -105,7 +149,8 @@ class CollectiveGroupState:
         return bool(self.arrived_bits >> bit & 1)
 
     def phase_recvs_complete(self, phase_idx: int) -> bool:
-        return all(self.has_arrived(s) for s in self.phases[phase_idx].recvs)
+        mask = self._layout.recv_masks[phase_idx]
+        return self.arrived_bits & mask == mask
 
     def missing_senders(self) -> list[tuple[int, int]]:
         """(phase, sender) pairs still outstanding up to the current

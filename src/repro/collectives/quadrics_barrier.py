@@ -78,6 +78,80 @@ def _flatten_ops(phases) -> list[_Op]:
     return ops
 
 
+def _group_chain_layout(group: ProcessGroup) -> tuple[list, list]:
+    """Every rank's flattened ops and wait-index map, computed **once**.
+
+    Each of the N drivers needs the wait-op index its peers use for
+    messages from *it*.  Flattening every peer's schedule inside every
+    driver's constructor is O(N^2 log N) — the wall that capped sweeps at
+    1024 nodes (69 of 85 seconds at N=1024 went to driver setup).  One
+    shared pass flattens each rank exactly once and inverts the relation
+    into ``wait_maps[rank][src] -> op index``; drivers then look up only
+    their own O(log N) peers.  Cached on the group (immutable after
+    construction), so all N drivers share one layout.
+    """
+    cached = getattr(group, "_chained_layout", None)
+    if cached is not None:
+        return cached
+    rank_ops = [_flatten_ops(group.schedule.phases(r)) for r in range(group.size)]
+    wait_maps: list[dict[int, int]] = []
+    for ops in rank_ops:
+        waits: dict[int, int] = {}
+        for t, op in enumerate(ops):
+            if op.kind == "wait":
+                for src in op.peers:
+                    waits[src] = t  # later wait wins, as in the per-driver scan
+        wait_maps.append(waits)
+    group._chained_layout = (rank_ops, wait_maps)
+    return group._chained_layout
+
+
+def prearm_chained_group(drivers, total_iterations: int) -> bool:
+    """Batch-arm every driver's chain for the whole experiment.
+
+    Homogeneous-phase batching: all N ranks run the same chain shape, so
+    the per-iteration bookkeeping (threshold arming, done-word notify
+    values) collapses into one setup pass over ranks x iterations instead
+    of N generator-resumed arm loops per barrier.
+
+    Bit-identical only when no wait word's threshold can be crossed
+    before its per-iteration arm point.  Every wait op at index > 0
+    carries a chain link fed by the rank's *own* previous op — which
+    trails the host's arm-and-trigger — so its threshold is structurally
+    unreachable early.  A chain *starting* with a wait (gather-broadcast
+    root) has no such link and could fire at arm time under per-iteration
+    arming; if any rank's chain starts with a wait the whole group falls
+    back to per-iteration arming.  Returns whether prearming applied.
+    """
+    dset = list(drivers.values())
+    if not all(d.ops and d.ops[0].kind == "send" for d in dset):
+        return False
+    for driver in dset:
+        for seq in range(driver._prearmed, total_iterations):
+            driver._arm_chain(seq)
+        driver._prearmed = max(driver._prearmed, total_iterations)
+    return True
+
+
+class _RemoteWaitView:
+    """Lazy ``dst_rank -> wait-op index`` mapping for one sender.
+
+    Backed by the group-shared wait maps; materializing a per-driver
+    dict over all N destinations would reintroduce the O(N^2) setup the
+    shared layout removed, and a driver only ever looks up its own
+    O(log N) send peers.
+    """
+
+    __slots__ = ("_maps", "_rank")
+
+    def __init__(self, wait_maps: list, rank: int):
+        self._maps = wait_maps
+        self._rank = rank
+
+    def __getitem__(self, dst_rank: int) -> int:
+        return self._maps[dst_rank][self._rank]
+
+
 class QuadricsChainedBarrier:
     """Per-rank chained-RDMA barrier driver (host object).
 
@@ -89,17 +163,14 @@ class QuadricsChainedBarrier:
         self.port = port
         self.group = group
         self.rank = group.rank_of(port.node_id)
+        rank_ops, wait_maps = _group_chain_layout(group)
         self.phases = group.schedule.phases(self.rank)
-        self.ops = _flatten_ops(self.phases)
+        self.ops = rank_ops[self.rank]
         # Which wait-op index at each destination rank expects *us*.
-        self.remote_wait_index: dict[int, int] = {}
-        for dst_rank in range(group.size):
-            if dst_rank == self.rank:
-                continue
-            for t, op in enumerate(_flatten_ops(group.schedule.phases(dst_rank))):
-                if op.kind == "wait" and self.rank in op.peers:
-                    self.remote_wait_index[dst_rank] = t
+        rank = self.rank
+        self.remote_wait_index = _RemoteWaitView(wait_maps, rank)
         self.barriers_completed = 0
+        self._prearmed = 0  # chains armed through this seq (exclusive)
         self._done_name = self._done_event()
         self._plan, self._head = self._build_plan()
 
@@ -211,7 +282,10 @@ class QuadricsChainedBarrier:
             # Degenerate single-rank group: nothing to do.
             self.barriers_completed += 1
             return None
-        head = self._arm_chain(seq)
+        # Prearmed chains (see prearm_chained_group) skip the arm loop:
+        # the thresholds are already in SRAM, only the head trigger and
+        # the completion wait remain per iteration.
+        head = self._head if seq < self._prearmed else self._arm_chain(seq)
         # "The very first RDMA operation ... the host process triggers."
         for descriptor in head:
             nic.issue_rdma(descriptor)

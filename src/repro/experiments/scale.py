@@ -1,0 +1,192 @@
+"""Scale sweep — the paper's extrapolation range, actually executed.
+
+Usage::
+
+    python -m repro.experiments.scale [--jobs N] [--points quadrics16384 ...]
+                                      [--quick]
+
+Fig. 8 stops the *measured* series at N = 1024 (Quadrics) / 512
+(Myrinet) and extrapolates the rest from the fitted model.  This sweep
+runs the extrapolated machine sizes for real: a quaternary fat tree up
+to N = 16384 (the dimension-7 QsNet a 16k-node machine would need) and
+a four-level Myrinet Clos up to N = 4096.  Each point reports the
+simulated mean barrier latency plus the wall-clock cost, kernel event
+count, and peak RSS of producing it — the sweep doubles as the
+scale-regression harness (CI runs the 4096-node Quadrics point under a
+hard time cap; the 16384-node point is the "scale wall" gate).
+
+Iteration schedules taper with N: a 16k-node barrier costs tens of
+seconds of wall time per iteration, and the simulator is deterministic
+— repeated steady-state iterations resample the same latency, they do
+not reduce noise.  The schedule is part of the point's definition (the
+run cache keys on it), so tapered points are reproducible bit-for-bit
+like every other figure point.
+
+``--jobs 8`` measures points in parallel worker processes; per-point
+latencies are bit-identical to the serial sweep (fresh simulator per
+point), so the only thing parallelism changes is wall time.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import resource
+import sys
+import time
+from typing import Optional, Sequence
+
+from repro.cluster import build_cluster, run_barrier_experiment
+from repro.experiments.common import (
+    ExperimentResult,
+    Series,
+    parallel_map,
+    print_experiment,
+)
+
+
+def point_schedule(n: int) -> tuple[int, int]:
+    """(iterations, warmup) for a scale point.
+
+    Matches the perfbench BIG_POINTS taper at mid scale and drops to
+    two measured iterations at the top end, where one warmup barrier is
+    enough to reach the steady-state pipeline and every further
+    iteration is deterministic re-measurement.
+    """
+    if n <= 1024:
+        return 5, 2
+    if n <= 4096:
+        return 3, 1
+    return 2, 1
+
+
+SCALE_POINTS = {
+    "quadrics256": ("elan3_piii700", "nic-chained", 256),
+    "quadrics1024": ("elan3_piii700", "nic-chained", 1024),
+    "quadrics4096": ("elan3_piii700", "nic-chained", 4096),
+    "quadrics16384": ("elan3_piii700", "nic-chained", 16384),
+    "myrinet256": ("lanai_xp_xeon2400", "nic-collective", 256),
+    "myrinet1024": ("lanai_xp_xeon2400", "nic-collective", 1024),
+    "myrinet4096": ("lanai_xp_xeon2400", "nic-collective", 4096),
+}
+
+QUICK_POINTS = ["quadrics256", "quadrics1024", "myrinet256", "myrinet1024"]
+
+
+def scale_point(name: str) -> dict:
+    """Run one scale point and report latency plus its production cost.
+
+    Module-level so ``--jobs`` can ship it to worker processes; the
+    wall/RSS figures are then per-worker, which is exactly what a scale
+    gate wants to bound.
+    """
+    profile, barrier, n = SCALE_POINTS[name]
+    iterations, warmup = point_schedule(n)
+    cluster = build_cluster(profile, n)
+    t0 = time.perf_counter()
+    result = run_barrier_experiment(
+        cluster, barrier, iterations=iterations, warmup=warmup, seed=0
+    )
+    wall = time.perf_counter() - t0
+    return {
+        "point": name,
+        "profile": profile,
+        "barrier": barrier,
+        "nodes": n,
+        "iterations": iterations,
+        "warmup": warmup,
+        "mean_latency_us": round(result.mean_latency_us, 4),
+        "wall_s": round(wall, 2),
+        "events_scheduled": cluster.sim.events_scheduled,
+        "peak_rss_mb": round(
+            resource.getrusage(resource.RUSAGE_SELF).ru_maxrss / 1024, 1
+        ),
+    }
+
+
+def run(
+    quick: bool = False, jobs: int = 1, points: Optional[Sequence[str]] = None,
+    cache=None,
+) -> ExperimentResult:
+    names = list(points) if points else (QUICK_POINTS if quick else list(SCALE_POINTS))
+    for name in names:
+        if name not in SCALE_POINTS:
+            raise ValueError(
+                f"unknown scale point {name!r}; choose from {sorted(SCALE_POINTS)}"
+            )
+    # Launch the expensive points first: with jobs < len(points) the
+    # 16k-node point must not queue behind a pile of small ones.
+    exec_names = sorted(names, key=lambda nm: -SCALE_POINTS[nm][2])
+    rows = parallel_map(scale_point, exec_names, jobs=jobs)
+    rows.sort(key=lambda r: (r["barrier"], r["nodes"]))
+
+    series = []
+    for prefix, label in (("quadrics", "Quadrics-sim"), ("myrinet", "Myrinet-sim")):
+        picked = [r for r in rows if r["point"].startswith(prefix)]
+        if picked:
+            picked.sort(key=lambda r: r["nodes"])
+            series.append(
+                Series(
+                    label,
+                    [r["nodes"] for r in picked],
+                    [r["mean_latency_us"] for r in picked],
+                )
+            )
+    notes = [
+        f"{r['point']}: {r['mean_latency_us']}us in {r['wall_s']}s wall, "
+        f"{r['events_scheduled']:,} events, peak RSS {r['peak_rss_mb']}MB "
+        f"(iterations={r['iterations']}, warmup={r['warmup']})"
+        for r in rows
+    ]
+    measured = {}
+    quad = next((r for r in rows if r["point"] == "quadrics16384"), None)
+    if quad is not None:
+        measured["Quadrics latency @ 16384 nodes (us)"] = quad["mean_latency_us"]
+    result = ExperimentResult(
+        exp_id="scale",
+        title="Barrier latency at extrapolation scale (measured, not modeled)",
+        series=series,
+        measured_anchors=measured,
+        notes=notes,
+    )
+    result.rows = rows  # full per-point cost table for --json consumers
+    return result
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
+    parser.add_argument("--jobs", type=int, default=1,
+                        help="worker processes for the sweep")
+    parser.add_argument("--points", nargs="*", default=None,
+                        help=f"subset of {sorted(SCALE_POINTS)}")
+    parser.add_argument("--quick", action="store_true",
+                        help="only the sub-minute points (N <= 1024)")
+    parser.add_argument("--json", default=None,
+                        help="also write the per-point rows to this path")
+    parser.add_argument("--max-wall", type=float, default=None,
+                        help="fail (exit 1) if any point's wall time "
+                        "exceeds this many seconds — the CI scale gate")
+    args = parser.parse_args(argv)
+
+    result = run(quick=args.quick, jobs=args.jobs, points=args.points)
+    print_experiment(result)
+    if args.json:
+        with open(args.json, "w") as fh:
+            json.dump({"schema": "repro.scale/1", "points": result.rows}, fh, indent=2)
+            fh.write("\n")
+        print(f"wrote {args.json}", file=sys.stderr)
+    if args.max_wall is not None:
+        slow = [r for r in result.rows if r["wall_s"] > args.max_wall]
+        for r in slow:
+            print(
+                f"SCALE GATE FAIL: {r['point']} took {r['wall_s']}s "
+                f"(cap {args.max_wall}s)",
+                file=sys.stderr,
+            )
+        if slow:
+            return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -66,6 +66,41 @@ class WireParams:
 DeliveryHandler = Callable[[Packet], None]
 
 
+class ArbitrationDomain:
+    """One decision event per (instant, delta phase), shared by all links.
+
+    Each link arbiter used to arm its own :meth:`Simulator.
+    schedule_phase` event per decision; at 4096+ nodes those events were
+    a third of all kernel traffic.  The domain pools every arbiter that
+    needs a phase-``p`` decision at the current instant into one list
+    and runs them under a single kernel event.  Processing order within
+    a pass is observationally irrelevant: a phase-``p`` pass only grants
+    requests born in earlier phases, any request a grant causes is born
+    in phase ``p`` and so decided at ``p+1`` regardless of which arbiter
+    ran first, and releases only arrive from timed (phase-0) events — no
+    arbiter's decision can observe another arbiter's position in the
+    list.  The queues never leak across instants because every
+    scheduled call at a timestamp drains before the clock advances.
+    """
+
+    __slots__ = ("sim", "_queues")
+
+    def __init__(self, sim: Simulator):
+        self.sim = sim
+        self._queues: dict[int, list] = {}
+
+    def mark(self, arbiter: "LinkArbiter", phase: int) -> None:
+        q = self._queues.get(phase)
+        if q is None:
+            q = self._queues[phase] = []
+            self.sim.schedule_phase(phase, self._run, phase)
+        q.append(arbiter)
+
+    def _run(self, phase: int) -> None:
+        for arbiter in self._queues.pop(phase):
+            arbiter._pass(phase)
+
+
 class LinkArbiter:
     """One directional link's bandwidth units with deterministic grants.
 
@@ -79,49 +114,77 @@ class LinkArbiter:
     property of the route.
     """
 
-    __slots__ = ("sim", "name", "capacity", "in_use", "_pending", "_n", "_pass_at")
+    __slots__ = (
+        "sim", "domain", "name", "capacity", "in_use",
+        "_pending", "_n", "_pass_phase",
+    )
 
-    def __init__(self, sim: Simulator, capacity: int, name: str):
+    def __init__(
+        self, sim: Simulator, domain: ArbitrationDomain, capacity: int, name: str
+    ):
         self.sim = sim
+        self.domain = domain
         self.name = name
         self.capacity = capacity
         self.in_use = 0
-        # Heap of (birth_phase, canonical_key, n, grant_callback); ``n``
-        # only separates requests identical in every protocol coordinate
-        # (interchangeable packets) and keeps the comparison off the
-        # callback.
+        # Heap of (birth_phase, canonical_key, n, grant_fn, grant_args);
+        # ``n`` only separates requests identical in every protocol
+        # coordinate (interchangeable packets) and keeps the comparison
+        # off the callback.  Storing (fn, args) instead of a bound
+        # closure saves one closure allocation per link per packet —
+        # the single hottest allocation site at 1024+ nodes.
         self._pending: list[tuple] = []
         self._n = 0
-        self._pass_at: Optional[tuple[float, int]] = None
+        self._pass_phase = -1  # armed pass's phase; -1 when unarmed
 
-    def request(self, key: tuple, grant: Callable[[], None]) -> None:
-        birth = self.sim.current_phase
+    def request(self, key: tuple, fn: Callable, *args) -> None:
+        birth = self.sim._phase
         self._n += 1
-        heappush(self._pending, (birth, key, self._n, grant))
-        self._ensure_pass(birth + 1)
+        heappush(self._pending, (birth, key, self._n, fn, args))
+        if self._pass_phase <= birth:
+            phase = birth + 1
+            self._pass_phase = phase
+            # Inlined ``domain.mark`` — this is the hottest arbitration
+            # call site (one per link per packet).
+            domain = self.domain
+            q = domain._queues.get(phase)
+            if q is None:
+                domain._queues[phase] = [self]
+                domain.sim.schedule_phase(phase, domain._run, phase)
+            else:
+                q.append(self)
 
     def release(self) -> None:
         self.in_use -= 1
         if self._pending:
-            self._ensure_pass(self.sim.current_phase + 1)
+            self._ensure_pass(self.sim._phase + 1)
 
     def _ensure_pass(self, phase: int) -> None:
-        # A pass already pending at this instant and this phase or later
-        # will see the triggering state change; otherwise arm one.
-        now = self.sim.now
-        if self._pass_at is not None and self._pass_at >= (now, phase):
+        # A pass already armed at this phase or later will see the
+        # triggering state change; otherwise arm one.  An armed pass
+        # always fires at the instant it was armed (the domain's event
+        # lands at the current timestamp, and every same-time call
+        # drains before time advances), so the guard needs no time
+        # component.
+        if self._pass_phase >= phase:
             return
-        self._pass_at = (now, phase)
-        self.sim.schedule_phase(phase, self._pass, phase)
+        self._pass_phase = phase
+        self.domain.mark(self, phase)
 
     def _pass(self, phase: int) -> None:
-        self._pass_at = None
+        self._pass_phase = -1
         pending = self._pending
-        while self.in_use < self.capacity and pending and pending[0][0] < phase:
-            _birth, _key, _n, grant = heappop(pending)
-            self.in_use += 1
-            grant()
-        if pending and self.in_use < self.capacity:
+        capacity = self.capacity
+        # ``in_use`` can be cached across the loop: a grant only ever
+        # advances the *granted* worm (this link's next hops are other
+        # links; releases arrive solely from timed events later).
+        in_use = self.in_use
+        while in_use < capacity and pending and pending[0][0] < phase:
+            _birth, _key, _n, fn, args = heappop(pending)
+            in_use += 1
+            self.in_use = in_use
+            fn(*args)
+        if pending and in_use < capacity:
             # Only same-phase births remain; decide them next phase.
             self._ensure_pass(phase + 1)
 
@@ -136,6 +199,7 @@ class Fabric:
         params: WireParams,
         tracer: Optional[Tracer] = None,
         faults: Optional[FaultInjector] = None,
+        reference: bool = False,
     ):
         self.sim = sim
         self.topology = topology
@@ -143,11 +207,32 @@ class Fabric:
         self.tracer = tracer or Tracer()
         self.faults = faults
         self._handlers: dict[int, DeliveryHandler] = {}
+        self._bandwidth = params.bandwidth_bytes_per_us
+        self._domain = ArbitrationDomain(sim)
         self._links: dict[tuple[str, str], LinkArbiter] = {}
         # Topologies are immutable for the lifetime of a simulation, so
-        # the route, its link resources, and the size-independent head
-        # latency are memoized per (src, dst) pair.
+        # the route, its arbitrated link resources, the size-independent
+        # head latency, and the elided delta-phase count are memoized
+        # per (src, dst) pair.
         self._route_cache: dict[tuple[int, int], tuple] = {}
+        # Contention-free up-edge elision (fat tree only): a worm holds
+        # its capacity-1 injection link for its whole lifetime, so a
+        # level-l stage group's up-edge sees at most its 4**l sources
+        # concurrently — exactly its parallel-link capacity.  Those
+        # claims can never block, so each is replaced by its structural
+        # cost alone: one delta phase.  The proof needs every worm to
+        # hold one injection slot (duplication creates two worms per
+        # source; delay decouples the claim from the injection hold), so
+        # any fault injection disables the fast path, as does reference
+        # mode (the equivalence tests' unbatched baseline).
+        self._elide_up_edges = (
+            faults is None
+            and not reference
+            and hasattr(topology, "broadcast_hops")  # quaternary fat tree
+        )
+        # Per-kind counter labels, interned once: building
+        # f"wire.{kind}" per packet shows up at millions of packets.
+        self._kind_labels: dict[str, str] = {}
         self.delivered_count = 0
 
     # ------------------------------------------------------------------
@@ -164,7 +249,7 @@ class Fabric:
         res = self._links.get(key)
         if res is None:
             capacity = self.topology.link_capacity(a, b)
-            res = LinkArbiter(self.sim, capacity, name=f"link:{a}->{b}")
+            res = LinkArbiter(self.sim, self._domain, capacity, name=f"link:{a}->{b}")
             self._links[key] = res
         return res
 
@@ -173,12 +258,30 @@ class Fabric:
         return [self._link(a, b) for a, b in zip(nodes, nodes[1:])]
 
     def _route_entry(self, src: int, dst: int) -> tuple:
+        """Memoized ``(arbitrated links, head latency, elided phases)``.
+
+        With up-edge elision on, the links between the ascent's switch
+        stages (indices ``1..top-1``; the fat-tree route climbs ``top``
+        switches before descending) are dropped from the arbitrated
+        list: they can never block, and their delta-phase cost is
+        re-added wholesale as ``skip`` so every surviving link sees the
+        packet at exactly the phase it would have without elision.  The
+        injection link (index 0) is always arbitrated — holding it is
+        what makes the proof go through — as are the descent and
+        ejection links, which genuinely contend.
+        """
         entry = self._route_cache.get((src, dst))
         if entry is None:
             route = self.topology.route(src, dst)
             links = self._path_links(route)
             head = self.params.head_latency(route.switch_count, route.link_count)
-            entry = (route, links, head)
+            skip = 0
+            if self._elide_up_edges and len(route.hops) > 1:
+                top = (len(route.hops) + 1) // 2  # route climbs `top` stages
+                skip = top - 1
+                if skip:
+                    links = [links[0], *links[1 + skip:]]
+            entry = (links, head, skip)
             self._route_cache[(src, dst)] = entry
         return entry
 
@@ -193,14 +296,24 @@ class Fabric:
             raise ValueError(f"no NIC attached at port {packet.dst}")
         packet.sent_at = self.sim.now
         tracer = self.tracer
-        tracer.count(f"wire.{packet.kind}")
+        label = self._kind_labels.get(packet.kind)
+        if label is None:
+            label = self._kind_labels.setdefault(packet.kind, f"wire.{packet.kind}")
+        tracer.count(label)
         tracer.count("wire.packets")
         # Wormhole path: claim each directional link in order (a
         # callback chain through the per-link arbiters — no per-packet
         # Process), then let the whole worm drain.  Head latency accrues
         # after the claims, exactly as a worm stalled mid-path holds its
-        # upstream channels.
-        _route, links, head = self._route_entry(packet.src, packet.dst)
+        # upstream channels.  The canonical arbitration key is hoisted
+        # here: it is invariant along the path, and recomputing it per
+        # link was ~700k redundant tuple builds per 1024-node point.
+        # The worm's traversal state lives in one mutable record,
+        # ``[packet, links, head, next_idx, key, skip]``, allocated once
+        # per packet — rebuilding a six-element argument tuple per hop
+        # was the next-hottest allocation site after the closures.
+        links, head, skip = self._route_entry(packet.src, packet.dst)
+        key = canonical_packet_key(packet)
         if self.faults is not None:
             decision = self.faults.inspect(packet)
             if decision.drop:
@@ -218,24 +331,40 @@ class Fabric:
                 # A switch-level duplicate: an extra copy of the same
                 # protocol packet travels the same path independently.
                 tracer.count("wire.duplicated")
-                self._claim(packet.clone(), links, head, 0)
+                clone = packet.clone()
+                self._claim([clone, links, head, 0, canonical_packet_key(clone), skip])
             if decision.delay_us > 0.0:
                 tracer.count("wire.delayed")
                 self.sim.schedule_detached(
-                    decision.delay_us, self._claim, packet, links, head, 0
+                    decision.delay_us, self._claim,
+                    [packet, links, head, 0, key, skip],
                 )
                 return
-        self._claim(packet, links, head, 0)
+        self._claim([packet, links, head, 0, key, skip])
 
-    def _claim(self, packet: Packet, links: list, head: float, idx: int) -> None:
+    def _claim(self, worm: list) -> None:
+        links = worm[1]
+        idx = worm[3]
         if idx == len(links):
-            latency = head + self.params.serialization(packet.size_bytes)
+            packet = worm[0]
+            latency = worm[2] + packet.size_bytes / self._bandwidth
             self.sim.schedule_detached(latency, self._complete, packet, links)
             return
-        links[idx].request(
-            canonical_packet_key(packet),
-            lambda: self._claim(packet, links, head, idx + 1),
-        )
+        links[idx].request(worm[4], self._hop_granted, worm)
+
+    def _hop_granted(self, worm: list) -> None:
+        skip = worm[5]
+        if skip and worm[3] == 0:
+            # The elided up-edges are free by construction; burn their
+            # delta phases in a single event so downstream links see the
+            # packet at exactly the unelided phase.
+            worm[3] = 1
+            worm[5] = 0
+            sim = self.sim
+            sim.schedule_phase(sim.current_phase + skip, self._claim, worm)
+            return
+        worm[3] += 1
+        self._claim(worm)
 
     def _complete(self, packet: Packet, links: list) -> None:
         """Tail of a delivery: free the path, hand over."""

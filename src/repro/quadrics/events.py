@@ -11,6 +11,7 @@ B is still finishing barrier *k*).
 
 from __future__ import annotations
 
+from heapq import heappop, heappush
 from typing import Callable
 
 
@@ -21,41 +22,50 @@ class ElanEvent:
     callable) to run as soon as ``count >= threshold``; if that is
     already true it runs immediately (synchronously — the caller is the
     event unit, which has already paid its processing cost).
+
+    Waiters sit in a min-heap keyed by threshold (ties fire in arm
+    order).  The pre-armed chained barrier parks one waiter per future
+    iteration on the head event, so a linear scan per set-event — fine
+    when at most one waiter existed — became an O(iterations) cost on
+    every arriving message; the heap makes the common no-fire set-event
+    a single head comparison.
     """
 
-    __slots__ = ("name", "count", "_armed")
+    __slots__ = ("name", "count", "_armed", "_n")
 
     def __init__(self, name: str = "event"):
         self.name = name
         self.count = 0
-        self._armed: list[tuple[int, Callable[[], None]]] = []
+        self._armed: list[tuple[int, int, Callable[[], None]]] = []
+        self._n = 0
 
     def set_event(self, n: int = 1) -> None:
         """A set-event (remote or local) increments the counter."""
         if n < 1:
             raise ValueError(f"set count must be >= 1, got {n}")
         self.count += n
-        self._fire_ready()
+        armed = self._armed
+        if armed and armed[0][0] <= self.count:
+            self._fire_ready()
 
     def arm(self, threshold: int, action: Callable[[], None]) -> None:
         if threshold < 1:
             raise ValueError(f"threshold must be >= 1, got {threshold}")
-        self._armed.append((threshold, action))
-        self._fire_ready()
+        self._n += 1
+        heappush(self._armed, (threshold, self._n, action))
+        if threshold <= self.count:
+            self._fire_ready()
 
     def _fire_ready(self) -> None:
+        # Snapshot the ready set before running any action (an action
+        # may set this same event or arm new waiters; those must see the
+        # post-drain state, exactly as with the old list snapshot).
         armed = self._armed
-        if not armed:
-            return
         count = self.count
-        ready = [a for a in armed if count >= a[0]]
-        if not ready:
-            return
-        if len(ready) == len(armed):
-            self._armed = []
-        else:
-            self._armed = [a for a in armed if count < a[0]]
-        for _, action in ready:
+        ready = []
+        while armed and armed[0][0] <= count:
+            ready.append(heappop(armed))
+        for _, _, action in ready:
             action()
 
     @property

@@ -4,24 +4,52 @@ Time is a ``float`` in microseconds; the whole reproduction (NIC control
 program steps, PCI DMA transactions, wire latencies) is expressed in this
 unit because the paper reports barrier latencies in microseconds.
 
-The kernel is a plain binary-heap event loop.  Everything else in
-:mod:`repro.sim` (events, processes, resources) is built on
-:meth:`Simulator.schedule`.
+Everything else in :mod:`repro.sim` (events, processes, resources) is
+built on :meth:`Simulator.schedule`.
 
-Hot-path layout
----------------
-Heap entries are plain ``(time, seq, call)`` tuples so ``heapq`` compares
-them entirely in C: ``time`` breaks first, the monotonically increasing
-``seq`` breaks ties (FIFO for same-time events) and guarantees the
-comparison never reaches the :class:`ScheduledCall` payload.  A 128-node
-barrier sweep point previously spent ~5M calls in a Python-level
-``__lt__``; tuples remove that dispatch entirely.
+Hot-path layout: a bucketed calendar queue
+------------------------------------------
+Barrier traffic is massively *time-degenerate*: a dissemination round
+schedules thousands of calls at identical timestamps (every rank's
+packet crosses the same switch stages with the same constants).  A
+single binary heap pays ``O(log n_total)`` float comparisons per event
+for ordering the kernel mostly does not need — within one timestamp
+only the integer key matters, and across timestamps only the *distinct*
+times compete.
 
-Cancellation stays O(1) and lazy (the entry is skipped when popped), but
-cancelled timers no longer rot indefinitely: the NIC reliability layers
-arm ACK/NACK timers hundreds of microseconds out and cancel nearly all
-of them, so when cancelled entries outnumber live ones the heap is
-compacted in one linear pass.
+The calendar queue splits the two concerns:
+
+- ``_times`` — a small min-heap of **distinct** pending timestamps;
+- ``_buckets`` — ``time -> [entries]`` for future timestamps;
+- ``_current`` — the key-ordered entry heap for the timestamp being
+  drained.
+
+Bucket entries are ``(key, call, None)`` (cancellable
+:class:`ScheduledCall`) or ``(key, fn, args)`` (detached) with
+``key = (phase << _PHASE_SHIFT) + seq`` — same-time entries order by
+delta phase first, then FIFO, and the unique ``seq`` keeps comparisons
+off the payload.  Two structural facts make the queue cheap:
+
+1. :meth:`schedule_phase` only ever targets the *current* timestamp, so
+   future buckets receive exclusively phase-0 traffic in increasing
+   ``seq`` order — **a future bucket is born sorted**, and a sorted
+   list is already a valid binary heap.  Scheduling into the future is
+   a dict lookup plus a list append; no heap operation at all.
+2. Only the active bucket interleaves (delay-0 calls and delta phases
+   land mid-drain), so only it needs ``heappush``/``heappop`` — at
+   ``O(log bucket_size)``, not ``O(log n_total)``.
+
+Quiescence fast-forward
+-----------------------
+Cancellation stays O(1) and lazy, but reaping is *wholesale*: when a
+bucket is activated its cancelled entries are filtered out in one pass,
+and a bucket left with nothing live is dropped **without the clock ever
+materializing its timestamp** — the kernel analytically fast-forwards
+over quiescent intervals (e.g. the hundreds of armed-then-cancelled
+ACK/NACK retransmission timers between barrier rounds) in O(bucket)
+instead of O(heap churn).  Long-rotting cancelled timers in far-future
+buckets are reclaimed by :meth:`_maybe_compact` once they outnumber the
+live entries (the threshold scales with total pending work).
 
 Delta phases
 ------------
@@ -32,15 +60,8 @@ Arbitration logic (e.g. fabric link grants) uses this to decide *after*
 every same-instant contender has registered, so outcomes never depend on
 how same-time, same-phase events happen to be ordered — the property the
 simlint tie-break perturbation verifies.  The phase lives in the high
-bits of the integer heap key, so ordinary (phase-0) traffic pays nothing.
-
-Two entry shapes share the heap.  :meth:`Simulator.schedule` pushes
-``(time, seq, call, None)`` with a cancellable :class:`ScheduledCall`;
-:meth:`Simulator.schedule_detached` pushes ``(time, seq, fn, args)``
-with no handle at all, for the majority of calls (event processing,
-packet deliveries) that are never cancelled.  The fourth element tells
-the pop loop which shape it holds; the comparison never reaches it
-because ``seq`` is unique.
+bits of the integer entry key, so ordinary (phase-0) traffic pays
+nothing.
 """
 
 from __future__ import annotations
@@ -48,12 +69,13 @@ from __future__ import annotations
 from heapq import heapify, heappop, heappush
 from typing import Any, Callable, Optional
 
-# Compact the heap once at least this many cancelled entries are buried
-# in it *and* they outnumber the live ones (both conditions keep small
-# simulations from compacting pointlessly).
+# Compact once at least this many cancelled entries are buried in the
+# queue *and* they outnumber the live ones (both conditions keep small
+# simulations from compacting pointlessly; the second scales the
+# threshold with total pending work so huge runs are not scanned early).
 _COMPACT_MIN_CANCELLED = 1024
 
-# Heap keys are ``(phase << _PHASE_SHIFT) + seq``: same-time entries
+# Entry keys are ``(phase << _PHASE_SHIFT) + seq``: same-time entries
 # order by phase first, then FIFO.  48 bits leave room for ~10^14 events.
 _PHASE_SHIFT = 48
 
@@ -61,9 +83,9 @@ _PHASE_SHIFT = 48
 class ScheduledCall:
     """Handle for a callback scheduled with :meth:`Simulator.schedule`.
 
-    The handle supports O(1) cancellation: the heap entry stays in the
-    heap but is skipped when popped (and reclaimed wholesale once enough
-    cancelled entries accumulate).
+    The handle supports O(1) cancellation: the queue entry stays put but
+    is skipped when reached (and reclaimed wholesale at bucket
+    activation or compaction).
     """
 
     __slots__ = ("time", "seq", "fn", "args", "cancelled", "executed", "_sim")
@@ -81,9 +103,9 @@ class ScheduledCall:
         """Prevent the callback from running.  Idempotent.
 
         Cancelling a handle whose call already ran (or whose entry has
-        already been reaped from the heap) is a no-op: no entry is
-        buried in the heap anymore, so it must not count toward the
-        compaction accounting.
+        already been reaped from the queue) is a no-op: no entry is
+        buried anymore, so it must not count toward the compaction
+        accounting.
         """
         if self.cancelled or self.executed:
             return
@@ -110,18 +132,23 @@ class Simulator:
         sim.run()
 
     Processes (see :class:`repro.sim.process.Process`) are started with
-    :meth:`process`.  :meth:`run` drives the loop until the heap drains,
+    :meth:`process`.  :meth:`run` drives the loop until the queue drains,
     a time limit passes, or a supplied event triggers.
     """
 
     def __init__(self) -> None:
         self._now: float = 0.0
-        # Entries: (time, key, ScheduledCall, None) | (time, key, fn, args)
-        # with key = (phase << _PHASE_SHIFT) + seq.
-        self._heap: list[tuple] = []
+        # Calendar queue: distinct future timestamps (min-heap), their
+        # buckets, and the key-ordered heap for the active timestamp.
+        # Entries: (key, ScheduledCall, None) | (key, fn, args) with
+        # key = (phase << _PHASE_SHIFT) + seq.
+        self._times: list[float] = []
+        self._buckets: dict[float, list] = {}
+        self._current: list = []
         self._seq: int = 0
         self._phase: int = 0
         self._cancelled: int = 0
+        self._pending: int = 0  # entries (live + cancelled) across the queue
         self._unhandled: list[BaseException] = []
         # The process whose generator is currently executing (set by
         # Process._step, None outside process context).  Deterministic
@@ -163,6 +190,25 @@ class Simulator:
     # ------------------------------------------------------------------
     # Scheduling
     # ------------------------------------------------------------------
+    def _enqueue(self, time: float, entry: tuple) -> None:
+        """Route an entry to the active heap or its future bucket.
+
+        ``time == now`` goes to the active heap (it may interleave with
+        the drain in delta-phase order); a future time appends to its
+        bucket — born sorted, because only phase-0 keys ever reach a
+        future bucket and ``seq`` increases monotonically.
+        """
+        if time == self._now:
+            heappush(self._current, entry)
+        else:
+            bucket = self._buckets.get(time)
+            if bucket is None:
+                self._buckets[time] = [entry]
+                heappush(self._times, time)
+            else:
+                bucket.append(entry)
+        self._pending += 1
+
     def schedule(self, delay: float, fn: Callable, *args: Any) -> ScheduledCall:
         """Schedule ``fn(*args)`` to run ``delay`` microseconds from now.
 
@@ -172,8 +218,9 @@ class Simulator:
         if delay < 0:
             raise ValueError(f"negative delay {delay!r}")
         self._seq = seq = self._seq + 1
-        call = ScheduledCall(self._now + delay, seq, fn, args, self)
-        heappush(self._heap, (call.time, seq, call, None))
+        time = self._now + delay
+        call = ScheduledCall(time, seq, fn, args, self)
+        self._enqueue(time, (seq, call, None))
         if self._cancelled >= _COMPACT_MIN_CANCELLED:
             self._maybe_compact()
         return call
@@ -189,7 +236,20 @@ class Simulator:
         if delay < 0:
             raise ValueError(f"negative delay {delay!r}")
         self._seq = seq = self._seq + 1
-        heappush(self._heap, (self._now + delay, seq, fn, args))
+        self._enqueue(self._now + delay, (seq, fn, args))
+
+    def schedule_now(self, fn: Callable, *args: Any) -> None:
+        """Schedule ``fn(*args)`` at the current timestamp, detached.
+
+        The kernel's hottest scheduling call: every event trigger and
+        every late-attached callback lands at the current time.
+        Equivalent to ``schedule_detached(0.0, fn, *args)`` but skips
+        the delay validation, the float add, and the bucket routing —
+        a same-time entry always goes straight onto the active heap.
+        """
+        self._seq = seq = self._seq + 1
+        heappush(self._current, (seq, fn, args))
+        self._pending += 1
 
     def schedule_phase(self, phase: int, fn: Callable, *args: Any) -> None:
         """Schedule ``fn(*args)`` at the current timestamp in a later phase.
@@ -203,21 +263,73 @@ class Simulator:
                 f"phase {phase} not after current phase {self._phase}"
             )
         self._seq = seq = self._seq + 1
-        heappush(self._heap, (self._now, (phase << _PHASE_SHIFT) + seq, fn, args))
+        heappush(self._current, ((phase << _PHASE_SHIFT) + seq, fn, args))
+        self._pending += 1
+
+    def _reap(self, bucket: list) -> list:
+        """One wholesale pass dropping a bucket's cancelled entries.
+
+        Preserves order (a sorted bucket stays sorted, a heap-ordered
+        active list must be re-heapified by the caller).  Reaped handles
+        are marked executed so a late ``cancel()`` stays a no-op.
+        """
+        live = []
+        append = live.append
+        for entry in bucket:
+            call = entry[1]
+            if entry[2] is None and call.cancelled:
+                call.executed = True
+                self._cancelled -= 1
+                self._pending -= 1
+            else:
+                append(entry)
+        return live
+
+    def _activate_next_bucket(self) -> bool:
+        """Advance the clock to the next timestamp with live work.
+
+        Buckets holding only cancelled entries are dropped whole — the
+        quiescence fast-forward: the clock jumps straight over them
+        without per-entry heap churn, never materializing their
+        timestamps.
+        """
+        times = self._times
+        buckets = self._buckets
+        while times:
+            time = heappop(times)
+            bucket = buckets.pop(time)
+            if self._cancelled:
+                bucket = self._reap(bucket)
+                if not bucket:
+                    continue
+            self._now = time
+            self._current = bucket  # sorted == valid heap
+            return True
+        return False
 
     def _maybe_compact(self) -> None:
-        """Drop cancelled entries once they outnumber the live ones.
+        """Drop buried cancelled entries once they outnumber live ones.
 
-        In place (``heap[:] = ...``): the run loop holds a local
-        reference to the heap list, so rebinding ``self._heap`` here
-        would strand it draining a stale copy.
+        In place (``list[:] = ...``): the run loop holds a local
+        reference to the active heap, so rebinding ``self._current``
+        here would strand it draining a stale copy.  Future buckets are
+        filtered in place too (order — hence sortedness — preserved);
+        emptied buckets are dropped and the time heap rebuilt.
         """
-        heap = self._heap
-        if self._cancelled * 2 <= len(heap):
+        if self._cancelled * 2 <= self._pending:
             return
-        heap[:] = [e for e in heap if e[3] is not None or not e[2].cancelled]
-        heapify(heap)
-        self._cancelled = 0
+        current = self._current
+        current[:] = self._reap(current)
+        heapify(current)  # reaping a heap-ordered list can break it
+        buckets = self._buckets
+        for time in list(buckets):
+            bucket = buckets[time]
+            bucket[:] = self._reap(bucket)
+            if not bucket:
+                del buckets[time]
+        times = self._times
+        times[:] = list(buckets)
+        heapify(times)
 
     def process(self, generator, name: Optional[str] = None):
         """Start a generator as a simulation process.
@@ -269,63 +381,88 @@ class Simulator:
     # Running
     # ------------------------------------------------------------------
     def peek(self) -> float:
-        """Timestamp of the next pending call, or ``float('inf')``."""
-        heap = self._heap
-        while heap and heap[0][3] is None and heap[0][2].cancelled:
-            heappop(heap)[2].executed = True  # entry reaped from the heap
-            self._cancelled -= 1
-        return heap[0][0] if heap else float("inf")
+        """Timestamp of the next pending call, or ``float('inf')``.
+
+        Reaps cancelled entries it passes over, so an all-cancelled
+        future bucket never stalls a ``run(until=...)`` bound.
+        """
+        current = self._current
+        while current:
+            head = current[0]
+            if head[2] is None and head[1].cancelled:
+                heappop(current)
+                head[1].executed = True
+                self._cancelled -= 1
+                self._pending -= 1
+                continue
+            return self._now
+        times = self._times
+        buckets = self._buckets
+        while times:
+            time = times[0]
+            bucket = buckets[time]
+            if self._cancelled:
+                live = self._reap(bucket)
+                if not live:
+                    heappop(times)
+                    del buckets[time]
+                    continue
+                buckets[time] = live
+            return time
+        return float("inf")
 
     def step(self) -> bool:
         """Run the single next scheduled call.  Returns False when idle."""
-        heap = self._heap
-        while heap:
-            time, _seq, fn, args = heappop(heap)
-            if args is None:  # cancellable ScheduledCall entry
-                fn.executed = True  # entry is off the heap: late cancel is a no-op
-                if fn.cancelled:
-                    self._cancelled -= 1
-                    continue
-                fn, args = fn.fn, fn.args
-            if time < self._now:  # pragma: no cover - defensive
-                raise RuntimeError("event heap went backwards in time")
-            self._now = time
-            self._phase = _seq >> _PHASE_SHIFT
-            fn(*args)
-            if self._unhandled:
-                exc = self._unhandled[0]
-                self._unhandled.clear()
-                raise exc
-            return True
-        return False
+        while True:
+            current = self._current
+            while current:
+                key, fn, args = heappop(current)
+                self._pending -= 1
+                if args is None:  # cancellable ScheduledCall entry
+                    fn.executed = True  # off the queue: late cancel is a no-op
+                    if fn.cancelled:
+                        self._cancelled -= 1
+                        continue
+                    fn, args = fn.fn, fn.args
+                self._phase = key >> _PHASE_SHIFT
+                fn(*args)
+                if self._unhandled:
+                    exc = self._unhandled[0]
+                    self._unhandled.clear()
+                    raise exc
+                return True
+            if not self._activate_next_bucket():
+                return False
 
     def _run_to_exhaustion(self) -> None:
-        """Drain the heap with everything hot in locals.
+        """Drain the queue with everything hot in locals.
 
         This is :meth:`step` inlined into a tight loop — the dominant
-        mode for barrier experiments (hundreds of thousands of events
-        per figure point), where the per-event method-call and
-        attribute-lookup overhead of ``while self.step(): pass`` is
-        measurable.
+        mode for barrier experiments (millions of events per figure
+        point), where the per-event method-call and attribute-lookup
+        overhead of ``while self.step(): pass`` is measurable.
         """
-        heap = self._heap
         pop = heappop
         unhandled = self._unhandled
-        while heap:
-            time, _seq, fn, args = pop(heap)
-            if args is None:  # cancellable ScheduledCall entry
-                fn.executed = True  # entry is off the heap: late cancel is a no-op
-                if fn.cancelled:
-                    self._cancelled -= 1
-                    continue
-                fn, args = fn.fn, fn.args
-            self._now = time
-            self._phase = _seq >> _PHASE_SHIFT
-            fn(*args)
-            if unhandled:
-                exc = unhandled[0]
-                unhandled.clear()
-                raise exc
+        while True:
+            current = self._current
+            while current:
+                key, fn, args = pop(current)
+                self._pending -= 1
+                if args is None:  # cancellable ScheduledCall entry
+                    fn.executed = True  # off the queue: late cancel is a no-op
+                    if fn.cancelled:
+                        self._cancelled -= 1
+                        continue
+                    fn, args = fn.fn, fn.args
+                self._phase = key >> _PHASE_SHIFT
+                fn(*args)
+                if unhandled:
+                    exc = unhandled[0]
+                    unhandled.clear()
+                    raise exc
+            if not self._activate_next_bucket():
+                return
 
     def run(self, until: Optional[float] = None, *, until_event=None) -> None:
         """Drive the simulation.
@@ -357,4 +494,4 @@ class Simulator:
         self._now = max(self._now, until)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
-        return f"<Simulator now={self._now:.3f}us pending={len(self._heap)}>"
+        return f"<Simulator now={self._now:.3f}us pending={self._pending}>"

@@ -101,7 +101,7 @@ class SimEvent:
         self._state = TRIGGERED
         self._ok = ok
         self._value = value
-        self.sim.schedule_detached(0.0, self._process)
+        self.sim.schedule_now(self._process)
 
     def _process(self) -> None:
         self._state = PROCESSED
@@ -129,7 +129,7 @@ class SimEvent:
         for the current time (asynchronously, preserving determinism).
         """
         if self._state == PROCESSED:
-            self.sim.schedule_detached(0.0, fn, self)
+            self.sim.schedule_now(fn, self)
         elif self._cb1 is None and self._callbacks is None:
             self._cb1 = fn
         elif self._callbacks is None:

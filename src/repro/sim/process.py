@@ -43,7 +43,7 @@ class Process:
 
     __slots__ = (
         "sim", "name", "_gen", "completion", "_waiting_on", "_resume_handle",
-        "__weakref__",
+        "_step_cb", "_wake_cb", "__weakref__",
     )
 
     def __init__(self, sim: Simulator, gen: Generator, name: Optional[str] = None):
@@ -54,7 +54,13 @@ class Process:
         self._gen = gen
         self.completion = SimEvent(sim, name=f"{self.name}.completion")
         self._waiting_on: Optional[SimEvent] = None
-        self._resume_handle = sim.schedule(0.0, self._step, None, None)
+        # Every resume and every event wait passes one of these two
+        # bound methods to the scheduler; binding them once here turns
+        # millions of per-yield bound-method allocations into attribute
+        # loads.
+        self._step_cb = self._step
+        self._wake_cb = self._on_event
+        self._resume_handle = sim.schedule(0.0, self._step_cb, None, None)
         registry = sim._process_registry
         if registry is not None:
             registry.append(weakref.ref(self))
@@ -80,12 +86,12 @@ class Process:
         if not self.alive:
             return
         if self._waiting_on is not None:
-            self._waiting_on.remove_callback(self._on_event)
+            self._waiting_on.remove_callback(self._wake_cb)
             self._waiting_on = None
         if self._resume_handle is not None:
             self._resume_handle.cancel()
         self._resume_handle = self.sim.schedule(
-            0.0, self._step, None, Interrupt(cause)
+            0.0, self._step_cb, None, Interrupt(cause)
         )
 
     # ------------------------------------------------------------------
@@ -139,7 +145,7 @@ class Process:
                     exc = ValueError(f"negative timeout {target!r}")
                     continue
                 self._resume_handle = self.sim.schedule(
-                    target, self._step, None, None
+                    target, self._step_cb, None, None
                 )
                 return
             if isinstance(target, (int, float)):
@@ -167,7 +173,7 @@ class Process:
                     exc = target.value
                 continue
             self._waiting_on = target
-            target.add_callback(self._on_event)
+            target.add_callback(self._wake_cb)
             return
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

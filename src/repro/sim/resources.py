@@ -138,11 +138,17 @@ class ArbitratedResource:
         self._req_name = self.name + ".request"
         self._key_fn = key_fn
         self._in_use = 0
-        # Heap of (birth_phase, key, n, event); ``n`` separates requests
+        # Heap of [birth_phase, key, n, event]; ``n`` separates requests
         # with identical keys and keeps the comparison off the event.
-        self._pending: list[tuple] = []
+        # Entries are lists so a withdrawn request is cancelled in place
+        # (event slot set to None) in O(1) — the same lazy-cancellation
+        # scheme as the event kernel's calendar queue — instead of the
+        # old remove-and-reheapify O(n) scan.
+        self._pending: list[list] = []
+        self._entry_of: dict[SimEvent, list] = {}
+        self._abandoned = 0
         self._n = 0
-        self._pass_at: Optional[tuple[float, int]] = None
+        self._pass_phase = -1  # armed pass's phase; -1 when unarmed
 
     @property
     def in_use(self) -> int:
@@ -150,7 +156,7 @@ class ArbitratedResource:
 
     @property
     def queue_length(self) -> int:
-        return sum(1 for entry in self._pending if not entry[3].triggered)
+        return len(self._pending) - self._abandoned
 
     def request(self, key: Any = None) -> SimEvent:
         if key is None:
@@ -164,19 +170,21 @@ class ArbitratedResource:
         ev = SimEvent(self.sim, name=self._req_name)
         birth = self.sim.current_phase
         self._n += 1
-        heapq.heappush(self._pending, (birth, key, self._n, ev))
+        entry = [birth, key, self._n, ev]
+        heapq.heappush(self._pending, entry)
+        self._entry_of[ev] = entry
         self._ensure_pass(birth + 1)
         return ev
 
     def cancel_request(self, ev: SimEvent) -> bool:
         """Withdraw a still-pending request.  Returns True if it was
         pending (a cancelled entry is skipped by the decision pass)."""
-        for i, entry in enumerate(self._pending):
-            if entry[3] is ev and not ev.triggered:
-                del self._pending[i]
-                heapq.heapify(self._pending)
-                return True
-        return False
+        entry = self._entry_of.pop(ev, None)
+        if entry is None or ev.triggered:
+            return False
+        entry[3] = None
+        self._abandoned += 1
+        return True
 
     def release(self) -> None:
         if self._in_use <= 0:
@@ -186,19 +194,28 @@ class ArbitratedResource:
             self._ensure_pass(self.sim.current_phase + 1)
 
     def _ensure_pass(self, phase: int) -> None:
-        now = self.sim.now
-        if self._pass_at is not None and self._pass_at >= (now, phase):
+        # An armed pass always fires at the instant it was armed (see
+        # LinkArbiter._ensure_pass), so the guard needs no time component.
+        if self._pass_phase >= phase:
             return
-        self._pass_at = (now, phase)
+        self._pass_phase = phase
         self.sim.schedule_phase(phase, self._pass, phase)
 
     def _pass(self, phase: int) -> None:
-        self._pass_at = None
+        self._pass_phase = -1
         pending = self._pending
-        while self._in_use < self.capacity and pending and pending[0][0] < phase:
+        while pending:
+            if pending[0][3] is None:  # cancelled in place: reap lazily
+                heapq.heappop(pending)
+                self._abandoned -= 1
+                continue
+            if not (self._in_use < self.capacity and pending[0][0] < phase):
+                break
             entry = heapq.heappop(pending)
+            ev = entry[3]
+            del self._entry_of[ev]
             self._in_use += 1
-            entry[3].succeed(self)
+            ev.succeed(self)
         if pending and self._in_use < self.capacity:
             # Only same-phase births remain; decide them next phase so
             # no same-instant contender is missed.

@@ -12,6 +12,9 @@ scheme, node count, iteration schedule).  For every point we report:
 - ``wall_s`` — best-of-``trials`` wall-clock for the whole experiment,
 - ``events_scheduled`` — heap pushes for the run (deterministic),
 - ``events_per_sec`` — raw kernel throughput,
+- ``peak_rss_mb`` — the process's resident-set high-water mark after
+  the point (a scale point that fits in wall time but not in memory is
+  still a failed scale point),
 - against the recorded pre-optimization baseline: ``wall_speedup`` and
   ``equivalent_events_per_sec`` (baseline event count divided by the
   new wall time).
@@ -23,14 +26,19 @@ does the same simulated work with fewer heap operations.  Wall speedup
 against the frozen baseline is the honest figure of merit; the raw
 rate is kept for profiling.
 
-Baselines were measured on the seed kernel (commit d46d0f8) with the
-identical specs below, best of 5 trials.
+Baseline wall times were measured on the pre-optimization kernel
+(commit d46d0f8) with the identical specs below, best of 5 trials.
+The baseline ``mean_latency_us`` values are the *current* deterministic
+model outputs, re-frozen after the deterministic-link-arbitration work
+moved the simulated physics: the optimizations in this tree must
+reproduce them bit-for-bit.
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import resource
 import sys
 import time
 from dataclasses import dataclass
@@ -78,7 +86,11 @@ POINTS = {
 }
 
 # Extrapolation-scale points (the fig8 extension); excluded from the
-# default set because each costs seconds-to-minutes of wall time.
+# default set because each costs seconds-to-minutes of wall time.  The
+# 4096/16384-node points are the scale-wall gate: they only became
+# runnable at all with the calendar-queue kernel, the prearmed chain
+# batching, and the fat-tree up-edge elision, so they get the tapered
+# iteration schedule the scale sweeps use.
 BIG_POINTS = {
     "myrinet512": PointSpec(
         "myrinet512", "lanai_xp_xeon2400", "nic-collective", 512,
@@ -88,15 +100,23 @@ BIG_POINTS = {
         "quadrics1024", "elan3_piii700", "nic-chained", 1024,
         iterations=5, warmup=2,
     ),
+    "myrinet4096": PointSpec(
+        "myrinet4096", "lanai_xp_xeon2400", "nic-collective", 4096,
+        iterations=3, warmup=1,
+    ),
+    "quadrics16384": PointSpec(
+        "quadrics16384", "elan3_piii700", "nic-chained", 16384,
+        iterations=3, warmup=1,
+    ),
 }
 
 BASELINES = {
     "quadrics128": Baseline(wall_s=2.894, events_scheduled=477_784,
-                            mean_latency_us=13.1959),
+                            mean_latency_us=13.5214),
     "myrinet64": Baseline(wall_s=1.474, events_scheduled=183_448,
-                          mean_latency_us=33.21),
+                          mean_latency_us=34.2683),
     "lanai91_16": Baseline(wall_s=0.182, events_scheduled=30_512,
-                           mean_latency_us=25.74),
+                           mean_latency_us=25.7377),
 }
 
 
@@ -166,6 +186,10 @@ def bench_point(
                 )
             cache_state = "warm"
 
+    # ru_maxrss is the lifetime high-water mark (KiB on Linux): report
+    # it after the trials so a point that balloons memory is visible in
+    # the report even though earlier points contribute to the floor.
+    peak_rss_kib = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
     row = {
         "point": spec.name,
         "profile": spec.profile,
@@ -179,6 +203,7 @@ def bench_point(
         "events_scheduled": best_events,
         "events_per_sec": round(best_events / best_wall),
         "mean_latency_us": round(best_latency, 4),
+        "peak_rss_mb": round(peak_rss_kib / 1024, 1),
     }
     baseline = BASELINES.get(spec.name)
     if baseline is not None:
@@ -243,7 +268,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     parser.add_argument("--points", nargs="*", default=None,
                         help=f"subset of {sorted(POINTS) + sorted(BIG_POINTS)}")
     parser.add_argument("--big", action="store_true",
-                        help="include the 512/1024-node extrapolation points")
+                        help="include the 512- to 16384-node extrapolation "
+                        "points (the two largest take minutes)")
     parser.add_argument(
         "--cache", action=argparse.BooleanOptionalAction, default=True,
         help="cross-check deterministic fields against the run cache "

@@ -39,22 +39,29 @@ from repro.sim.engine import _COMPACT_MIN_CANCELLED, ScheduledCall, Simulator
 from repro.sim.rng import DeterministicRng
 from repro.tools.simlint.findings import Finding
 
-from heapq import heappop, heappush
+from heapq import heapify, heappop, heappush
 
 
 class TieBreakSimulator(Simulator):
     """A :class:`Simulator` whose same-timestamp pop order is randomized.
 
-    Heap keys become ``(time, (phase, r, seq))`` with ``r`` drawn fresh
+    Entry keys become ``(time, (phase, r, seq))`` with ``r`` drawn fresh
     per entry from the supplied rng, so equal-time, equal-phase entries
     pop in a random (but reproducible, given the rng seed) order.
     Different timestamps and the kernel's delta-phase ordering guarantee
     are untouched.
+
+    The stock kernel is a bucketed calendar queue whose future buckets
+    rely on being born sorted; random tie-break keys would break that
+    invariant, so this subclass replaces the storage wholesale with the
+    classic single ``(time, key, ...)`` tuple heap (speed is irrelevant
+    in the lint harness) and overrides every method that touches it.
     """
 
     def __init__(self, rng: DeterministicRng):
         super().__init__()
         self._tiebreak = rng
+        self._tb_heap: list[tuple] = []
 
     def schedule(self, delay: float, fn: Callable, *args: Any) -> ScheduledCall:
         if delay < 0:
@@ -62,7 +69,7 @@ class TieBreakSimulator(Simulator):
         self._seq = seq = self._seq + 1
         key = (0, self._tiebreak.random(), seq)
         call = ScheduledCall(self._now + delay, key, fn, args, self)
-        heappush(self._heap, (call.time, key, call, None))
+        heappush(self._tb_heap, (call.time, key, call, None))
         if self._cancelled >= _COMPACT_MIN_CANCELLED:
             self._maybe_compact()
         return call
@@ -72,7 +79,12 @@ class TieBreakSimulator(Simulator):
             raise ValueError(f"negative delay {delay!r}")
         self._seq = seq = self._seq + 1
         key = (0, self._tiebreak.random(), seq)
-        heappush(self._heap, (self._now + delay, key, fn, args))
+        heappush(self._tb_heap, (self._now + delay, key, fn, args))
+
+    def schedule_now(self, fn: Callable, *args: Any) -> None:
+        self._seq = seq = self._seq + 1
+        key = (0, self._tiebreak.random(), seq)
+        heappush(self._tb_heap, (self._now, key, fn, args))
 
     def schedule_phase(self, phase: int, fn: Callable, *args: Any) -> None:
         if phase <= self.current_phase:
@@ -81,13 +93,31 @@ class TieBreakSimulator(Simulator):
             )
         self._seq = seq = self._seq + 1
         key = (phase, self._tiebreak.random(), seq)
-        heappush(self._heap, (self._now, key, fn, args))
+        heappush(self._tb_heap, (self._now, key, fn, args))
 
-    # The stock pop loops decode the phase from integer keys with a
-    # shift; this kernel's keys are tuples, so both loops are overridden
-    # with a tuple-aware decode (speed is irrelevant in the lint harness).
+    def _maybe_compact(self) -> None:
+        heap = self._tb_heap
+        if self._cancelled * 2 <= len(heap):
+            return
+        kept = []
+        for entry in heap:
+            if entry[3] is None and entry[2].cancelled:
+                entry[2].executed = True
+                self._cancelled -= 1
+            else:
+                kept.append(entry)
+        heap[:] = kept
+        heapify(heap)
+
+    def peek(self) -> float:
+        heap = self._tb_heap
+        while heap and heap[0][3] is None and heap[0][2].cancelled:
+            heappop(heap)[2].executed = True
+            self._cancelled -= 1
+        return heap[0][0] if heap else float("inf")
+
     def step(self) -> bool:
-        heap = self._heap
+        heap = self._tb_heap
         while heap:
             time, key, fn, args = heappop(heap)
             if args is None:

@@ -19,7 +19,7 @@ from repro.topology.base import Route, Topology
 
 
 class ClosTopology(Topology):
-    """One-, two- or three-level folded Clos of ``radix``-port crossbars.
+    """One- to four-level folded Clos of ``radix``-port crossbars.
 
     Parameters
     ----------
@@ -37,7 +37,12 @@ class ClosTopology(Topology):
     - three levels: pods of ``half**2`` hosts (a two-level sub-Clos of
       leaves and mid switches) joined by a top stage of ``half**2``
       crossbars, top ``t`` reaching mid ``t // half`` in every pod —
-      up to ``half**3`` hosts (512 for Myrinet's radix 16).
+      up to ``half**3`` hosts (512 for Myrinet's radix 16);
+    - four levels: superpods of ``half**3`` hosts (each a three-level
+      sub-Clos with a per-superpod top stage) joined by an apex stage
+      of ``half**3`` crossbars — up to ``half**4`` hosts (4096 for
+      radix 16), one recursion past the era's largest machines, for
+      the simulator's extrapolation sweeps.
     """
 
     def __init__(self, n_nodes: int, radix: int = 16):
@@ -47,6 +52,7 @@ class ClosTopology(Topology):
         self.radix = radix
         half = radix // 2
         self._half = half
+        self.n_superpods = 1
         if n_nodes <= radix:
             self.levels = 1
             self.n_leaves = 1
@@ -63,13 +69,22 @@ class ClosTopology(Topology):
             self.n_spines = 0
             self.n_pods = -(-n_nodes // (half * half))
             self.n_tops = half * half
+        elif n_nodes <= half * half * half * half:
+            self.levels = 4
+            self.n_leaves = -(-n_nodes // half)
+            self.n_spines = 0
+            self.n_pods = -(-n_nodes // (half * half))
+            self.n_tops = half * half  # per superpod
+            self.n_superpods = -(-n_nodes // (half * half * half))
+            self.n_apex = half * half * half
         else:
             raise ValueError(
-                f"{n_nodes} nodes exceeds three-level Clos capacity "
-                f"{half ** 3} for radix {radix}"
+                f"{n_nodes} nodes exceeds four-level Clos capacity "
+                f"{half ** 4} for radix {radix}"
             )
         self._hosts_per_leaf = n_nodes if self.levels == 1 else half
         self._hosts_per_pod = half * half
+        self._hosts_per_superpod = half * half * half
 
     # ------------------------------------------------------------------
     def leaf_of(self, port: int) -> int:
@@ -79,6 +94,10 @@ class ClosTopology(Topology):
     def pod_of(self, port: int) -> int:
         self._check_port(port)
         return port // self._hosts_per_pod
+
+    def superpod_of(self, port: int) -> int:
+        self._check_port(port)
+        return port // self._hosts_per_superpod
 
     def switches(self) -> list[str]:
         if self.levels == 1:
@@ -92,8 +111,16 @@ class ClosTopology(Topology):
             for p in range(self.n_pods)
             for m in range(self._half)
         ]
-        tops = [f"top{t}" for t in range(self.n_tops)]
-        return leaves + mids + tops
+        if self.levels == 3:
+            tops = [f"top{t}" for t in range(self.n_tops)]
+            return leaves + mids + tops
+        tops = [
+            f"top{sp}_{t}"
+            for sp in range(self.n_superpods)
+            for t in range(self.n_tops)
+        ]
+        apexes = [f"apex{a}" for a in range(self.n_apex)]
+        return leaves + mids + tops + apexes
 
     def _spine_for(self, src: int, dst: int) -> int:
         # Static deterministic spine selection (source-routed networks
@@ -133,10 +160,47 @@ class ClosTopology(Topology):
                 dst,
                 (f"leaf{src_leaf}", f"mid{src_pod}_{mid}", f"leaf{dst_leaf}"),
             )
-        # Inter-pod: each source owns one top switch (src % half**2 is
-        # unique within a pod), which fixes the mid in both pods — the
-        # three-level analogue of _spine_for's dispersive routing.
-        top = src % self.n_tops
+        if self.levels == 3:
+            # Inter-pod: each source owns one top switch (src % half**2
+            # is unique within a pod), which fixes the mid in both pods
+            # — the three-level analogue of _spine_for's dispersive
+            # routing.
+            top = src % self.n_tops
+            mid = top // self._half
+            return Route(
+                src,
+                dst,
+                (
+                    f"leaf{src_leaf}",
+                    f"mid{src_pod}_{mid}",
+                    f"top{top}",
+                    f"mid{dst_pod}_{mid}",
+                    f"leaf{dst_leaf}",
+                ),
+            )
+        src_sp, dst_sp = self.superpod_of(src), self.superpod_of(dst)
+        if src_sp == dst_sp:
+            # Intra-superpod inter-pod: the superpod's own top stage
+            # joins its pods, exactly the three-level inter-pod shape.
+            top = src % self.n_tops
+            mid = top // self._half
+            return Route(
+                src,
+                dst,
+                (
+                    f"leaf{src_leaf}",
+                    f"mid{src_pod}_{mid}",
+                    f"top{src_sp}_{top}",
+                    f"mid{dst_pod}_{mid}",
+                    f"leaf{dst_leaf}",
+                ),
+            )
+        # Inter-superpod: each source owns one apex switch (src %
+        # half**3 is unique within a superpod), which fixes the top in
+        # both superpods and the mid in both pods — one more turn of
+        # the dispersive-routing recursion.
+        apex = src % self.n_apex
+        top = apex // self._half
         mid = top // self._half
         return Route(
             src,
@@ -144,7 +208,9 @@ class ClosTopology(Topology):
             (
                 f"leaf{src_leaf}",
                 f"mid{src_pod}_{mid}",
-                f"top{top}",
+                f"top{src_sp}_{top}",
+                f"apex{apex}",
+                f"top{dst_sp}_{top}",
                 f"mid{dst_pod}_{mid}",
                 f"leaf{dst_leaf}",
             ),

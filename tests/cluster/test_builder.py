@@ -50,7 +50,7 @@ def test_node_count_limits():
     with pytest.raises(ValueError):
         build_myrinet_cluster("lanai_xp_xeon2400", nodes=0)
     with pytest.raises(ValueError, match="at most"):
-        build_myrinet_cluster("lanai_xp_xeon2400", nodes=513)
+        build_myrinet_cluster("lanai_xp_xeon2400", nodes=4097)
 
 
 def test_myrinet_three_level_clos_capacity():
@@ -59,6 +59,12 @@ def test_myrinet_three_level_clos_capacity():
     assert cluster.topology.levels == 3
     cluster512 = build_myrinet_cluster("lanai_xp_xeon2400", nodes=512)
     assert cluster512.n == 512
+
+
+def test_myrinet_four_level_clos_capacity():
+    """The scale sweeps extend the Clos one more level: 4096 hosts."""
+    cluster = build_myrinet_cluster("lanai_xp_xeon2400", nodes=513)
+    assert cluster.topology.levels == 4
 
 
 def test_quadrics_accepts_fault_injection():

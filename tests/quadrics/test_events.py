@@ -85,3 +85,53 @@ def test_cumulative_thresholds_model_consecutive_barriers():
     for _ in range(3):
         ev.set_event()
     assert completions == [0, 1, 2]
+
+
+def test_waiters_armed_out_of_order_fire_in_threshold_order():
+    """The armed set is a threshold min-heap, not an arm-order list.
+
+    Regression guard for the prearmed-chain scan: with one waiter per
+    future iteration parked on the head event, a set-event must only
+    compare against the *lowest* armed threshold, and a jump that
+    crosses several thresholds fires them lowest-first.
+    """
+    ev = ElanEvent()
+    fired = []
+    ev.arm(5, lambda: fired.append("c"))
+    ev.arm(1, lambda: fired.append("a"))
+    ev.arm(3, lambda: fired.append("b"))
+    ev.set_event()
+    assert fired == ["a"]
+    ev.set_event(4)  # crosses 3 and 5 in one increment
+    assert fired == ["a", "b", "c"]
+
+
+def test_equal_thresholds_fire_in_arm_order():
+    ev = ElanEvent()
+    fired = []
+    ev.arm(2, lambda: fired.append("first"))
+    ev.arm(2, lambda: fired.append("second"))
+    ev.set_event(2)
+    assert fired == ["first", "second"]
+
+
+def test_action_may_rearm_the_same_event():
+    """A chained action arming an already-reached threshold fires inline
+    (the chained barrier's back-to-back iteration handoff)."""
+    ev = ElanEvent()
+    fired = []
+    ev.arm(1, lambda: ev.arm(1, lambda: fired.append("rearmed")))
+    ev.set_event()
+    assert fired == ["rearmed"]
+
+
+def test_action_may_set_the_same_event():
+    """A set-event from inside an action wakes later thresholds."""
+    ev = ElanEvent()
+    fired = []
+    ev.arm(1, lambda: ev.set_event())
+    ev.arm(2, lambda: fired.append("chained"))
+    ev.set_event()
+    assert fired == ["chained"]
+    assert ev.count == 2
+    assert ev.armed_count == 0

@@ -228,7 +228,7 @@ def test_detached_fifo_survives_compaction():
     for handle in handles:
         handle.cancel()
     sim.schedule(5.0, seen.append, "keep-4")  # triggers compaction
-    assert len(sim._heap) < 100, "compaction did not fire"
+    assert sim._pending < 100, "compaction did not fire"
     sim.schedule_detached(5.0, seen.append, "keep-5")
     sim.run()
     assert seen == ["keep-1", "keep-2", "keep-3", "keep-4", "keep-5"]
@@ -245,6 +245,97 @@ def test_clock_monotonic_across_many_events():
     sim.run()
     assert stamps == sorted(stamps)
     assert len(stamps) == 500
+
+
+class TestQuiescenceFastForward:
+    """The calendar queue drops all-cancelled buckets wholesale: the
+    clock jumps over quiescent intervals without materializing their
+    timestamps, while armed (live) timers spanning the gap still fire
+    at their exact times."""
+
+    def test_all_cancelled_buckets_are_skipped(self):
+        sim = Simulator()
+        seen = []
+        timers = [sim.schedule(float(t), seen.append, t) for t in range(10, 5000, 10)]
+        sim.schedule(9000.0, seen.append, "end")
+        for timer in timers:
+            timer.cancel()
+        observed = []
+        while sim.step():
+            observed.append(sim.now)
+        # The clock never lands on any cancelled-timer timestamp.
+        assert observed == [9000.0]
+        assert seen == ["end"]
+        assert sim._cancelled == 0
+        assert sim._pending == 0
+
+    def test_armed_timer_spanning_gap_still_fires(self):
+        """A live timer in the middle of a field of cancelled ones must
+        fire at its exact time — fast-forward may only skip buckets with
+        nothing live in them."""
+        sim = Simulator()
+        seen = []
+        cancelled = [
+            sim.schedule(float(t), seen.append, ("dead", t))
+            for t in range(100, 1000, 100)
+        ]
+        sim.schedule(550.0, seen.append, ("live-detached", 550.0))
+        survivor = sim.schedule(500.0, lambda: seen.append(("live", sim.now)))
+        sim.schedule(2000.0, lambda: seen.append(("tail", sim.now)))
+        for timer in cancelled:
+            timer.cancel()
+        sim.run()
+        assert seen == [
+            ("live", 500.0),
+            ("live-detached", 550.0),
+            ("tail", 2000.0),
+        ]
+        assert survivor.executed
+
+    def test_mixed_bucket_reaps_cancelled_but_runs_live(self):
+        """Cancelled and live entries at the same timestamp: the live
+        ones run (in FIFO order), the cancelled ones are reaped in the
+        same activation pass."""
+        sim = Simulator()
+        seen = []
+        a = sim.schedule(5.0, seen.append, "a")
+        sim.schedule(5.0, seen.append, "b")
+        c = sim.schedule(5.0, seen.append, "c")
+        sim.schedule(5.0, seen.append, "d")
+        a.cancel()
+        c.cancel()
+        sim.run()
+        assert seen == ["b", "d"]
+        assert sim._cancelled == 0
+
+    def test_run_until_fast_forwards_over_cancelled_tail(self):
+        """peek() must reap an all-cancelled future bucket rather than
+        report its time, so run(until=...) neither stalls nor executes
+        anything dead."""
+        sim = Simulator()
+        timer = sim.schedule(50.0, lambda: None)
+        timer.cancel()
+        assert sim.peek() == float("inf")
+        sim.run(until=100.0)
+        assert sim.now == 100.0
+        assert sim._pending == 0
+
+    def test_cancel_during_drain_of_same_bucket(self):
+        """An entry cancelled by an earlier same-time callback must not
+        run even though its bucket was already activated."""
+        sim = Simulator()
+        seen = []
+        handles = {}
+
+        def killer():
+            seen.append("killer")
+            handles["victim"].cancel()
+
+        sim.schedule(3.0, killer)
+        handles["victim"] = sim.schedule(3.0, seen.append, "victim")
+        sim.schedule(3.0, seen.append, "after")
+        sim.run()
+        assert seen == ["killer", "after"]
 
 
 class TestLateCancel:

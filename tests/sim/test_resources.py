@@ -366,3 +366,46 @@ class TestArbitratedResource:
         res = ArbitratedResource(sim)
         with pytest.raises(RuntimeError):
             res.release()
+
+    def test_cancelled_would_be_winner_is_skipped(self):
+        """Lazy O(1) cancellation: the entry stays in the heap but the
+        decision pass reaps it and grants the next key instead."""
+        sim = Simulator()
+        res = ArbitratedResource(sim)
+        a = res.request(key="a")
+        b = res.request(key="b")
+        c = res.request(key="c")
+        assert res.cancel_request(a) is True
+        sim.run()
+        assert not a.triggered
+        assert b.triggered
+        assert not c.triggered
+        assert res.queue_length == 1
+
+    def test_queue_length_counts_only_live_waiters(self):
+        sim = Simulator()
+        res = ArbitratedResource(sim)
+        res.request(key="a")
+        waiters = [res.request(key=f"w{i}") for i in range(4)]
+        sim.run()
+        assert res.queue_length == 4
+        for w in waiters[1:3]:
+            assert res.cancel_request(w) is True
+        # Cancellation is in place (no heap scan), but the public count
+        # is exact immediately.
+        assert res.queue_length == 2
+
+    def test_cancel_non_head_waiter_never_granted_on_release(self):
+        sim = Simulator()
+        res = ArbitratedResource(sim)
+        holder = res.request(key="a")
+        b = res.request(key="b")
+        c = res.request(key="c")
+        sim.run()
+        assert holder.triggered
+        assert res.cancel_request(b) is True
+        res.release()
+        sim.run()
+        assert not b.triggered
+        assert c.triggered
+        assert res.queue_length == 0

@@ -63,7 +63,7 @@ def test_route_is_deterministic():
 
 def test_capacity_limit_enforced():
     with pytest.raises(ValueError):
-        ClosTopology(513, radix=16)  # three-level max is 8^3 = 512
+        ClosTopology(4097, radix=16)  # four-level max is 8^4 = 4096
 
 
 def test_three_level_clos_beyond_two_level_capacity():
@@ -95,6 +95,48 @@ def test_three_level_all_pairs_sample():
             route = topo.route(s, d)
             if s != d:
                 assert 1 <= route.switch_count <= 5
+
+
+def test_four_level_clos_beyond_three_level_capacity():
+    topo = ClosTopology(513, radix=16)
+    assert topo.levels == 4
+
+
+def test_four_level_routes():
+    topo = ClosTopology(4096, radix=16)
+    # Sub-superpod traffic keeps the three-level shapes.
+    assert len(topo.route(0, 63).hops) == 3
+    intra_sp = topo.route(0, 511)
+    assert len(intra_sp.hops) == 5
+    assert intra_sp.hops[2].startswith("top0_")
+    # Cross-superpod traffic climbs to an apex: 7 hops, 8 links.
+    cross_sp = topo.route(0, 4095)
+    assert len(cross_sp.hops) == 7
+    assert cross_sp.hops[3].startswith("apex")
+    assert cross_sp.link_count == 8
+    # Dispersive ownership: each source's flows own one apex.
+    assert topo.route(7, 4095).hops[3] == "apex7"
+    # Every hop is a real switch, paths are deterministic.
+    switches = set(topo.switches())
+    for s in range(0, 4096, 509):
+        for d in range(0, 4096, 487):
+            if s == d:
+                continue
+            route = topo.route(s, d)
+            assert 1 <= route.switch_count <= 7
+            assert all(h in switches for h in route.hops)
+    assert topo.route(0, 4095) == topo.route(0, 4095)
+
+
+def test_three_level_layout_unchanged_by_four_level_support():
+    """Regression guard: adding level 4 must not move any <=512-node
+    route (frozen baselines depend on the exact paths)."""
+    topo = ClosTopology(512, radix=16)
+    assert topo.levels == 3
+    assert topo.route(0, 511).hops == (
+        "leaf0", "mid0_0", "top0", "mid7_0", "leaf63",
+    )
+    assert "apex0" not in topo.switches()
 
 
 def test_port_range_validation():
