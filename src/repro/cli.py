@@ -22,6 +22,10 @@ Commands:
   applicable barrier scheme, with per-run invariant checks, quiescence
   audits, and tie-break determinism rounds (exit 0 pass / 1 fail);
   ``--report`` additionally writes the markdown degradation report.
+- ``tune``        — auto-tune collective algorithm selection: sweep
+  algorithm x N x payload through the run cache and write the winners'
+  decision table (point ``REPRO_TUNING_TABLE`` at it to have
+  ``ProcessGroup(algorithm="auto")`` consult it).
 - ``cache``       — inspect/maintain the persistent run cache
   (``stats``, ``gc``, ``clear``).  ``report``/``experiment``/``trace``/
   ``chaos`` take ``--cache/--no-cache``; ``REPRO_CACHE=0`` disables
@@ -226,6 +230,19 @@ def _cmd_report(args: argparse.Namespace) -> int:
     return report_main(forwarded)
 
 
+def _cmd_tune(args: argparse.Namespace) -> int:
+    from repro.tools.tune import main as tune_main
+
+    forwarded = ["--out", args.out, "--jobs", str(args.jobs)]
+    if args.quick:
+        forwarded.append("--quick")
+    if args.repeats is not None:
+        forwarded.extend(["--repeats", str(args.repeats)])
+    if not args.cache:
+        forwarded.append("--no-cache")
+    return tune_main(forwarded)
+
+
 def _cmd_cache(args: argparse.Namespace) -> int:
     from repro.tools.runcache import RunCache, cache_enabled, default_root
 
@@ -256,7 +273,7 @@ def _cmd_cache(args: argparse.Namespace) -> int:
 
 EXPERIMENT_NAMES = [
     "fig5", "fig6", "fig7", "fig8", "headline",
-    "ablation", "skew", "extensions", "sensitivity",
+    "ablation", "skew", "extensions", "overlap", "tuned", "sensitivity",
 ]
 
 
@@ -363,6 +380,20 @@ def build_parser() -> argparse.ArgumentParser:
                                help="worker processes for sweep points (1 = serial)")
     report_parser.add_argument("--cache", **cache_flag)
 
+    tune_parser = sub.add_parser(
+        "tune",
+        help="auto-tune algorithm selection; write the decision table",
+    )
+    tune_parser.add_argument("--out", default="tuning_table.json",
+                             help="decision-table output path")
+    tune_parser.add_argument("--quick", action="store_true",
+                             help="small grid (2 sizes, 2 payloads)")
+    tune_parser.add_argument("--jobs", type=int, default=1,
+                             help="worker processes for grid points (1 = serial)")
+    tune_parser.add_argument("--repeats", type=int, default=None,
+                             help="operations per grid point")
+    tune_parser.add_argument("--cache", **cache_flag)
+
     cache_parser = sub.add_parser(
         "cache", help="inspect/maintain the persistent run cache"
     )
@@ -390,6 +421,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "trace": _cmd_trace,
         "lint": _cmd_lint,
         "chaos": _cmd_chaos,
+        "tune": _cmd_tune,
         "cache": _cmd_cache,
     }
     return handlers[args.command](args)

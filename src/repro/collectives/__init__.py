@@ -19,15 +19,25 @@ Layout:
   send/recv (the baseline of Figs. 5-6).
 - :mod:`~repro.collectives.quadrics_barrier` — NIC-based barrier over
   chained RDMA descriptors on Elan3 (§7).
+- :mod:`~repro.collectives.schedule_ir` — the compiled collective
+  schedule IR (ordered send/recv/reduce/dma ops per rank) the data
+  engines replay; cached process-wide and per group.
+- :mod:`~repro.collectives.nonblocking` — non-blocking host APIs
+  (``nic_ibarrier`` & friends) returning request handles with
+  ``test``/``wait``.
+- :mod:`~repro.collectives.tuning` — persisted algorithm decision
+  tables the auto-tuner emits and ``ProcessGroup`` consults.
 """
 
 from repro.collectives.algorithms import (
     BarrierSchedule,
     Phase,
+    configure_schedule_cache,
     dissemination,
     gather_broadcast,
     make_schedule,
     pairwise_exchange,
+    schedule_cache_stats,
 )
 from repro.collectives.group import ProcessGroup
 from repro.collectives.messages import (
@@ -79,6 +89,30 @@ from repro.collectives.allreduce import (
     NicAllreduceEngine,
     nic_allreduce,
 )
+from repro.collectives.reduce import (
+    NicReduceEngine,
+    nic_reduce,
+)
+from repro.collectives.schedule_ir import (
+    CollectiveSchedule,
+    ScheduleOp,
+    compile_schedule,
+    reduce_safe,
+)
+from repro.collectives.nonblocking import (
+    CollectiveRequest,
+    nic_iallgather,
+    nic_iallreduce,
+    nic_ialltoall,
+    nic_ibarrier,
+    nic_ibcast,
+    nic_ireduce,
+)
+from repro.collectives.tuning import (
+    DecisionTable,
+    install_decision_table,
+    pick_algorithm,
+)
 
 __all__ = [
     "BarrierSchedule",
@@ -118,4 +152,22 @@ __all__ = [
     "nic_alltoall",
     "NicAllreduceEngine",
     "nic_allreduce",
+    "NicReduceEngine",
+    "nic_reduce",
+    "CollectiveSchedule",
+    "ScheduleOp",
+    "compile_schedule",
+    "reduce_safe",
+    "CollectiveRequest",
+    "nic_ibarrier",
+    "nic_ibcast",
+    "nic_iallgather",
+    "nic_iallreduce",
+    "nic_ireduce",
+    "nic_ialltoall",
+    "DecisionTable",
+    "install_decision_table",
+    "pick_algorithm",
+    "configure_schedule_cache",
+    "schedule_cache_stats",
 ]

@@ -24,9 +24,10 @@ so receivers can match arrivals on (sequence, sender) alone.
 from __future__ import annotations
 
 import math
+import os
+from collections import OrderedDict
 from dataclasses import dataclass
-from functools import lru_cache
-from typing import Callable, Optional
+from typing import Any, Callable, Optional
 
 
 @dataclass(frozen=True)
@@ -215,11 +216,98 @@ _BUILDERS: dict[str, Callable[[int], BarrierSchedule]] = {
 }
 
 
-@lru_cache(maxsize=8)
-def _validated_schedule(algorithm: str, n: int) -> BarrierSchedule:
-    schedule = _BUILDERS[algorithm](n)
-    schedule.validate()
-    return schedule
+class ScheduleCache:
+    """LRU cache for compiled schedules, with observable hit rates.
+
+    Backs both :func:`make_schedule` (barrier message patterns) and the
+    collective-schedule IR compiler (:mod:`repro.collectives
+    .schedule_ir`): one store, one eviction policy, one set of
+    counters.  The old ``functools.lru_cache(maxsize=8)`` thrashed
+    under tuner sweeps — every ``(algorithm, N)`` point evicted another
+    point's schedule and the hit counters were invisible to perfbench.
+    The size is now configurable (``REPRO_SCHEDULE_CACHE_SIZE`` or
+    :func:`configure_schedule_cache`, which sweeps size from their
+    point count), and ``stats()`` exposes hits/misses/evictions.
+    """
+
+    def __init__(self, maxsize: int = 8):
+        if maxsize < 1:
+            raise ValueError("schedule cache needs at least one slot")
+        self.maxsize = maxsize
+        self._entries: "OrderedDict[tuple, Any]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def get_or_build(self, key: tuple, build: Callable[[], Any]) -> Any:
+        entry = self._entries.get(key)
+        if entry is not None:
+            self.hits += 1
+            self._entries.move_to_end(key)
+            return entry
+        self.misses += 1
+        entry = self._entries[key] = build()
+        while len(self._entries) > self.maxsize:
+            self._entries.popitem(last=False)
+            self.evictions += 1
+        return entry
+
+    def resize(self, maxsize: int) -> None:
+        if maxsize < 1:
+            raise ValueError("schedule cache needs at least one slot")
+        self.maxsize = maxsize
+        while len(self._entries) > maxsize:
+            self._entries.popitem(last=False)
+            self.evictions += 1
+
+    def clear(self) -> None:
+        """Drop every entry and zero the counters (a fresh baseline for
+        benchmarks and tests)."""
+        self._entries.clear()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def stats(self) -> dict:
+        return {
+            "size": len(self._entries),
+            "maxsize": self.maxsize,
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "hit_rate": round(self.hit_rate, 4),
+        }
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+
+def _default_cache_size() -> int:
+    raw = os.environ.get("REPRO_SCHEDULE_CACHE_SIZE", "")
+    return max(1, int(raw)) if raw else 8
+
+
+#: The process-wide schedule cache.  A 16k-rank schedule is tens of
+#: megabytes, so the default stays small; sweeps that touch many
+#: ``(algorithm, N)`` points resize it to their working set.
+SCHEDULE_CACHE = ScheduleCache(_default_cache_size())
+
+
+def configure_schedule_cache(maxsize: Optional[int] = None) -> ScheduleCache:
+    """Resize the process-wide schedule cache (e.g. to a sweep's point
+    count) and return it.  ``None`` restores the default size."""
+    SCHEDULE_CACHE.resize(maxsize if maxsize is not None else _default_cache_size())
+    return SCHEDULE_CACHE
+
+
+def schedule_cache_stats() -> dict:
+    """Hit-rate counters for perfbench and the tuner."""
+    return SCHEDULE_CACHE.stats()
 
 
 def make_schedule(algorithm: str, n: int) -> BarrierSchedule:
@@ -227,13 +315,17 @@ def make_schedule(algorithm: str, n: int) -> BarrierSchedule:
 
     Schedules are immutable and depend only on ``(algorithm, n)``, so
     repeat builds (a bench point's trials, a sweep's per-size reference
-    runs) come from a small cache instead of re-deriving and
+    runs) come from :data:`SCHEDULE_CACHE` instead of re-deriving and
     re-validating a quarter-million :class:`Phase` objects at N=16384.
-    The cache is deliberately small: a 16k-rank schedule is tens of
-    megabytes, and a sweep worker only ever revisits its latest sizes.
     """
     if algorithm not in _BUILDERS:
         raise ValueError(
             f"unknown algorithm {algorithm!r}; choose from {sorted(_BUILDERS)}"
         )
-    return _validated_schedule(algorithm, n)
+
+    def build() -> BarrierSchedule:
+        schedule = _BUILDERS[algorithm](n)
+        schedule.validate()
+        return schedule
+
+    return SCHEDULE_CACHE.get_or_build(("pattern", algorithm, n), build)

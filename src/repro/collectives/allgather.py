@@ -41,9 +41,17 @@ AllgatherDone = DataCollDone
 
 
 class NicAllgatherEngine(DisseminationDataEngine):
-    """Per-(NIC, group) Allgather engine."""
+    """Per-(NIC, group) Allgather engine.
+
+    The known-set union merge is idempotent and commutative, so the
+    engine runs on any compiled message pattern (dissemination,
+    pairwise-exchange, gather-broadcast) — whichever the group or the
+    tuner's decision table picked.
+    """
 
     counter_prefix = "allgather"
+    collective_name = "allgather"
+    bytes_per_value = BYTES_PER_VALUE
 
     def _init_data(self, state: _DataState, args: tuple) -> None:
         (value,) = args
@@ -51,7 +59,7 @@ class NicAllgatherEngine(DisseminationDataEngine):
 
     def _phase_payload(self, state: _DataState, phase: int) -> tuple[Any, int]:
         payload = tuple(sorted(state.data.items()))
-        return payload, BYTES_PER_VALUE * len(payload)
+        return payload, self.bytes_per_value * len(payload)
 
     def _merge(self, state: _DataState, payload: Any, phase: int) -> None:
         state.data.update(dict(payload))
@@ -60,7 +68,7 @@ class NicAllgatherEngine(DisseminationDataEngine):
         assert len(state.data) == self.group.size
         return (
             tuple(sorted(state.data.items())),
-            BYTES_PER_VALUE * self.group.size,
+            self.bytes_per_value * self.group.size,
         )
 
 

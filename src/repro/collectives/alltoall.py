@@ -40,9 +40,17 @@ AlltoallDone = DataCollDone
 
 
 class NicAlltoallEngine(DisseminationDataEngine):
-    """Per-(NIC, group) Alltoall engine (Bruck algorithm)."""
+    """Per-(NIC, group) Alltoall engine (Bruck algorithm).
+
+    Bruck routing is keyed to the dissemination distances (``2^m`` per
+    round), so the engine pins that pattern regardless of the group's
+    or the tuner's algorithm choice.
+    """
 
     counter_prefix = "alltoall"
+    collective_name = "alltoall"
+    forced_algorithm = "dissemination"
+    bytes_per_value = BYTES_PER_BLOCK
 
     def _init_data(self, state: _DataState, args: tuple) -> None:
         (blocks,) = args
@@ -72,7 +80,7 @@ class NicAlltoallEngine(DisseminationDataEngine):
             del buckets[distance][origin]
             if not buckets[distance]:
                 del buckets[distance]
-        return tuple(moving), BYTES_PER_BLOCK * len(moving)
+        return tuple(moving), self.bytes_per_value * len(moving)
 
     def _merge(self, state: _DataState, payload: Any, phase: int) -> None:
         buckets = state.data["buckets"]
@@ -91,7 +99,7 @@ class NicAlltoallEngine(DisseminationDataEngine):
         assert len(arrived) == self.group.size
         return (
             tuple(sorted(arrived.items())),
-            BYTES_PER_BLOCK * self.group.size,
+            self.bytes_per_value * self.group.size,
         )
 
 

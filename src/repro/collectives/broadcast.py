@@ -22,8 +22,12 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Any, Optional
 
+from repro.collectives.data_engine import CollectiveFailure, DataCollFailed
 from repro.collectives.group import ProcessGroup
 from repro.network import Packet, PacketKind
+
+#: Typed failure reason when a child exhausts its NACK retry budget.
+BCAST_RETRY_BUDGET_EXHAUSTED = "bcast-retry-budget-exhausted"
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.myrinet.gm_api import GmPort
@@ -122,13 +126,30 @@ class NicBroadcastEngine:
         self.parent = binomial_parent(rank, group.size)
         self.states: dict[int, _BcastState] = {}
         self.broadcasts_completed = 0
-        self.done_through = -1  # broadcasts complete in order per rank
+        # Per-seq retirement, aligned with the bounded SRAM archive:
+        # non-blocking broadcasts can complete out of order (a
+        # NACK-recovered seq finishing after a younger one), so a
+        # single high-watermark would drop live low-seq payloads.
+        self.done_floor = -1
         # Delivered payloads stay resendable (SRAM buffer pool, as in
-        # the multicast paper); pruned FIFO.
-        self.archive: dict[int, BcastMsg] = {}
+        # the multicast paper); pruned FIFO.  A failed seq archives
+        # ``None`` — retired, but nothing to resend.
+        self.archive: dict[int, Optional[BcastMsg]] = {}
         nic.register_engine(group.group_id, self)
 
     # ------------------------------------------------------------------
+    def _retired(self, seq: int) -> bool:
+        return seq <= self.done_floor or seq in self.archive
+
+    def _retire(self, state: _BcastState) -> None:
+        state.cancel_timer()
+        del self.states[state.seq]
+        self.archive[state.seq] = state.message
+        while len(self.archive) > self.nic.params.coll_archive_depth:
+            pruned = min(self.archive)
+            self.archive.pop(pruned)
+            self.done_floor = max(self.done_floor, pruned)
+
     def _state(self, seq: int) -> _BcastState:
         state = self.states.get(seq)
         if state is None:
@@ -181,7 +202,7 @@ class NicBroadcastEngine:
         message: BcastMsg = packet.payload
         nic = self.nic
         yield from nic.cpu_task(nic.params.t_coll_trigger)
-        if message.seq <= self.done_through:
+        if self._retired(message.seq):
             nic.tracer.count("bcast.rx_duplicate")
             return
         state = self._state(message.seq)
@@ -200,15 +221,8 @@ class NicBroadcastEngine:
         nic = self.nic
         message = state.message
         for child in self.children:
-            yield from nic.cpu_task(nic.params.t_inject)
-            nic.fabric.transmit(
-                Packet(
-                    src=nic.node_id,
-                    dst=self.group.node_of(child),
-                    kind=PacketKind.BCAST,
-                    size_bytes=nic.params.data_header_bytes + message.size_bytes,
-                    payload=message,
-                )
+            yield from nic.coll_inject(
+                self.group.node_of(child), message, message.size_bytes
             )
             nic.tracer.count("bcast.forwarded")
 
@@ -227,11 +241,7 @@ class NicBroadcastEngine:
         yield from nic.cpu_task(nic.params.t_coll_complete)
         self.broadcasts_completed += 1
         nic.tracer.count("bcast.delivered")
-        del self.states[state.seq]
-        self.done_through = max(self.done_through, state.seq)
-        self.archive[state.seq] = message
-        while len(self.archive) > nic.params.coll_archive_depth:
-            self.archive.pop(min(self.archive))
+        self._retire(state)
         yield from nic.notify_host(
             BcastDone(
                 self.group.group_id,
@@ -239,6 +249,14 @@ class NicBroadcastEngine:
                 message.size_bytes,
                 message.payload,
             )
+        )
+
+    def _fail(self, state: _BcastState, reason: str):
+        nic = self.nic
+        nic.tracer.count("bcast.failed")
+        self._retire(state)
+        yield from nic.notify_host(
+            DataCollFailed(self.group.group_id, state.seq, reason, nic.sim.now)
         )
 
     # ------------------------------------------------------------------
@@ -261,9 +279,11 @@ class NicBroadcastEngine:
             return
         state.nack_rounds += 1
         if state.nack_rounds > self.nic.params.max_retries:
-            # Declare the parent dead rather than NACK forever (and
-            # guarantee the simulation terminates).
+            # Declare the parent dead: tear the sequence down with a
+            # typed failure so the joined host unblocks instead of
+            # waiting in recv_matching forever.
             self.nic.tracer.count("bcast.gave_up")
+            yield from self._fail(state, BCAST_RETRY_BUDGET_EXHAUSTED)
             return
         self.nic.tracer.count("bcast.nack_timeout")
         yield from self.nic.send_nack(
@@ -291,25 +311,34 @@ class NicBroadcastEngine:
         else:
             nic.tracer.count("bcast.nack_premature")
             return
-        yield from nic.cpu_task(nic.params.t_inject)
-        nic.fabric.transmit(
-            Packet(
-                src=nic.node_id,
-                dst=self.group.node_of(nack.requester),
-                kind=PacketKind.BCAST,
-                size_bytes=nic.params.data_header_bytes + message.size_bytes,
-                payload=message,
-            )
+        yield from nic.coll_inject(
+            self.group.node_of(nack.requester), message, message.size_bytes
         )
 
 
 # ----------------------------------------------------------------------
 # Host-side entry points
 # ----------------------------------------------------------------------
-def nic_broadcast_root(
+def broadcast_matcher(group: ProcessGroup, seq: int):
+    """Event matcher for one broadcast's local delivery or failure."""
+    return (
+        lambda ev: isinstance(ev, (BcastDone, DataCollFailed))
+        and ev.group_id == group.group_id
+        and ev.seq == seq
+    )
+
+
+def interpret_broadcast(done, group: ProcessGroup, node_id: int):
+    if isinstance(done, DataCollFailed):
+        raise CollectiveFailure(group.group_id, done.seq, done.reason, node=node_id)
+    return done
+
+
+def post_broadcast_root(
     port: "GmPort", group: ProcessGroup, seq: int, size_bytes: int, payload: Any = None
 ):
-    """Root side: push the payload to the NIC and start the broadcast."""
+    """Root side, non-blocking: push the payload to the NIC and start
+    the broadcast without waiting for delivery."""
     from repro.pci import DmaDirection
 
     rank = group.rank_of(port.node_id)
@@ -324,22 +353,32 @@ def nic_broadcast_root(
             BcastMsg(group.group_id, seq, rank, size_bytes, payload),
         )
     )
-    done = yield from port.recv_matching(
-        lambda ev: isinstance(ev, BcastDone)
-        and ev.group_id == group.group_id
-        and ev.seq == seq
-    )
+
+
+def post_broadcast_recv(port: "GmPort", group: ProcessGroup, seq: int):
+    """Non-root side, non-blocking: join the broadcast."""
+    yield from port.cpu.compute(port.cpu.params.recv_overhead_us)
+    yield from port.pci.pio_write()
+    port.nic.post_engine_command((group.group_id, "join", seq))
+
+
+def wait_broadcast(port: "GmPort", group: ProcessGroup, seq: int):
+    """Block until broadcast ``seq`` delivers locally (or fails typed)."""
+    done = yield from port.recv_matching(broadcast_matcher(group, seq))
+    return interpret_broadcast(done, group, port.node_id)
+
+
+def nic_broadcast_root(
+    port: "GmPort", group: ProcessGroup, seq: int, size_bytes: int, payload: Any = None
+):
+    """Root side: push the payload to the NIC and start the broadcast."""
+    yield from post_broadcast_root(port, group, seq, size_bytes, payload)
+    done = yield from wait_broadcast(port, group, seq)
     return done
 
 
 def nic_broadcast_recv(port: "GmPort", group: ProcessGroup, seq: int):
     """Non-root side: join the broadcast and wait for local delivery."""
-    yield from port.cpu.compute(port.cpu.params.recv_overhead_us)
-    yield from port.pci.pio_write()
-    port.nic.post_engine_command((group.group_id, "join", seq))
-    done = yield from port.recv_matching(
-        lambda ev: isinstance(ev, BcastDone)
-        and ev.group_id == group.group_id
-        and ev.seq == seq
-    )
+    yield from post_broadcast_recv(port, group, seq)
+    done = yield from wait_broadcast(port, group, seq)
     return done

@@ -1,21 +1,32 @@
-"""Shared machinery for data-bearing dissemination collectives.
+"""Shared machinery for data-bearing collectives on the NIC.
 
 The barrier's collective protocol generalizes to data collectives that
-follow the same dissemination message pattern (one send + one receive
-per round, ``ceil(log2 N)`` rounds): Allgather, Alltoall (Bruck) and
-Allreduce all specialize :class:`DisseminationDataEngine` through four
-hooks:
+replay a precompiled :class:`~repro.collectives.schedule_ir
+.CollectiveSchedule` — an ordered list of send/recv/reduce/dma ops per
+rank, compiled once per ``(collective, algorithm, group, payload)`` and
+cached on the :class:`ProcessGroup`.  Allgather, Alltoall (Bruck) and
+Allreduce/Reduce all specialize :class:`DisseminationDataEngine`
+through four hooks:
 
 - ``_init_data``      — seed per-sequence state from the host command;
-- ``_phase_payload``  — build round *m*'s outgoing payload (+ wire bytes);
+- ``_phase_payload``  — build phase *m*'s outgoing payload (+ wire bytes);
 - ``_merge``          — fold an arrived payload into the state;
 - ``_finish``         — produce the host-visible result (+ DMA bytes).
 
 The base class provides everything the paper's protocol prescribes:
 the fast send path (no p2p queues/records), one logical record per
-operation, receiver-driven NACK retransmission, cumulative duplicate
+operation, receiver-driven NACK retransmission, per-sequence duplicate
 suppression, and retention of sent payloads so even post-completion
 NACKs are answerable.
+
+Sequences are independent: several can be in flight per group (the
+non-blocking APIs in :mod:`repro.collectives.nonblocking` depend on
+this) and they may *complete out of order* — e.g. a NACK-recovered
+sequence finishing after a younger one sailed through.  Retirement is
+therefore tracked per sequence, aligned with the bounded send archive,
+rather than with a single high-watermark: a message is a duplicate iff
+its sequence sits in the archive (recently retired) or at/below the
+floor the archive has pruned past.
 """
 
 from __future__ import annotations
@@ -23,18 +34,22 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Any, Optional
 
-from repro.collectives.algorithms import dissemination
 from repro.collectives.group import ProcessGroup
 from repro.collectives.messages import BarrierFailure
+from repro.collectives.schedule_ir import CollectiveSchedule, ScheduleOp
 from repro.network import Packet, PacketKind
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.myrinet.nic import LanaiNic
 
+#: Typed failure reason when a receiver exhausts its NACK retry budget.
+RETRY_BUDGET_EXHAUSTED = "datacoll-retry-budget-exhausted"
+
 
 @dataclass(frozen=True)
 class DataCollMsg:
-    """One dissemination hop of a data collective."""
+    """One hop of a data collective.  ``phase`` is the *sender's* phase
+    index — receivers match it against their op's ``peer_phase``."""
 
     group_id: int
     seq: int
@@ -47,7 +62,8 @@ class DataCollMsg:
 @dataclass(frozen=True)
 class DataCollNack:
     """Receiver-driven retransmission request (shared by all data
-    collectives)."""
+    collectives).  ``phase`` is the missing *sender's* phase index, so
+    the sender can look the payload up directly."""
 
     group_id: int
     seq: int
@@ -70,9 +86,10 @@ class DataCollFailed:
     """Failure notification the NIC DMAs to the host.
 
     Posted when the engine detects an unrecoverable protocol violation
-    (e.g. ranks disagreeing on the Allreduce operator).  The NIC has
-    already torn the sequence's state down; the host-side wrapper
-    raises it as :class:`CollectiveFailure`.
+    (e.g. ranks disagreeing on the Allreduce operator) or gives up on a
+    retransmission budget.  The NIC has already torn the sequence's
+    state down; the host-side wrapper raises it as
+    :class:`CollectiveFailure`.
     """
 
     group_id: int
@@ -91,20 +108,25 @@ class _DataState:
     """Per-(rank, sequence) progress for one data collective."""
 
     __slots__ = (
-        "seq", "data", "phase", "started", "complete", "in_progress",
-        "sent_current_phase", "sent_messages", "pending", "nack_timer",
-        "nack_rounds",
+        "seq", "data", "op_index", "started", "complete", "in_progress",
+        "received", "payload_phase", "payload_value", "payload_nbytes",
+        "sent_messages", "pending", "nack_timer", "nack_rounds",
     )
 
     def __init__(self, seq: int):
         self.seq = seq
         self.data: Any = None
-        self.phase = 0
+        self.op_index = 0
         self.started = False
         self.complete = False
         self.in_progress = False
-        self.sent_current_phase = False
-        self.sent_messages: dict[int, DataCollMsg] = {}
+        self.received: Optional[DataCollMsg] = None
+        # A phase's payload is built exactly once, even when the phase
+        # sends to several peers (Alltoall's hook is destructive).
+        self.payload_phase = -1
+        self.payload_value: Any = None
+        self.payload_nbytes = 0
+        self.sent_messages: dict[int, DataCollMsg] = {}  # phase -> message
         self.pending: dict[int, DataCollMsg] = {}  # sender -> message
         self.nack_timer = None
         self.nack_rounds = 0
@@ -116,14 +138,26 @@ class _DataState:
 
 
 class DisseminationDataEngine:
-    """Base NIC engine for dissemination-patterned data collectives."""
+    """Base NIC engine for schedule-replaying data collectives."""
 
     counter_prefix = "datacoll"
+    #: Name under which the group's compiled schedule is looked up.
+    collective_name = "allgather"
+    #: Pin a message pattern regardless of group/tuner choice (Bruck
+    #: Alltoall only works on dissemination); ``None`` follows the group.
+    forced_algorithm: Optional[str] = None
     #: Per-sequence state class; subclasses needing extra fields (e.g.
     #: Allreduce's operator) override with a ``_DataState`` subclass.
     state_cls = _DataState
 
-    def __init__(self, nic: "LanaiNic", group: ProcessGroup, rank: int):
+    def __init__(
+        self,
+        nic: "LanaiNic",
+        group: ProcessGroup,
+        rank: int,
+        bytes_per_value: Optional[int] = None,
+        root: int = 0,
+    ):
         if group.node_of(rank) != nic.node_id:
             raise ValueError(
                 f"rank {rank} of group {group.group_id} is not on {nic.name}"
@@ -131,14 +165,29 @@ class DisseminationDataEngine:
         self.nic = nic
         self.group = group
         self.rank = rank
-        self.phases = dissemination(group.size).phases(rank)
+        self.root = root
+        if bytes_per_value is not None:
+            self.bytes_per_value = bytes_per_value
+        self.schedule: CollectiveSchedule = group.collective_schedule(
+            self.collective_name,
+            payload_bytes=self.bytes_per_value,
+            algorithm=self.forced_algorithm,
+            root=root,
+        )
+        self.ops: tuple[ScheduleOp, ...] = self.schedule.ops(rank)
         self.states: dict[int, _DataState] = {}
         self.completed = 0
-        self.done_through = -1
-        # Sent payloads retained past completion for stale NACKs
-        # (bounded SRAM retention, pruned FIFO).
+        # Per-seq retirement, aligned with the bounded send archive:
+        # ``archive`` holds the recently-retired sequences (completed or
+        # failed, in any order); ``done_floor`` rises only as the
+        # archive prunes, so everything at/below it is long retired.
         self.archive: dict[int, dict[int, DataCollMsg]] = {}
+        self.done_floor = -1
         nic.register_engine(group.group_id, self)
+
+    #: Default wire bytes of one contributed value (subclasses override
+    #: or the constructor pins it for payload sweeps).
+    bytes_per_value = 4
 
     # -- hooks ---------------------------------------------------------
     def _init_data(self, state: _DataState, args: tuple) -> None:
@@ -168,6 +217,9 @@ class DisseminationDataEngine:
             self.states[seq] = state
         return state
 
+    def _retired(self, seq: int) -> bool:
+        return seq <= self.done_floor or seq in self.archive
+
     def on_command(self, command: tuple):
         kind = command[0]
         if kind == "start":
@@ -191,7 +243,7 @@ class DisseminationDataEngine:
         message: DataCollMsg = packet.payload
         nic = self.nic
         yield from nic.cpu_task(nic.params.t_coll_trigger)
-        if message.seq <= self.done_through:
+        if self._retired(message.seq):
             nic.tracer.count(f"{self.counter_prefix}.rx_duplicate")
             return
         state = self._state(message.seq)
@@ -205,37 +257,55 @@ class DisseminationDataEngine:
     def on_barrier_packet(self, packet: Packet):  # pragma: no cover - guard
         raise TypeError(f"{self.counter_prefix} engine received a barrier packet")
 
-    # -- progress ----------------------------------------------------------
+    # -- schedule replay ---------------------------------------------------
+    def _payload_for(self, state: _DataState, phase: int) -> tuple[Any, int]:
+        if state.payload_phase != phase:
+            state.payload_value, state.payload_nbytes = self._phase_payload(
+                state, phase
+            )
+            state.payload_phase = phase
+        return state.payload_value, state.payload_nbytes
+
     def _progress(self, seq: int):
+        """Replay the compiled op list from where this sequence stands.
+
+        Stalls (returns) at a ``recv`` whose message has not arrived;
+        the next arrival or NACK-recovered retransmission resumes it.
+        """
         state = self._state(seq)
         if state.in_progress:
             return
         state.in_progress = True
         try:
-            while state.phase < len(self.phases):
-                phase = self.phases[state.phase]
-                if not state.sent_current_phase:
-                    state.sent_current_phase = True
-                    payload, nbytes = self._phase_payload(state, state.phase)
-                    for dst in phase.sends:
-                        yield from self._send(
-                            state, state.phase, dst, payload, nbytes
-                        )
-                src = phase.recvs[0]
-                message = state.pending.get(src)
-                if message is None or message.phase != state.phase:
+            ops = self.ops
+            while state.op_index < len(ops):
+                op = ops[state.op_index]
+                if op.kind == "send":
+                    payload, nbytes = self._payload_for(state, op.phase)
+                    state.op_index += 1
+                    yield from self._send(state, op.phase, op.peer, payload, nbytes)
+                elif op.kind == "recv":
+                    message = state.pending.get(op.peer)
+                    if message is None or message.phase != op.peer_phase:
+                        return
+                    del state.pending[op.peer]
+                    reason = self._validate(state, message)
+                    if reason is not None:
+                        yield from self._fail(state, reason)
+                        return
+                    state.received = message
+                    state.op_index += 1
+                elif op.kind == "reduce":
+                    assert state.received is not None
+                    self._merge(state, state.received.payload, op.phase)
+                    state.received = None
+                    state.op_index += 1
+                else:  # dma: deliver the result
+                    state.op_index += 1
+                    if not state.complete:
+                        state.complete = True
+                        yield from self._complete(state)
                     return
-                del state.pending[src]
-                reason = self._validate(state, message)
-                if reason is not None:
-                    yield from self._fail(state, reason)
-                    return
-                self._merge(state, message.payload, state.phase)
-                state.phase += 1
-                state.sent_current_phase = False
-            if not state.complete:
-                state.complete = True
-                yield from self._complete(state)
         finally:
             state.in_progress = False
 
@@ -245,34 +315,32 @@ class DisseminationDataEngine:
             self.group.group_id, state.seq, self.rank, phase, payload, nbytes
         )
         state.sent_messages[phase] = message
-        yield from nic.cpu_task(nic.params.t_inject)
-        nic.fabric.transmit(
-            Packet(
-                src=nic.node_id,
-                dst=self.group.node_of(dst),
-                kind=PacketKind.BCAST,
-                size_bytes=nic.params.data_header_bytes + nbytes,
-                payload=message,
-            )
-        )
+        yield from nic.coll_inject(self.group.node_of(dst), message, nbytes)
         nic.tracer.count(f"{self.counter_prefix}.sent")
+
+    def _retire(self, state: _DataState) -> None:
+        """Shared completion/failure teardown: drop live state, archive
+        the sent payloads for stale NACKs, prune FIFO, and advance the
+        retirement floor past whatever the archive forgot."""
+        state.cancel_timer()
+        del self.states[state.seq]
+        self.archive[state.seq] = state.sent_messages
+        while len(self.archive) > self.nic.params.coll_archive_depth:
+            pruned = min(self.archive)
+            self.archive.pop(pruned)
+            self.done_floor = max(self.done_floor, pruned)
 
     def _complete(self, state: _DataState):
         from repro.pci import DmaDirection
 
         nic = self.nic
-        state.cancel_timer()
         result, result_bytes = self._finish(state)
         yield from nic.cpu_task(nic.params.t_coll_complete)
         if result_bytes > 0:
             yield from nic.pci.dma(result_bytes, DmaDirection.NIC_TO_HOST)
         self.completed += 1
         nic.tracer.count(f"{self.counter_prefix}.complete")
-        del self.states[state.seq]
-        self.done_through = max(self.done_through, state.seq)
-        self.archive[state.seq] = state.sent_messages
-        while len(self.archive) > nic.params.coll_archive_depth:
-            self.archive.pop(min(self.archive))
+        self._retire(state)
         yield from nic.notify_host(
             DataCollDone(self.group.group_id, state.seq, result)
         )
@@ -285,13 +353,8 @@ class DisseminationDataEngine:
         a :class:`DataCollFailed` instead of a result.
         """
         nic = self.nic
-        state.cancel_timer()
         nic.tracer.count(f"{self.counter_prefix}.failed")
-        del self.states[state.seq]
-        self.done_through = max(self.done_through, state.seq)
-        self.archive[state.seq] = state.sent_messages
-        while len(self.archive) > nic.params.coll_archive_depth:
-            self.archive.pop(min(self.archive))
+        self._retire(state)
         yield from nic.notify_host(
             DataCollFailed(self.group.group_id, state.seq, reason, nic.sim.now)
         )
@@ -313,16 +376,20 @@ class DisseminationDataEngine:
             return
         state.nack_rounds += 1
         if state.nack_rounds > self.nic.params.max_retries:
+            # Retry budget exhausted: tear the sequence down with a
+            # typed failure instead of leaking the state and leaving
+            # the host blocked in recv_matching forever.
             self.nic.tracer.count(f"{self.counter_prefix}.gave_up")
+            yield from self._fail(state, RETRY_BUDGET_EXHAUSTED)
             return
-        if state.phase < len(self.phases):
-            src = self.phases[state.phase].recvs[0]
-            if src not in state.pending:
+        if state.op_index < len(self.ops):
+            op = self.ops[state.op_index]
+            if op.kind == "recv" and op.peer not in state.pending:
                 self.nic.tracer.count(f"{self.counter_prefix}.nack_timeout")
                 yield from self.nic.send_nack(
-                    self.group.node_of(src),
+                    self.group.node_of(op.peer),
                     DataCollNack(
-                        self.group.group_id, seq, state.phase, src, self.rank
+                        self.group.group_id, seq, op.peer_phase, op.peer, self.rank
                     ),
                 )
         self._arm_nack_timer(state)
@@ -342,21 +409,23 @@ class DisseminationDataEngine:
             nic.tracer.count(f"{self.counter_prefix}.nack_premature")
             return
         nic.tracer.count(counter)
-        yield from nic.cpu_task(nic.params.t_inject)
-        nic.fabric.transmit(
-            Packet(
-                src=nic.node_id,
-                dst=self.group.node_of(nack.requester),
-                kind=PacketKind.BCAST,
-                size_bytes=nic.params.data_header_bytes + message.nbytes,
-                payload=message,
-            )
+        yield from nic.coll_inject(
+            self.group.node_of(nack.requester), message, message.nbytes
         )
 
 
 def host_start_data_collective(port, group: ProcessGroup, seq: int, args: tuple,
                                contribute_bytes: int):
     """Shared host side: contribute data, start, await the result."""
+    yield from host_post_data_collective(port, group, seq, args, contribute_bytes)
+    result = yield from host_wait_data_collective(port, group, seq)
+    return result
+
+
+def host_post_data_collective(port, group: ProcessGroup, seq: int, args: tuple,
+                              contribute_bytes: int):
+    """Non-blocking host side: contribute data and start the NIC engine
+    without waiting.  Pair with :func:`host_wait_data_collective`."""
     from repro.pci import DmaDirection
 
     yield from port.cpu.compute(port.cpu.params.send_overhead_us)
@@ -364,13 +433,26 @@ def host_start_data_collective(port, group: ProcessGroup, seq: int, args: tuple,
     if contribute_bytes > 0:
         yield from port.pci.dma(contribute_bytes, DmaDirection.HOST_TO_NIC)
     port.nic.post_engine_command((group.group_id, "start", seq) + args)
-    done = yield from port.recv_matching(
+    return seq
+
+
+def data_collective_matcher(group: ProcessGroup, seq: int):
+    """Event matcher for one sequence's completion (done or failed)."""
+    return (
         lambda ev: isinstance(ev, (DataCollDone, DataCollFailed))
         and ev.group_id == group.group_id
         and ev.seq == seq
     )
+
+
+def interpret_data_collective(done, group: ProcessGroup, node_id: int):
+    """Turn a completion event into a result, raising typed failures."""
     if isinstance(done, DataCollFailed):
-        raise CollectiveFailure(
-            group.group_id, seq, done.reason, node=port.node_id
-        )
+        raise CollectiveFailure(group.group_id, done.seq, done.reason, node=node_id)
     return done.result
+
+
+def host_wait_data_collective(port, group: ProcessGroup, seq: int):
+    """Blocking wait for a previously-posted data collective."""
+    done = yield from port.recv_matching(data_collective_matcher(group, seq))
+    return interpret_data_collective(done, group, port.node_id)

@@ -2,7 +2,11 @@
 
 The paper's protocol keeps per-group state on every NIC ("a separate
 queue for each group of processes"); a :class:`ProcessGroup` is the
-shared description of one such group.
+shared description of one such group.  It also carries the group's
+compiled collective schedules (the libnbc per-communicator cache):
+``collective_schedule()`` compiles a :class:`CollectiveSchedule` once
+per ``(collective, algorithm, payload, root)`` and replays it on every
+subsequent start.
 """
 
 from __future__ import annotations
@@ -11,6 +15,8 @@ import itertools
 from typing import Sequence
 
 from repro.collectives.algorithms import BarrierSchedule, make_schedule
+from repro.collectives.schedule_ir import CollectiveSchedule, compile_schedule
+from repro.collectives.tuning import pick_algorithm
 
 _group_ids = itertools.count(1)
 
@@ -21,12 +27,17 @@ class ProcessGroup:
     ``node_ids[rank]`` is the NIC/port the rank lives on.  The node
     order may be an arbitrary permutation (the paper benchmarks "with
     random permutation of the nodes").
+
+    ``algorithm="auto"`` consults the installed tuner decision table
+    (see :mod:`repro.collectives.tuning`); with no table installed it
+    resolves to the paper's default, dissemination.  An explicit
+    algorithm always wins over the table.
     """
 
     def __init__(
         self,
         node_ids: Sequence[int],
-        algorithm: str = "dissemination",
+        algorithm: str = "auto",
         group_id: int | None = None,
     ):
         ids = list(node_ids)
@@ -35,10 +46,16 @@ class ProcessGroup:
         if len(set(ids)) != len(ids):
             raise ValueError(f"duplicate node ids in group: {ids}")
         self.node_ids = tuple(ids)
+        self.requested_algorithm = algorithm
+        if algorithm == "auto":
+            algorithm = pick_algorithm("barrier", len(ids))
         self.algorithm = algorithm
         self.group_id = next(_group_ids) if group_id is None else group_id
         self.schedule: BarrierSchedule = make_schedule(algorithm, len(ids))
         self._rank_of = {node: rank for rank, node in enumerate(self.node_ids)}
+        # Per-communicator compiled-schedule cache (libnbc's
+        # NBC_CACHE_SCHEDULE): key -> CollectiveSchedule.
+        self._compiled: dict[tuple, CollectiveSchedule] = {}
 
     @property
     def size(self) -> int:
@@ -52,6 +69,34 @@ class ProcessGroup:
             return self._rank_of[node_id]
         except KeyError:
             raise ValueError(f"node {node_id} is not in group {self.group_id}") from None
+
+    def collective_schedule(
+        self,
+        collective: str,
+        payload_bytes: int = 0,
+        algorithm: str | None = None,
+        root: int = 0,
+    ) -> CollectiveSchedule:
+        """The compiled schedule for one collective on this group.
+
+        Compiled once per ``(collective, algorithm, payload, root)``
+        and kept on the group; repeat starts replay the cached op
+        lists.  ``algorithm=None`` follows the group's choice — which,
+        for ``"auto"`` groups, asks the decision table *per collective*
+        (the tuned winner for allreduce need not match barrier's).
+        """
+        if algorithm is None:
+            if self.requested_algorithm == "auto":
+                algorithm = pick_algorithm(collective, self.size, payload_bytes)
+            else:
+                algorithm = self.algorithm
+        key = (collective, algorithm, payload_bytes, root)
+        schedule = self._compiled.get(key)
+        if schedule is None:
+            schedule = self._compiled[key] = compile_schedule(
+                collective, algorithm, self.size, payload_bytes, root
+            )
+        return schedule
 
     def __contains__(self, node_id: int) -> bool:
         return node_id in self._rank_of

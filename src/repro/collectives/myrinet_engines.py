@@ -61,7 +61,13 @@ class _NicBarrierEngineBase:
         self._layout = CollectiveScheduleLayout(self.phases)
         self.states: dict[int, CollectiveGroupState] = {}
         self.barriers_completed = 0
-        self.done_through = -1  # barriers complete in order per rank
+        # Per-seq retirement: non-blocking barriers can complete out of
+        # order (a NACK-recovered seq finishing after a younger one), so
+        # duplicate suppression tracks recently-retired sequences in a
+        # bounded set (aligned with coll_archive_depth) plus the floor
+        # the set has pruned past — not a single high-watermark.
+        self.retired_recent: dict[int, None] = {}
+        self.done_floor = -1
         # Escalation state: failed barriers (seq -> reason), armed
         # receiver-side watchdogs (direct scheme), and the teardown
         # latch a host sets after catching a BarrierFailure.
@@ -71,6 +77,20 @@ class _NicBarrierEngineBase:
         nic.register_engine(group.group_id, self)
 
     # ------------------------------------------------------------------
+    def _retired(self, seq: int) -> bool:
+        return (
+            seq <= self.done_floor
+            or seq in self.retired_recent
+            or seq in self.failed
+        )
+
+    def _retire_seq(self, seq: int) -> None:
+        self.retired_recent[seq] = None
+        while len(self.retired_recent) > self.nic.params.coll_archive_depth:
+            pruned = min(self.retired_recent)
+            del self.retired_recent[pruned]
+            self.done_floor = max(self.done_floor, pruned)
+
     def _state(self, seq: int) -> CollectiveGroupState:
         state = self.states.get(seq)
         if state is None:
@@ -119,7 +139,7 @@ class _NicBarrierEngineBase:
             # still fighting their own budgets are expected.
             nic.tracer.count("coll.rx_after_failure")
             return
-        if msg.seq <= self.done_through:
+        if self._retired(msg.seq):
             # Late duplicate (a retransmission that raced the original):
             # the barrier already completed here.
             nic.tracer.count("coll.rx_duplicate")
@@ -170,7 +190,7 @@ class _NicBarrierEngineBase:
         self.barriers_completed += 1
         nic.tracer.count("coll.barrier_complete")
         del self.states[state.seq]
-        self.done_through = max(self.done_through, state.seq)
+        self._retire_seq(state.seq)
         yield from nic.notify_host(
             BarrierDone(self.group.group_id, state.seq, completed_at=nic.sim.now)
         )
@@ -191,7 +211,6 @@ class _NicBarrierEngineBase:
         state.cancel_nack_timer()
         self._cancel_deadline(seq)
         self.failed[seq] = reason
-        self.done_through = max(self.done_through, seq)
         nic.tracer.count("coll.barrier_failed")
         yield from nic.notify_host(
             BarrierFailed(self.group.group_id, seq, reason, failed_at=nic.sim.now)
@@ -384,7 +403,7 @@ class NicCollectiveBarrierEngine(_NicBarrierEngineBase):
             return
         state = self.states.get(nack.seq)
         if state is None:
-            if nack.seq > self.done_through:
+            if not self._retired(nack.seq):
                 # We have not entered this barrier at all yet: nothing
                 # has been sent, so there is nothing to resend — the
                 # message goes out through normal progress once the
@@ -408,8 +427,39 @@ class NicCollectiveBarrierEngine(_NicBarrierEngineBase):
 
 
 # ----------------------------------------------------------------------
-# Host-side entry point
+# Host-side entry points
 # ----------------------------------------------------------------------
+def barrier_matcher(group: ProcessGroup, seq: int):
+    """Event matcher for one barrier's completion or failure."""
+    return (
+        lambda ev: isinstance(ev, (BarrierDone, BarrierFailed))
+        and ev.group_id == group.group_id
+        and ev.seq == seq
+    )
+
+
+def interpret_barrier(done, node_id: int):
+    """Turn a barrier completion event into a result, raising typed
+    failures."""
+    if isinstance(done, BarrierFailed):
+        raise BarrierFailure(done.group_id, done.seq, done.reason, node=node_id)
+    return done
+
+
+def post_barrier(port: "GmPort", group: ProcessGroup, seq: int):
+    """Non-blocking half: one PIO starts the NIC engine; the host is
+    free until it waits on the completion event."""
+    yield from port.cpu.compute(port.cpu.params.barrier_call_us, "barrier_call")
+    yield from port.pci.pio_write()
+    port.nic.post_engine_command((group.group_id, "start", seq))
+
+
+def wait_barrier(port: "GmPort", group: ProcessGroup, seq: int):
+    """Blocking wait for a previously-posted barrier."""
+    done = yield from port.recv_matching(barrier_matcher(group, seq))
+    return interpret_barrier(done, port.nic.node_id)
+
+
 def nic_barrier(port: "GmPort", group: ProcessGroup, seq: int):
     """Host side of a NIC-based barrier (either engine).
 
@@ -418,18 +468,8 @@ def nic_barrier(port: "GmPort", group: ProcessGroup, seq: int):
     the entire point of NIC offload.  A failure event is raised as
     :class:`BarrierFailure`.
     """
-    yield from port.cpu.compute(port.cpu.params.barrier_call_us, "barrier_call")
-    yield from port.pci.pio_write()
-    port.nic.post_engine_command((group.group_id, "start", seq))
-    done = yield from port.recv_matching(
-        lambda ev: isinstance(ev, (BarrierDone, BarrierFailed))
-        and ev.group_id == group.group_id
-        and ev.seq == seq
-    )
-    if isinstance(done, BarrierFailed):
-        raise BarrierFailure(
-            done.group_id, done.seq, done.reason, node=port.nic.node_id
-        )
+    yield from post_barrier(port, group, seq)
+    done = yield from wait_barrier(port, group, seq)
     return done
 
 

@@ -1,0 +1,215 @@
+"""Non-blocking collective host APIs (MPI-3 style ``i``-collectives).
+
+Every blocking collective in the suite splits into a *post* half (push
+the contribution over the PCI bus, one PIO to start the NIC engine)
+and a *wait* half (match the completion event in the receive-event
+queue).  The NIC engines already run each sequence as independent
+per-seq state, so several collectives per group are genuinely in
+flight at once — posting three allreduces costs three doorbells, and
+the NIC pipelines them while the host computes.
+
+``nic_i*`` starters return a :class:`CollectiveRequest`:
+
+- ``request.wait()``   — generator; blocks until the collective
+  finishes, returns its result, raises
+  :class:`~repro.collectives.data_engine.CollectiveFailure` /
+  :class:`~repro.collectives.messages.BarrierFailure` on typed failure;
+- ``request.test()``   — generator; one non-blocking poll of the event
+  queue, returns ``True`` once the completion has been consumed (the
+  result is then in ``request.result``).  Failures raise from ``test``
+  exactly as from ``wait``.
+
+Calling ``wait`` after the request completed (or after a successful
+``test``) returns the stored result without touching the event queue,
+so ``while not (yield from r.test()): ...`` followed by ``r.wait()``
+is safe.
+
+Usage (inside a simulated host process)::
+
+    r1 = yield from nic_iallreduce(port, group_a, seq, value)
+    r2 = yield from nic_ibarrier(port, group_b, seq)
+    ... overlap computation ...
+    total = yield from r1.wait()
+    yield from r2.wait()
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Callable, Mapping, Optional
+
+from repro.collectives.allgather import BYTES_PER_VALUE
+from repro.collectives.alltoall import BYTES_PER_BLOCK
+from repro.collectives.broadcast import (
+    broadcast_matcher,
+    interpret_broadcast,
+    post_broadcast_recv,
+    post_broadcast_root,
+)
+from repro.collectives.data_engine import (
+    data_collective_matcher,
+    host_post_data_collective,
+    interpret_data_collective,
+)
+from repro.collectives.group import ProcessGroup
+from repro.collectives.myrinet_engines import (
+    barrier_matcher,
+    interpret_barrier,
+    post_barrier,
+)
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.myrinet.gm_api import GmPort
+
+
+class CollectiveRequest:
+    """Handle for one in-flight non-blocking collective."""
+
+    def __init__(
+        self,
+        port: "GmPort",
+        collective: str,
+        group: ProcessGroup,
+        seq: int,
+        matcher: Callable[[Any], bool],
+        interpret: Callable[[Any], Any],
+    ):
+        self.port = port
+        self.collective = collective
+        self.group = group
+        self.seq = seq
+        self._matcher = matcher
+        self._interpret = interpret
+        self.done = False
+        self.result: Any = None
+
+    def _settle(self, event: Any) -> Any:
+        self.done = True
+        # interpret() may raise a typed failure; the request still
+        # counts as settled (waiting again would hang on a consumed
+        # event), so mark done first.
+        self.result = self._interpret(event)
+        return self.result
+
+    def wait(self):
+        """Block until the collective completes; returns its result."""
+        if self.done:
+            return self.result
+        event = yield from self.port.recv_matching(self._matcher)
+        return self._settle(event)
+
+    def test(self):
+        """One non-blocking poll: ``True`` iff the collective has
+        completed (its result is then in ``self.result``)."""
+        if self.done:
+            return True
+        event = yield from self.port.poll_matching(self._matcher)
+        if event is None:
+            return False
+        self._settle(event)
+        return True
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        status = "done" if self.done else "in-flight"
+        return (
+            f"<CollectiveRequest {self.collective} group={self.group.group_id}"
+            f" seq={self.seq} {status}>"
+        )
+
+
+def _data_request(
+    port: "GmPort", collective: str, group: ProcessGroup, seq: int,
+    transform: Optional[Callable[[Any], Any]] = None,
+) -> CollectiveRequest:
+    def interpret(event):
+        result = interpret_data_collective(event, group, port.node_id)
+        return transform(result) if transform is not None else result
+
+    return CollectiveRequest(
+        port, collective, group, seq,
+        data_collective_matcher(group, seq), interpret,
+    )
+
+
+# ----------------------------------------------------------------------
+# Starters
+# ----------------------------------------------------------------------
+def nic_ibarrier(port: "GmPort", group: ProcessGroup, seq: int):
+    """Post a barrier; returns a request whose result is the
+    BarrierDone event."""
+    yield from post_barrier(port, group, seq)
+    return CollectiveRequest(
+        port, "barrier", group, seq,
+        barrier_matcher(group, seq),
+        lambda ev: interpret_barrier(ev, port.nic.node_id),
+    )
+
+
+def nic_iallgather(port: "GmPort", group: ProcessGroup, seq: int, value: Any):
+    """Post an allgather; the result is ``{rank: value}``."""
+    yield from host_post_data_collective(
+        port, group, seq, (value,), contribute_bytes=BYTES_PER_VALUE
+    )
+    return _data_request(port, "allgather", group, seq, transform=dict)
+
+
+def nic_iallreduce(
+    port: "GmPort", group: ProcessGroup, seq: int, value: Any, op: str = "sum"
+):
+    """Post an allreduce; the result is the reduced value."""
+    yield from host_post_data_collective(
+        port, group, seq, (value, op), contribute_bytes=BYTES_PER_VALUE
+    )
+    return _data_request(port, "allreduce", group, seq)
+
+
+def nic_ireduce(
+    port: "GmPort",
+    group: ProcessGroup,
+    seq: int,
+    value: Any,
+    op: str = "sum",
+    root: int = 0,
+):
+    """Post a rooted reduce; the root's result is the reduced value,
+    every other rank's is ``None``."""
+    yield from host_post_data_collective(
+        port, group, seq, (value, op), contribute_bytes=BYTES_PER_VALUE
+    )
+    return _data_request(port, "reduce", group, seq)
+
+
+def nic_ialltoall(
+    port: "GmPort", group: ProcessGroup, seq: int, blocks: Mapping[int, Any]
+):
+    """Post an alltoall; the result is ``{origin_rank: block}``."""
+    if set(blocks) != set(range(group.size)):
+        raise ValueError(
+            f"alltoall needs one block per destination rank; got {sorted(blocks)}"
+        )
+    yield from host_post_data_collective(
+        port, group, seq, (dict(blocks),),
+        contribute_bytes=BYTES_PER_BLOCK * group.size,
+    )
+    return _data_request(port, "alltoall", group, seq, transform=dict)
+
+
+def nic_ibcast(
+    port: "GmPort",
+    group: ProcessGroup,
+    seq: int,
+    size_bytes: int = 0,
+    payload: Any = None,
+    root: int = 0,
+):
+    """Post a broadcast (root pushes the payload, non-roots join); the
+    result is the BcastDone event carrying the payload."""
+    rank = group.rank_of(port.node_id)
+    if rank == root:
+        yield from post_broadcast_root(port, group, seq, size_bytes, payload)
+    else:
+        yield from post_broadcast_recv(port, group, seq)
+    return CollectiveRequest(
+        port, "bcast", group, seq,
+        broadcast_matcher(group, seq),
+        lambda ev: interpret_broadcast(ev, group, port.node_id),
+    )

@@ -270,8 +270,21 @@ class QuadricsChainedBarrier:
         return self._done_event()
 
     # ------------------------------------------------------------------
-    def barrier(self, seq: int):
-        """One barrier: arm the chain, trigger the head, await the tail."""
+    def _matcher(self, seq: int):
+        return (
+            lambda ev: isinstance(ev, BarrierDone)
+            and ev.group_id == self.group.group_id
+            and ev.seq == seq
+        )
+
+    def start_barrier(self, seq: int):
+        """Non-blocking half: arm the chain and trigger the head.
+
+        Event words are cumulative, so several sequences can be armed
+        and in flight at once — arming always proceeds contiguously up
+        through ``seq`` (thresholds are linear in the iteration count).
+        Pair with :meth:`wait_barrier`.
+        """
         port = self.port
         nic = port.nic
         yield from port.cpu.compute(port.cpu.params.barrier_call_us, "barrier_call")
@@ -279,20 +292,81 @@ class QuadricsChainedBarrier:
         # iteration (the SRAM writes ride the same PIO burst).
         yield from port._command()
         if not self.ops:
-            # Degenerate single-rank group: nothing to do.
-            self.barriers_completed += 1
-            return None
+            return
         # Prearmed chains (see prearm_chained_group) skip the arm loop:
         # the thresholds are already in SRAM, only the head trigger and
         # the completion wait remain per iteration.
-        head = self._head if seq < self._prearmed else self._arm_chain(seq)
+        if seq >= self._prearmed:
+            head = None
+            for s in range(self._prearmed, seq + 1):
+                head = self._arm_chain(s)
+            self._prearmed = seq + 1
+        else:
+            head = self._head
         # "The very first RDMA operation ... the host process triggers."
         for descriptor in head:
             nic.issue_rdma(descriptor)
-        done = yield from port.wait_host_event(
-            lambda ev: isinstance(ev, BarrierDone)
-            and ev.group_id == self.group.group_id
-            and ev.seq == seq
-        )
+
+    def wait_barrier(self, seq: int):
+        """Blocking wait for a previously-started barrier."""
+        if not self.ops:
+            # Degenerate single-rank group: nothing to wait for.
+            self.barriers_completed += 1
+            return None
+        done = yield from self.port.wait_host_event(self._matcher(seq))
         self.barriers_completed += 1
         return done
+
+    def ibarrier(self, seq: int):
+        """Post a barrier; returns a request handle with generator
+        ``wait()``/``test()`` methods (the Quadrics counterpart of
+        :class:`repro.collectives.nonblocking.CollectiveRequest`)."""
+        yield from self.start_barrier(seq)
+        return QuadricsBarrierRequest(self, seq)
+
+    def barrier(self, seq: int):
+        """One barrier: arm the chain, trigger the head, await the tail."""
+        yield from self.start_barrier(seq)
+        done = yield from self.wait_barrier(seq)
+        return done
+
+
+class QuadricsBarrierRequest:
+    """Handle for one in-flight chained-RDMA barrier."""
+
+    def __init__(self, driver: QuadricsChainedBarrier, seq: int):
+        self.driver = driver
+        self.seq = seq
+        self.done = False
+        self.result = None
+
+    def wait(self):
+        if self.done:
+            return self.result
+        self.result = yield from self.driver.wait_barrier(self.seq)
+        self.done = True
+        return self.result
+
+    def test(self):
+        """One non-blocking poll: ``True`` iff the barrier completed."""
+        if self.done:
+            return True
+        driver = self.driver
+        if not driver.ops:
+            self.result = yield from driver.wait_barrier(self.seq)
+            self.done = True
+            return True
+        event = yield from driver.port.poll_host_event(driver._matcher(self.seq))
+        if event is None:
+            return False
+        driver.barriers_completed += 1
+        self.result = event
+        self.done = True
+        return True
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        status = "done" if self.done else "in-flight"
+        return (
+            f"<QuadricsBarrierRequest group={self.driver.group.group_id}"
+            f" seq={self.seq} {status}>"
+        )

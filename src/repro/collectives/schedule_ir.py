@@ -1,0 +1,236 @@
+"""Precompiled collective schedules (the libnbc idea, NIC-side).
+
+libnbc showed that a non-blocking collective should be *compiled once*
+into a schedule — an ordered list of primitive operations per rank —
+and then merely *replayed* on every start (``NBC_Ibarrier`` builds the
+round structure on first use and parks it in the communicator under
+``NBC_CACHE_SCHEDULE``).  This module is that compiler for the NIC
+engines: a :class:`CollectiveSchedule` is the per-rank op list for one
+``(collective, algorithm, group size, payload)`` combination, derived
+from the barrier message patterns of §5 and annotated with the
+collective's data movement:
+
+- ``send``   — inject one message to a peer rank (payload built by the
+  engine's ``_phase_payload`` hook; ``nbytes`` is pinned at compile
+  time where the collective's wire cost is closed-form);
+- ``recv``   — wait for the message a peer sends us (``peer_phase`` is
+  the phase tag the *sender* stamps, precomputed so receivers match and
+  NACK correctly even on asymmetric schedules like pairwise-exchange);
+- ``reduce`` — fold the received payload into local state (the engine's
+  ``_merge`` hook);
+- ``dma``    — deliver the result across the PCI bus and notify the
+  host (the engine's ``_finish`` hook sizes it when ``nbytes < 0``).
+
+Starting a collective is then "replay this op list", not "re-derive
+the dissemination pattern": :class:`~repro.collectives.data_engine
+.DisseminationDataEngine` walks the ops with a single index per
+sequence.  Compiled schedules are cached in two layers — per
+communicator on the :class:`~repro.collectives.group.ProcessGroup`
+(the libnbc cache) and process-wide in
+:data:`repro.collectives.algorithms.SCHEDULE_CACHE` (shared with the
+barrier pattern builders, so the tuner's sweeps size one cache).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.collectives.algorithms import SCHEDULE_CACHE, make_schedule
+
+#: Collectives whose merge operator is a *reduction* (not a union):
+#: their schedules must never deliver the same contribution twice
+#: unless the incoming partial supersedes the local one entirely.
+REDUCING_COLLECTIVES = frozenset({"allreduce", "reduce"})
+
+
+@dataclass(frozen=True)
+class ScheduleOp:
+    """One primitive operation of a compiled collective schedule."""
+
+    kind: str  # "send" | "recv" | "reduce" | "dma"
+    phase: int  # this rank's phase index (payload build + send tag)
+    peer: int = -1  # dst rank (send) / src rank (recv, reduce)
+    peer_phase: int = -1  # recv: phase tag the sender stamps on the wire
+    nbytes: int = -1  # wire/DMA bytes; -1 = sized at runtime by a hook
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        extra = f" peer={self.peer}" if self.peer >= 0 else ""
+        if self.kind == "recv":
+            extra += f" peer_phase={self.peer_phase}"
+        if self.nbytes >= 0:
+            extra += f" nbytes={self.nbytes}"
+        return f"<op {self.kind} phase={self.phase}{extra}>"
+
+
+@dataclass(frozen=True)
+class CollectiveSchedule:
+    """Per-rank op lists for one collective on one group shape."""
+
+    collective: str
+    algorithm: str
+    size: int
+    payload_bytes: int
+    ops_by_rank: tuple[tuple[ScheduleOp, ...], ...]
+
+    def ops(self, rank: int) -> tuple[ScheduleOp, ...]:
+        if not 0 <= rank < self.size:
+            raise ValueError(f"rank {rank} out of range for size {self.size}")
+        return self.ops_by_rank[rank]
+
+    @property
+    def max_ops(self) -> int:
+        return max((len(ops) for ops in self.ops_by_rank), default=0)
+
+    def total_messages(self) -> int:
+        """Wire messages per sequence over all ranks."""
+        return sum(
+            1
+            for ops in self.ops_by_rank
+            for op in ops
+            if op.kind == "send"
+        )
+
+    def describe(self, rank: int) -> str:  # pragma: no cover - debugging aid
+        return " -> ".join(repr(op) for op in self.ops(rank))
+
+
+def bitmap_bytes(n: int) -> int:
+    """Bytes of an N-rank contributor bitmap."""
+    return (n + 7) // 8
+
+
+def reduce_safe(algorithm: str, n: int) -> bool:
+    """Can a reduction run on this message pattern without ever merging
+    overlapping contribution sets?
+
+    - ``pairwise-exchange``: always — aligned power-of-two blocks (the
+      pre/post steps fold extras disjointly and release the superset);
+    - ``gather-broadcast``: always — subtrees are disjoint going up and
+      the release going down is the full superset;
+    - ``dissemination``: only for powers of two; otherwise the last
+      round's wrapped block overlaps the receiver's own block and an
+      aggregated partial cannot be split back apart.
+    """
+    if algorithm in ("pairwise-exchange", "gather-broadcast"):
+        return True
+    if algorithm == "dissemination":
+        return n & (n - 1) == 0
+    return False
+
+
+def normalize_algorithm(collective: str, algorithm: str, n: int) -> str:
+    """Substitute a reduce-safe pattern when the requested one is not.
+
+    Dissemination Allreduce at non-powers-of-two would need to split
+    aggregated partials (impossible once values are folded), so
+    reductions silently normalize to pairwise-exchange there — the same
+    ``floor(log2 N) + 2``-step pattern MPICH falls back to.
+    """
+    if collective in REDUCING_COLLECTIVES and not reduce_safe(algorithm, n):
+        return "pairwise-exchange"
+    return algorithm
+
+
+def _wire_nbytes(collective: str, n: int, payload_bytes: int) -> int:
+    """Per-hop wire bytes where the collective's cost is closed-form.
+
+    Allreduce/Reduce carry exactly one partially-reduced value plus the
+    contributor bitmap per hop — O(1)+bitmap, the fix for the old
+    O(N) gathered-map payload.  Barrier messages carry no data.
+    Allgather/Alltoall payloads grow or shrink per round; their hooks
+    size each message at runtime (``-1`` here).
+    """
+    if collective in REDUCING_COLLECTIVES:
+        return payload_bytes + bitmap_bytes(n)
+    if collective == "barrier":
+        return 0
+    return -1
+
+
+def _result_nbytes(
+    collective: str, n: int, payload_bytes: int, rank: int, root: int
+) -> int:
+    if collective == "barrier":
+        return 0
+    if collective == "allreduce":
+        return payload_bytes
+    if collective == "reduce":
+        return payload_bytes if rank == root else 0
+    if collective in ("allgather", "alltoall"):
+        return n * payload_bytes
+    return -1
+
+
+def compile_schedule(
+    collective: str,
+    algorithm: str,
+    n: int,
+    payload_bytes: int = 0,
+    root: int = 0,
+) -> CollectiveSchedule:
+    """Compile (and cache) the op lists for one collective shape.
+
+    The barrier message pattern supplies who-talks-to-whom-when; this
+    pass flattens it into per-rank op lists, resolves every receive's
+    sender-side phase tag (asymmetric schedules number their phases
+    differently on the two ends of a wire), and pins wire/DMA sizes
+    where the collective's cost model is closed-form.  Results are
+    cached process-wide in ``SCHEDULE_CACHE``; :class:`ProcessGroup`
+    adds the per-communicator layer on top.
+    """
+    algorithm = normalize_algorithm(collective, algorithm, n)
+    key = ("ir", collective, algorithm, n, payload_bytes, root)
+    return SCHEDULE_CACHE.get_or_build(
+        key, lambda: _compile(collective, algorithm, n, payload_bytes, root)
+    )
+
+
+def _compile(
+    collective: str, algorithm: str, n: int, payload_bytes: int, root: int
+) -> CollectiveSchedule:
+    base = make_schedule(algorithm, n)
+    # The phase index at which ``src`` sends to ``dst``: receivers match
+    # and NACK with the *sender's* tag.  Unique per (src, dst) pair —
+    # BarrierSchedule.validate() guarantees it.
+    send_phase: dict[tuple[int, int], int] = {}
+    for rank in range(n):
+        for m, phase in enumerate(base.phases(rank)):
+            for dst in phase.sends:
+                send_phase[(rank, dst)] = m
+
+    wire = _wire_nbytes(collective, n, payload_bytes)
+    ops_by_rank = []
+    for rank in range(n):
+        ops: list[ScheduleOp] = []
+
+        def _sends(m: int, phase) -> None:
+            for dst in phase.sends:
+                ops.append(ScheduleOp("send", m, peer=dst, nbytes=wire))
+
+        def _recvs(m: int, phase) -> None:
+            for src in phase.recvs:
+                ops.append(
+                    ScheduleOp(
+                        "recv", m, peer=src, peer_phase=send_phase[(src, rank)]
+                    )
+                )
+                ops.append(ScheduleOp("reduce", m, peer=src))
+
+        for m, phase in enumerate(base.phases(rank)):
+            if phase.send_first:
+                _sends(m, phase)
+                _recvs(m, phase)
+            else:
+                _recvs(m, phase)
+                _sends(m, phase)
+        ops.append(
+            ScheduleOp(
+                "dma",
+                len(base.phases(rank)),
+                nbytes=_result_nbytes(collective, n, payload_bytes, rank, root),
+            )
+        )
+        ops_by_rank.append(tuple(ops))
+    return CollectiveSchedule(
+        collective, algorithm, n, payload_bytes, tuple(ops_by_rank)
+    )

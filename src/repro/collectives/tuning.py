@@ -1,0 +1,167 @@
+"""Tuner decision tables: measured algorithm choices per group shape.
+
+Barchet-Estefanel & Mounié tune intra-cluster collectives by measuring
+each candidate algorithm over the (N, payload) grid once, then storing
+the winners in a decision table the runtime consults instead of a
+hard-coded heuristic.  ``repro.tools.tune`` produces such a table (a
+small JSON file, one entry per swept ``(collective, network, n,
+payload)`` point); this module loads it and answers "which algorithm
+for this group shape?" for :class:`~repro.collectives.group
+.ProcessGroup`.
+
+A table is *advisory*: groups constructed with an explicit algorithm
+ignore it, and with no table installed the suite falls back to the
+paper's default (dissemination).  Lookups snap to the nearest measured
+point — nearest ``log2 N`` first, then nearest payload — so a table
+swept at N ∈ {4, 8, 16} still answers for N = 12.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import os
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Optional
+
+#: Environment variable naming a decision-table JSON file to install at
+#: first use.  ``python -m repro tune`` prints the matching export line.
+TABLE_ENV = "REPRO_TUNING_TABLE"
+
+TABLE_FORMAT = "repro-tuning-table-v1"
+
+
+@dataclass(frozen=True)
+class Decision:
+    """One measured winner: the fastest algorithm at one grid point."""
+
+    collective: str
+    network: str  # "myrinet" | "quadrics" | "any"
+    n: int
+    payload_bytes: int
+    algorithm: str
+    latency_us: float  # winner's measured latency (for the report)
+
+
+@dataclass
+class DecisionTable:
+    """A loaded decision table plus its nearest-point lookup."""
+
+    entries: tuple[Decision, ...]
+    source: str = "<memory>"
+    meta: dict = field(default_factory=dict)
+
+    def pick(
+        self,
+        collective: str,
+        n: int,
+        payload_bytes: int = 0,
+        network: Optional[str] = None,
+    ) -> Optional[str]:
+        """The measured-best algorithm for this shape, or ``None`` if
+        the table has no entry for the collective at all."""
+        candidates = [
+            e
+            for e in self.entries
+            if e.collective == collective
+            and (network is None or e.network in (network, "any"))
+        ]
+        if not candidates:
+            return None
+
+        def distance(e: Decision) -> tuple[float, float]:
+            # Nearest in log2(N) first (doubling N matters more than a
+            # few bytes of payload), then nearest payload.
+            dn = abs(math.log2(max(e.n, 1)) - math.log2(max(n, 1)))
+            dp = abs(e.payload_bytes - payload_bytes)
+            return (dn, dp)
+
+        return min(candidates, key=distance).algorithm
+
+    def to_json(self) -> str:
+        doc = {
+            "format": TABLE_FORMAT,
+            "meta": self.meta,
+            "entries": [
+                {
+                    "collective": e.collective,
+                    "network": e.network,
+                    "n": e.n,
+                    "payload_bytes": e.payload_bytes,
+                    "algorithm": e.algorithm,
+                    "latency_us": e.latency_us,
+                }
+                for e in self.entries
+            ],
+        }
+        return json.dumps(doc, indent=2, sort_keys=True) + "\n"
+
+    @classmethod
+    def from_json(cls, text: str, source: str = "<memory>") -> "DecisionTable":
+        doc = json.loads(text)
+        if doc.get("format") != TABLE_FORMAT:
+            raise ValueError(
+                f"{source}: not a tuning table (format={doc.get('format')!r})"
+            )
+        entries = tuple(
+            Decision(
+                collective=e["collective"],
+                network=e.get("network", "any"),
+                n=int(e["n"]),
+                payload_bytes=int(e.get("payload_bytes", 0)),
+                algorithm=e["algorithm"],
+                latency_us=float(e.get("latency_us", 0.0)),
+            )
+            for e in doc["entries"]
+        )
+        return cls(entries=entries, source=source, meta=doc.get("meta", {}))
+
+    @classmethod
+    def load(cls, path: str | Path) -> "DecisionTable":
+        path = Path(path)
+        return cls.from_json(path.read_text(), source=str(path))
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+
+# The installed table.  ``_loaded`` distinguishes "nothing installed
+# yet, probe the environment once" from "probed, found nothing".
+_table: Optional[DecisionTable] = None
+_loaded = False
+
+
+def install_decision_table(table: Optional[DecisionTable]) -> None:
+    """Install (or, with ``None``, remove) the process-wide table."""
+    global _table, _loaded
+    _table = table
+    _loaded = True
+
+
+def current_decision_table() -> Optional[DecisionTable]:
+    """The installed table, loading ``$REPRO_TUNING_TABLE`` on first use."""
+    global _table, _loaded
+    if not _loaded:
+        _loaded = True
+        env = os.environ.get(TABLE_ENV, "")
+        if env:
+            _table = DecisionTable.load(env)
+    return _table
+
+
+def pick_algorithm(
+    collective: str,
+    n: int,
+    payload_bytes: int = 0,
+    network: Optional[str] = None,
+    default: str = "dissemination",
+) -> str:
+    """Resolve an algorithm for a group shape: the installed decision
+    table if it has an answer, else ``default`` (the paper's choice)."""
+    table = current_decision_table()
+    if table is not None:
+        choice = table.pick(collective, n, payload_bytes, network)
+        if choice is not None:
+            return choice
+    return default

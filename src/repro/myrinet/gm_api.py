@@ -149,6 +149,33 @@ class GmPort:
                 return event
             self._pending.append(event)
 
+    def poll_matching(self, matches: Callable[[Any], bool]):
+        """One non-blocking poll for an event satisfying ``matches``.
+
+        Drains whatever the NIC has already posted (paying the poll
+        cost once), then returns the matching event or ``None`` —
+        never blocks.  Non-matching events are buffered exactly as in
+        :meth:`recv_matching`; this is the ``test`` half of the
+        non-blocking collective requests.
+        """
+        params = self.cpu.params
+        queue = self.nic.recv_event_queue
+        yield from self.cpu.compute(params.poll_us, "poll")
+        while len(queue) > 0 and queue.getters_waiting == 0:
+            ev = queue.try_get()
+            if isinstance(ev, SendToken) and ev.completion is not None:
+                if not ev.completion.triggered:
+                    ev.completion.succeed(ev)
+            self._pending.append(ev)
+        for i, ev in enumerate(self._pending):
+            if matches(ev):
+                self._pending.pop(i)
+                yield from self.cpu.compute(params.recv_overhead_us, "recv_overhead")
+                if isinstance(ev, GmRecvEvent):
+                    yield from self.provide_receive_buffer()
+                return ev
+        return None
+
     def recv_from(self, src: int):
         """Receive the next data message from ``src``."""
         event = yield from self.recv_matching(

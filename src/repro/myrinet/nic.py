@@ -196,6 +196,27 @@ class LanaiNic:
         )
         self.fabric.transmit(packet)
 
+    def coll_inject(self, dst: int, payload: Any, data_bytes: int):
+        """Data-collective send: one injection on the collective fast
+        path carrying ``data_bytes`` of payload behind the data header.
+
+        The data-bearing sibling of :meth:`fast_inject` — same
+        dedicated-queue dispatch (no p2p tokens/records/ACKs), but the
+        packet is sized by the collective's data instead of the barrier
+        pad.  Every engine send and NACK retransmission goes through
+        here, so the wire-cost model lives in exactly one place.
+        """
+        yield from self.cpu_task(self.params.t_inject, "coll_inject")
+        self.fabric.transmit(
+            Packet(
+                src=self.node_id,
+                dst=dst,
+                kind=PacketKind.BCAST,
+                size_bytes=self.params.data_header_bytes + data_bytes,
+                payload=payload,
+            )
+        )
+
     def send_nack(self, dst: int, payload: Any):
         """Receiver-driven reliability: request a retransmission (§6.3)."""
         yield from self.cpu_task(self.params.t_nack_gen, "nack_gen")

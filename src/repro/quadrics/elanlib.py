@@ -130,6 +130,27 @@ class ElanPort:
                 return ev
             self._host_event_pending.append(ev)
 
+    def poll_host_event(self, matches: Callable[[Any], bool]):
+        """One non-blocking poll for a host event.
+
+        Drains whatever the NIC has already posted (one poll cost),
+        then returns the matching event or ``None`` — never blocks.
+        Non-matching events are buffered exactly as in
+        :meth:`wait_host_event`; this is the ``test`` half of a
+        non-blocking chained barrier.
+        """
+        params = self.cpu.params
+        queue = self.nic.host_events
+        yield from self.cpu.compute(params.poll_us, "poll")
+        while len(queue) > 0 and queue.getters_waiting == 0:
+            self._host_event_pending.append(queue.try_get())
+        for i, ev in enumerate(self._host_event_pending):
+            if matches(ev):
+                self._host_event_pending.pop(i)
+                yield from self.cpu.compute(params.recv_overhead_us, "recv_overhead")
+                return ev
+        return None
+
 
 # ----------------------------------------------------------------------
 # Elanlib barriers

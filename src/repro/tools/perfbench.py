@@ -46,6 +46,7 @@ from typing import Optional, Sequence
 
 from repro.cluster.builder import build_cluster
 from repro.cluster.runner import run_barrier_experiment
+from repro.collectives.algorithms import schedule_cache_stats
 from repro.tools.runcache import (
     RunCache,
     atomic_write_text,
@@ -136,6 +137,7 @@ def bench_point(
     best_latency = 0.0
     trial_events: list[int] = []
     trial_latencies: list[float] = []
+    cache_before = schedule_cache_stats()
     for _ in range(trials):
         cluster = build_cluster(spec.profile, spec.nodes)
         t0 = time.perf_counter()
@@ -190,6 +192,10 @@ def bench_point(
     # it after the trials so a point that balloons memory is visible in
     # the report even though earlier points contribute to the floor.
     peak_rss_kib = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    cache_after = schedule_cache_stats()
+    sched_hits = cache_after["hits"] - cache_before["hits"]
+    sched_misses = cache_after["misses"] - cache_before["misses"]
+    sched_total = sched_hits + sched_misses
     row = {
         "point": spec.name,
         "profile": spec.profile,
@@ -204,6 +210,15 @@ def bench_point(
         "events_per_sec": round(best_events / best_wall),
         "mean_latency_us": round(best_latency, 4),
         "peak_rss_mb": round(peak_rss_kib / 1024, 1),
+        # Repeat trials of one point should *hit* the schedule cache
+        # (one compile, trials-1 replays); a 0% rate here means the
+        # point's working set no longer fits — resize before trusting
+        # the wall numbers.
+        "schedule_cache": {
+            "hits": sched_hits,
+            "misses": sched_misses,
+            "hit_rate": round(sched_hits / sched_total, 4) if sched_total else 0.0,
+        },
     }
     baseline = BASELINES.get(spec.name)
     if baseline is not None:
@@ -257,6 +272,7 @@ def run_benchmarks(
             "under-credits them)"
         ),
         "points": rows,
+        "schedule_cache": schedule_cache_stats(),
     }
 
 

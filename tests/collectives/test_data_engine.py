@@ -86,16 +86,27 @@ class TestDuplicateSuppression:
 
         run_all(cluster, [prog(i) for i in range(2)])
         assert all(len(e.archive) <= 8 for e in engines)
-        assert all(e.done_through == 11 for e in engines)
+        # Retirement is archive-aligned: the last 8 sequences sit in
+        # the archive, everything older is below the pruned floor.
+        assert all(sorted(e.archive) == list(range(4, 12)) for e in engines)
+        assert all(e.done_floor == 3 for e in engines)
+        assert all(e._retired(s) for e in engines for s in range(12))
+        assert not any(e._retired(12) for e in engines)
 
 
 class TestGiveUp:
-    def test_dead_sender_terminates_simulation(self):
-        """Black-holing a peer: the collective never completes, but the
-
-        NACK loop gives up after the retry budget (no infinite sim)."""
+    def test_dead_sender_fails_typed_instead_of_hanging(self):
+        """Black-holing a peer: ranks stuck behind it exhaust the NACK
+        retry budget and their hosts get a *typed* CollectiveFailure —
+        the regression for the hang where `_on_nack_timeout` only
+        counted `gave_up` and left the state (and the host's
+        recv_matching) dangling forever."""
         import dataclasses
 
+        from repro.collectives.data_engine import (
+            RETRY_BUDGET_EXHAUSTED,
+            CollectiveFailure,
+        )
         from tests.myrinet.conftest import TEST_GM
 
         gm = dataclasses.replace(TEST_GM, max_retries=3, nack_timeout_us=50.0)
@@ -103,14 +114,23 @@ class TestGiveUp:
         faults.drop_all_matching(lambda p: p.src == 1)  # rank 1 mute
         cluster = MyrinetTestCluster(n=4, gm=gm, faults=faults)
         group = ProcessGroup([0, 1, 2, 3])
-        for i in range(4):
-            NicAllgatherEngine(cluster.nics[i], group, i)
+        engines = [NicAllgatherEngine(cluster.nics[i], group, i) for i in range(4)]
+
+        failures = []
 
         def prog(node):
-            yield from nic_allgather(cluster.ports[node], group, 0, node)
+            try:
+                yield from nic_allgather(cluster.ports[node], group, 0, node)
+            except CollectiveFailure as exc:
+                failures.append((node, exc.reason))
 
         procs = [cluster.sim.process(prog(i)) for i in range(4)]
         cluster.sim.run()  # MUST terminate
         assert cluster.tracer.counters["allgather.gave_up"] >= 1
-        # Rank 2 (waiting on rank 1) cannot have completed.
-        assert not all(p.completion.processed for p in procs)
+        # Every host unblocked: the stuck ranks raised typed failures
+        # instead of hanging in recv_matching.
+        assert all(p.completion.processed for p in procs)
+        assert failures
+        assert all(reason == RETRY_BUDGET_EXHAUSTED for _, reason in failures)
+        # No dangling per-sequence state on any NIC.
+        assert all(not e.states for e in engines)

@@ -55,8 +55,10 @@ TEST_HOST = HostParams(
 class MyrinetTestCluster:
     """A handful of nodes on one crossbar, for unit tests."""
 
-    def __init__(self, n=4, gm=TEST_GM, faults=None, tracer=None):
-        self.sim = Simulator()
+    def __init__(self, n=4, gm=TEST_GM, faults=None, tracer=None, sim=None):
+        # An injected simulator lets the simlint perturbation harness
+        # (compare_runs) rebuild the cluster on its tie-break variants.
+        self.sim = sim if sim is not None else Simulator()
         self.tracer = tracer or Tracer()
         self.fabric = Fabric(
             self.sim, ClosTopology(n), TEST_WIRE, tracer=self.tracer, faults=faults

@@ -39,11 +39,13 @@ TEST_HOST = HostParams(
 
 
 class QuadricsTestCluster:
-    def __init__(self, n=8, elan=TEST_ELAN):
-        self.sim = Simulator()
+    def __init__(self, n=8, elan=TEST_ELAN, faults=None, sim=None):
+        self.sim = sim if sim is not None else Simulator()
         self.tracer = Tracer()
         self.topology = QuaternaryFatTree(n)
-        self.fabric = Fabric(self.sim, self.topology, TEST_WIRE, tracer=self.tracer)
+        self.fabric = Fabric(
+            self.sim, self.topology, TEST_WIRE, tracer=self.tracer, faults=faults
+        )
         self.pcis = [
             PciBus(self.sim, TEST_PCI, name=f"pci{i}", tracer=self.tracer)
             for i in range(n)

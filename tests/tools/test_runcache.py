@@ -345,6 +345,18 @@ class TestPerfbenchCache:
 
         assert bench_point(self._spec(), trials=1)["cache"] == "off"
 
+    def test_schedule_cache_hit_rate_surfaced(self):
+        from repro.collectives.algorithms import SCHEDULE_CACHE
+        from repro.tools.perfbench import bench_point
+
+        SCHEDULE_CACHE.clear()
+        row = bench_point(self._spec(), trials=2)
+        sched = row["schedule_cache"]
+        # Trial 1 compiles the message pattern, trial 2 replays it.
+        assert sched["misses"] >= 1
+        assert sched["hits"] >= 1
+        assert 0 < sched["hit_rate"] < 1
+
     def test_warm_mismatch_is_determinism_violation(self, cache):
         from repro.tools.perfbench import bench_point
 
