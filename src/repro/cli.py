@@ -170,6 +170,8 @@ def _cmd_lint(args: argparse.Namespace) -> int:
         perturb_rounds=args.perturb_rounds,
         perturb_iterations=args.perturb_iterations,
         seed=args.seed,
+        ir=args.ir,
+        ir_grid=args.grid,
     )
 
 
@@ -356,6 +358,17 @@ def build_parser() -> argparse.ArgumentParser:
     lint_parser.add_argument("--perturb-rounds", type=int, default=20)
     lint_parser.add_argument("--perturb-iterations", type=int, default=5)
     lint_parser.add_argument("--seed", type=int, default=0)
+    lint_parser.add_argument(
+        "--ir", action="store_true",
+        help="also verify every compiled CollectiveSchedule in the grid "
+             "(SL201-SL206) and model-check the sequence automaton "
+             "(SL207-SL208)",
+    )
+    lint_parser.add_argument(
+        "--grid", choices=("tuner", "quick"), default="tuner",
+        help="--ir grid: 'tuner' = the full auto-tuner universe incl. "
+             "non-pow2 N (default); 'quick' = the CI smoke subset",
+    )
 
     chaos_parser = sub.add_parser(
         "chaos",

@@ -216,6 +216,42 @@ _BUILDERS: dict[str, Callable[[int], BarrierSchedule]] = {
 }
 
 
+def closed_form_message_count(algorithm: str, n: int) -> int:
+    """§5.1's closed-form wire messages for one operation over all ranks.
+
+    The compiled IR is the source of truth for message counts
+    (:meth:`CollectiveSchedule.total_messages` /
+    :meth:`BarrierSchedule.total_messages`); these formulas survive only
+    as *cross-check assertions* — the schedule-IR verifier (SL204) and
+    the counter audit both assert the IR count equals the closed form,
+    so the two derivations can never drift apart silently.
+
+    - dissemination: one send per rank per round, ``N * ceil(log2 N)``;
+    - pairwise-exchange: ``N * log2 N`` at powers of two; otherwise the
+      low ``M = 2^floor(log2 N)`` ranks exchange ``M * log2 M`` messages
+      and each of the ``N - M`` extras costs one pre-step report plus
+      one post-step release;
+    - gather-broadcast: every non-root rank sends one gather-up and
+      receives one broadcast-down, ``2 * (N - 1)``.
+    """
+    if n < 1:
+        raise ValueError("group size must be >= 1")
+    if n == 1:
+        return 0
+    if algorithm == "dissemination":
+        return n * math.ceil(math.log2(n))
+    if algorithm == "pairwise-exchange":
+        m_pow = 1 << (n.bit_length() - 1)
+        if m_pow == n:
+            return n * (n.bit_length() - 1)
+        return m_pow * (m_pow.bit_length() - 1) + 2 * (n - m_pow)
+    if algorithm == "gather-broadcast":
+        return 2 * (n - 1)
+    raise ValueError(
+        f"no closed-form message count for algorithm {algorithm!r}"
+    )
+
+
 class ScheduleCache:
     """LRU cache for compiled schedules, with observable hit rates.
 

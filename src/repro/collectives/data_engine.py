@@ -45,6 +45,42 @@ if TYPE_CHECKING:  # pragma: no cover
 #: Typed failure reason when a receiver exhausts its NACK retry budget.
 RETRY_BUDGET_EXHAUSTED = "datacoll-retry-budget-exhausted"
 
+#: The per-sequence lifecycle automaton, exported as *data* so the
+#: schedule-IR verifier's bounded model checker (simlint SL207/SL208)
+#: checks the same state machine the engine runs instead of re-reading
+#: method bodies.  ``(state, event) -> action``:
+#:
+#: - states: ``idle`` (no state yet), ``running`` (live sequence),
+#:   ``retired`` (completed or failed — archived or below the floor);
+#: - events: ``start`` (host command), ``arrival`` (matched collective
+#:   message), ``stale_arrival`` (sender already pending), ``timeout``
+#:   (NACK timer, budget remaining), ``timeout_exhausted`` (NACK timer,
+#:   budget spent), ``invalid`` (``_validate`` rejection), ``ops_done``
+#:   (op list replayed to the final dma), ``nack`` (peer NACK for a
+#:   retired sequence);
+#: - actions: ``run`` (replay ops via ``_progress``), ``drop``,
+#:   ``nack_rearm`` (send NACK, re-arm the timer), ``fail`` (typed
+#:   teardown via ``_fail``), ``complete`` (teardown via ``_complete``),
+#:   ``resend_archive`` (answer from the retained payloads).
+#:
+#: The two entries the engine *dispatches through* (rather than merely
+#: documents) are the two historical bug sites: ``timeout_exhausted``
+#: (the PR 7 silent-``return`` hang — anything but ``fail`` parks every
+#: rank forever, which the model checker flags as an SL207 absorbing
+#: state) and ``("retired", "arrival")`` (anything but ``drop``
+#: resurrects a finished sequence, the SL208 exactly-once violation).
+SEQUENCE_AUTOMATON: dict[tuple[str, str], str] = {
+    ("idle", "start"): "run",
+    ("running", "arrival"): "run",
+    ("running", "stale_arrival"): "drop",
+    ("running", "timeout"): "nack_rearm",
+    ("running", "timeout_exhausted"): "fail",
+    ("running", "invalid"): "fail",
+    ("running", "ops_done"): "complete",
+    ("retired", "arrival"): "drop",
+    ("retired", "nack"): "resend_archive",
+}
+
 
 @dataclass(frozen=True)
 class DataCollMsg:
@@ -244,8 +280,13 @@ class DisseminationDataEngine:
         nic = self.nic
         yield from nic.cpu_task(nic.params.t_coll_trigger)
         if self._retired(message.seq):
-            nic.tracer.count(f"{self.counter_prefix}.rx_duplicate")
-            return
+            if SEQUENCE_AUTOMATON.get(("retired", "arrival")) == "drop":
+                nic.tracer.count(f"{self.counter_prefix}.rx_duplicate")
+                return
+            # Any other action resurrects a finished sequence (the
+            # exactly-once violation SL208 proves absent); falling
+            # through here models that broken automaton for the
+            # verifier's regression shim.
         state = self._state(message.seq)
         if message.sender in state.pending:
             nic.tracer.count(f"{self.counter_prefix}.rx_duplicate")
@@ -378,9 +419,14 @@ class DisseminationDataEngine:
         if state.nack_rounds > self.nic.params.max_retries:
             # Retry budget exhausted: tear the sequence down with a
             # typed failure instead of leaking the state and leaving
-            # the host blocked in recv_matching forever.
-            self.nic.tracer.count(f"{self.counter_prefix}.gave_up")
-            yield from self._fail(state, RETRY_BUDGET_EXHAUSTED)
+            # the host blocked in recv_matching forever.  Dispatched
+            # through the exported automaton so the SL207 model check
+            # and the engine can never disagree: any action but "fail"
+            # is the PR 7 silent ``return`` — the sequence parks with a
+            # dead timer and no recovery transition.
+            if SEQUENCE_AUTOMATON.get(("running", "timeout_exhausted")) == "fail":
+                self.nic.tracer.count(f"{self.counter_prefix}.gave_up")
+                yield from self._fail(state, RETRY_BUDGET_EXHAUSTED)
             return
         if state.op_index < len(self.ops):
             op = self.ops[state.op_index]

@@ -33,6 +33,7 @@ barrier pattern builders, so the tuner's sweeps size one cache).
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
 
 from repro.collectives.algorithms import SCHEDULE_CACHE, make_schedule
@@ -64,13 +65,32 @@ class ScheduleOp:
 
 @dataclass(frozen=True)
 class CollectiveSchedule:
-    """Per-rank op lists for one collective on one group shape."""
+    """Per-rank op lists for one collective on one group shape.
+
+    ``algorithm`` is the message pattern the ops actually follow;
+    ``requested_algorithm`` is what the caller asked for before
+    :func:`normalize_algorithm` substituted a reduce-safe pattern (the
+    two differ only for reducing collectives at non-reduce-safe
+    shapes).  Tuner tables and experiment labels must use
+    ``algorithm`` — labelling a pairwise-exchange run "dissemination"
+    misattributes the measurement.
+    """
 
     collective: str
     algorithm: str
     size: int
     payload_bytes: int
     ops_by_rank: tuple[tuple[ScheduleOp, ...], ...]
+    root: int = 0
+    requested_algorithm: str = ""
+
+    @property
+    def normalized(self) -> bool:
+        """Did compilation substitute a different message pattern?"""
+        return bool(
+            self.requested_algorithm
+            and self.requested_algorithm != self.algorithm
+        )
 
     def ops(self, rank: int) -> tuple[ScheduleOp, ...]:
         if not 0 <= rank < self.size:
@@ -161,6 +181,11 @@ def _result_nbytes(
     return -1
 
 
+#: Shapes already warned about, so each silent substitution surfaces
+#: exactly once per process instead of once per compile/cache miss.
+_normalization_warned: set[tuple[str, str, int]] = set()
+
+
 def compile_schedule(
     collective: str,
     algorithm: str,
@@ -177,16 +202,41 @@ def compile_schedule(
     where the collective's cost model is closed-form.  Results are
     cached process-wide in ``SCHEDULE_CACHE``; :class:`ProcessGroup`
     adds the per-communicator layer on top.
+
+    When :func:`normalize_algorithm` substitutes a reduce-safe pattern
+    the compiled schedule records the original request in
+    ``requested_algorithm`` and a one-shot :class:`RuntimeWarning` is
+    emitted, so tuner tables and experiment labels cannot silently
+    attribute a pairwise-exchange measurement to dissemination.
     """
+    requested = algorithm
     algorithm = normalize_algorithm(collective, algorithm, n)
-    key = ("ir", collective, algorithm, n, payload_bytes, root)
+    if algorithm != requested:
+        mark = (collective, requested, n)
+        if mark not in _normalization_warned:
+            _normalization_warned.add(mark)
+            warnings.warn(
+                f"{collective} at N={n} cannot run {requested!r} (not "
+                f"reduce-safe); schedule normalized to {algorithm!r}. "
+                "Label results with CollectiveSchedule.algorithm, not the "
+                "requested name.",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+    key = ("ir", collective, requested, n, payload_bytes, root)
     return SCHEDULE_CACHE.get_or_build(
-        key, lambda: _compile(collective, algorithm, n, payload_bytes, root)
+        key,
+        lambda: _compile(collective, algorithm, n, payload_bytes, root, requested),
     )
 
 
 def _compile(
-    collective: str, algorithm: str, n: int, payload_bytes: int, root: int
+    collective: str,
+    algorithm: str,
+    n: int,
+    payload_bytes: int,
+    root: int,
+    requested: str = "",
 ) -> CollectiveSchedule:
     base = make_schedule(algorithm, n)
     # The phase index at which ``src`` sends to ``dst``: receivers match
@@ -232,5 +282,11 @@ def _compile(
         )
         ops_by_rank.append(tuple(ops))
     return CollectiveSchedule(
-        collective, algorithm, n, payload_bytes, tuple(ops_by_rank)
+        collective,
+        algorithm,
+        n,
+        payload_bytes,
+        tuple(ops_by_rank),
+        root=root,
+        requested_algorithm=requested or algorithm,
     )

@@ -20,7 +20,6 @@ from t=0 are exact.
 
 from __future__ import annotations
 
-import math
 import re
 from dataclasses import dataclass
 from typing import Optional
@@ -46,11 +45,36 @@ def aggregate_counters(counters: dict[str, int]) -> dict[str, int]:
     return out
 
 
+def _messages_per_barrier(nodes: int) -> int:
+    """Wire messages one dissemination barrier sends, read off the
+    compiled schedule IR — the same op lists the engines replay — so
+    audit expectations can never drift from what actually runs.  The
+    §5.1 closed form (N * ceil(log2 N)) survives only as a cross-check
+    assertion here and in simlint SL204; if the compiled pattern and
+    the formula ever disagree, this raises instead of silently trusting
+    either side.
+    """
+    from repro.collectives.algorithms import closed_form_message_count
+    from repro.collectives.schedule_ir import compile_schedule
+
+    from_ir = compile_schedule("barrier", "dissemination", nodes).total_messages()
+    closed = closed_form_message_count("dissemination", nodes)
+    if from_ir != closed:
+        raise AssertionError(
+            f"schedule IR carries {from_ir} messages/barrier at N={nodes} "
+            f"but the closed form says {closed}; run "
+            "`python -m repro lint --ir` to locate the drift"
+        )
+    return from_ir
+
+
 def expected_counters(barrier: str, nodes: int, barriers: int) -> dict[str, int]:
     """Closed-form full-run counter totals for ``barriers`` consecutive
     dissemination barriers over ``nodes`` ranks.
 
-    Derivations (r = ceil(log2 N) rounds, M = N*r messages/barrier):
+    Derivations (r = ceil(log2 N) rounds, M = N*r messages/barrier;
+    M is read from the compiled schedule IR, see
+    :func:`_messages_per_barrier`):
 
     - every scheme sends one message per rank per round: M wire
       packets per barrier (the paper's Table: "log N steps, one message
@@ -71,8 +95,7 @@ def expected_counters(barrier: str, nodes: int, barriers: int) -> dict[str, int]
     """
     if nodes < 2:
         raise ValueError("barrier needs at least two ranks")
-    rounds = math.ceil(math.log2(nodes))
-    msgs = nodes * rounds * barriers  # wire messages over the whole run
+    msgs = _messages_per_barrier(nodes) * barriers  # whole-run wire messages
     per_rank = nodes * barriers  # once-per-rank-per-barrier events
 
     if barrier == "nic-collective":

@@ -10,16 +10,34 @@ Two halves share one finding vocabulary (stable ``SLxxx`` codes):
 - **runtime model checks** (SL101-SL106) — the tie-break perturbation
   runner (same-timestamp event-order permutation must leave results
   bit-identical) and the quiescence audit (deadlocks, packet-pool /
-  queue / bookkeeping / span leaks, rendered as a wait-for graph).
+  queue / bookkeeping / span leaks, rendered as a wait-for graph);
+- **schedule-IR verification** (SL201-SL208) — static proofs over every
+  compiled ``CollectiveSchedule`` in the tuner grid (wire matching,
+  deadlock-freedom, reduction completeness, byte conservation, archive
+  bounds, NACK resolvability) plus a bounded model checker of the
+  data-engine sequence automaton under message loss/duplication.
 
-Entry point: ``python -m repro lint [--perturb]``.
+Entry point: ``python -m repro lint [--perturb] [--ir [--grid ...]]``.
 """
 
 from repro.tools.simlint.findings import (
     ALL_RULES,
     Finding,
+    IR_RULES,
     RUNTIME_RULES,
     STATIC_RULES,
+)
+from repro.tools.simlint.ir_verify import (
+    ALGORITHMS,
+    IrPoint,
+    IrVerifyError,
+    IrVerifyReport,
+    ModelBounds,
+    check_archive_bound,
+    ir_grid,
+    model_check_schedule,
+    run_ir_verify,
+    verify_schedule,
 )
 from repro.tools.simlint.perturb import (
     PerturbationReport,
@@ -50,11 +68,17 @@ from repro.tools.simlint.static_rules import (
 )
 
 __all__ = [
+    "ALGORITHMS",
     "ALL_RULES",
     "EXIT_CLEAN",
     "EXIT_FINDINGS",
     "EXIT_INTERNAL",
     "Finding",
+    "IR_RULES",
+    "IrPoint",
+    "IrVerifyError",
+    "IrVerifyReport",
+    "ModelBounds",
     "PerturbationReport",
     "QuiescenceReport",
     "RUNTIME_RULES",
@@ -65,12 +89,16 @@ __all__ = [
     "analyze_file",
     "analyze_source",
     "analyze_tree",
+    "check_archive_bound",
     "check_quiescent",
     "collect_static_findings",
     "compare_runs",
     "default_root",
     "diff_results",
+    "ir_grid",
+    "model_check_schedule",
     "perturb_barrier_experiment",
     "run_and_check",
-    "run_lint",
+    "run_ir_verify",
+    "verify_schedule",
 ]

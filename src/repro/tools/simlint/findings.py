@@ -67,4 +67,34 @@ RUNTIME_RULES: dict[str, str] = {
              "targeted flow reached the plan's occurrence",
 }
 
-ALL_RULES: dict[str, str] = {**STATIC_RULES, **RUNTIME_RULES}
+#: Schedule-IR rules (static proofs over compiled CollectiveSchedules
+#: plus the bounded model check of the sequence automaton); findings
+#: locate by ``ir://collective/algorithm/nN/pP/rootR[/rankK]`` locus
+#: with the 1-based op index in the line slot.
+IR_RULES: dict[str, str] = {
+    "SL201": "wire matching: every send pairs with exactly one recv on the "
+             "peer — no orphans, duplicates, self-messages or out-of-range "
+             "peers",
+    "SL202": "deadlock-freedom: the cross-rank happens-before DAG (program "
+             "order + send->recv edges) must be acyclic; the minimal wait "
+             "cycle is reported on failure",
+    "SL203": "reduction completeness: contributor bitsets must cover the "
+             "full rank set where the collective delivers, with no "
+             "overlapping (double-counting) merge",
+    "SL204": "byte conservation: wire/DMA sizes must equal the "
+             "_wire_nbytes/_result_nbytes pins and the send count must "
+             "match the closed-form message count",
+    "SL205": "retirement-archive bound: max in-flight sequences must not "
+             "out-run coll_archive_depth (the out-of-order-completion "
+             "duplicate-drop class)",
+    "SL206": "NACK resolvability: every recv's peer_phase must name a send "
+             "the peer actually stamps (the sent_messages lookup key)",
+    "SL207": "sequence liveness: every automaton path must terminate in "
+             "exactly one of _complete/_fail — no silent-return absorbing "
+             "states",
+    "SL208": "terminal integrity: retired sequences must drop duplicate "
+             "arrivals, never re-enter; the transition table must cover "
+             "every (state, event) the lifecycle can see",
+}
+
+ALL_RULES: dict[str, str] = {**STATIC_RULES, **RUNTIME_RULES, **IR_RULES}

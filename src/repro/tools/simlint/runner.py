@@ -60,6 +60,8 @@ def run_lint(
     perturb_rounds: int = 20,
     perturb_iterations: int = 5,
     seed: int = 0,
+    ir: bool = False,
+    ir_grid: str = "tuner",
     emit: Callable[[str], None] = print,
 ) -> int:
     """Execute the configured checks and return the process exit code."""
@@ -69,6 +71,19 @@ def run_lint(
         emit(f"simlint: internal error: {exc}")
         return EXIT_INTERNAL
     _render_report(findings, "static analysis", emit)
+
+    if ir:
+        from repro.tools.simlint.ir_verify import IrVerifyError, run_ir_verify
+
+        try:
+            report = run_ir_verify(grid=ir_grid)
+        except IrVerifyError as exc:
+            emit(f"simlint: internal error during ir-verify: {exc}")
+            return EXIT_INTERNAL
+        for finding in report.findings:
+            emit(finding.render())
+        emit(report.summary())
+        findings.extend(report.findings)
 
     if perturb:
         from repro.tools.simlint.perturb import all_scheme_reports

@@ -76,6 +76,35 @@ def test_reduce_safety_and_normalization():
     assert normalize_algorithm("allgather", "dissemination", 6) == "dissemination"
 
 
+def test_requested_algorithm_recorded_and_warned_once():
+    import warnings
+
+    from repro.collectives import schedule_ir
+
+    schedule_ir._normalization_warned.clear()
+    try:
+        # Non-pow2 reduction: dissemination is substituted and the
+        # substitution is recorded and warned about — exactly once.
+        with pytest.warns(RuntimeWarning, match="normalized to 'pairwise-exchange'"):
+            schedule = compile_schedule("allreduce", "dissemination", 6, 4)
+        assert schedule.algorithm == "pairwise-exchange"
+        assert schedule.requested_algorithm == "dissemination"
+        assert schedule.normalized
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", RuntimeWarning)
+            again = compile_schedule("allreduce", "dissemination", 6, 4)
+        assert again is schedule  # cached under the *requested* name
+        # Pow2 and non-reducing shapes are untouched, no warning.
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", RuntimeWarning)
+            clean = compile_schedule("allreduce", "dissemination", 8, 4)
+            union = compile_schedule("allgather", "dissemination", 6, 4)
+        assert not clean.normalized and clean.requested_algorithm == "dissemination"
+        assert not union.normalized
+    finally:
+        schedule_ir._normalization_warned.clear()
+
+
 def test_reducing_wire_bytes_are_value_plus_bitmap():
     n = 16
     schedule = compile_schedule("allreduce", "pairwise-exchange", n, payload_bytes=8)

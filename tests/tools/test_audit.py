@@ -40,6 +40,21 @@ def test_expected_counters_closed_form():
     assert chained["elan.event_fired"] == 48
 
 
+def test_expected_counters_consume_schedule_ir():
+    # The message totals come off the compiled schedule IR, not a
+    # re-derived formula — the closed form survives as a cross-check.
+    from repro.collectives.algorithms import closed_form_message_count
+    from repro.collectives.schedule_ir import compile_schedule
+    from repro.tools.audit import _messages_per_barrier
+
+    for nodes in (2, 4, 6, 8, 13, 16):
+        from_ir = compile_schedule("barrier", "dissemination", nodes).total_messages()
+        assert _messages_per_barrier(nodes) == from_ir
+        assert from_ir == closed_form_message_count("dissemination", nodes)
+        exp = expected_counters("nic-collective", nodes=nodes, barriers=3)
+        assert exp["wire.barrier"] == 3 * from_ir
+
+
 def test_expected_counters_rejects_unknown():
     with pytest.raises(ValueError, match="auditable"):
         expected_counters("gsync", nodes=8, barriers=1)
