@@ -183,6 +183,21 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
     networks = (
         ("myrinet", "quadrics") if args.network == "both" else (args.network,)
     )
+    if args.fuzz:
+        import warnings
+
+        from repro.tools.chaos import run_fuzz_block
+
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", RuntimeWarning)
+            report = run_fuzz_block(
+                networks=networks,
+                seeds=tuple(range(args.seed, args.seed + args.fuzz_seeds)),
+                nodes=args.nodes,
+                rounds=args.rounds,
+            )
+        print(report.render())
+        return 0 if report.ok else 1
     campaign = run_campaign(
         networks=networks,
         nodes=args.nodes,
@@ -384,6 +399,14 @@ def build_parser() -> argparse.ArgumentParser:
     chaos_parser.add_argument("--seed", type=int, default=0)
     chaos_parser.add_argument("--report", default=None,
                               help="also write the markdown degradation report here")
+    chaos_parser.add_argument("--fuzz", action="store_true",
+                              help="run the randomized failure fuzzer "
+                                   "(kill/flap/corrupt/jitter schedules with "
+                                   "epoch repair) instead of the scenario "
+                                   "catalogue")
+    chaos_parser.add_argument("--fuzz-seeds", type=int, default=4,
+                              help="seeds per network in the fuzz block "
+                                   "(seed, seed+1, ...)")
     chaos_parser.add_argument("--cache", **cache_flag)
 
     report_parser = sub.add_parser("report", help="regenerate EXPERIMENTS.md")

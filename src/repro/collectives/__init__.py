@@ -39,7 +39,15 @@ from repro.collectives.algorithms import (
     pairwise_exchange,
     schedule_cache_stats,
 )
+from repro.collectives.failures import (
+    FailureReason,
+    Revoked,
+    ScheduleVerificationError,
+    classify_reason,
+    is_revocation,
+)
 from repro.collectives.group import ProcessGroup
+from repro.collectives.membership import MembershipView, PeerDead
 from repro.collectives.messages import (
     BarrierDone,
     BarrierFailed,
@@ -62,6 +70,7 @@ from repro.collectives.myrinet_engines import (
     NicDirectBarrierEngine,
     nic_barrier,
     nic_barrier_teardown,
+    nic_group_revoke,
 )
 from repro.collectives.host_barrier import host_barrier
 from repro.collectives.quadrics_barrier import (
@@ -137,7 +146,15 @@ __all__ = [
     "NicDirectBarrierEngine",
     "nic_barrier",
     "nic_barrier_teardown",
+    "nic_group_revoke",
     "host_barrier",
+    "FailureReason",
+    "Revoked",
+    "ScheduleVerificationError",
+    "classify_reason",
+    "is_revocation",
+    "MembershipView",
+    "PeerDead",
     "QuadricsChainedBarrier",
     "NicBroadcastEngine",
     "BcastMsg",

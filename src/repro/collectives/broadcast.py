@@ -23,11 +23,13 @@ from dataclasses import dataclass
 from typing import TYPE_CHECKING, Any, Optional
 
 from repro.collectives.data_engine import CollectiveFailure, DataCollFailed
+from repro.collectives.failures import FailureReason, Revoked
 from repro.collectives.group import ProcessGroup
 from repro.network import Packet, PacketKind
 
-#: Typed failure reason when a child exhausts its NACK retry budget.
-BCAST_RETRY_BUDGET_EXHAUSTED = "bcast-retry-budget-exhausted"
+#: Typed failure reason when a child exhausts its NACK retry budget
+#: (back-compat alias into the registry).
+BCAST_RETRY_BUDGET_EXHAUSTED = FailureReason.BCAST_BUDGET.value
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.myrinet.gm_api import GmPort
@@ -125,6 +127,7 @@ class NicBroadcastEngine:
         self.children = binomial_children(rank, group.size)
         self.parent = binomial_parent(rank, group.size)
         self.states: dict[int, _BcastState] = {}
+        self.closed = False
         self.broadcasts_completed = 0
         # Per-seq retirement, aligned with the bounded SRAM archive:
         # non-blocking broadcasts can complete out of order (a
@@ -169,8 +172,37 @@ class NicBroadcastEngine:
             yield from self._on_join(command[1])
         elif kind == "timeout":
             yield from self._on_nack_timeout(command[1])
+        elif kind == "epoch":
+            yield from self.on_epoch_change()
+        elif kind == "teardown":
+            yield from self.on_teardown()
         else:
             raise ValueError(f"unknown broadcast command {command!r}")
+
+    def on_epoch_change(self):
+        """Epoch died: joined, undelivered sequences fail up to the host
+        with ``group-revoked``; passive states drop; the engine closes."""
+        nic = self.nic
+        self.closed = True
+        for seq in sorted(self.states):
+            state = self.states[seq]
+            if state.joined and not state.delivered:
+                yield from self._fail(state, FailureReason.GROUP_REVOKED.value)
+            else:
+                state.cancel_timer()
+                del self.states[seq]
+                nic.tracer.count("bcast.epoch_state_dropped")
+
+    def on_teardown(self):
+        """Silent close (dead node's own NIC at repair)."""
+        nic = self.nic
+        self.closed = True
+        for seq in sorted(self.states):
+            state = self.states.pop(seq)
+            state.cancel_timer()
+            nic.tracer.count("bcast.teardown_state_dropped")
+        return
+        yield  # pragma: no cover - makes this a generator
 
     def _on_root_start(self, message: BcastMsg):
         if self.rank != message.root:
@@ -188,6 +220,15 @@ class NicBroadcastEngine:
         """A non-root host posted a receive for broadcast ``seq``."""
         nic = self.nic
         yield from nic.cpu_task(nic.params.t_coll_start)
+        if self.closed:
+            nic.tracer.count("bcast.start_after_revoke")
+            yield from nic.notify_host(
+                DataCollFailed(
+                    self.group.group_id, seq,
+                    FailureReason.GROUP_REVOKED.value, nic.sim.now,
+                )
+            )
+            return
         state = self._state(seq)
         state.joined = True
         if state.have_payload:
@@ -202,6 +243,9 @@ class NicBroadcastEngine:
         message: BcastMsg = packet.payload
         nic = self.nic
         yield from nic.cpu_task(nic.params.t_coll_trigger)
+        if self.closed:
+            nic.tracer.count("bcast.rx_after_revoke")
+            return
         if self._retired(message.seq):
             nic.tracer.count("bcast.rx_duplicate")
             return
@@ -296,6 +340,9 @@ class NicBroadcastEngine:
         nack: BcastNack = packet.payload
         nic = self.nic
         yield from nic.cpu_task(nic.params.t_nack_process)
+        if self.closed:
+            nic.tracer.count("bcast.nack_after_revoke")
+            return
         state = self.states.get(nack.seq)
         if state is not None and state.have_payload:
             message = state.message
@@ -330,6 +377,9 @@ def broadcast_matcher(group: ProcessGroup, seq: int):
 
 def interpret_broadcast(done, group: ProcessGroup, node_id: int):
     if isinstance(done, DataCollFailed):
+        if done.reason == FailureReason.GROUP_REVOKED.value:
+            raise Revoked(group.group_id, done.seq, node=node_id,
+                          failed_at=done.failed_at)
         raise CollectiveFailure(group.group_id, done.seq, done.reason, node=node_id)
     return done
 

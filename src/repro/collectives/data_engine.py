@@ -34,6 +34,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Any, Optional
 
+from repro.collectives.failures import FailureReason, Revoked
 from repro.collectives.group import ProcessGroup
 from repro.collectives.messages import BarrierFailure
 from repro.collectives.schedule_ir import CollectiveSchedule, ScheduleOp
@@ -42,8 +43,9 @@ from repro.network import Packet, PacketKind
 if TYPE_CHECKING:  # pragma: no cover
     from repro.myrinet.nic import LanaiNic
 
-#: Typed failure reason when a receiver exhausts its NACK retry budget.
-RETRY_BUDGET_EXHAUSTED = "datacoll-retry-budget-exhausted"
+#: Typed failure reason when a receiver exhausts its NACK retry budget
+#: (back-compat alias into the registry).
+RETRY_BUDGET_EXHAUSTED = FailureReason.DATACOLL_BUDGET.value
 
 #: The per-sequence lifecycle automaton, exported as *data* so the
 #: schedule-IR verifier's bounded model checker (simlint SL207/SL208)
@@ -211,7 +213,18 @@ class DisseminationDataEngine:
             root=root,
         )
         self.ops: tuple[ScheduleOp, ...] = self.schedule.ops(rank)
+        # Exactly-once receive bookkeeping: where in the op list each
+        # expected (sender, sender-phase) pair is consumed.  An arrival
+        # whose slot sits *behind* op_index was already delivered — a
+        # retransmit that raced the original (e.g. across a healed
+        # link) — and must be dropped, never re-buffered.
+        self._recv_pos = {
+            (op.peer, op.peer_phase): i
+            for i, op in enumerate(self.ops)
+            if op.kind == "recv"
+        }
         self.states: dict[int, _DataState] = {}
+        self.closed = False
         self.completed = 0
         # Per-seq retirement, aligned with the bounded send archive:
         # ``archive`` holds the recently-retired sequences (completed or
@@ -262,12 +275,27 @@ class DisseminationDataEngine:
             yield from self._on_start(command[1], command[2:])
         elif kind == "timeout":
             yield from self._on_nack_timeout(command[1])
+        elif kind == "epoch":
+            yield from self.on_epoch_change()
+        elif kind == "teardown":
+            yield from self.on_teardown()
         else:
             raise ValueError(f"unknown {self.counter_prefix} command {command!r}")
 
     def _on_start(self, seq: int, args: tuple):
         nic = self.nic
         yield from nic.cpu_task(nic.params.t_coll_start)
+        if self.closed:
+            # Epoch died while the start crossed the bus: resolve the
+            # host with a typed revocation instead of parking it.
+            nic.tracer.count(f"{self.counter_prefix}.start_after_revoke")
+            yield from nic.notify_host(
+                DataCollFailed(
+                    self.group.group_id, seq,
+                    FailureReason.GROUP_REVOKED.value, nic.sim.now,
+                )
+            )
+            return
         state = self._state(seq)
         self._init_data(state, args)
         state.started = True
@@ -279,6 +307,11 @@ class DisseminationDataEngine:
         message: DataCollMsg = packet.payload
         nic = self.nic
         yield from nic.cpu_task(nic.params.t_coll_trigger)
+        if self.closed:
+            # Revoked epoch: stray traffic from peers that had not yet
+            # heard must never resurrect a sequence.
+            nic.tracer.count(f"{self.counter_prefix}.rx_after_revoke")
+            return
         if self._retired(message.seq):
             if SEQUENCE_AUTOMATON.get(("retired", "arrival")) == "drop":
                 nic.tracer.count(f"{self.counter_prefix}.rx_duplicate")
@@ -291,12 +324,57 @@ class DisseminationDataEngine:
         if message.sender in state.pending:
             nic.tracer.count(f"{self.counter_prefix}.rx_duplicate")
             return
+        pos = self._recv_pos.get((message.sender, message.phase))
+        if pos is None:
+            # No recv op ever consumes this (sender, phase) here.
+            nic.tracer.count(f"{self.counter_prefix}.rx_unexpected")
+            return
+        if pos < state.op_index:
+            # Its recv op already consumed the original: a retransmit
+            # delivered twice (NACK answered across a healing link).
+            # Exactly-once: count and discard, never re-buffer.
+            nic.tracer.count(f"{self.counter_prefix}.rx_duplicate")
+            return
         state.pending[message.sender] = message
         if state.started and not state.complete:
             yield from self._progress(message.seq)
 
     def on_barrier_packet(self, packet: Packet):  # pragma: no cover - guard
         raise TypeError(f"{self.counter_prefix} engine received a barrier packet")
+
+    # -- epoch repair / teardown -------------------------------------------
+    def on_epoch_change(self):
+        """The group's epoch died: abort every in-flight sequence.
+
+        Started sequences fail up to the host with the typed
+        ``group-revoked`` reason through the same ``_fail`` teardown
+        retry exhaustion uses (timer cancelled, state archived, host
+        notified — so blocking and non-blocking waiters both resolve);
+        passive early-arrival states drop silently.  The engine closes:
+        late traffic and late starts for the dead epoch are refused.
+        """
+        nic = self.nic
+        self.closed = True
+        for seq in sorted(self.states):
+            state = self.states[seq]
+            if state.started and not state.complete:
+                yield from self._fail(state, FailureReason.GROUP_REVOKED.value)
+            else:
+                state.cancel_timer()
+                del self.states[seq]
+                nic.tracer.count(f"{self.counter_prefix}.epoch_state_dropped")
+
+    def on_teardown(self):
+        """Silent close (dead node's own NIC at repair): drop every
+        state without host notifications."""
+        nic = self.nic
+        self.closed = True
+        for seq in sorted(self.states):
+            state = self.states.pop(seq)
+            state.cancel_timer()
+            nic.tracer.count(f"{self.counter_prefix}.teardown_state_dropped")
+        return
+        yield  # pragma: no cover - makes this a generator
 
     # -- schedule replay ---------------------------------------------------
     def _payload_for(self, state: _DataState, phase: int) -> tuple[Any, int]:
@@ -444,6 +522,9 @@ class DisseminationDataEngine:
         nack: DataCollNack = packet.payload
         nic = self.nic
         yield from nic.cpu_task(nic.params.t_nack_process)
+        if self.closed:
+            nic.tracer.count(f"{self.counter_prefix}.nack_after_revoke")
+            return
         state = self.states.get(nack.seq)
         if state is not None:
             message = state.sent_messages.get(nack.phase)
@@ -492,8 +573,12 @@ def data_collective_matcher(group: ProcessGroup, seq: int):
 
 
 def interpret_data_collective(done, group: ProcessGroup, node_id: int):
-    """Turn a completion event into a result, raising typed failures."""
+    """Turn a completion event into a result, raising typed failures
+    (:class:`Revoked` when the epoch died)."""
     if isinstance(done, DataCollFailed):
+        if done.reason == FailureReason.GROUP_REVOKED.value:
+            raise Revoked(group.group_id, done.seq, node=node_id,
+                          failed_at=done.failed_at)
         raise CollectiveFailure(group.group_id, done.seq, done.reason, node=node_id)
     return done.result
 

@@ -1,0 +1,121 @@
+"""Per-node membership views fed by the NIC failure detector.
+
+Each NIC carries a :class:`MembershipView`.  Liveness evidence arrives
+two ways:
+
+* **Piggybacked** — every received wire packet refreshes the sender's
+  ``last_heard`` timestamp for free (``observe_alive``), so explicit
+  heartbeats are only needed across otherwise-silent links.
+* **Active probing** — when the failure detector is enabled (it is off
+  by default; see ``GmParams.heartbeat_period_us`` /
+  ``ElanParams.heartbeat_period_us``) the NIC control program runs a
+  bounded heartbeat loop: each period it sends a tiny HEARTBEAT packet
+  to every watched peer it has not heard from within one period, and
+  declares dead any peer silent for longer than the suspicion timeout.
+  The loop exits at ``horizon_us`` so the event heap always drains and
+  quiescence stays clean.
+
+Death verdicts are typed :class:`PeerDead` records.  They unify the
+scattered retry-exhaustion escalations: the Myrinet timeout loop and the
+NIC engines report exhaustion through ``declare_dead`` with
+``origin="retry-exhaustion"`` alongside the detector's
+``origin="heartbeat-timeout"``, so a repair controller has one place to
+look regardless of how the failure was noticed.
+
+Determinism: the detector's only randomness is the initial phase offset
+of each node's heartbeat loop, drawn from a named
+``DeterministicRng`` substream (``hb/<node>``), so runs are bit-identical
+for a fixed seed and invariant under tie-break permutations.
+"""
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+__all__ = ["PeerDead", "MembershipView"]
+
+
+@dataclass(frozen=True)
+class PeerDead:
+    """Typed verdict: ``node`` was declared dead at ``detected_at``.
+
+    ``origin`` records the evidence class — ``"heartbeat-timeout"`` from
+    the active detector, ``"retry-exhaustion"`` from ACK/NACK budget
+    escalation, ``"external"`` for controller-injected verdicts (the
+    chaos fuzzer's ground truth).
+    """
+
+    node: int
+    detected_at: float
+    origin: str
+    detail: str = ""
+
+
+@dataclass
+class MembershipView:
+    """One NIC's view of which peers are alive.
+
+    Cheap and always-on: ``observe_alive`` is a dict write on the
+    receive path.  Verdicts are idempotent — the first ``declare_dead``
+    for a node wins and fires callbacks; later ones are ignored so
+    redundant evidence (heartbeat timeout racing retry exhaustion) does
+    not produce duplicate repair work.
+    """
+
+    node_id: int
+    last_heard: dict[int, float] = field(default_factory=dict)
+    last_sent: dict[int, float] = field(default_factory=dict)
+    dead: dict[int, PeerDead] = field(default_factory=dict)
+    _callbacks: list[Callable[[PeerDead], None]] = field(default_factory=list)
+
+    def observe_alive(self, node: int, now: float) -> None:
+        if node == self.node_id or node in self.dead:
+            return
+        prev = self.last_heard.get(node)
+        if prev is None or now > prev:
+            self.last_heard[node] = now
+
+    def observe_sent(self, node: int, now: float) -> None:
+        """Record an outgoing packet to ``node`` (any kind).
+
+        The heartbeat loop keys its send decision on this — my outgoing
+        traffic is what proves *my* liveness to the peer, so a beat is
+        only needed when I have not transmitted anything to them for a
+        full period.  Keying the decision on *receive* evidence instead
+        would let one side's regular beats suppress the other side's
+        forever, and the silent (but healthy) side gets convicted.
+        """
+        prev = self.last_sent.get(node)
+        if prev is None or now > prev:
+            self.last_sent[node] = now
+
+    def declare_dead(self, node: int, now: float, origin: str,
+                     detail: str = "") -> Optional[PeerDead]:
+        """Record a death verdict; returns it, or None if already dead."""
+        if node == self.node_id or node in self.dead:
+            return None
+        verdict = PeerDead(node=node, detected_at=now, origin=origin,
+                           detail=detail)
+        self.dead[node] = verdict
+        self.last_heard.pop(node, None)
+        for callback in list(self._callbacks):
+            callback(verdict)
+        return verdict
+
+    def on_death(self, callback: Callable[[PeerDead], None]) -> None:
+        """Subscribe to future verdicts (repair controllers hook here)."""
+        self._callbacks.append(callback)
+
+    def is_dead(self, node: int) -> bool:
+        return node in self.dead
+
+    def alive_peers(self, peers) -> list[int]:
+        return [p for p in peers if p != self.node_id and p not in self.dead]
+
+    def silent_for(self, node: int, now: float, since_default: float) -> float:
+        """Microseconds since we last heard from ``node``.
+
+        Peers never heard from are measured against ``since_default``
+        (detector start time) so a node dead from t=0 is still caught.
+        """
+        return now - self.last_heard.get(node, since_default)

@@ -23,6 +23,7 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING, Any
 
+from repro.collectives.failures import FailureReason, Revoked
 from repro.collectives.group import ProcessGroup
 from repro.collectives.messages import (
     BarrierDone,
@@ -113,12 +114,29 @@ class _NicBarrierEngineBase:
             yield from self._on_failure_signal(command[1], kind)
         elif kind == "teardown":
             yield from self._on_teardown()
+        elif kind == "epoch":
+            yield from self.on_epoch_change()
         else:
             raise ValueError(f"unknown engine command {command!r}")
 
     def _on_start(self, seq: int):
         nic = self.nic
         yield from nic.cpu_task(nic.params.t_coll_start, "coll_start")
+        if self.closed:
+            # The group's epoch died while this start crossed the bus:
+            # resolve the host immediately instead of parking it on a
+            # sequence no engine will ever run.
+            nic.tracer.count("coll.start_after_revoke")
+            self.failed[seq] = FailureReason.GROUP_REVOKED.value
+            yield from nic.notify_host(
+                BarrierFailed(
+                    self.group.group_id,
+                    seq,
+                    FailureReason.GROUP_REVOKED.value,
+                    failed_at=nic.sim.now,
+                )
+            )
+            return
         state = self._state(seq)
         state.started = True
         state.start_time = nic.sim.now
@@ -146,7 +164,14 @@ class _NicBarrierEngineBase:
             return
         state = self._state(msg.seq)
         if not state.mark_arrived(msg.sender):
-            nic.tracer.count("coll.rx_unexpected_sender")
+            if msg.sender in self._layout.bit_of:
+                # A known sender whose bit is already set: a retransmit
+                # (e.g. a NACK answered twice across a healed link)
+                # raced the original.  Exactly-once delivery holds — the
+                # duplicate is counted and discarded.
+                nic.tracer.count("coll.rx_duplicate")
+            else:
+                nic.tracer.count("coll.rx_unexpected_sender")
             return
         if state.started and not state.complete:
             yield from self._progress(msg.seq)
@@ -225,10 +250,10 @@ class _NicBarrierEngineBase:
             return
         if origin == "deadline":
             self.nic.tracer.count("coll.deadline_exceeded")
-            reason = "barrier-deadline-exceeded"
+            reason = FailureReason.BARRIER_DEADLINE.value
         else:
             self.nic.tracer.count("coll.peer_dead_escalation")
-            reason = "peer-declared-dead"
+            reason = FailureReason.PEER_DEAD.value
         yield from self._fail(seq, reason)
 
     def _on_teardown(self):
@@ -246,6 +271,32 @@ class _NicBarrierEngineBase:
         return
         yield  # pragma: no cover - makes this a generator
 
+    def on_epoch_change(self):
+        """The group's epoch died (a peer was declared dead and the
+        survivors repaired onto a new group): deterministically abort
+        every in-flight sequence.
+
+        Started, incomplete sequences fail up to the host with the
+        typed ``group-revoked`` reason through the same ``_fail``
+        machinery retry exhaustion uses, so waiting hosts (blocking or
+        non-blocking) resolve instead of hanging; passive early-arrival
+        states are dropped silently.  The engine then closes — late
+        traffic and late starts for the dead epoch are discarded or
+        refused with ``group-revoked``.
+        """
+        nic = self.nic
+        self.closed = True
+        for seq in sorted(self.states):
+            state = self.states[seq]
+            if state.started and not state.complete:
+                yield from self._fail(seq, FailureReason.GROUP_REVOKED.value)
+            else:
+                state.cancel_nack_timer()
+                del self.states[seq]
+                nic.tracer.count("coll.epoch_state_dropped")
+        for seq in sorted(self._deadlines):
+            self._deadlines.pop(seq).cancel()
+
     def on_nic_restart(self):
         """The LANai restarted: engine SRAM state is gone.  Started,
         incomplete barriers fail up to the host (the driver sees the
@@ -255,7 +306,7 @@ class _NicBarrierEngineBase:
         for seq in sorted(self.states):
             state = self.states[seq]
             if state.started and not state.complete:
-                yield from self._fail(seq, "nic-restart")
+                yield from self._fail(seq, FailureReason.NIC_RESTART.value)
             else:
                 state.cancel_nack_timer()
                 del self.states[seq]
@@ -379,7 +430,7 @@ class NicCollectiveBarrierEngine(_NicBarrierEngineBase):
             # typed failure instead of silently abandoning the barrier
             # (which left the host waiting forever).
             nic.tracer.count("coll.gave_up")
-            yield from self._fail(seq, "nack-retry-budget-exhausted")
+            yield from self._fail(seq, FailureReason.NACK_BUDGET.value)
             return
         for phase_idx, sender in state.missing_senders():
             nic.tracer.count("coll.nack_timeout")
@@ -440,8 +491,12 @@ def barrier_matcher(group: ProcessGroup, seq: int):
 
 def interpret_barrier(done, node_id: int):
     """Turn a barrier completion event into a result, raising typed
-    failures."""
+    failures (:class:`Revoked` when the epoch died, plain
+    :class:`BarrierFailure` otherwise)."""
     if isinstance(done, BarrierFailed):
+        if done.reason == FailureReason.GROUP_REVOKED.value:
+            raise Revoked(done.group_id, done.seq, node=node_id,
+                          failed_at=done.failed_at)
         raise BarrierFailure(done.group_id, done.seq, done.reason, node=node_id)
     return done
 
@@ -483,3 +538,13 @@ def nic_barrier_teardown(port: "GmPort", group: ProcessGroup):
     """
     yield from port.pci.pio_write()
     port.nic.post_engine_command((group.group_id, "teardown", -1))
+
+
+def nic_group_revoke(port: "GmPort", group: ProcessGroup):
+    """Host side of revoking a group's engine on an epoch change.
+
+    One PIO; the engine aborts every started sequence with the typed
+    ``group-revoked`` reason (resolving any parked waiter) and closes.
+    """
+    yield from port.pci.pio_write()
+    port.nic.post_engine_command((group.group_id, "epoch", -1))

@@ -81,18 +81,29 @@ class CollectiveRequest:
         self._interpret = interpret
         self.done = False
         self.result: Any = None
+        #: Typed failure the collective resolved to (``Revoked``,
+        #: ``CollectiveFailure``, ``BarrierFailure`` ...); re-raised on
+        #: every subsequent ``wait``/``test`` so the verdict is never
+        #: silently swallowed by a repeat call.
+        self.failure: Optional[Exception] = None
 
     def _settle(self, event: Any) -> Any:
         self.done = True
         # interpret() may raise a typed failure; the request still
         # counts as settled (waiting again would hang on a consumed
         # event), so mark done first.
-        self.result = self._interpret(event)
+        try:
+            self.result = self._interpret(event)
+        except Exception as exc:
+            self.failure = exc
+            raise
         return self.result
 
     def wait(self):
         """Block until the collective completes; returns its result."""
         if self.done:
+            if self.failure is not None:
+                raise self.failure
             return self.result
         event = yield from self.port.recv_matching(self._matcher)
         return self._settle(event)
@@ -101,6 +112,8 @@ class CollectiveRequest:
         """One non-blocking poll: ``True`` iff the collective has
         completed (its result is then in ``self.result``)."""
         if self.done:
+            if self.failure is not None:
+                raise self.failure
             return True
         event = yield from self.port.poll_matching(self._matcher)
         if event is None:

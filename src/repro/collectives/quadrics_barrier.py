@@ -37,8 +37,9 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.collectives.failures import FailureReason, Revoked
 from repro.collectives.group import ProcessGroup
-from repro.collectives.messages import BarrierDone
+from repro.collectives.messages import BarrierDone, BarrierFailed, BarrierFailure
 from repro.quadrics.elan import RdmaDescriptor
 from repro.quadrics.elanlib import ElanPort
 
@@ -173,6 +174,11 @@ class QuadricsChainedBarrier:
         self._prearmed = 0  # chains armed through this seq (exclusive)
         self._done_name = self._done_event()
         self._plan, self._head = self._build_plan()
+        #: Started-but-not-yet-completed sequence numbers: what
+        #: :meth:`revoke` must resolve with synthetic failure words so
+        #: a waiter of a dead epoch unblocks instead of hanging.
+        self._outstanding: set[int] = set()
+        self.closed = False
 
     # ------------------------------------------------------------------
     # Event-word naming and cumulative thresholds
@@ -272,10 +278,55 @@ class QuadricsChainedBarrier:
     # ------------------------------------------------------------------
     def _matcher(self, seq: int):
         return (
-            lambda ev: isinstance(ev, BarrierDone)
+            lambda ev: isinstance(ev, (BarrierDone, BarrierFailed))
             and ev.group_id == self.group.group_id
             and ev.seq == seq
         )
+
+    def _interpret(self, event):
+        """Resolve a completion word to a result or a typed failure."""
+        self._outstanding.discard(getattr(event, "seq", -1))
+        if isinstance(event, BarrierFailed):
+            if event.reason == FailureReason.GROUP_REVOKED.value:
+                raise Revoked(
+                    event.group_id,
+                    event.seq,
+                    node=self.port.node_id,
+                    failed_at=event.failed_at,
+                )
+            raise BarrierFailure(
+                event.group_id, event.seq, event.reason, node=self.port.node_id
+            )
+        self.barriers_completed += 1
+        return event
+
+    def revoke(self):
+        """Tear down this driver's epoch after a membership change.
+
+        Disarms every armed action on the group's chain events (a stale
+        chain link firing after repair would DMA a ghost done-word into
+        the new epoch's host queue) and resolves every outstanding
+        sequence with a synthetic revocation word, so blocked waiters
+        surface :class:`Revoked` instead of hanging on a chain that can
+        never complete — some of its senders are dead.
+        """
+        if self.closed:
+            return
+        self.closed = True
+        nic = self.port.nic
+        disarmed = nic.disarm_events(f"g{self.group.group_id}")
+        nic.tracer.count("elan.barrier_revoked")
+        if disarmed:
+            nic.tracer.count("elan.barrier_revoke_disarmed", disarmed)
+        for seq in sorted(self._outstanding):
+            nic.host_events.put(
+                BarrierFailed(
+                    self.group.group_id,
+                    seq,
+                    FailureReason.GROUP_REVOKED.value,
+                    failed_at=self.port.sim.now,
+                )
+            )
 
     def start_barrier(self, seq: int):
         """Non-blocking half: arm the chain and trigger the head.
@@ -285,6 +336,13 @@ class QuadricsChainedBarrier:
         through ``seq`` (thresholds are linear in the iteration count).
         Pair with :meth:`wait_barrier`.
         """
+        if self.closed:
+            raise Revoked(
+                self.group.group_id,
+                seq,
+                node=self.port.node_id,
+                failed_at=self.port.sim.now,
+            )
         port = self.port
         nic = port.nic
         yield from port.cpu.compute(port.cpu.params.barrier_call_us, "barrier_call")
@@ -293,6 +351,7 @@ class QuadricsChainedBarrier:
         yield from port._command()
         if not self.ops:
             return
+        self._outstanding.add(seq)
         # Prearmed chains (see prearm_chained_group) skip the arm loop:
         # the thresholds are already in SRAM, only the head trigger and
         # the completion wait remain per iteration.
@@ -308,14 +367,18 @@ class QuadricsChainedBarrier:
             nic.issue_rdma(descriptor)
 
     def wait_barrier(self, seq: int):
-        """Blocking wait for a previously-started barrier."""
+        """Blocking wait for a previously-started barrier.
+
+        Raises :class:`Revoked` when the group was revoked while the
+        barrier was in flight, :class:`BarrierFailure` on any other
+        failure word.
+        """
         if not self.ops:
             # Degenerate single-rank group: nothing to wait for.
             self.barriers_completed += 1
             return None
         done = yield from self.port.wait_host_event(self._matcher(seq))
-        self.barriers_completed += 1
-        return done
+        return self._interpret(done)
 
     def ibarrier(self, seq: int):
         """Post a barrier; returns a request handle with generator
@@ -339,17 +402,32 @@ class QuadricsBarrierRequest:
         self.seq = seq
         self.done = False
         self.result = None
+        self.failure: Exception | None = None
 
     def wait(self):
         if self.done:
+            if self.failure is not None:
+                raise self.failure
             return self.result
-        self.result = yield from self.driver.wait_barrier(self.seq)
+        try:
+            self.result = yield from self.driver.wait_barrier(self.seq)
+        except (Revoked, BarrierFailure) as exc:
+            self.done = True
+            self.failure = exc
+            raise
         self.done = True
         return self.result
 
     def test(self):
-        """One non-blocking poll: ``True`` iff the barrier completed."""
+        """One non-blocking poll: ``True`` iff the barrier resolved.
+
+        A barrier that resolved to a failure word raises the typed
+        failure (:class:`Revoked` / :class:`BarrierFailure`) — the
+        handle is *done*, not pending, so it never hangs.
+        """
         if self.done:
+            if self.failure is not None:
+                raise self.failure
             return True
         driver = self.driver
         if not driver.ops:
@@ -359,9 +437,12 @@ class QuadricsBarrierRequest:
         event = yield from driver.port.poll_host_event(driver._matcher(self.seq))
         if event is None:
             return False
-        driver.barriers_completed += 1
-        self.result = event
         self.done = True
+        try:
+            self.result = driver._interpret(event)
+        except (Revoked, BarrierFailure) as exc:
+            self.failure = exc
+            raise
         return True
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

@@ -83,6 +83,11 @@ class CollectiveSchedule:
     ops_by_rank: tuple[tuple[ScheduleOp, ...], ...]
     root: int = 0
     requested_algorithm: str = ""
+    #: Explicit rank -> node mapping this schedule was compiled over.
+    #: Empty for the pristine ``range(N)`` grid; a repaired epoch's
+    #: survivor set otherwise (ops always speak *ranks* — members is
+    #: provenance, and the membership-digest cache key derives from it).
+    members: tuple[int, ...] = ()
 
     @property
     def normalized(self) -> bool:
@@ -192,6 +197,8 @@ def compile_schedule(
     n: int,
     payload_bytes: int = 0,
     root: int = 0,
+    members: tuple[int, ...] | None = None,
+    membership_digest: str | None = None,
 ) -> CollectiveSchedule:
     """Compile (and cache) the op lists for one collective shape.
 
@@ -208,7 +215,18 @@ def compile_schedule(
     ``requested_algorithm`` and a one-shot :class:`RuntimeWarning` is
     emitted, so tuner tables and experiment labels cannot silently
     attribute a pairwise-exchange measurement to dissemination.
+
+    ``members`` compiles over an explicit rank -> node set (a repaired
+    epoch's survivors) instead of the implicit ``range(N)``: the op
+    lists are identical for identical sizes, but the schedule records
+    its membership and the cache key gains ``membership_digest`` so a
+    survivor-epoch schedule can never be confused with (or poison) the
+    pristine grid's entries.
     """
+    if members is not None and len(members) != n:
+        raise ValueError(
+            f"explicit member set has {len(members)} nodes, expected {n}"
+        )
     requested = algorithm
     algorithm = normalize_algorithm(collective, algorithm, n)
     if algorithm != requested:
@@ -224,9 +242,17 @@ def compile_schedule(
                 stacklevel=2,
             )
     key = ("ir", collective, requested, n, payload_bytes, root)
+    if members is not None:
+        # Keyed on the epoch's membership digest: pristine range(N)
+        # keys stay bit-for-bit unchanged (run-cache compatibility),
+        # survivor epochs get their own entries.
+        key = key + (membership_digest or ",".join(map(str, members)),)
     return SCHEDULE_CACHE.get_or_build(
         key,
-        lambda: _compile(collective, algorithm, n, payload_bytes, root, requested),
+        lambda: _compile(
+            collective, algorithm, n, payload_bytes, root, requested,
+            members=members,
+        ),
     )
 
 
@@ -237,6 +263,7 @@ def _compile(
     payload_bytes: int,
     root: int,
     requested: str = "",
+    members: tuple[int, ...] | None = None,
 ) -> CollectiveSchedule:
     base = make_schedule(algorithm, n)
     # The phase index at which ``src`` sends to ``dst``: receivers match
@@ -289,4 +316,5 @@ def _compile(
         tuple(ops_by_rank),
         root=root,
         requested_algorithm=requested or algorithm,
+        members=tuple(members) if members is not None else (),
     )

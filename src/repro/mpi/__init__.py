@@ -28,6 +28,12 @@ from repro.mpi.communicator import (
     MyrinetRankComm,
     QuadricsRankComm,
     create_communicators,
+    repair_quadrics,
 )
 
-__all__ = ["create_communicators", "MyrinetRankComm", "QuadricsRankComm"]
+__all__ = [
+    "create_communicators",
+    "MyrinetRankComm",
+    "QuadricsRankComm",
+    "repair_quadrics",
+]

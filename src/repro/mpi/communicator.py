@@ -29,6 +29,7 @@ from repro.collectives import (
     QuadricsChainedBarrier,
     nic_barrier,
 )
+from repro.collectives.failures import Revoked
 from repro.collectives.allgather import NicAllgatherEngine, nic_allgather
 from repro.collectives.allreduce import NicAllreduceEngine, nic_allreduce
 from repro.collectives.alltoall import NicAlltoallEngine, nic_alltoall
@@ -37,6 +38,7 @@ from repro.collectives.broadcast import (
     nic_broadcast_recv,
     nic_broadcast_root,
 )
+from repro.collectives.nonblocking import nic_ibarrier
 
 _counter = itertools.count()
 
@@ -48,16 +50,82 @@ class _MyrinetContexts:
         self.cluster = cluster
         self.nodes = tuple(nodes)
         self.algorithm = algorithm
+        #: Repair generation — bumped by :meth:`repair`; rank handles
+        #: lazily resync (rank re-index + sequence reset) when it moves.
+        self.epoch = 0
         self.barrier_group = ProcessGroup(nodes, algorithm=algorithm)
         self.allgather_group = ProcessGroup(nodes)
         self.alltoall_group = ProcessGroup(nodes)
         self.allreduce_group = ProcessGroup(nodes)
+        self._bcast_groups: dict[int, ProcessGroup] = {}
+        self._register_engines()
+
+    def _register_engines(self) -> None:
+        cluster = self.cluster
         for rank, node in enumerate(self.nodes):
             NicCollectiveBarrierEngine(cluster.nics[node], self.barrier_group, rank)
             NicAllgatherEngine(cluster.nics[node], self.allgather_group, rank)
             NicAlltoallEngine(cluster.nics[node], self.alltoall_group, rank)
             NicAllreduceEngine(cluster.nics[node], self.allreduce_group, rank)
-        self._bcast_groups: dict[int, ProcessGroup] = {}
+
+    def _groups(self) -> list[ProcessGroup]:
+        return [
+            self.barrier_group,
+            self.allgather_group,
+            self.alltoall_group,
+            self.allreduce_group,
+            *self._bcast_groups.values(),
+        ]
+
+    def revoke_epoch(self) -> None:
+        """Post the epoch-teardown command to every engine of every
+        current group, on every member NIC — dead nodes included.
+
+        A dead node's zombie control program still drains its command
+        and event queues; revoking its engines resolves its outstanding
+        sequences with typed failures, so its blocked host processes
+        unblock and its queues audit clean (simlint SL104).
+        """
+        for group in self._groups():
+            for node in group.node_ids:
+                self.cluster.nics[node].post_engine_command(
+                    (group.group_id, "epoch", -1)
+                )
+
+    def repair(
+        self, dead_nodes: Sequence[int], payload_bytes: int = 0
+    ) -> None:
+        """Shrink every collective context onto the survivors.
+
+        ULFM-style: revoke the dying epoch (every in-flight sequence
+        resolves to :class:`Revoked`), build survivor groups one epoch
+        later, IR-verify the recompiled schedules (SL201–SL208), and
+        register fresh engines.  Rank handles resync on their next
+        collective call; handles on dead nodes raise :class:`Revoked`.
+        """
+        dead = set(dead_nodes)
+        unknown = dead - set(self.nodes)
+        if unknown:
+            raise ValueError(f"nodes {sorted(unknown)} not in communicator")
+        self.revoke_epoch()
+        self.barrier_group = self.barrier_group.repair(
+            dead, collectives=("barrier",)
+        )
+        self.allgather_group = self.allgather_group.repair(
+            dead, collectives=("allgather",), payload_bytes=payload_bytes
+        )
+        self.alltoall_group = self.alltoall_group.repair(
+            dead, collectives=("alltoall",), payload_bytes=payload_bytes
+        )
+        self.allreduce_group = self.allreduce_group.repair(
+            dead, collectives=("allreduce",), payload_bytes=payload_bytes
+        )
+        # Broadcast contexts are root-relative; drop them and let the
+        # next bcast() rebuild lazily over the survivor order.
+        self._bcast_groups = {}
+        self.nodes = tuple(n for n in self.nodes if n not in dead)
+        self._register_engines()
+        self.epoch += 1
 
     def bcast_group(self, root: int) -> ProcessGroup:
         """The broadcast context rooted at ``root`` (rank), built lazily.
@@ -83,6 +151,7 @@ class MyrinetRankComm:
         self.rank = rank
         self.node = ctx.nodes[rank]
         self._port = ctx.cluster.ports[self.node]
+        self._epoch = ctx.epoch
         self._barrier_seq = 0
         self._bcast_seq = 0
         self._allgather_seq = 0
@@ -93,17 +162,53 @@ class MyrinetRankComm:
     def size(self) -> int:
         return len(self._ctx.nodes)
 
+    def _sync_epoch(self) -> None:
+        """Adopt the context's current epoch before a collective call.
+
+        After a repair the survivor ranks re-index densely and every
+        sequence counter restarts at 0 (the new groups have fresh ids,
+        so old and new numbering spaces cannot collide).  A handle
+        whose node did not survive raises :class:`Revoked` — the typed
+        verdict, not a hang.
+        """
+        ctx = self._ctx
+        if self._epoch == ctx.epoch:
+            return
+        if self.node not in ctx.nodes:
+            raise Revoked(ctx.barrier_group.group_id, -1, node=self.node)
+        self.rank = ctx.nodes.index(self.node)
+        self._epoch = ctx.epoch
+        self._barrier_seq = 0
+        self._bcast_seq = 0
+        self._allgather_seq = 0
+        self._alltoall_seq = 0
+        self._allreduce_seq = 0
+
     def barrier(self):
         """MPI_Barrier over the NIC-based collective protocol."""
+        self._sync_epoch()
         seq = self._barrier_seq
         self._barrier_seq += 1
         yield from nic_barrier(self._port, self._ctx.barrier_group, seq)
+
+    def ibarrier(self):
+        """MPI_Ibarrier: post the barrier, return a
+        :class:`~repro.collectives.nonblocking.CollectiveRequest` with
+        generator ``test()``/``wait()`` methods."""
+        self._sync_epoch()
+        seq = self._barrier_seq
+        self._barrier_seq += 1
+        request = yield from nic_ibarrier(
+            self._port, self._ctx.barrier_group, seq
+        )
+        return request
 
     def bcast(self, value: Any = None, size_bytes: int = 4, root: int = 0):
         """MPI_Bcast over the NIC-based broadcast tree.
 
         Returns the broadcast value at every rank (including the root).
         """
+        self._sync_epoch()
         if not 0 <= root < self.size:
             raise ValueError(f"root {root} out of range")
         seq = self._bcast_seq
@@ -122,6 +227,7 @@ class MyrinetRankComm:
 
         Returns ``{rank: value}`` for all ranks.
         """
+        self._sync_epoch()
         seq = self._allgather_seq
         self._allgather_seq += 1
         gathered = yield from nic_allgather(
@@ -132,6 +238,7 @@ class MyrinetRankComm:
     def alltoall(self, blocks: dict):
         """MPI_Alltoall: ``blocks[dst_rank]`` is this rank's block for
         ``dst_rank``.  Returns ``{origin_rank: block}``."""
+        self._sync_epoch()
         seq = self._alltoall_seq
         self._alltoall_seq += 1
         received = yield from nic_alltoall(
@@ -141,6 +248,7 @@ class MyrinetRankComm:
 
     def allreduce(self, value: Any, op: str = "sum"):
         """MPI_Allreduce with a named operator (sum/prod/min/max)."""
+        self._sync_epoch()
         seq = self._allreduce_seq
         self._allreduce_seq += 1
         result = yield from nic_allreduce(
@@ -175,6 +283,15 @@ class QuadricsRankComm:
         self._barrier_seq += 1
         yield from self._driver.barrier(seq)
 
+    def ibarrier(self):
+        """MPI_Ibarrier: returns a
+        :class:`~repro.collectives.quadrics_barrier.QuadricsBarrierRequest`
+        with generator ``test()``/``wait()`` methods."""
+        seq = self._barrier_seq
+        self._barrier_seq += 1
+        request = yield from self._driver.ibarrier(seq)
+        return request
+
     def bcast(self, value: Any = None, size_bytes: int = 4):
         """MPI_Bcast from rank 0 via QsNet's hardware broadcast."""
         from repro.quadrics import elan_hw_broadcast
@@ -185,6 +302,37 @@ class QuadricsRankComm:
             self._port, self._group.node_ids, seq, size_bytes, value
         )
         return result
+
+    def revoke(self):
+        """Tear down this rank's chained-barrier driver (see
+        :meth:`QuadricsChainedBarrier.revoke`)."""
+        self._driver.revoke()
+
+
+def repair_quadrics(
+    cluster: QuadricsCluster,
+    comms: Sequence[QuadricsRankComm],
+    dead_nodes: Sequence[int],
+) -> list[QuadricsRankComm]:
+    """Revoke a Quadrics communicator's epoch and rebuild on survivors.
+
+    Every rank's driver is revoked — dead ranks included, so their
+    blocked host processes resolve to :class:`Revoked` and their NICs'
+    event queues drain — then the group shrinks one epoch (schedule
+    recompiled over the survivor set and IR-verified) and fresh
+    chained-RDMA drivers are built for the survivors.  Returns the new
+    per-rank handles, in survivor order.
+    """
+    if not comms:
+        raise ValueError("no communicators to repair")
+    old_group = comms[0]._group
+    for comm in comms:
+        comm.revoke()
+    new_group = old_group.repair(dead_nodes, collectives=("barrier",))
+    return [
+        QuadricsRankComm(cluster, new_group, rank)
+        for rank in range(new_group.size)
+    ]
 
 
 def create_communicators(

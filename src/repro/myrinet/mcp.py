@@ -135,6 +135,10 @@ class ControlProgram:
                 # the receiver's NACK timer (collective) recovers.
                 nic.tracer.count("gm.rx_crc_drop")
                 continue
+            # Any clean packet is liveness evidence for its sender —
+            # the failure detector piggybacks on protocol traffic and
+            # only probes otherwise-silent links.
+            nic.membership.observe_alive(packet.src, nic.sim.now)
             if packet.kind == PacketKind.DATA:
                 yield from self._handle_data(packet)
             elif packet.kind == PacketKind.ACK:
@@ -156,6 +160,10 @@ class ControlProgram:
             elif packet.kind == PacketKind.NACK:
                 engine = nic.engine_for(packet.payload.group_id)
                 yield from engine.on_nack(packet)
+            elif packet.kind == PacketKind.HEARTBEAT:
+                # Pure liveness probe; observe_alive above already
+                # refreshed the sender's timestamp.
+                nic.tracer.count("gm.heartbeat_rx")
             else:
                 nic.tracer.count("gm.rx_unknown_kind")
 
@@ -268,6 +276,12 @@ class ControlProgram:
                 # host completion (if any) is deliberately left
                 # untriggered: the send did fail.
                 nic.tracer.count("gm.peer_dead")
+                nic.membership.declare_dead(
+                    record.dst,
+                    nic.sim.now,
+                    "retry-exhaustion",
+                    detail=f"p2p seq {record.seq} kind {record.kind}",
+                )
                 record.abandoned = True
                 nic.send_records.pop((record.dst, record.seq), None)
                 nic.packet_pool.release()
@@ -302,6 +316,65 @@ class ControlProgram:
                     seq=record.seq,
                 )
             )
+
+    # ------------------------------------------------------------------
+    # Failure detector (started by nic.enable_failure_detector)
+    # ------------------------------------------------------------------
+    def heartbeat_loop(self, peers, period_us, timeout_us, horizon_us, offset_us):
+        """The heartbeat/suspicion loop (bounded: exits at the horizon).
+
+        Each period: any watched peer silent for longer than the
+        suspicion timeout is declared dead (a typed ``PeerDead`` verdict
+        in ``nic.membership``); any peer this NIC has not *transmitted*
+        to within one period gets a probe.  Outgoing protocol traffic
+        suppresses probes — every packet this NIC sends is a free
+        heartbeat from the peer's point of view (their receive loop's
+        ``observe_alive``) — so a busy link never carries one.  The
+        send decision must key on the TX gap, not on receive evidence:
+        suppressing my beat because I recently *heard* the peer would
+        let their regular beats silence mine, and they would then
+        convict me for the silence.  The loop's only randomness is the
+        seeded phase ``offset_us``.
+        """
+        nic = self.nic
+        sim = nic.sim
+        p = nic.params
+        membership = nic.membership
+        start = sim.now
+        if offset_us > 0:
+            yield offset_us
+        while sim.now < horizon_us:
+            if getattr(nic, "crashed", False):
+                yield period_us
+                continue
+            for peer in peers:
+                if membership.is_dead(peer):
+                    continue
+                silent = membership.silent_for(peer, sim.now, start)
+                if silent > timeout_us:
+                    verdict = membership.declare_dead(
+                        peer,
+                        sim.now,
+                        "heartbeat-timeout",
+                        detail=f"silent {silent:.1f}us > {timeout_us:.1f}us",
+                    )
+                    if verdict is not None:
+                        nic.tracer.count("gm.peer_dead_hb")
+                    continue
+                sent_gap = sim.now - membership.last_sent.get(peer, start)
+                if sent_gap >= period_us:
+                    yield from nic.cpu_task(p.t_inject, "hb_inject")
+                    nic.fabric.transmit(
+                        Packet(
+                            src=nic.node_id,
+                            dst=peer,
+                            kind=PacketKind.HEARTBEAT,
+                            size_bytes=p.heartbeat_bytes,
+                            payload=None,
+                        )
+                    )
+                    nic.tracer.count("gm.heartbeat_tx")
+            yield period_us
 
     # ------------------------------------------------------------------
     # Collective engines

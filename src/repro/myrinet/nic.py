@@ -29,7 +29,16 @@ from repro.sim import ArbitratedResource, PriorityStore, Resource, Simulator, St
 #: scheduler, then collective-engine commands.  Same-instant contention
 #: for the LANai among the five service loops resolves in this order —
 #: a fixed hardware property, not event-scheduling luck (simlint SL101).
-_MCP_LOOP_PRIORITY = {"rx": 0, "timeout": 1, "sdma": 2, "sched": 3, "engine": 4}
+_MCP_LOOP_PRIORITY = {
+    "rx": 0,
+    "timeout": 1,
+    "sdma": 2,
+    "sched": 3,
+    "engine": 4,
+    # The failure detector's probe loop runs at the lowest priority:
+    # heartbeats ride whatever LANai cycles the protocol loops leave.
+    "hb": 5,
+}
 
 
 def _cpu_arbitration_key(process_name: str) -> tuple:
@@ -98,6 +107,14 @@ class LanaiNic:
         # Collective / barrier engines by group id.
         self.engines: dict[int, Any] = {}
 
+        # Failure detection: every received packet refreshes the
+        # sender's liveness for free; the active heartbeat loop is
+        # opt-in via enable_failure_detector.
+        from repro.collectives.membership import MembershipView
+
+        self.membership = MembershipView(node_id)
+        self.crashed = False
+
         fabric.attach(node_id, self._on_wire_packet)
 
         # Start the control program loops.
@@ -157,6 +174,43 @@ class LanaiNic:
         if engine is None:
             raise KeyError(f"no engine for group {group_id} on {self.name}")
         return engine
+
+    # ------------------------------------------------------------------
+    # Failure detector
+    # ------------------------------------------------------------------
+    def enable_failure_detector(
+        self,
+        peers,
+        rng=None,
+        period_us: float = 0.0,
+        timeout_us: float = 0.0,
+        horizon_us: float = 0.0,
+    ) -> None:
+        """Start the heartbeat/suspicion loop watching ``peers``.
+
+        Off by default — parameters fall back to ``GmParams`` and the
+        loop refuses to start with a zero period, so clean runs carry no
+        probe traffic.  ``rng`` (a ``DeterministicRng``) seeds the
+        per-node phase offset; without one the offset is zero.  The loop
+        exits at the horizon so the event heap always drains.
+        """
+        params = self.params
+        period = period_us or params.heartbeat_period_us
+        if period <= 0:
+            raise ValueError("failure detector needs a positive heartbeat period")
+        timeout = timeout_us or params.heartbeat_timeout_us or 3.0 * period
+        horizon = horizon_us or params.heartbeat_horizon_us or 64.0 * period
+        offset = 0.0
+        if rng is not None:
+            offset = rng.substream(f"hb/{self.node_id}").uniform(0.0, period)
+        watched = tuple(sorted(p for p in peers if p != self.node_id))
+        # Every outgoing packet (any kind) proves this node's liveness
+        # to its destination, so the beat decision keys on the TX gap.
+        self.fabric.observe_tx(self.node_id, self.membership.observe_sent)
+        self.sim.process(
+            self.mcp.heartbeat_loop(watched, period, timeout, horizon, offset),
+            name=f"{self.name}.hb",
+        )
 
     # ------------------------------------------------------------------
     # Wire-facing

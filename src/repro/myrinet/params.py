@@ -114,6 +114,17 @@ class GmParams:
     mtu_bytes: int = 4096
     recv_event_bytes: int = 16
     coll_archive_depth: int = 8
+    #: failure-detector heartbeat period; 0 disables the detector (the
+    #: default — clean runs carry no probe traffic and stay bit-exact).
+    heartbeat_period_us: float = 0.0
+    #: silence longer than this declares the peer dead.  0 derives
+    #: ``3 * heartbeat_period_us`` at detector start.
+    heartbeat_timeout_us: float = 0.0
+    #: the detector loop exits at this sim time so the event heap always
+    #: drains; 0 derives ``64 * heartbeat_period_us``.
+    heartbeat_horizon_us: float = 0.0
+    #: a heartbeat probe is the static ACK packet.
+    heartbeat_bytes: int = 8
 
     def __post_init__(self) -> None:
         for f in fields(self):
@@ -141,6 +152,14 @@ class GmParams:
             raise ValueError("backoff_factor must be >= 1.0")
         if self.backoff_cap_factor < 1.0:
             raise ValueError("backoff_cap_factor must be >= 1.0")
+        if (
+            self.heartbeat_period_us < 0
+            or self.heartbeat_timeout_us < 0
+            or self.heartbeat_horizon_us < 0
+        ):
+            raise ValueError("heartbeat intervals must be non-negative")
+        if self.heartbeat_bytes < 1:
+            raise ValueError("heartbeat packets must have positive size")
 
     @property
     def barrier_packet_bytes(self) -> int:

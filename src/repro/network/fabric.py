@@ -234,6 +234,14 @@ class Fabric:
         # f"wire.{kind}" per packet shows up at millions of packets.
         self._kind_labels: dict[str, str] = {}
         self.delivered_count = 0
+        # Per-source transmit observers (failure detector only): the
+        # heartbeat loop suppresses beats to peers the NIC has recently
+        # transmitted *anything* to, so it needs to see every TX.
+        self._tx_observers: dict[int, Callable[[int, float], None]] = {}
+
+    def observe_tx(self, port: int, callback: Callable[[int, float], None]) -> None:
+        """Register ``callback(dst, now)`` for every packet ``port`` sends."""
+        self._tx_observers[port] = callback
 
     # ------------------------------------------------------------------
     def attach(self, port: int, handler: DeliveryHandler) -> None:
@@ -295,6 +303,10 @@ class Fabric:
         if packet.dst not in self._handlers:
             raise ValueError(f"no NIC attached at port {packet.dst}")
         packet.sent_at = self.sim.now
+        if self._tx_observers:
+            observer = self._tx_observers.get(packet.src)
+            if observer is not None:
+                observer(packet.dst, self.sim.now)
         tracer = self.tracer
         label = self._kind_labels.get(packet.kind)
         if label is None:
@@ -420,6 +432,11 @@ class Fabric:
         for port in targets:
             if port not in self._handlers:
                 raise ValueError(f"no NIC attached at port {port}")
+        if self._tx_observers:
+            observer = self._tx_observers.get(packet.src)
+            if observer is not None:
+                for port in targets:
+                    observer(port, self.sim.now)
         self.sim.schedule(latency, self._deliver_broadcast, packet, tuple(targets))
 
     def _deliver_broadcast(self, packet: Packet, targets: tuple[int, ...]) -> None:

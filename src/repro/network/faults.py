@@ -109,7 +109,10 @@ class Blackhole:
     The handle counts its own drops for the chaos report.
     """
 
-    __slots__ = ("matches", "start_us", "until_us", "label", "dropped", "healed")
+    __slots__ = (
+        "matches", "start_us", "until_us", "label", "dropped", "healed",
+        "healed_at",
+    )
 
     def __init__(
         self,
@@ -124,6 +127,7 @@ class Blackhole:
         self.label = label
         self.dropped = 0
         self.healed = False
+        self.healed_at: Optional[float] = None
 
     def active(self, now: float) -> bool:
         if self.healed:
@@ -134,9 +138,19 @@ class Blackhole:
             return False
         return True
 
-    def heal(self) -> None:
-        """Stop dropping, permanently (the link came back)."""
-        self.healed = True
+    def heal(self, now: Optional[float] = None) -> None:
+        """Stop dropping, permanently (the link came back).
+
+        Healing only changes what happens to packets *injected from now
+        on*: everything the hole already dropped stays dropped, and a
+        NACK-retransmit already in flight is delivered exactly once —
+        the receiver engines suppress the extra copy a late retry round
+        produces (counted ``*.rx_duplicate``), they never re-apply it.
+        Idempotent; the first call's timestamp wins.
+        """
+        if not self.healed:
+            self.healed = True
+            self.healed_at = now
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         window = ""
@@ -248,6 +262,20 @@ class FaultInjector:
             label=f"flap:{a}<->{b}",
         )
 
+    def kill_node(self, node: int, at_us: Optional[float] = None) -> Blackhole:
+        """Permanent fail-stop node death: from ``at_us`` on (or
+        immediately), the node neither sends nor receives, and the hole
+        never heals on its own.  The NIC-side half of the kill (the
+        ``crashed`` flag that silences its heartbeat loop) is the
+        caller's job."""
+        hole = Blackhole(
+            lambda p: p.src == node or p.dst == node,
+            start_us=at_us,
+            label=f"kill:n{node}",
+        )
+        self._blackholes.append(hole)
+        return hole
+
     def crash_window(self, node: int, start_us: float, until_us: float) -> Blackhole:
         """The wire-side half of a NIC crash: while down, the node
         neither sends nor receives.  The NIC-side half (volatile-state
@@ -348,6 +376,7 @@ class FaultInjector:
                     "label": hole.label,
                     "dropped": hole.dropped,
                     "healed": hole.healed,
+                    "healed_at": hole.healed_at,
                     "start_us": hole.start_us,
                     "until_us": hole.until_us,
                 }

@@ -13,6 +13,7 @@ class PacketKind:
     ``DATA``/``ACK``/``NACK`` belong to GM's point-to-point protocol;
     ``BARRIER`` is the collective protocol's padded control packet;
     ``RDMA``/``EVENT``/``BCAST`` belong to the Quadrics model.
+    ``HEARTBEAT`` is the failure detector's probe on both networks.
     """
 
     DATA = "data"
@@ -22,8 +23,9 @@ class PacketKind:
     RDMA = "rdma"
     EVENT = "event"
     BCAST = "bcast"
+    HEARTBEAT = "heartbeat"
 
-    ALL = (DATA, ACK, NACK, BARRIER, RDMA, EVENT, BCAST)
+    ALL = (DATA, ACK, NACK, BARRIER, RDMA, EVENT, BCAST, HEARTBEAT)
 
 
 _wire_ids = itertools.count()

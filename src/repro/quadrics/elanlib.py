@@ -310,12 +310,13 @@ def elan_hgsync(
         # Deferred import: collectives imports quadrics pieces at
         # package-init time, so a top-level import here would be
         # circular.
+        from repro.collectives.failures import FailureReason
         from repro.collectives.messages import BarrierFailure
 
         raise BarrierFailure(
             -1,
             seq,
-            "hw-barrier-retry-budget-exhausted",
+            FailureReason.HW_BUDGET.value,
             node=port.node_id,
         )
     port.nic.tracer.count("elan.hw_fallback")

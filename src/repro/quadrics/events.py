@@ -68,6 +68,19 @@ class ElanEvent:
         for _, _, action in ready:
             action()
 
+    def disarm_all(self) -> int:
+        """Drop every armed waiter without firing it.
+
+        Group revocation uses this: a revoked chained-barrier group must
+        never fire a straggler's RDMA chain or a stale done notification
+        after the survivors moved to a new epoch.  The counter itself is
+        left alone — late set-events still accumulate harmlessly.
+        Returns the number of waiters dropped.
+        """
+        dropped = len(self._armed)
+        self._armed.clear()
+        return dropped
+
     @property
     def armed_count(self) -> int:
         return len(self._armed)

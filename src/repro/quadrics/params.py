@@ -61,6 +61,14 @@ class ElanParams:
     hw_max_rounds: int = 10000
     hw_backoff_factor: float = 1.0
     hw_backoff_cap_us: float = 0.0
+    #: failure-detector heartbeat period; 0 disables the detector.
+    heartbeat_period_us: float = 0.0
+    #: silence beyond this declares the peer dead (0 -> 3 * period).
+    heartbeat_timeout_us: float = 0.0
+    #: detector loop exit time so the event heap drains (0 -> 64 * period).
+    heartbeat_horizon_us: float = 0.0
+    #: a heartbeat probe rides a host-event-sized packet.
+    heartbeat_bytes: int = 8
 
     def __post_init__(self) -> None:
         for f in fields(self):
@@ -77,3 +85,11 @@ class ElanParams:
             raise ValueError("need at least one hardware-barrier round")
         if self.hw_backoff_factor < 1.0:
             raise ValueError("hw_backoff_factor must be >= 1.0")
+        if (
+            self.heartbeat_period_us < 0
+            or self.heartbeat_timeout_us < 0
+            or self.heartbeat_horizon_us < 0
+        ):
+            raise ValueError("heartbeat intervals must be non-negative")
+        if self.heartbeat_bytes < 1:
+            raise ValueError("heartbeat packets must have positive size")

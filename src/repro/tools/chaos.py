@@ -39,7 +39,19 @@ from repro.cluster.runner import (
     _barrier_step,
     _setup_scheme,
 )
-from repro.collectives import BarrierFailure, ProcessGroup
+from repro.collectives import (
+    BarrierFailure,
+    NicAllreduceEngine,
+    NicBroadcastEngine,
+    NicCollectiveBarrierEngine,
+    ProcessGroup,
+    Revoked,
+    classify_reason,
+    nic_allreduce,
+    nic_broadcast_recv,
+    nic_broadcast_root,
+    nic_ibarrier,
+)
 from repro.network.faults import FaultInjector
 from repro.sim import DeterministicRng, Simulator
 from repro.tools.runcache import RunCache, run_request
@@ -64,6 +76,11 @@ class ChaosScenario:
     description: str
     expect: str = "recover"  # "recover" | "fail" | "degrade"
     schemes: tuple[str, ...] = ()  # default: every scheme of the network
+    #: Which collective the per-rank program loops on.  ``"barrier"``
+    #: runs the scheme matrix; the data collectives and the
+    #: non-blocking barrier always ride the collective-protocol engines
+    #: (Myrinet only), so their scheme set collapses to one entry.
+    collective: str = "barrier"  # "barrier"|"allreduce"|"bcast"|"ibarrier"
     drop_probability: float = 0.0
     corrupt_probability: float = 0.0
     duplicate_probability: float = 0.0
@@ -91,9 +108,18 @@ class ChaosScenario:
             raise ValueError(f"unknown expectation {self.expect!r}")
         if self.expect == "degrade" and not self.degrade_counter:
             raise ValueError("degrade scenarios need a degrade_counter")
+        if self.collective not in ("barrier", "allreduce", "bcast", "ibarrier"):
+            raise ValueError(f"unknown collective {self.collective!r}")
+        if self.collective != "barrier" and self.network != "myrinet":
+            raise ValueError(
+                f"collective {self.collective!r} runs on the Myrinet "
+                "collective-protocol engines only"
+            )
 
     @property
     def applicable_schemes(self) -> tuple[str, ...]:
+        if self.collective != "barrier":
+            return ("nic-collective",)
         if self.schemes:
             return self.schemes
         return (
@@ -177,6 +203,52 @@ def _arrange_faults(scenario: ChaosScenario, cluster, faults: FaultInjector) -> 
         cluster.cpus[node].slowdown = factor
 
 
+def _collective_step_factory(cluster, scenario: ChaosScenario, barrier, group,
+                             drivers, hw):
+    """Build the per-rank, per-seq step generator for the scenario's
+    collective.  Data collectives verify the *value* they compute —
+    a fault that double-applies a contribution shows up as a wrong
+    reduction, not just a counter."""
+    collective = scenario.collective
+    if collective == "barrier":
+        def step(rank: int, node: int, seq: int):
+            yield from _barrier_step(
+                cluster, barrier, group, drivers, hw, node, seq,
+                hw_fallback=scenario.hw_fallback,
+            )
+            return "ok"
+    elif collective == "allreduce":
+        expected = sum(r + 1 for r in range(group.size))
+        def step(rank: int, node: int, seq: int):
+            result = yield from nic_allreduce(
+                cluster.ports[node], group, seq, rank + 1, "sum"
+            )
+            return "ok" if result == expected else f"wrong:{result!r}"
+    elif collective == "bcast":
+        def step(rank: int, node: int, seq: int):
+            if rank == 0:
+                done = yield from nic_broadcast_root(
+                    cluster.ports[node], group, seq, 64, payload=("blob", seq)
+                )
+            else:
+                done = yield from nic_broadcast_recv(
+                    cluster.ports[node], group, seq
+                )
+            payload = done.payload
+            return "ok" if payload == ("blob", seq) else f"wrong:{payload!r}"
+    else:  # ibarrier
+        def step(rank: int, node: int, seq: int):
+            request = yield from nic_ibarrier(cluster.ports[node], group, seq)
+            # A few non-blocking polls first (the overlap pattern the
+            # API exists for), then the blocking wait.
+            for _ in range(3):
+                if (yield from request.test()):
+                    return "ok"
+            yield from request.wait()
+            return "ok"
+    return step
+
+
 def _decode_chaos_result(payload: dict) -> ChaosRunResult:
     return ChaosRunResult(
         scenario=payload["scenario"],
@@ -248,7 +320,18 @@ def run_chaos_scenario(
     # order — the paper's random node permutation would re-aim every
     # flap/crash/slowdown at a different node per seed.
     group = ProcessGroup(range(nodes))
-    drivers, hw = _setup_scheme(cluster, barrier, group)
+    if scenario.collective == "barrier":
+        drivers, hw = _setup_scheme(cluster, barrier, group)
+    else:
+        drivers = hw = None
+        engine_cls = {
+            "allreduce": NicAllreduceEngine,
+            "bcast": NicBroadcastEngine,
+            "ibarrier": NicCollectiveBarrierEngine,
+        }[scenario.collective]
+        for rank, node in enumerate(group.node_ids):
+            engine_cls(cluster.nics[node], group, rank)
+    step = _collective_step_factory(cluster, scenario, barrier, group, drivers, hw)
 
     outcomes: list[list[str]] = [[] for _ in range(nodes)]
     seq_pending = [nodes] * iterations
@@ -257,14 +340,11 @@ def run_chaos_scenario(
     def program(rank: int, node: int):
         for seq in range(iterations):
             try:
-                yield from _barrier_step(
-                    cluster, barrier, group, drivers, hw, node, seq,
-                    hw_fallback=scenario.hw_fallback,
-                )
+                verdict = yield from step(rank, node, seq)
             except BarrierFailure as failure:
                 outcomes[rank].append(f"fail:{failure.reason}")
             else:
-                outcomes[rank].append("ok")
+                outcomes[rank].append(verdict)
             seq_pending[seq] -= 1
             if seq_pending[seq] == 0:
                 seq_end[seq] = cluster.sim.now
@@ -288,10 +368,18 @@ def run_chaos_scenario(
         1 for record in outcomes for o in record if o.startswith("fail:")
     )
     total_oks = sum(1 for record in outcomes for o in record if o == "ok")
-    if total_oks + total_failures != nodes * iterations:
+    wrong = [
+        (rank, o)
+        for rank, record in enumerate(outcomes)
+        for o in record
+        if o.startswith("wrong:")
+    ]
+    for rank, o in wrong:
+        violations.append(f"rank {rank} computed an incorrect result: {o}")
+    if total_oks + total_failures + len(wrong) != nodes * iterations:
         violations.append(
             f"outcome accounting broken: {total_oks} ok + {total_failures} "
-            f"failed != {nodes * iterations}"
+            f"failed + {len(wrong)} wrong != {nodes * iterations}"
         )
     counters = dict(cluster.tracer.counters)
     if scenario.expect == "recover" and total_failures:
@@ -473,7 +561,91 @@ QUADRICS_SCENARIOS: tuple[ChaosScenario, ...] = (
     ),
 )
 
-ALL_SCENARIOS: tuple[ChaosScenario, ...] = MYRINET_SCENARIOS + QUADRICS_SCENARIOS
+#: Data collectives and the non-blocking barrier under the same fault
+#: classes — the PR 7 engines (allreduce/bcast) and the request-handle
+#: API were absent from the original catalogue.
+DATA_SCENARIOS: tuple[ChaosScenario, ...] = (
+    ChaosScenario(
+        name="allreduce-flap",
+        network="myrinet",
+        description="the 0<->1 link black-holes for 100us during an "
+                    "allreduce campaign, then heals; NACK recovery "
+                    "retransmits and the sums stay exact (a double-applied "
+                    "contribution would inflate them)",
+        collective="allreduce",
+        flap_window=(0, 1, 20.0, 120.0),
+    ),
+    ChaosScenario(
+        name="allreduce-link-death",
+        network="myrinet",
+        description="the 2<->3 link dies permanently mid-allreduce; the "
+                    "shrunk NACK budget exhausts and every rank surfaces a "
+                    "typed CollectiveFailure",
+        expect="fail",
+        collective="allreduce",
+        dead_link=(2, 3),
+        gm_overrides=(
+            ("ack_timeout_us", 200.0),
+            ("max_retries", 3),
+            ("nack_timeout_us", 300.0),
+            ("nack_max_rounds", 4),
+        ),
+    ),
+    ChaosScenario(
+        name="bcast-flap",
+        network="myrinet",
+        description="a link flap during a broadcast campaign; the tree "
+                    "NACKs the lost hops and every rank still receives the "
+                    "exact payload",
+        collective="bcast",
+        flap_window=(0, 1, 20.0, 120.0),
+    ),
+    ChaosScenario(
+        name="bcast-link-death",
+        network="myrinet",
+        description="a permanently dead link under broadcast; the retry "
+                    "budget exhausts into a typed failure instead of a hang",
+        expect="fail",
+        collective="bcast",
+        # The broadcast tree is rooted at rank 0, so the 0<->1 edge is
+        # always a tree hop (a generic leaf pair may not be).
+        dead_link=(0, 1),
+        gm_overrides=(
+            ("ack_timeout_us", 200.0),
+            ("max_retries", 3),
+            ("nack_timeout_us", 300.0),
+            ("nack_max_rounds", 4),
+        ),
+    ),
+    ChaosScenario(
+        name="ibarrier-flap",
+        network="myrinet",
+        description="non-blocking barriers (test/test/test/wait) across a "
+                    "link flap; requests complete after NACK recovery",
+        collective="ibarrier",
+        flap_window=(0, 1, 20.0, 120.0),
+    ),
+    ChaosScenario(
+        name="ibarrier-crash",
+        network="myrinet",
+        description="NIC 5 crashes while non-blocking barriers are in "
+                    "flight; their requests resolve to typed failures, "
+                    "never hang",
+        expect="fail",
+        collective="ibarrier",
+        crash=(5, 30.0, 100.0),
+        gm_overrides=(
+            ("ack_timeout_us", 200.0),
+            ("max_retries", 4),
+            ("nack_timeout_us", 300.0),
+            ("nack_max_rounds", 5),
+        ),
+    ),
+)
+
+ALL_SCENARIOS: tuple[ChaosScenario, ...] = (
+    MYRINET_SCENARIOS + DATA_SCENARIOS + QUADRICS_SCENARIOS
+)
 
 
 # ----------------------------------------------------------------------
@@ -559,4 +731,506 @@ def run_campaign(
                     diverged.append(round_idx)
             if diverged:
                 report.diverged[f"{scenario.name}/{barrier}"] = tuple(diverged)
+    return report
+
+
+# ----------------------------------------------------------------------
+# Randomized chaos fuzzer: seeded fault schedules over collective mixes
+# ----------------------------------------------------------------------
+#: Operations each network's fuzzer may draw.  Myrinet exercises the
+#: full collective-protocol engine family; Quadrics fuzzes the chained
+#: -RDMA barrier (blocking and request-handle forms) — the paper's
+#: Quadrics contribution.
+_FUZZ_OPS = {
+    "myrinet": ("barrier", "allreduce", "bcast", "ibarrier"),
+    "quadrics": ("barrier", "ibarrier"),
+}
+_FUZZ_POLL_US = 5.0
+
+
+@dataclass(frozen=True)
+class FuzzPlan:
+    """One seeded fuzz case: the whole fault schedule, derived from the
+    seed *before* the simulation is built (scripts must not consult the
+    clock, so every timestamp is decided up front).
+
+    ``segments[k]`` is the op mix run on epoch ``k``; kill ``k`` fires
+    during it and the controller opens segment ``k+1`` only after the
+    victim is detected and the group repaired.  Non-final segments
+    repeat their mix until the epoch turns over, so kills land inside
+    live collectives, not in gaps between them.
+    """
+
+    network: str
+    nodes: int
+    seed: int
+    segments: tuple[tuple[str, ...], ...]
+    #: (victim node, kill time) per repair round, times increasing.  A
+    #: kill whose time falls inside the previous round's recovery is a
+    #: mid-recovery kill — the controller handles them sequentially.
+    kills: tuple[tuple[int, float], ...]
+    flaps: tuple[tuple[int, int, float, float], ...]
+    corrupt_probability: float
+    duplicate_probability: float
+    delay_probability: float
+    delay_jitter_us: float
+    hb_period_us: float
+    hb_timeout_us: float
+    #: kill -> conviction by every survivor must fit in this window.
+    detect_deadline_us: float
+    horizon_us: float
+
+    def describe(self) -> str:
+        kills = ", ".join(f"n{v}@{t:.0f}us" for v, t in self.kills)
+        mixes = "; ".join("+".join(seg) for seg in self.segments)
+        return (
+            f"fuzz[{self.network} seed={self.seed} N={self.nodes}] "
+            f"kills=[{kills}] flaps={len(self.flaps)} "
+            f"corrupt={self.corrupt_probability} "
+            f"delay={self.delay_probability} segments=[{mixes}]"
+        )
+
+
+def make_fuzz_plan(network: str, seed: int, nodes: int = 16) -> FuzzPlan:
+    """Derive a full fault schedule from ``(network, seed)``.
+
+    Heartbeat drops can convict a live peer, so the windows are sized
+    conservatively: flaps are shorter than half the suspicion timeout
+    and probabilistic loss is expressed as corruption (CRC drop on
+    receive) at a rate that makes a false conviction need three
+    consecutive losses on one flow.  Every case is deterministic, so a
+    seed either passes forever or fails forever — no flaky CI.
+    """
+    if network not in _FUZZ_OPS:
+        raise ValueError(f"unknown network {network!r}")
+    if nodes < 4:
+        raise ValueError("fuzzing needs at least 4 nodes")
+    rng = DeterministicRng(seed, f"chaos-fuzz/{network}")
+    ops = _FUZZ_OPS[network]
+    n_kills = rng.randint(1, 2)
+    pool = list(range(nodes))
+    kills = []
+    at = 0.0
+    for k in range(n_kills):
+        victim = pool.pop(rng.randint(0, len(pool) - 1))
+        at += rng.uniform(120.0, 600.0)
+        kills.append((victim, round(at, 1)))
+    segments = []
+    for k in range(n_kills + 1):
+        segment = tuple(rng.choice(ops) for _ in range(rng.randint(2, 3)))
+        if k == n_kills:
+            # The acceptance tail: after the last repair the survivor
+            # epoch must run the core collectives to completion with
+            # correct results.
+            tail = ("barrier", "allreduce") if network == "myrinet" else (
+                "barrier", "ibarrier")
+            segment = segment + tail
+        segments.append(segment)
+    flaps = []
+    for _ in range(rng.randint(0, 2)):
+        a = rng.randint(0, nodes - 1)
+        b = (a + rng.randint(1, nodes - 1)) % nodes
+        start = rng.uniform(30.0, max(60.0, at))
+        flaps.append((min(a, b), max(a, b), round(start, 1),
+                      round(start + rng.uniform(40.0, 120.0), 1)))
+    corrupt = rng.choice((0.0, 0.01)) if network == "myrinet" else 0.0
+    duplicate = rng.choice((0.0, 0.02)) if network == "myrinet" else 0.0
+    delay = rng.choice((0.0, 0.1))
+    return FuzzPlan(
+        network=network,
+        nodes=nodes,
+        seed=seed,
+        segments=tuple(segments),
+        kills=tuple(kills),
+        flaps=tuple(flaps),
+        corrupt_probability=corrupt,
+        duplicate_probability=duplicate,
+        delay_probability=delay,
+        delay_jitter_us=3.0 if delay else 0.0,
+        hb_period_us=100.0,
+        hb_timeout_us=450.0,
+        detect_deadline_us=1500.0,
+        horizon_us=round(at + 6000.0, 1),
+    )
+
+
+@dataclass
+class FuzzResult:
+    """One fuzz case: per-rank, per-epoch outcomes plus the audit."""
+
+    plan: FuzzPlan
+    #: outcomes[rank][epoch] -> tuple of "ok:<op>" / "revoked:<op>" /
+    #: "fail:<op>:<reason>" / "wrong:<op>:<value>" / "abandoned" /
+    #: "dead" entries, in program order.
+    outcomes: tuple[tuple[tuple[str, ...], ...], ...] = ()
+    detected_at: tuple[float, ...] = ()
+    repaired_at: tuple[float, ...] = ()
+    epochs: int = 0
+    end_us: float = 0.0
+    counters: dict[str, int] = field(default_factory=dict)
+    fault_stats: dict = field(default_factory=dict)
+    quiescence: tuple[str, ...] = ()
+    violations: tuple[str, ...] = ()
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations and not self.quiescence
+
+    def comparable(self) -> tuple:
+        """Observables that must be bit-identical under tie-break
+        permutation of the event schedule."""
+        return (
+            self.outcomes,
+            self.detected_at,
+            self.repaired_at,
+            self.end_us,
+            tuple(sorted(self.counters.items())),
+            repr(self.fault_stats),
+        )
+
+    def __str__(self) -> str:
+        verdict = "ok" if self.ok else "FAILED"
+        return (
+            f"{self.plan.describe()}: {verdict} "
+            f"(epochs={self.epochs}, end={self.end_us:.0f}us)"
+        )
+
+
+def _fuzz_myrinet_op(cluster, ctx, comm, op):
+    """Run one op on a Myrinet rank handle, verifying data results.
+
+    Expected values are derived from node ids (``comm.rank`` is stale
+    until the collective call itself resyncs the epoch) with no yield
+    between derivation and call, so they always describe the epoch the
+    op actually runs on.
+    """
+    if op == "barrier":
+        yield from comm.barrier()
+        return "ok:barrier"
+    if op == "allreduce":
+        expected = sum(n + 1 for n in ctx.nodes)
+        result = yield from comm.allreduce(comm.node + 1, "sum")
+        if result != expected:
+            return f"wrong:allreduce:{result!r}"
+        return "ok:allreduce"
+    if op == "bcast":
+        token = ("fz", ctx.epoch)
+        value = token if comm.node == ctx.nodes[0] else None
+        result = yield from comm.bcast(value=value, size_bytes=64, root=0)
+        if result != token:
+            return f"wrong:bcast:{result!r}"
+        return "ok:bcast"
+    # ibarrier: request-handle form, a few non-blocking polls.
+    request = yield from comm.ibarrier()
+    while not (yield from request.test()):
+        pass
+    return "ok:ibarrier"
+
+
+def _fuzz_quadrics_op(comm, op):
+    if op == "barrier":
+        yield from comm.barrier()
+        return "ok:barrier"
+    request = yield from comm.ibarrier()
+    while not (yield from request.test()):
+        pass
+    return "ok:ibarrier"
+
+
+def run_fuzz_case(
+    plan: FuzzPlan, sim: Optional[Simulator] = None
+) -> FuzzResult:
+    """Execute one fuzz plan and audit the global invariant: every rank
+    reaches completion, a typed failure, or survivor-epoch completion
+    within the bounded horizon; detection meets its deadline; the
+    post-repair epoch completes its tail with correct data; the cluster
+    quiesces clean.
+    """
+    from repro.mpi import create_communicators, repair_quadrics
+
+    profile = get_profile(_DEFAULT_PROFILE[plan.network])
+    if plan.network == "myrinet":
+        # Shrunk retry budgets: dying-epoch ops must resolve within the
+        # recovery window even when revocation loses the race with the
+        # retry machinery.
+        profile = replace(profile, gm=replace(
+            profile.gm, ack_timeout_us=200.0, max_retries=3,
+            nack_timeout_us=300.0, nack_max_rounds=4,
+        ))
+    rng = DeterministicRng(plan.seed, f"chaos-fuzz/run/{plan.network}")
+    probabilistic = (
+        plan.corrupt_probability
+        or plan.duplicate_probability
+        or plan.delay_probability
+    )
+    faults = FaultInjector(
+        rng=rng.substream("wire") if probabilistic else None,
+        corrupt_probability=plan.corrupt_probability,
+        duplicate_probability=plan.duplicate_probability,
+        delay_probability=plan.delay_probability,
+        delay_jitter_us=plan.delay_jitter_us,
+    )
+    sim_obj = sim if sim is not None else Simulator()
+    sim_obj.track_processes()
+    cluster = build_cluster(profile, plan.nodes, faults=faults, sim=sim_obj)
+    for a, b, start, until in plan.flaps:
+        faults.flap_link(a, b, start, until)
+    for victim, at_us in plan.kills:
+        faults.kill_node(victim, at_us=at_us)
+    hb_rng = rng.substream("hb")
+    for node in range(plan.nodes):
+        cluster.nics[node].enable_failure_detector(
+            range(plan.nodes), rng=hb_rng, period_us=plan.hb_period_us,
+            timeout_us=plan.hb_timeout_us, horizon_us=plan.horizon_us,
+        )
+
+    comms = create_communicators(cluster)
+    ctx = comms[0]._ctx if plan.network == "myrinet" else None
+    comm_box = {"comms": comms}
+    n_segments = len(plan.segments)
+    state = {"phase": 0}
+    outcomes = [
+        [[] for _ in range(n_segments)] for _ in range(plan.nodes)
+    ]
+    detected_at: list[float] = []
+    repaired_at: list[float] = []
+    violations: list[str] = []
+
+    def killer(victim: int, at_us: float):
+        yield at_us
+        cluster.nics[victim].crashed = True
+
+    def controller():
+        for k, (victim, at_us) in enumerate(plan.kills):
+            if sim_obj.now < at_us:
+                yield at_us - sim_obj.now
+            deadline = at_us + plan.detect_deadline_us
+            # The survivor predicate re-evaluates every poll: a node
+            # that crashes *during* this detection window (a
+            # mid-recovery kill) stops owing a conviction — its own
+            # detector went down with it.
+            while not all(
+                cluster.nics[s].membership.is_dead(victim)
+                for s in range(plan.nodes)
+                if s != victim and not cluster.nics[s].crashed
+            ):
+                if sim_obj.now > deadline:
+                    violations.append(
+                        f"kill {k}: victim n{victim} not convicted by every "
+                        f"survivor within {plan.detect_deadline_us:.0f}us"
+                    )
+                    break
+                yield _FUZZ_POLL_US
+            detected_at.append(round(sim_obj.now, 3))
+            # Repair and open the next phase with no yield in between:
+            # a survivor must never start an op on the new epoch before
+            # the gate moves, or its sequence numbering would split.
+            try:
+                if plan.network == "myrinet":
+                    ctx.repair([victim])
+                else:
+                    comm_box["comms"] = repair_quadrics(
+                        cluster, comm_box["comms"], [victim]
+                    )
+            except Exception as exc:  # noqa: BLE001 - audited, not raised
+                violations.append(f"kill {k}: repair failed: {exc!r}")
+                state["phase"] = n_segments
+                return
+            state["phase"] = k + 1
+            repaired_at.append(round(sim_obj.now, 3))
+
+    def program(node: int):
+        for phase_idx, segment in enumerate(plan.segments):
+            while state["phase"] < phase_idx:
+                yield _FUZZ_POLL_US
+            record = outcomes[node][phase_idx]
+            if cluster.nics[node].crashed:
+                record.append("dead")
+                return
+            final = phase_idx == n_segments - 1
+            while True:
+                abandoned = False
+                for op in segment:
+                    if state["phase"] > phase_idx:
+                        record.append("abandoned")
+                        abandoned = True
+                        break
+                    if cluster.nics[node].crashed:
+                        record.append("dead")
+                        return
+                    if plan.network == "myrinet":
+                        comm = comm_box["comms"][node]
+                        runner = _fuzz_myrinet_op(cluster, ctx, comm, op)
+                    else:
+                        comm = next(
+                            (c for c in comm_box["comms"] if c.node == node),
+                            None,
+                        )
+                        if comm is None:
+                            record.append("dead")
+                            return
+                        runner = _fuzz_quadrics_op(comm, op)
+                    try:
+                        verdict = yield from runner
+                        record.append(verdict)
+                    except Revoked:
+                        record.append(f"revoked:{op}")
+                    except BarrierFailure as failure:
+                        record.append(f"fail:{op}:{failure.reason}")
+                if final or abandoned or state["phase"] > phase_idx:
+                    break
+
+    procs = [
+        sim_obj.process(program(node), name=f"fuzz@{node}")
+        for node in range(plan.nodes)
+    ]
+    for victim, at_us in plan.kills:
+        procs.append(
+            sim_obj.process(killer(victim, at_us), name=f"killer@{victim}")
+        )
+    procs.append(sim_obj.process(controller(), name="fuzz-controller"))
+    sim_obj.run()
+
+    for proc in procs:
+        if not proc.completion.processed:
+            violations.append(f"HANG: {proc.name} never finished")
+    dead_nodes = {victim for victim, _ in plan.kills}
+    for node in range(plan.nodes):
+        flat = [o for phase in outcomes[node] for o in phase]
+        for o in flat:
+            if o.startswith("wrong:"):
+                violations.append(f"rank n{node} computed a wrong result: {o}")
+            elif o.startswith("fail:"):
+                reason = o.split(":", 2)[2]
+                try:
+                    classify_reason(reason)
+                except ValueError:
+                    violations.append(
+                        f"rank n{node} surfaced an untyped failure reason: {o}"
+                    )
+        if node in dead_nodes:
+            if not flat or flat[-1] != "dead":
+                violations.append(
+                    f"killed rank n{node} never observed its own death: "
+                    f"{flat[-3:]}"
+                )
+            continue
+        tail = outcomes[node][-1]
+        expected_tail = len(plan.segments[-1])
+        oks = [o for o in tail if o.startswith("ok:")]
+        if len(oks) != expected_tail or len(tail) != expected_tail:
+            violations.append(
+                f"survivor n{node} did not complete the survivor epoch "
+                f"cleanly: {tuple(tail)}"
+            )
+    epochs = len(repaired_at)
+    if epochs != len(plan.kills) and not any(
+        "repair failed" in v for v in violations
+    ):
+        violations.append(
+            f"{len(plan.kills)} kill(s) but {epochs} completed repair(s)"
+        )
+
+    counters = dict(cluster.tracer.counters)
+    stats = faults.stats()
+    for cls in ("corrupted", "duplicated", "delayed"):
+        wire = counters.get(f"wire.{cls}", 0)
+        if wire != stats[cls]:
+            violations.append(
+                f"wire.{cls}={wire} disagrees with injector {cls}={stats[cls]}"
+            )
+    if stats["corrupted"]:
+        crc_drops = counters.get("gm.rx_crc_drop", 0) + counters.get(
+            "elan.rx_crc_drop", 0
+        )
+        ceiling = stats["corrupted"] + stats["duplicated"]
+        if not stats["corrupted"] <= crc_drops <= ceiling:
+            violations.append(
+                f"CRC accounting broken: {crc_drops} receiver drops for "
+                f"{stats['corrupted']} corrupted (+{stats['duplicated']} "
+                "duplicated) packets"
+            )
+
+    report = check_quiescent(cluster, must_complete=[p.name for p in procs])
+    return FuzzResult(
+        plan=plan,
+        outcomes=tuple(
+            tuple(tuple(phase) for phase in rank) for rank in outcomes
+        ),
+        detected_at=tuple(detected_at),
+        repaired_at=tuple(repaired_at),
+        epochs=epochs,
+        end_us=cluster.sim.now,
+        counters=counters,
+        fault_stats=stats,
+        quiescence=tuple(f.render() for f in report.findings),
+        violations=tuple(violations),
+    )
+
+
+@dataclass
+class FuzzReport:
+    """A block of fuzz cases plus the per-case determinism audit."""
+
+    nodes: int
+    rounds: int
+    results: list[FuzzResult] = field(default_factory=list)
+    #: "network/seed" -> permutation rounds whose observables diverged.
+    diverged: dict[str, tuple[int, ...]] = field(default_factory=dict)
+
+    @property
+    def ok(self) -> bool:
+        return all(r.ok for r in self.results) and not self.diverged
+
+    def render(self) -> str:
+        lines = [
+            f"chaos fuzz: N={self.nodes}, {len(self.results)} case(s), "
+            f"{self.rounds} tie-break permutation(s)/case"
+        ]
+        for result in self.results:
+            key = f"{result.plan.network}/seed{result.plan.seed}"
+            marks = list(result.violations)
+            if result.quiescence:
+                marks.append(f"{len(result.quiescence)} quiescence finding(s)")
+            if key in self.diverged:
+                marks.append(
+                    f"DIVERGED in permutation rounds {list(self.diverged[key])}"
+                )
+            verdict = "ok" if not marks else "FAILED: " + "; ".join(marks)
+            lines.append(
+                f"  {key:<20} kills={len(result.plan.kills)} "
+                f"epochs={result.epochs} end={result.end_us:>9.1f}us  {verdict}"
+            )
+            for finding in result.quiescence:
+                lines.append(f"    {finding}")
+        lines.append("PASS" if self.ok else "FAIL")
+        return "\n".join(lines)
+
+
+def run_fuzz_block(
+    networks: tuple[str, ...] = ("myrinet", "quadrics"),
+    seeds: tuple[int, ...] = (0, 1, 2, 3),
+    nodes: int = 16,
+    rounds: int = 1,
+) -> FuzzReport:
+    """Run a block of seeded fuzz cases, each replayed under ``rounds``
+    tie-break permutations that must reproduce the baseline observables
+    bit-identically (the SL101 discipline, applied to full
+    kill → detect → shrink → resume campaigns)."""
+    report = FuzzReport(nodes=nodes, rounds=rounds)
+    for network in networks:
+        for seed in seeds:
+            plan = make_fuzz_plan(network, seed, nodes=nodes)
+            baseline = run_fuzz_case(plan)
+            report.results.append(baseline)
+            diverged = []
+            for round_idx in range(rounds):
+                rng = DeterministicRng(
+                    seed, f"chaos-fuzz/tiebreak/{network}/{round_idx}"
+                )
+                replay = run_fuzz_case(plan, sim=TieBreakSimulator(rng))
+                if replay.comparable() != baseline.comparable():
+                    diverged.append(round_idx)
+            if diverged:
+                report.diverged[f"{network}/seed{seed}"] = tuple(diverged)
     return report

@@ -156,3 +156,69 @@ def test_healed_blackhole_recovers_with_retransmissions():
     assert hole.dropped > 0
     assert cluster.tracer.counters["coll.nack_retransmit"] >= 1
     assert check_quiescent(cluster).ok
+
+
+def test_heal_mid_nack_recovery_delivers_exactly_once():
+    """Regression for Blackhole.heal() mid-NACK-recovery semantics:
+    healing must only affect packets injected from the heal time on.
+    Drops stay dropped, the post-heal NACK round's retransmission gets
+    through, and the extra copies a healed-plus-duplicating link
+    produces are suppressed by the receive engine (rx_duplicate), never
+    re-applied — the allreduce sum is exact."""
+    from repro.collectives import NicAllreduceEngine, nic_allreduce
+    from repro.network.packet import PacketKind
+    from repro.sim import DeterministicRng
+
+    # Duplicate nearly every *delivered* packet so the healed link's
+    # late retransmissions provably arrive more than once.
+    faults = FaultInjector(rng=DeterministicRng(5), duplicate_probability=0.99)
+    hole = faults.drop_all_matching(
+        lambda p: p.src == 0 and p.dst == 1 and p.kind == PacketKind.BCAST,
+        label="dead:0->1:data",
+    )
+    # The data engine's NACK rounds are bounded by max_retries; leave
+    # enough budget that the heal (one to two rounds in) wins the race.
+    cluster = escalation_cluster(
+        faults, gm=replace(FAST_EXHAUST, nack_timeout_us=40.0, max_retries=8)
+    )
+    from repro.collectives import ProcessGroup
+
+    group = ProcessGroup(list(range(4)))
+    for rank, node in enumerate(group.node_ids):
+        NicAllreduceEngine(cluster.nics[node], group, rank)
+    results = {}
+
+    def prog(node):
+        result = yield from nic_allreduce(
+            cluster.ports[node], group, 0, value=node + 1, op="sum"
+        )
+        results[node] = result
+
+    def retransmissions():
+        # The sender may have completed locally and archived the
+        # message by the time the NACK lands — both branches are
+        # NACK-driven retransmissions.
+        counters = cluster.tracer.counters
+        return (
+            counters["allreduce.nack_retransmit"]
+            + counters["allreduce.nack_stale_resend"]
+        )
+
+    def healer():
+        # Heal strictly mid-recovery: after the original send AND at
+        # least one NACK-driven retransmission have been swallowed.
+        for _ in range(200):
+            if hole.dropped >= 2 and retransmissions() >= 1:
+                break
+            yield 5.0
+        hole.heal(cluster.sim.now)
+
+    run_all(cluster, [prog(node) for node in range(4)] + [healer()])
+
+    assert results == {node: 10 for node in range(4)}
+    assert hole.healed and hole.healed_at is not None
+    assert hole.dropped >= 2, "heal fired before any retransmit was dropped"
+    assert retransmissions() >= 2
+    assert cluster.tracer.counters["allreduce.rx_duplicate"] >= 1
+    report = check_quiescent(cluster)
+    assert report.ok, report.render()

@@ -1,0 +1,111 @@
+"""Exhaustiveness tests for the typed failure-reason registry.
+
+``repro.collectives.failures`` promises that every failure reason the
+simulator can mint is either a :class:`FailureReason` member or matches
+a registered dynamic prefix.  These tests grep the source tree and
+assert exhaustiveness in both directions:
+
+* every ``FailureReason.X`` referenced in ``src/`` is a real member,
+  and every member is actually referenced outside the registry (no
+  dead entries);
+* every dynamic-prefix literal minted in ``src/`` is registered, and
+  every registered prefix is minted somewhere.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import re
+
+import pytest
+
+from repro.collectives.failures import (
+    DYNAMIC_REASON_PREFIXES,
+    FailureReason,
+    Revoked,
+    classify_reason,
+    is_revocation,
+)
+
+SRC = pathlib.Path(__file__).resolve().parents[2] / "src" / "repro"
+
+
+def _source_files():
+    return [p for p in SRC.rglob("*.py") if p.name != "failures.py"]
+
+
+class TestRegistryExhaustiveness:
+    def test_every_reference_is_a_member(self):
+        """No source file names a FailureReason member that does not
+        exist (a typo'd member would raise at import time, but only on
+        the code path that touches it — catch it statically here)."""
+        pattern = re.compile(r"FailureReason\.([A-Z_]+)")
+        members = set(FailureReason.__members__)
+        for path in _source_files():
+            for name in pattern.findall(path.read_text()):
+                assert name in members, f"{path.name} references unknown {name}"
+
+    def test_every_member_is_referenced(self):
+        """Every registry entry is used by at least one engine — a
+        member nothing mints is a stale vocabulary entry."""
+        blob = "\n".join(p.read_text() for p in _source_files())
+        for name in FailureReason.__members__:
+            assert f"FailureReason.{name}" in blob, f"{name} is never minted"
+
+    def test_every_dynamic_prefix_is_minted(self):
+        blob = "\n".join(p.read_text() for p in _source_files())
+        for prefix in DYNAMIC_REASON_PREFIXES:
+            # Minting sites build the reason in an f-string whose
+            # literal head is the prefix (modulo the trailing space).
+            assert prefix.rstrip() in blob, f"prefix {prefix!r} is never minted"
+
+    def test_no_raw_reason_literals_outside_registry(self):
+        """Engines must mint reasons through FailureReason members, not
+        raw strings — a raw literal would dodge the registry and make
+        campaign triage (and the chaos fuzzer's outcome validation)
+        raise on an unclassifiable reason.  Any kebab literal shaped
+        like a reason that *does* appear must therefore classify."""
+        shaped = re.compile(
+            r"[\"']([a-z][a-z0-9-]*-(?:exhausted|dead|restart|revoked|exceeded))[\"']"
+        )
+        # Engine-command verbs share the kebab shape but are not
+        # failure reasons ("peer-dead" is the host->engine command the
+        # retry-exhaustion path posts; the *reason* it escalates to is
+        # FailureReason.PEER_DEAD = "peer-declared-dead").
+        command_verbs = {"peer-dead"}
+        for path in _source_files():
+            for literal in shaped.findall(path.read_text()):
+                if literal in command_verbs:
+                    continue
+                classify_reason(literal)  # raises ValueError if unregistered
+
+
+class TestClassifyReason:
+    @pytest.mark.parametrize("member", list(FailureReason))
+    def test_members_round_trip(self, member):
+        assert classify_reason(member.value) == member.name
+
+    def test_dynamic_prefixes_classify_with_detail(self):
+        for prefix, short in DYNAMIC_REASON_PREFIXES.items():
+            assert classify_reason(prefix + "rank 3 used max, rank 0 sum") == short
+
+    def test_unknown_reason_raises(self):
+        with pytest.raises(ValueError, match="unregistered failure reason"):
+            classify_reason("spontaneous-combustion")
+
+    def test_empty_reason_raises(self):
+        with pytest.raises(ValueError):
+            classify_reason("")
+
+
+class TestRevocation:
+    def test_revoked_is_typed(self):
+        exc = Revoked(group_id=7, seq=3, node=5, failed_at=12.5)
+        assert exc.reason == FailureReason.GROUP_REVOKED.value
+        assert is_revocation(exc.reason)
+        assert exc.node == 5
+
+    def test_only_group_revoked_is_revocation(self):
+        for member in FailureReason:
+            expected = member is FailureReason.GROUP_REVOKED
+            assert is_revocation(member.value) is expected

@@ -217,6 +217,7 @@ class TestStats:
                 "label": "dead:7",
                 "dropped": hole.dropped,
                 "healed": False,
+                "healed_at": None,
                 "start_us": None,
                 "until_us": None,
             }

@@ -49,6 +49,53 @@ class TestScenarioValidation:
             assert ("myrinet", required) in names
         for required in ("delay", "slow-host", "hw-degrade", "hw-fail"):
             assert ("quadrics", required) in names
+        # Data collectives and the non-blocking barrier each cover a
+        # transient (flap) and a terminal (link-death / crash) fault.
+        for required in ("allreduce-flap", "allreduce-link-death",
+                         "bcast-flap", "bcast-link-death",
+                         "ibarrier-flap", "ibarrier-crash"):
+            assert ("myrinet", required) in names
+
+    def test_collective_validation(self):
+        with pytest.raises(ValueError):
+            ChaosScenario(name="x", network="myrinet", description="",
+                          collective="allscatter")
+        with pytest.raises(ValueError):
+            ChaosScenario(name="x", network="quadrics", description="",
+                          collective="allreduce")
+
+    def test_data_collective_scenarios_collapse_to_one_scheme(self):
+        assert scenario("allreduce-flap").applicable_schemes == (
+            "nic-collective",
+        )
+
+    def test_allreduce_link_death_surfaces_typed_failures(self):
+        result = run_chaos_scenario(
+            scenario("allreduce-link-death"), "nic-collective",
+            nodes=8, iterations=2,
+        )
+        assert result.ok, (result.violations, result.quiescence)
+        assert result.failures > 0
+        reasons = {
+            o.split(":", 1)[1]
+            for record in result.outcomes for o in record
+            if o.startswith("fail:")
+        }
+        assert reasons == {"datacoll-retry-budget-exhausted"}
+
+    def test_ibarrier_flap_recovers(self):
+        result = run_chaos_scenario(
+            scenario("ibarrier-flap"), "nic-collective", nodes=8, iterations=2
+        )
+        assert result.ok, (result.violations, result.quiescence)
+        assert result.failures == 0
+
+    def test_bcast_flap_delivers_exact_payloads(self):
+        result = run_chaos_scenario(
+            scenario("bcast-flap"), "nic-collective", nodes=8, iterations=2
+        )
+        assert result.ok, (result.violations, result.quiescence)
+        assert all(o == "ok" for record in result.outcomes for o in record)
 
 
 class TestScenarioRuns:
@@ -142,3 +189,90 @@ def test_campaign_smoke_quadrics():
     rendered = campaign.render()
     assert rendered.endswith("PASS")
     assert "hw-degrade/hgsync" in rendered
+
+
+# ----------------------------------------------------------------------
+# Randomized chaos fuzzer
+# ----------------------------------------------------------------------
+
+from repro.tools.chaos import (  # noqa: E402
+    make_fuzz_plan,
+    run_fuzz_block,
+    run_fuzz_case,
+)
+
+
+class TestFuzzPlan:
+    def test_same_seed_same_plan(self):
+        assert make_fuzz_plan("myrinet", 7) == make_fuzz_plan("myrinet", 7)
+
+    def test_networks_draw_independent_plans(self):
+        m = make_fuzz_plan("myrinet", 7)
+        q = make_fuzz_plan("quadrics", 7)
+        assert m.network == "myrinet" and q.network == "quadrics"
+        # Quadrics has no CRC/duplication model on the barrier path.
+        assert q.corrupt_probability == 0.0
+        assert q.duplicate_probability == 0.0
+
+    def test_kills_are_distinct_and_ordered(self):
+        for seed in range(8):
+            plan = make_fuzz_plan("myrinet", seed)
+            victims = [v for v, _ in plan.kills]
+            times = [t for _, t in plan.kills]
+            assert len(set(victims)) == len(victims)
+            assert times == sorted(times)
+            assert len(plan.segments) == len(plan.kills) + 1
+
+    def test_final_segment_forces_acceptance_tail(self):
+        plan = make_fuzz_plan("myrinet", 3)
+        assert plan.segments[-1][-2:] == ("barrier", "allreduce")
+        qplan = make_fuzz_plan("quadrics", 3)
+        assert qplan.segments[-1][-2:] == ("barrier", "ibarrier")
+
+    def test_flaps_shorter_than_suspicion_timeout(self):
+        """A flap must never be convictable as a death."""
+        for seed in range(8):
+            for network in ("myrinet", "quadrics"):
+                plan = make_fuzz_plan(network, seed)
+                for _a, _b, start, until in plan.flaps:
+                    assert until - start < plan.hb_timeout_us
+
+    def test_unknown_network_rejected(self):
+        with pytest.raises(ValueError):
+            make_fuzz_plan("infiniband", 0)
+
+
+class TestFuzzCase:
+    @pytest.mark.parametrize("network", ["myrinet", "quadrics"])
+    def test_single_case_passes(self, network):
+        plan = make_fuzz_plan(network, 0)
+        result = run_fuzz_case(plan)
+        assert result.ok, "\n".join(result.violations + result.quiescence)
+        assert result.epochs == len(plan.kills)
+        assert len(result.detected_at) == len(plan.kills)
+
+    def test_mid_recovery_kill_handled(self):
+        """Seed 1 draws two kills whose second lands inside the first
+        kill's detection window — the controller must chain the repairs
+        and every survivor still completes the final epoch."""
+        plan = make_fuzz_plan("myrinet", 1)
+        assert len(plan.kills) == 2
+        result = run_fuzz_case(plan)
+        assert result.ok, "\n".join(result.violations + result.quiescence)
+        assert result.epochs == 2
+
+    def test_tie_break_replay_is_bit_identical(self):
+        plan = make_fuzz_plan("quadrics", 2)
+        baseline = run_fuzz_case(plan)
+        replay = run_fuzz_case(
+            plan,
+            sim=TieBreakSimulator(DeterministicRng(9, "fuzz-test/tiebreak")),
+        )
+        assert baseline.ok and replay.ok
+        assert replay.comparable() == baseline.comparable()
+
+
+def test_fuzz_block_smoke():
+    report = run_fuzz_block(networks=("myrinet",), seeds=(0,), rounds=1)
+    assert report.ok, report.render()
+    assert report.render().endswith("PASS")
