@@ -26,6 +26,13 @@ Commands:
   algorithm x N x payload through the run cache and write the winners'
   decision table (point ``REPRO_TUNING_TABLE`` at it to have
   ``ProcessGroup(algorithm="auto")`` consult it).
+- ``workload``    — multi-job workload on one shared fabric: a job
+  trace (generated or ``--jobs-trace``) runs several jobs with
+  overlapping allocations plus seeded p2p cross-traffic, and reports
+  per-job p50/p99/p999 barrier latency, slowdown vs a silent-machine
+  baseline, and Jain fairness; ``--check N`` gates bit-identical
+  results across N tie-break permutations, ``--kill-node`` composes
+  with the chaos layer (mid-workload node kill + epoch repair).
 - ``cache``       — inspect/maintain the persistent run cache
   (``stats``, ``gc``, ``clear``).  ``report``/``experiment``/``trace``/
   ``chaos`` take ``--cache/--no-cache``; ``REPRO_CACHE=0`` disables
@@ -260,6 +267,98 @@ def _cmd_tune(args: argparse.Namespace) -> int:
     return tune_main(forwarded)
 
 
+def _cmd_workload(args: argparse.Namespace) -> int:
+    from repro.workload import (
+        CrossTrafficSpec,
+        JobMetrics,
+        KillSpec,
+        dump_trace,
+        format_job_table,
+        generate_trace,
+        load_trace,
+        run_workload_cached,
+        verify_workload_determinism,
+    )
+
+    networks = (
+        ("myrinet", "quadrics") if args.network == "both" else (args.network,)
+    )
+    xtraffic = None
+    if args.xtraffic and args.xtraffic_rate > 0:
+        xtraffic = CrossTrafficSpec(
+            rate_per_ms=args.xtraffic_rate, size_bytes=args.xtraffic_bytes
+        )
+    kill = None
+    if args.kill_node is not None:
+        kill = KillSpec(node=args.kill_node, at_us=args.kill_at)
+        if xtraffic is not None:
+            print("chaos mode: cross-traffic disabled (needs a fixed horizon)",
+                  file=sys.stderr)
+            xtraffic = None
+
+    failed = False
+    for network in networks:
+        if args.jobs_trace:
+            jobs = load_trace(args.jobs_trace)
+        else:
+            jobs = generate_trace(
+                args.pattern,
+                args.jobs,
+                args.nodes,
+                seed=args.seed,
+                iterations=args.iterations,
+                payload_bytes=args.payload_bytes,
+            )
+        if args.write_trace:
+            dump_trace(jobs, args.write_trace)
+            print(f"trace written to {args.write_trace}")
+        result = run_workload_cached(
+            network,
+            args.nodes,
+            jobs,
+            seed=args.seed,
+            xtraffic=xtraffic,
+            kill=kill,
+            cache="auto" if args.cache else None,
+        )
+        metrics = [JobMetrics(**job) for job in result["jobs"]]
+        print(f"\n=== workload: {network} ({result['profile']}) "
+              f"N={args.nodes}, {len(jobs)} jobs, seed={args.seed} ===")
+        print(format_job_table(metrics, result["fairness"]))
+        if result["xtraffic"] is not None:
+            xt = result["xtraffic"]
+            print(f"  cross-traffic: {xt['injected']} injected / "
+                  f"{xt['delivered']} delivered over "
+                  f"{result['xtraffic_horizon_us']:.0f}us")
+        audited = result["group_audit"]
+        if audited:
+            bad = [a for a in audited
+                   if a["expected_packets"] != a["actual_packets"]]
+            print(f"  group flow audit: {len(audited) - len(bad)}/"
+                  f"{len(audited)} exact")
+        if result["violations"]:
+            failed = True
+            for violation in result["violations"]:
+                print(f"  VIOLATION: {violation}")
+        if result["quiescence"]:
+            failed = True
+            for finding in result["quiescence"]:
+                print(f"  QUIESCENCE: {finding}")
+        if args.check > 0:
+            findings = verify_workload_determinism(
+                network, args.nodes, jobs, seed=args.seed,
+                xtraffic=xtraffic, rounds=args.check,
+            )
+            if findings:
+                failed = True
+                for finding in findings:
+                    print(f"  DETERMINISM: {finding.render()}")
+            else:
+                print(f"  determinism: bit-identical across {args.check} "
+                      "tie-break permutations")
+    return 1 if failed else 0
+
+
 def _cmd_cache(args: argparse.Namespace) -> int:
     from repro.tools.runcache import RunCache, cache_enabled, default_root
 
@@ -430,6 +529,46 @@ def build_parser() -> argparse.ArgumentParser:
                              help="operations per grid point")
     tune_parser.add_argument("--cache", **cache_flag)
 
+    workload_parser = sub.add_parser(
+        "workload",
+        help="multi-job workload: overlapping jobs + cross-traffic + "
+             "tail-latency metrics on one shared fabric",
+    )
+    workload_parser.add_argument("--network", default="both",
+                                 choices=["myrinet", "quadrics", "both"])
+    workload_parser.add_argument("-n", "--nodes", type=int, default=64)
+    workload_parser.add_argument("--jobs", type=int, default=4,
+                                 help="jobs in the generated trace")
+    workload_parser.add_argument("--pattern", default="skewed",
+                                 choices=["uniform", "bursty", "skewed"],
+                                 help="synthetic trace shape")
+    workload_parser.add_argument("--jobs-trace", default=None,
+                                 help="JSON-lines job trace to run "
+                                      "(instead of generating one)")
+    workload_parser.add_argument("--write-trace", default=None,
+                                 help="write the generated trace here")
+    workload_parser.add_argument("--iterations", type=int, default=20,
+                                 help="timed iterations per job")
+    workload_parser.add_argument("--payload-bytes", type=int, default=64)
+    workload_parser.add_argument("--seed", type=int, default=0)
+    workload_parser.add_argument(
+        "--xtraffic", action=argparse.BooleanOptionalAction, default=True,
+        help="stream seeded p2p cross-traffic over the same links",
+    )
+    workload_parser.add_argument("--xtraffic-rate", type=float, default=50.0,
+                                 help="aggregate cross-traffic packets/ms")
+    workload_parser.add_argument("--xtraffic-bytes", type=int, default=512)
+    workload_parser.add_argument("--check", type=int, default=0,
+                                 help="also verify bit-identical results "
+                                      "across this many tie-break "
+                                      "permutations")
+    workload_parser.add_argument("--kill-node", type=int, default=None,
+                                 help="chaos composition: kill this node "
+                                      "mid-workload")
+    workload_parser.add_argument("--kill-at", type=float, default=600.0,
+                                 help="kill time (us)")
+    workload_parser.add_argument("--cache", **cache_flag)
+
     cache_parser = sub.add_parser(
         "cache", help="inspect/maintain the persistent run cache"
     )
@@ -458,6 +597,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "lint": _cmd_lint,
         "chaos": _cmd_chaos,
         "tune": _cmd_tune,
+        "workload": _cmd_workload,
         "cache": _cmd_cache,
     }
     return handlers[args.command](args)

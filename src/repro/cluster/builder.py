@@ -5,6 +5,7 @@ from __future__ import annotations
 from typing import Optional, Union
 
 from repro.cluster.profiles import HardwareProfile, get_profile
+from repro.collectives.group import GroupIdAllocator
 from repro.host import HostCpu
 from repro.myrinet import GmPort, LanaiNic
 from repro.network import Fabric, FaultInjector
@@ -44,6 +45,10 @@ class _ClusterBase:
         # equivalence tests can compare batched vs. unbatched runs
         # bit for bit.
         self.reference = reference
+        # Per-cluster group-id source: ids depend only on the order
+        # groups are created on *this* cluster, never on process
+        # history (see GroupIdAllocator).
+        self.group_ids = GroupIdAllocator()
         self.topology = self._make_topology(nodes)
         self.fabric = Fabric(
             self.sim, self.topology, profile.wire, tracer=self.tracer, faults=faults,

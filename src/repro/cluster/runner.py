@@ -178,7 +178,11 @@ def run_barrier_experiment(
 
     rng = DeterministicRng(seed, f"runner/{cluster.profile.name}/{barrier}/{n}")
     order = rng.permutation(cluster.n)[:n] if permute_nodes else list(range(n))
-    group = ProcessGroup(order, algorithm=algorithm)
+    group = ProcessGroup(
+        order,
+        algorithm=algorithm,
+        id_allocator=getattr(cluster, "group_ids", None),
+    )
 
     drivers, hw = _setup_scheme(cluster, barrier, group)
 

@@ -46,7 +46,11 @@ from repro.collectives.failures import (
     classify_reason,
     is_revocation,
 )
-from repro.collectives.group import ProcessGroup
+from repro.collectives.group import (
+    GroupIdAllocator,
+    ProcessGroup,
+    reset_group_ids,
+)
 from repro.collectives.membership import MembershipView, PeerDead
 from repro.collectives.messages import (
     BarrierDone,
@@ -131,6 +135,8 @@ __all__ = [
     "gather_broadcast",
     "make_schedule",
     "ProcessGroup",
+    "GroupIdAllocator",
+    "reset_group_ids",
     "BarrierMsg",
     "BarrierNack",
     "BarrierDone",

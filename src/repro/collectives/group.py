@@ -20,7 +20,39 @@ from repro.collectives.failures import ScheduleVerificationError
 from repro.collectives.schedule_ir import CollectiveSchedule, compile_schedule
 from repro.collectives.tuning import pick_algorithm
 
-_group_ids = itertools.count(1)
+class GroupIdAllocator:
+    """Deterministic source of group ids.
+
+    Group ids used to come from a process-global ``itertools.count`` —
+    which made every id (and the ``parent_group_id`` lineage) depend on
+    how many groups *any* earlier test or sweep in the same process had
+    created.  Traces and id-keyed artifacts then differed between a
+    fresh interpreter and a warm one.  Each cluster now owns its own
+    allocator (``cluster.group_ids``), so two back-to-back builds in
+    one process hand out identical ids.
+    """
+
+    def __init__(self, start: int = 1):
+        self._start = start
+        self._counter = itertools.count(start)
+
+    def allocate(self) -> int:
+        return next(self._counter)
+
+    def reset(self) -> None:
+        """Rewind to the initial id (fresh-process numbering)."""
+        self._counter = itertools.count(self._start)
+
+
+#: Fallback allocator for groups built without a cluster context
+#: (direct ``ProcessGroup(...)`` construction in tests / tools).
+_default_allocator = GroupIdAllocator()
+
+
+def reset_group_ids() -> None:
+    """Reset the fallback allocator to fresh-process numbering."""
+    _default_allocator.reset()
+
 
 #: (collective, algorithm, model_n, payload) -> model-check findings.
 _model_verdicts: dict[tuple, list] = {}
@@ -45,6 +77,7 @@ class ProcessGroup:
         algorithm: str = "auto",
         group_id: int | None = None,
         epoch: int = 0,
+        id_allocator: "GroupIdAllocator | None" = None,
     ):
         ids = list(node_ids)
         if not ids:
@@ -58,7 +91,12 @@ class ProcessGroup:
         if algorithm == "auto":
             algorithm = pick_algorithm("barrier", len(ids))
         self.algorithm = algorithm
-        self.group_id = next(_group_ids) if group_id is None else group_id
+        self._id_allocator = (
+            id_allocator if id_allocator is not None else _default_allocator
+        )
+        self.group_id = (
+            self._id_allocator.allocate() if group_id is None else group_id
+        )
         #: Which repair generation this group belongs to.  The pristine
         #: group a communicator starts from is epoch 0; every shrink
         #: over the survivor set increments it.  The previous epoch's
@@ -101,7 +139,10 @@ class ProcessGroup:
         if not survivors:
             raise ValueError("cannot shrink a group to zero survivors")
         shrunk = ProcessGroup(
-            survivors, algorithm=self.requested_algorithm, epoch=self.epoch + 1
+            survivors,
+            algorithm=self.requested_algorithm,
+            epoch=self.epoch + 1,
+            id_allocator=self._id_allocator,
         )
         shrunk.parent_group_id = self.group_id
         return shrunk

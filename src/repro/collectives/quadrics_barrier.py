@@ -212,6 +212,7 @@ class QuadricsChainedBarrier:
                     remote_event=self._wait_event(self.remote_wait_index[dst]),
                     size_bytes=0,
                     local_event=next_gate if k == len(op.peers) - 1 else None,
+                    group_id=self.group.group_id,
                 )
             )
         return descriptors

@@ -5,7 +5,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Optional
 
-from repro.sim import Resource, Simulator, Tracer
+from repro.sim import ArbitratedResource, Simulator, Tracer
 
 
 @dataclass(frozen=True)
@@ -47,6 +47,13 @@ class HostCpu:
     callbacks on the same node serialize (quad-SMP nodes ran one MPI
     process per node in the paper's tests, so one CPU per node is the
     faithful model).
+
+    Same-instant compute requests from *different* processes (two jobs
+    sharing the node in a multi-job workload) are arbitrated in
+    canonical process-name order via :class:`ArbitratedResource` —
+    plain FIFO granting would make the interleaving an event-heap race
+    (simlint SL101).  With one process per node this is timing-identical
+    to the plain resource: requests never contend.
     """
 
     def __init__(
@@ -62,7 +69,7 @@ class HostCpu:
         self.node_id = node_id
         self.name = name or f"host{node_id}"
         self.tracer = tracer or Tracer()
-        self._cpu = Resource(sim, capacity=1, name=f"{self.name}.cpu")
+        self._cpu = ArbitratedResource(sim, capacity=1, name=f"{self.name}.cpu")
         self.busy_us = 0.0
         # Chaos-campaign host slowdown: every software cost on this node
         # is multiplied by this factor (1.0 = calibrated speed).  A slow

@@ -53,10 +53,14 @@ class _MyrinetContexts:
         #: Repair generation — bumped by :meth:`repair`; rank handles
         #: lazily resync (rank re-index + sequence reset) when it moves.
         self.epoch = 0
-        self.barrier_group = ProcessGroup(nodes, algorithm=algorithm)
-        self.allgather_group = ProcessGroup(nodes)
-        self.alltoall_group = ProcessGroup(nodes)
-        self.allreduce_group = ProcessGroup(nodes)
+        alloc = getattr(cluster, "group_ids", None)
+        self._id_allocator = alloc
+        self.barrier_group = ProcessGroup(
+            nodes, algorithm=algorithm, id_allocator=alloc
+        )
+        self.allgather_group = ProcessGroup(nodes, id_allocator=alloc)
+        self.alltoall_group = ProcessGroup(nodes, id_allocator=alloc)
+        self.allreduce_group = ProcessGroup(nodes, id_allocator=alloc)
         self._bcast_groups: dict[int, ProcessGroup] = {}
         self._register_engines()
 
@@ -136,7 +140,7 @@ class _MyrinetContexts:
         group = self._bcast_groups.get(root)
         if group is None:
             rotated = self.nodes[root:] + self.nodes[:root]
-            group = ProcessGroup(rotated)
+            group = ProcessGroup(rotated, id_allocator=self._id_allocator)
             for rank, node in enumerate(rotated):
                 NicBroadcastEngine(self.cluster.nics[node], group, rank)
             self._bcast_groups[root] = group
@@ -299,7 +303,12 @@ class QuadricsRankComm:
         seq = self._bcast_seq
         self._bcast_seq += 1
         result = yield from elan_hw_broadcast(
-            self._port, self._group.node_ids, seq, size_bytes, value
+            self._port,
+            self._group.node_ids,
+            seq,
+            size_bytes,
+            value,
+            event_prefix=f"hbcast.g{self._group.group_id}",
         )
         return result
 
@@ -352,7 +361,11 @@ def create_communicators(
         ctx = _MyrinetContexts(cluster, node_list, algorithm)
         return [MyrinetRankComm(ctx, rank) for rank in range(len(node_list))]
     if isinstance(cluster, QuadricsCluster):
-        group = ProcessGroup(node_list, algorithm=algorithm)
+        group = ProcessGroup(
+            node_list,
+            algorithm=algorithm,
+            id_allocator=getattr(cluster, "group_ids", None),
+        )
         return [
             QuadricsRankComm(cluster, group, rank) for rank in range(len(node_list))
         ]

@@ -19,7 +19,7 @@ from repro.myrinet.nic import LanaiNic
 from repro.myrinet.structures import SendToken
 from repro.network import PacketKind
 from repro.pci import PciBus
-from repro.sim import SimEvent, Simulator
+from repro.sim import ArbitratedResource, SimEvent, Simulator
 
 
 @dataclass(frozen=True)
@@ -52,6 +52,13 @@ class GmPort:
         self.cpu = cpu
         self.pci = pci
         self._pending: list[Any] = []  # events popped but not yet matched
+        # Poller seat: at most one waiter sits on the NIC event queue;
+        # co-waiters queue here.  Arbitrated, so which of two
+        # same-instant waiters polls (and pays the poll-lag and poll
+        # costs) is canonical, not event-heap order (SL101).
+        self._poll_seat = ArbitratedResource(
+            sim, 1, name=f"gm{node_id}.poll.seat"
+        )
         # Prepost the configured number of receive buffers.
         nic.provide_recv_tokens(nic.params.recv_token_count)
 
@@ -121,6 +128,14 @@ class GmPort:
         yield from self.cpu.compute(params.poll_us, "poll")
         return event
 
+    def _consume(self, event):
+        """Pay the host costs of consuming one matched event."""
+        yield from self.cpu.compute(
+            self.cpu.params.recv_overhead_us, "recv_overhead"
+        )
+        if isinstance(event, GmRecvEvent):
+            yield from self.provide_receive_buffer()
+
     def recv_matching(self, matches: Callable[[Any], bool]):
         """Block until an event satisfying ``matches`` arrives.
 
@@ -128,24 +143,44 @@ class GmPort:
         (barrier messages from a future iteration can arrive early).
         Consuming a data receive event pays the host receive overhead
         and reposts the receive buffer.
+
+        Multiple waiters may block on one port concurrently (two jobs
+        sharing a node each park a collective wait here).  Only the
+        *seat holder* sits on the NIC event queue; co-waiters queue on
+        the seat.  Whenever the holder pops an event it does not want,
+        it buffers the event and releases the seat, so the next waiter
+        (in canonical order) re-scans the buffer and takes over
+        polling.  Without this hand-off the queue's FIFO getter order
+        can deliver waiter B's event to waiter A, which buffers it
+        while B stays blocked forever.  The seat is arbitrated: which
+        of two same-instant waiters polls — and therefore pays the
+        poll-lag and poll costs — must not depend on event-heap pop
+        order (simlint SL101).
         """
-        params = self.cpu.params
-        for i, ev in enumerate(self._pending):
-            if matches(ev):
-                self._pending.pop(i)
-                yield from self.cpu.compute(params.recv_overhead_us, "recv_overhead")
-                if isinstance(ev, GmRecvEvent):
-                    yield from self.provide_receive_buffer()
-                return ev
         while True:
+            for i, ev in enumerate(self._pending):
+                if matches(ev):
+                    self._pending.pop(i)
+                    yield from self._consume(ev)
+                    return ev
+            yield self._poll_seat.request()
+            # The buffer may have grown while we queued for the seat.
+            matched = None
+            for i, ev in enumerate(self._pending):
+                if matches(ev):
+                    matched = self._pending.pop(i)
+                    break
+            if matched is not None:
+                self._poll_seat.release()
+                yield from self._consume(matched)
+                return matched
             event = yield from self._next_event()
+            self._poll_seat.release()
             if isinstance(event, SendToken) and event.completion is not None:
                 if not event.completion.triggered:
                     event.completion.succeed(event)
             if matches(event):
-                yield from self.cpu.compute(params.recv_overhead_us, "recv_overhead")
-                if isinstance(event, GmRecvEvent):
-                    yield from self.provide_receive_buffer()
+                yield from self._consume(event)
                 return event
             self._pending.append(event)
 

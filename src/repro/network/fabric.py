@@ -234,14 +234,65 @@ class Fabric:
         # f"wire.{kind}" per packet shows up at millions of packets.
         self._kind_labels: dict[str, str] = {}
         self.delivered_count = 0
-        # Per-source transmit observers (failure detector only): the
+        # Per-source transmit observers: the failure detector's
         # heartbeat loop suppresses beats to peers the NIC has recently
-        # transmitted *anything* to, so it needs to see every TX.
-        self._tx_observers: dict[int, Callable[[int, float], None]] = {}
+        # transmitted *anything* to, and the workload layer's per-flow
+        # telemetry watches the same stream.  Each port keeps an
+        # *ordered list* of callbacks — a single-slot dict here silently
+        # dropped the earlier subscriber on re-register, which would
+        # have disabled liveness piggybacking the moment a second
+        # observer appeared.  Invocation order is registration order.
+        self._tx_observers: dict[int, list[Callable[[int, float], None]]] = {}
+        # Per-flow transmit accounting: flow label -> [packets, bytes,
+        # dropped].  The label comes from the payload's ``group_id``
+        # (collective traffic), else its ``flow`` attribute (workload
+        # cross-traffic), else the packet kind.
+        self._flow_counters: dict[str, list[int]] = {}
+        # Fabric-level sinks: (dst port, packet kind) -> handler.  A
+        # sink terminates matching packets *instead of* the NIC protocol
+        # stack — cross-traffic competes for links like any worm but
+        # must not perturb NIC protocol state.
+        self._sinks: dict[tuple[int, str], DeliveryHandler] = {}
 
     def observe_tx(self, port: int, callback: Callable[[int, float], None]) -> None:
-        """Register ``callback(dst, now)`` for every packet ``port`` sends."""
-        self._tx_observers[port] = callback
+        """Register ``callback(dst, now)`` for every packet ``port`` sends.
+
+        Multiple observers per port coexist; they are invoked in
+        registration order on every transmit.
+        """
+        self._tx_observers.setdefault(port, []).append(callback)
+
+    def attach_sink(self, port: int, kind: str, handler: DeliveryHandler) -> None:
+        """Terminate ``kind`` packets arriving at ``port`` in ``handler``.
+
+        The sink replaces the NIC delivery for that (port, kind) pair
+        only; all other traffic still reaches the attached NIC.
+        """
+        key = (port, kind)
+        if key in self._sinks:
+            raise ValueError(f"sink for {kind!r} already attached at port {port}")
+        self._sinks[key] = handler
+
+    def flow_counters(self) -> dict[str, dict[str, int]]:
+        """Per-flow transmit totals, keyed by flow label, sorted.
+
+        Each entry reports ``packets`` (transmits attempted), ``bytes``
+        (sum of their sizes), and ``dropped`` (fault-injected losses).
+        """
+        return {
+            label: {"packets": c[0], "bytes": c[1], "dropped": c[2]}
+            for label, c in sorted(self._flow_counters.items())
+        }
+
+    def _flow_label(self, packet: Packet) -> str:
+        payload = packet.payload
+        group_id = getattr(payload, "group_id", None)
+        if isinstance(group_id, int):
+            return f"group:{group_id}"
+        flow = getattr(payload, "flow", None)
+        if isinstance(flow, str):
+            return f"flow:{flow}"
+        return f"kind:{packet.kind}"
 
     # ------------------------------------------------------------------
     def attach(self, port: int, handler: DeliveryHandler) -> None:
@@ -304,15 +355,22 @@ class Fabric:
             raise ValueError(f"no NIC attached at port {packet.dst}")
         packet.sent_at = self.sim.now
         if self._tx_observers:
-            observer = self._tx_observers.get(packet.src)
-            if observer is not None:
-                observer(packet.dst, self.sim.now)
+            observers = self._tx_observers.get(packet.src)
+            if observers:
+                for observer in observers:
+                    observer(packet.dst, self.sim.now)
         tracer = self.tracer
         label = self._kind_labels.get(packet.kind)
         if label is None:
             label = self._kind_labels.setdefault(packet.kind, f"wire.{packet.kind}")
         tracer.count(label)
         tracer.count("wire.packets")
+        flow_label = self._flow_label(packet)
+        flow = self._flow_counters.get(flow_label)
+        if flow is None:
+            flow = self._flow_counters[flow_label] = [0, 0, 0]
+        flow[0] += 1
+        flow[1] += packet.size_bytes
         # Wormhole path: claim each directional link in order (a
         # callback chain through the per-link arbiters — no per-packet
         # Process), then let the whole worm drain.  Head latency accrues
@@ -330,6 +388,7 @@ class Fabric:
             decision = self.faults.inspect(packet)
             if decision.drop:
                 tracer.count("wire.dropped")
+                flow[2] += 1
                 if tracer.enabled:
                     tracer.record(
                         self.sim.now, "wire", f"nic{packet.src}", "DROPPED",
@@ -408,6 +467,11 @@ class Fabric:
                 pkt=packet.wire_id,
                 size=packet.size_bytes,
             )
+        if self._sinks:
+            sink = self._sinks.get((packet.dst, packet.kind))
+            if sink is not None:
+                sink(packet)
+                return
         self._handlers[packet.dst](packet)
 
     # ------------------------------------------------------------------
@@ -433,10 +497,11 @@ class Fabric:
             if port not in self._handlers:
                 raise ValueError(f"no NIC attached at port {port}")
         if self._tx_observers:
-            observer = self._tx_observers.get(packet.src)
-            if observer is not None:
-                for port in targets:
-                    observer(port, self.sim.now)
+            observers = self._tx_observers.get(packet.src)
+            if observers:
+                for observer in observers:
+                    for port in targets:
+                        observer(port, self.sim.now)
         self.sim.schedule(latency, self._deliver_broadcast, packet, tuple(targets))
 
     def _deliver_broadcast(self, packet: Packet, targets: tuple[int, ...]) -> None:

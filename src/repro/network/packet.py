@@ -14,6 +14,9 @@ class PacketKind:
     ``BARRIER`` is the collective protocol's padded control packet;
     ``RDMA``/``EVENT``/``BCAST`` belong to the Quadrics model.
     ``HEARTBEAT`` is the failure detector's probe on both networks.
+    ``XTRAFFIC`` is workload-layer cross-traffic: it competes for link
+    bandwidth and arbitration like any other packet but terminates at a
+    fabric-level sink instead of the NIC protocol stack.
     """
 
     DATA = "data"
@@ -24,8 +27,9 @@ class PacketKind:
     EVENT = "event"
     BCAST = "bcast"
     HEARTBEAT = "heartbeat"
+    XTRAFFIC = "xtraffic"
 
-    ALL = (DATA, ACK, NACK, BARRIER, RDMA, EVENT, BCAST, HEARTBEAT)
+    ALL = (DATA, ACK, NACK, BARRIER, RDMA, EVENT, BCAST, HEARTBEAT, XTRAFFIC)
 
 
 _wire_ids = itertools.count()

@@ -35,6 +35,10 @@ class RdmaDescriptor:
     data, it just fires ``remote_event`` at ``dst``.  ``local_event``
     (if set) is set-evented locally once the packet is injected —
     that is what lets descriptors chain into a pipeline.
+
+    ``group_id`` (optional) tags the descriptor with the collective
+    group that armed it, so fabric per-flow accounting can attribute
+    the resulting RDMA packets — it has no protocol effect.
     """
 
     dst: int
@@ -42,6 +46,7 @@ class RdmaDescriptor:
     size_bytes: int = 0
     local_event: Optional[str] = None
     payload: Any = None
+    group_id: Optional[int] = None
 
     def __post_init__(self) -> None:
         if self.size_bytes < 0:

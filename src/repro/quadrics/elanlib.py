@@ -20,7 +20,7 @@ from repro.host import HostCpu
 from repro.pci import PciBus
 from repro.quadrics.elan import Elan3Nic, RdmaDescriptor, TportMessage
 from repro.quadrics.elite import HardwareBarrier
-from repro.sim import Simulator
+from repro.sim import ArbitratedResource, Simulator
 
 
 
@@ -42,6 +42,16 @@ class ElanPort:
         self.pci = pci
         self._tport_pending: list[TportMessage] = []
         self._host_event_pending: list[Any] = []
+        # Poller seats: at most one waiter per queue sits on the NIC
+        # store; the rest queue here.  Arbitrated, so which of two
+        # same-instant waiters polls (and therefore pays the poll-lag
+        # and poll costs) is canonical, not event-heap order (SL101).
+        self._tport_seat = ArbitratedResource(
+            sim, 1, name=f"elan{node_id}.tport.seat"
+        )
+        self._host_event_seat = ArbitratedResource(
+            sim, 1, name=f"elan{node_id}.hostev.seat"
+        )
 
     # ------------------------------------------------------------------
     # Command issue (host -> Elan)
@@ -72,32 +82,66 @@ class ElanPort:
         message = TportMessage(src=self.node_id, tag=tag, payload=payload)
         yield from self.nic.tport_inject(dst, message, size_bytes)
 
-    def tport_recv(self, matches: Callable[[TportMessage], bool]):
-        """Blocking tagged receive with out-of-order buffering."""
+    def _demux_recv(self, queue, pending: list, seat, matches):
+        """Blocking receive with out-of-order buffering, safe for
+        multiple concurrent waiters on one port.
+
+        Only the *seat holder* sits on the NIC queue; co-waiters queue
+        on the seat.  Whenever the holder pops an item it does not
+        want, it buffers the item and releases the seat, so the next
+        waiter (in canonical order) re-scans the buffer and takes over
+        polling.  Without this hand-off the queue's FIFO getter order
+        can deliver waiter B's item to waiter A, which buffers it
+        while B stays blocked forever (two jobs sharing a node each
+        park a collective wait here).  The seat is arbitrated: which
+        of two same-instant waiters polls — and therefore pays the
+        poll-lag and poll costs — must not depend on event-heap pop
+        order (simlint SL101).
+        """
         params = self.cpu.params
-        for i, msg in enumerate(self._tport_pending):
-            if matches(msg):
-                self._tport_pending.pop(i)
-                yield from self.cpu.compute(params.recv_overhead_us, "recv_overhead")
-                return msg
-        queue = self.nic.tport_queue
         while True:
-            if len(queue) > 0 and queue.getters_waiting == 0:
-                msg = queue.try_get()
+            for i, item in enumerate(pending):
+                if matches(item):
+                    pending.pop(i)
+                    yield from self.cpu.compute(
+                        params.recv_overhead_us, "recv_overhead"
+                    )
+                    return item
+            yield seat.request()
+            # The buffer may have grown while we queued for the seat.
+            matched = None
+            for i, item in enumerate(pending):
+                if matches(item):
+                    matched = pending.pop(i)
+                    break
+            if matched is not None:
+                seat.release()
+                yield from self.cpu.compute(params.recv_overhead_us, "recv_overhead")
+                return matched
+            if len(queue) > 0:
+                item = queue.try_get()
             else:
                 blocked_at = self.sim.now
-                msg = yield queue.get()
-                # A message landing at the very instant polling begins is
+                item = yield queue.get()
+                # An item landing at the very instant polling begins is
                 # caught by the first poll; only a later arrival pays the
                 # mean phase lag.  (Same-instant cost must not depend on
                 # put-vs-get scheduling order — simlint SL101.)
                 if self.sim.now > blocked_at:
                     yield params.poll_interval_us / 2.0
             yield from self.cpu.compute(params.poll_us, "poll")
-            if matches(msg):
+            seat.release()
+            if matches(item):
                 yield from self.cpu.compute(params.recv_overhead_us, "recv_overhead")
-                return msg
-            self._tport_pending.append(msg)
+                return item
+            pending.append(item)
+
+    def tport_recv(self, matches: Callable[[TportMessage], bool]):
+        """Blocking tagged receive with out-of-order buffering."""
+        msg = yield from self._demux_recv(
+            self.nic.tport_queue, self._tport_pending, self._tport_seat, matches
+        )
+        return msg
 
     def tport_recv_tag(self, tag: Any):
         msg = yield from self.tport_recv(lambda m: m.tag == tag)
@@ -107,28 +151,13 @@ class ElanPort:
     # Host events (completion notifications from the NIC)
     # ------------------------------------------------------------------
     def wait_host_event(self, matches: Callable[[Any], bool]):
-        params = self.cpu.params
-        for i, ev in enumerate(self._host_event_pending):
-            if matches(ev):
-                self._host_event_pending.pop(i)
-                yield from self.cpu.compute(params.recv_overhead_us, "recv_overhead")
-                return ev
-        queue = self.nic.host_events
-        while True:
-            if len(queue) > 0 and queue.getters_waiting == 0:
-                ev = queue.try_get()
-            else:
-                blocked_at = self.sim.now
-                ev = yield queue.get()
-                # Same-instant event words are caught by the first poll
-                # (see tport_recv).
-                if self.sim.now > blocked_at:
-                    yield params.poll_interval_us / 2.0
-            yield from self.cpu.compute(params.poll_us, "poll")
-            if matches(ev):
-                yield from self.cpu.compute(params.recv_overhead_us, "recv_overhead")
-                return ev
-            self._host_event_pending.append(ev)
+        ev = yield from self._demux_recv(
+            self.nic.host_events,
+            self._host_event_pending,
+            self._host_event_seat,
+            matches,
+        )
+        return ev
 
     def poll_host_event(self, matches: Callable[[Any], bool]):
         """One non-blocking poll for a host event.
@@ -218,6 +247,7 @@ def elan_hw_broadcast(
     seq: int,
     size_bytes: int = 0,
     value: Any = None,
+    event_prefix: str = "hbcast",
 ):
     """Hardware-broadcast a payload from ``ranks[0]`` to every rank.
 
@@ -229,6 +259,13 @@ def elan_hw_broadcast(
 
     As with the hardware barrier, the primitive needs the contiguous
     node set the fabric replicates to — the caller's ``ranks``.
+
+    ``event_prefix`` scopes the arrival event word and mailbox slot to
+    one caller: two communicators broadcasting concurrently through the
+    same NIC (overlapping jobs on a shared node) must not share the
+    cumulative notify threshold or clobber each other's mailbox — each
+    passes its own prefix (e.g. ``hbcast.g<group_id>``) and its own
+    independent ``seq`` numbering.
     """
     from repro.network import Packet, PacketKind
     from repro.quadrics.elan import RdmaDescriptor
@@ -236,8 +273,9 @@ def elan_hw_broadcast(
     ranks = list(ranks)
     root = ranks[0]
     nic = port.nic
-    event_name = "hbcast"
-    nic.arm_host_notify(event_name, seq + 1, value=("hbcast", seq))
+    event_name = event_prefix
+    event_word = (event_prefix, seq)
+    nic.arm_host_notify(event_name, seq + 1, value=event_word)
     if port.node_id == root:
         yield from port.cpu.compute(port.cpu.params.send_overhead_us, "send_overhead")
         yield from port._command()
@@ -259,7 +297,7 @@ def elan_hw_broadcast(
             ),
             targets=ranks,
         )
-    yield from port.wait_host_event(lambda ev: ev == ("hbcast", seq))
+    yield from port.wait_host_event(lambda ev: ev == event_word)
     return nic.rdma_mailbox.get(event_name)
 
 

@@ -29,6 +29,12 @@ _PER_NODE = re.compile(r"^(pci)\d+\.(.+)$")
 #: Barrier kinds with closed-form expected counters (dissemination).
 AUDITABLE_BARRIERS = ("host", "nic-direct", "nic-collective", "nic-chained")
 
+#: Schemes whose wire packets carry a ``group_id`` (BarrierMsg / data
+#: engine messages / tagged RdmaDescriptor), so per-group fabric flow
+#: accounting attributes every packet exactly.  The direct and host
+#: schemes ride the GM p2p path, whose ACKs carry no group tag.
+GROUP_AUDITABLE = ("nic-collective", "nic-chained")
+
 
 def aggregate_counters(counters: dict[str, int]) -> dict[str, int]:
     """Sum per-node counters into per-class totals.
@@ -212,6 +218,92 @@ def audit_counters(
         for name, want in expected.items()
     )
     return CounterAudit(profile, barrier, nodes, barriers, checks)
+
+
+@dataclass(frozen=True)
+class GroupFlowCheck:
+    """Expected-vs-measured wire packets for one collective of one group."""
+
+    group_id: int
+    collective: str
+    algorithm: str
+    nodes: int
+    count: int
+    expected_packets: int
+    actual_packets: int
+    dropped: int
+
+    @property
+    def ok(self) -> bool:
+        return self.expected_packets == self.actual_packets
+
+
+def expected_flow_packets(
+    collective: str,
+    algorithm: str,
+    nodes: int,
+    count: int,
+    payload_bytes: int = 0,
+) -> int:
+    """Wire packets ``count`` runs of one collective inject, read off
+    the compiled schedule IR (fault-free; retransmissions add packets
+    on top)."""
+    from repro.collectives.schedule_ir import compile_schedule
+
+    schedule = compile_schedule(collective, algorithm, nodes, payload_bytes)
+    return schedule.total_messages() * count
+
+
+def audit_group_flows(fabric, specs) -> list[GroupFlowCheck]:
+    """Audit per-group fabric flow counters against the schedule IR.
+
+    The whole-machine closed forms in :func:`expected_counters` assume
+    one collective owns the machine — under concurrent groups the
+    global ``wire.*`` totals sum every job's traffic and the single-job
+    expectation false-fails (or, worse, two wrong jobs cancel out and
+    it silently passes).  This audit scopes the check per group id
+    using :meth:`Fabric.flow_counters`, which attributes each packet by
+    its payload's ``group_id`` — exact for the :data:`GROUP_AUDITABLE`
+    schemes.
+
+    ``specs`` is an iterable of ``(group, collective, count)`` or
+    ``(group, collective, count, payload_bytes)`` tuples, where
+    ``group`` is a :class:`~repro.collectives.ProcessGroup`; expected
+    packets come from that group's own compiled schedule.
+    """
+    flows = fabric.flow_counters()
+    checks = []
+    for spec in specs:
+        group, collective, count = spec[0], spec[1], spec[2]
+        payload_bytes = spec[3] if len(spec) > 3 else 0
+        if collective == "bcast":
+            # The broadcast engine forwards down a tree: every non-root
+            # member receives the payload exactly once — N-1 messages
+            # per bcast, independent of the group's barrier algorithm.
+            algorithm = "tree"
+            expected = (group.size - 1) * count
+        else:
+            schedule = group.collective_schedule(
+                collective, payload_bytes=payload_bytes
+            )
+            algorithm = schedule.algorithm
+            expected = schedule.total_messages() * count
+        measured = flows.get(
+            f"group:{group.group_id}", {"packets": 0, "bytes": 0, "dropped": 0}
+        )
+        checks.append(
+            GroupFlowCheck(
+                group_id=group.group_id,
+                collective=collective,
+                algorithm=algorithm,
+                nodes=group.size,
+                count=count,
+                expected_packets=expected,
+                actual_packets=measured["packets"],
+                dropped=measured["dropped"],
+            )
+        )
+    return checks
 
 
 def run_counter_audit(

@@ -1,0 +1,71 @@
+"""Multi-job workloads: overlapping jobs, cross-traffic, tail metrics.
+
+The paper measured its NIC-based collectives on a silent, single-job
+machine; the clusters that motivated it (APENet/LQCD) run many jobs
+with overlapping allocations and background point-to-point traffic on
+the same links.  This layer expresses that: a job trace
+(:mod:`~repro.workload.trace`) feeds a driver
+(:mod:`~repro.workload.driver`) that runs every job on its own
+communicator over one shared fabric, with a seeded cross-traffic
+injector (:mod:`~repro.workload.crosstraffic`) congesting the links,
+and rolls per-job iteration latencies into tail metrics
+(:mod:`~repro.workload.metrics`).
+"""
+
+from repro.workload.crosstraffic import (
+    CrossTrafficInjector,
+    CrossTrafficSpec,
+    build_schedule,
+)
+from repro.workload.driver import (
+    DEFAULT_PROFILE,
+    KillSpec,
+    run_workload,
+    run_workload_cached,
+    verify_workload_determinism,
+)
+from repro.workload.metrics import (
+    JobMetrics,
+    format_job_table,
+    jain_fairness,
+    percentile,
+    summarize_job,
+)
+from repro.workload.trace import (
+    MYRINET_COLLECTIVES,
+    QUADRICS_COLLECTIVES,
+    TRACE_PATTERNS,
+    JobSpec,
+    dump_trace,
+    generate_trace,
+    load_trace,
+    parse_trace,
+    render_trace,
+    validate_trace,
+)
+
+__all__ = [
+    "CrossTrafficInjector",
+    "CrossTrafficSpec",
+    "build_schedule",
+    "DEFAULT_PROFILE",
+    "KillSpec",
+    "run_workload",
+    "run_workload_cached",
+    "verify_workload_determinism",
+    "JobMetrics",
+    "format_job_table",
+    "jain_fairness",
+    "percentile",
+    "summarize_job",
+    "MYRINET_COLLECTIVES",
+    "QUADRICS_COLLECTIVES",
+    "TRACE_PATTERNS",
+    "JobSpec",
+    "dump_trace",
+    "generate_trace",
+    "load_trace",
+    "parse_trace",
+    "render_trace",
+    "validate_trace",
+]

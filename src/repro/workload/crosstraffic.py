@@ -1,0 +1,132 @@
+"""Seeded point-to-point cross-traffic over the shared fabric.
+
+The injector streams ``xtraffic`` packets between random node pairs.
+They are real worms: each claims its links through the arbiters and
+holds bandwidth for its serialization time, so collective packets queue
+behind them exactly as they would behind another job's point-to-point
+traffic.  They terminate at a fabric-level sink (:meth:`Fabric.
+attach_sink`) instead of the NIC protocol stack — cross-traffic must
+congest links without perturbing NIC protocol state, and the sink keeps
+the model quiescence-clean (SL102–SL107) at drain.
+
+Everything is pre-drawn at setup from seeded substreams (inter-arrival
+gaps, source/destination pairs): the injection schedule is a pure
+function of the config, never of simulation event order (SL101).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.network import Packet, PacketKind
+from repro.sim import DeterministicRng
+
+
+@dataclass(frozen=True)
+class CrossTrafficSpec:
+    """Cross-traffic shape: aggregate rate, packet size, time window."""
+
+    rate_per_ms: float  # aggregate packets per millisecond, whole fabric
+    size_bytes: int = 512
+    horizon_us: float = 0.0  # 0 = derive from the silent baseline
+
+    def __post_init__(self) -> None:
+        if self.rate_per_ms < 0:
+            raise ValueError("negative cross-traffic rate")
+        if self.size_bytes < 1:
+            raise ValueError("cross-traffic packets need at least one byte")
+        if self.horizon_us < 0:
+            raise ValueError("negative horizon")
+
+    def to_json(self) -> dict:
+        return {
+            "rate_per_ms": self.rate_per_ms,
+            "size_bytes": self.size_bytes,
+            "horizon_us": self.horizon_us,
+        }
+
+
+class _XtFlow:
+    """Payload marker: gives the packet a ``flow`` label for per-flow
+    fabric accounting (and nothing else)."""
+
+    __slots__ = ("flow",)
+
+    def __init__(self, flow: str):
+        self.flow = flow
+
+
+_PAYLOAD = _XtFlow("xtraffic")
+
+
+def build_schedule(
+    spec: CrossTrafficSpec,
+    n_nodes: int,
+    horizon_us: float,
+    rng: DeterministicRng,
+) -> tuple[tuple[float, int, int], ...]:
+    """Pre-draw the full injection schedule: (time, src, dst) tuples.
+
+    Poisson arrivals (exponential gaps at the aggregate rate), uniform
+    distinct node pairs.  Fully determined by the rng seed and args.
+    """
+    if spec.rate_per_ms == 0 or horizon_us <= 0 or n_nodes < 2:
+        return ()
+    gaps = rng.substream("gaps")
+    pairs = rng.substream("pairs")
+    mean_gap_us = 1000.0 / spec.rate_per_ms
+    events = []
+    t = 0.0
+    while True:
+        t += gaps.exponential(mean_gap_us)
+        if t >= horizon_us:
+            break
+        src = pairs.randint(0, n_nodes - 1)
+        dst = (src + 1 + pairs.randint(0, n_nodes - 2)) % n_nodes
+        events.append((t, src, dst))
+    return tuple(events)
+
+
+class CrossTrafficInjector:
+    """Streams a pre-drawn schedule of xtraffic packets over a cluster."""
+
+    def __init__(self, cluster, schedule, size_bytes: int):
+        self.cluster = cluster
+        self.schedule = schedule
+        self.size_bytes = size_bytes
+        self.injected = 0
+        self.delivered = 0
+        for port in range(cluster.n):
+            cluster.fabric.attach_sink(port, PacketKind.XTRAFFIC, self._sink)
+
+    def _sink(self, packet: Packet) -> None:
+        self.delivered += 1
+
+    def _program(self):
+        sim = self.cluster.sim
+        fabric = self.cluster.fabric
+        for i, (t, src, dst) in enumerate(self.schedule):
+            if t > sim.now:
+                yield t - sim.now
+            fabric.transmit(
+                Packet(
+                    src=src,
+                    dst=dst,
+                    kind=PacketKind.XTRAFFIC,
+                    size_bytes=self.size_bytes,
+                    payload=_PAYLOAD,
+                    seq=i,
+                )
+            )
+            self.injected += 1
+
+    def launch(self):
+        """Start the injector; returns the process (for must_complete)."""
+        return self.cluster.sim.process(self._program(), name="xtraffic")
+
+    def stats(self) -> dict:
+        return {
+            "scheduled": len(self.schedule),
+            "injected": self.injected,
+            "delivered": self.delivered,
+        }

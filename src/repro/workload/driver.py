@@ -1,0 +1,652 @@
+"""The workload driver: overlapping jobs + cross-traffic on one fabric.
+
+One :func:`run_workload` call builds a cluster, gives every job of the
+trace its own communicator (many concurrent process groups on the
+shared NICs), launches the cross-traffic injector, runs everything to
+quiescence, and rolls per-job iteration latencies into tail metrics
+(p50/p99/p999, slowdown vs. a silent-machine baseline, Jain fairness).
+
+Determinism: every stochastic input — the trace, the per-iteration
+collective choices, the cross-traffic schedule — is pre-drawn at setup
+from seeded substreams; nothing draws randomness in simulation event
+order.  The whole result dict is the SL101 observable: it must be
+bit-identical under tie-break permutation (see
+:func:`verify_workload_determinism`) and on warm cache re-runs.
+
+Chaos composition: a :class:`KillSpec` kills one node mid-workload.
+Jobs whose allocation contains the victim are revoked, repaired onto
+the survivor epoch (ULFM-style, same machinery as ``repro chaos``) and
+prove the repaired epoch with a tail of barriers; jobs that do not
+contain the victim run to completion untouched.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Optional, Sequence
+
+from repro.cluster.builder import build_cluster
+from repro.cluster.profiles import get_profile
+from repro.collectives import BarrierFailure, Revoked
+from repro.collectives.data_engine import CollectiveFailure
+from repro.mpi import create_communicators, repair_quadrics
+from repro.network.faults import FaultInjector
+from repro.sim import DeterministicRng, Simulator
+from repro.tools.runcache import (
+    cached_call,
+    jsonable,
+    resolve_cache,
+    run_request,
+)
+from repro.workload.crosstraffic import (
+    CrossTrafficInjector,
+    CrossTrafficSpec,
+    build_schedule,
+)
+from repro.workload.metrics import (
+    JobMetrics,
+    attach_baseline,
+    jain_fairness,
+    summarize_job,
+)
+from repro.workload.trace import JobSpec, render_trace, validate_trace
+
+DEFAULT_PROFILE = {
+    "myrinet": "lanai_xp_xeon2400",
+    "quadrics": "elan3_piii700",
+}
+
+_POLL_US = 25.0
+
+
+@dataclass(frozen=True)
+class KillSpec:
+    """One mid-workload node kill (chaos composition)."""
+
+    node: int
+    at_us: float
+    tail_iterations: int = 5
+    detect_deadline_us: float = 5000.0
+    hb_period_us: float = 200.0
+    hb_timeout_us: float = 600.0
+    horizon_us: float = 30000.0
+
+    def to_json(self) -> dict:
+        return jsonable(self)
+
+
+def _draw_ops(job: JobSpec, seed: int) -> tuple[str, ...]:
+    """The job's per-iteration collective sequence, pre-drawn from the
+    job's own substream — identical in silent and contended runs, and
+    independent of every other job."""
+    rng = DeterministicRng(seed, f"workload/ops/{job.name}")
+    names = [op for op, _w in job.mix]
+    weights = [w for _op, w in job.mix]
+    total = sum(weights)
+    ops = []
+    for _ in range(job.total_iterations):
+        r = rng.uniform(0.0, float(total))
+        acc = 0.0
+        chosen = names[-1]
+        for name, weight in zip(names, weights):
+            acc += weight
+            if r < acc:
+                chosen = name
+                break
+        ops.append(chosen)
+    return tuple(ops)
+
+
+class _JobTracker:
+    """Per-job iteration completion times (last rank out)."""
+
+    def __init__(self, sim, job: JobSpec):
+        self.sim = sim
+        self.job = job
+        total = job.total_iterations
+        self.pending = [len(job.nodes)] * total
+        self.end = [0.0] * total
+
+    def rank_done(self, iteration: int) -> None:
+        self.pending[iteration] -= 1
+        if self.pending[iteration] == 0:
+            self.end[iteration] = self.sim.now
+
+    def rank_dead(self, from_iteration: int) -> None:
+        """A rank died; its remaining iterations will never complete."""
+        for it in range(from_iteration, len(self.pending)):
+            if self.pending[it] > 0:
+                self.pending[it] -= 1
+
+    def completed(self) -> int:
+        """Leading iterations every rank finished."""
+        count = 0
+        for pending, end in zip(self.pending, self.end):
+            if pending == 0 and end > 0.0:
+                count += 1
+            else:
+                break
+        return count
+
+    def latencies(self) -> list[float]:
+        """Per-iteration latency: consecutive completion deltas anchored
+        at the job's arrival."""
+        done = self.completed()
+        anchor = self.job.arrival_us
+        out = []
+        for it in range(done):
+            out.append(self.end[it] - anchor)
+            anchor = self.end[it]
+        return out
+
+
+def _run_myrinet_op(comm, op: str, payload_bytes: int, token):
+    if op == "barrier":
+        yield from comm.barrier()
+        return None
+    if op == "bcast":
+        value = token if comm.rank == 0 else None
+        result = yield from comm.bcast(
+            value=value, size_bytes=max(4, payload_bytes), root=0
+        )
+        return ("bcast", result)
+    if op == "allreduce":
+        result = yield from comm.allreduce(comm.rank + 1)
+        return ("allreduce", result)
+    if op == "allgather":
+        result = yield from comm.allgather(comm.rank)
+        return ("allgather", result)
+    if op == "alltoall":
+        blocks = {dst: (comm.rank, dst) for dst in range(comm.size)}
+        result = yield from comm.alltoall(blocks)
+        return ("alltoall", result)
+    raise ValueError(f"unsupported Myrinet collective {op!r}")
+
+
+def _run_quadrics_op(comm, op: str, payload_bytes: int, token):
+    if op == "barrier":
+        yield from comm.barrier()
+        return None
+    if op == "bcast":
+        value = token if comm.rank == 0 else None
+        result = yield from comm.bcast(
+            value=value, size_bytes=max(4, payload_bytes)
+        )
+        return ("bcast", result)
+    raise ValueError(f"unsupported Quadrics collective {op!r}")
+
+
+class _JobRun:
+    """Everything one job needs at run time."""
+
+    def __init__(self, cluster, network: str, job: JobSpec, ops, affected: bool):
+        self.cluster = cluster
+        self.network = network
+        self.job = job
+        self.ops = ops
+        self.affected = affected  # contains the kill victim
+        self.tracker = _JobTracker(cluster.sim, job)
+        self.gate = {"repaired": False}
+        self.violations: list[str] = []
+        self.tail_ok = 0
+        self.status = "completed"
+        self.comms = create_communicators(cluster, nodes=list(job.nodes))
+        if network == "myrinet":
+            self.ctx = self.comms[0]._ctx
+            # Pre-warm the root-0 broadcast context so group creation
+            # order is a setup-time property, never a race between
+            # jobs' first bcast calls.
+            if any(op == "bcast" for op in ops):
+                self.ctx.bcast_group(0)
+        else:
+            self.ctx = None
+
+    def comm_for_node(self, node: int):
+        for comm in self.comms:
+            if comm.node == node:
+                return comm
+        return None
+
+    def audit_specs(self) -> list[tuple]:
+        """(group, collective, count[, payload]) specs for the per-group
+        flow audit — exact only for a clean (fault-free) run."""
+        counts: dict[str, int] = {}
+        for op in self.ops:
+            counts[op] = counts.get(op, 0) + 1
+        specs = []
+        if self.network == "myrinet":
+            by_op = {
+                "barrier": self.ctx.barrier_group,
+                "allreduce": self.ctx.allreduce_group,
+                "allgather": self.ctx.allgather_group,
+                "alltoall": self.ctx.alltoall_group,
+            }
+            for op, count in sorted(counts.items()):
+                if op == "bcast":
+                    specs.append(
+                        (self.ctx.bcast_group(0), "bcast", count,
+                         max(4, self.job.payload_bytes))
+                    )
+                else:
+                    payload = (
+                        0 if op == "barrier" else self.job.payload_bytes
+                    )
+                    specs.append((by_op[op], op, count, payload))
+        else:
+            # Quadrics bcast is the hardware broadcast (replicated in
+            # the switches, not per-flow accounted); audit the chained
+            # barrier's RDMA flow only.
+            if counts.get("barrier"):
+                specs.append(
+                    (self.comms[0]._group, "barrier", counts["barrier"])
+                )
+        return specs
+
+    def program(self, rank: int):
+        job = self.job
+        run_op = (
+            _run_myrinet_op if self.network == "myrinet" else _run_quadrics_op
+        )
+        if job.arrival_us > 0:
+            yield job.arrival_us
+        node = job.nodes[rank]
+        token = f"{job.name}/tok"
+        abandoned_at: Optional[int] = None
+        for it, op in enumerate(self.ops):
+            if self.gate["repaired"]:
+                abandoned_at = it
+                break
+            if self.cluster.nics[node].crashed:
+                self.tracker.rank_dead(it)
+                self.status = "repaired"
+                return
+            comm = (
+                self.comm_for_node(node)
+                if self.network == "quadrics"
+                else self.comms[rank]
+            )
+            try:
+                result = yield from run_op(comm, op, job.payload_bytes, token)
+            except (Revoked, BarrierFailure, CollectiveFailure):
+                abandoned_at = it
+                break
+            if result is not None:
+                self._check(rank, op, result, token)
+            self.tracker.rank_done(it)
+        if abandoned_at is None:
+            return
+        # Revoked mid-workload: wait for the repaired epoch, then prove
+        # it with a tail of barriers on the survivor group.
+        self.tracker.rank_dead(abandoned_at)
+        self.status = "repaired"
+        while not self.gate["repaired"]:
+            yield _POLL_US
+        if self.cluster.nics[node].crashed:
+            return
+        comm = self.comm_for_node(node)
+        if comm is None:
+            return
+        kill = self.gate.get("kill")
+        tail = kill.tail_iterations if kill is not None else 0
+        for _ in range(tail):
+            yield from comm.barrier()
+        self.tail_ok += 1
+
+    def _check(self, rank: int, op: str, result, token) -> None:
+        kind, value = result
+        size = len(self.job.nodes)
+        ok = True
+        if kind == "bcast":
+            ok = value == token
+        elif kind == "allreduce":
+            ok = value == size * (size + 1) // 2
+        elif kind == "allgather":
+            ok = value == {r: r for r in range(size)}
+        elif kind == "alltoall":
+            ok = value == {src: (src, rank) for src in range(size)}
+        if not ok:
+            self.violations.append(
+                f"{self.job.name} rank {rank}: wrong {op} result {value!r}"
+            )
+
+
+def _launch_chaos(cluster, network: str, runs, kill: KillSpec, rng):
+    """Killer + controller processes (the ``repro chaos`` idiom)."""
+    n = cluster.n
+    hb_rng = rng.substream("hb")
+    for node in range(n):
+        cluster.nics[node].enable_failure_detector(
+            range(n),
+            rng=hb_rng,
+            period_us=kill.hb_period_us,
+            timeout_us=kill.hb_timeout_us,
+            horizon_us=kill.horizon_us,
+        )
+
+    def killer():
+        yield kill.at_us
+        cluster.nics[kill.node].crashed = True
+
+    def controller():
+        if cluster.sim.now < kill.at_us:
+            yield kill.at_us - cluster.sim.now
+        deadline = kill.at_us + kill.detect_deadline_us
+        while not all(
+            cluster.nics[s].membership.is_dead(kill.node)
+            for s in range(n)
+            if s != kill.node and not cluster.nics[s].crashed
+        ):
+            if cluster.sim.now > deadline:
+                for run in runs:
+                    if run.affected:
+                        run.violations.append(
+                            f"victim n{kill.node} not convicted within "
+                            f"{kill.detect_deadline_us:.0f}us"
+                        )
+                return
+            yield _POLL_US
+        # Repair every affected job and open its gate in one event: no
+        # survivor may start a new-epoch op before the gate moves.
+        for run in runs:
+            if not run.affected:
+                continue
+            try:
+                if network == "myrinet":
+                    run.ctx.repair([kill.node])
+                else:
+                    run.comms = repair_quadrics(
+                        cluster, run.comms, [kill.node]
+                    )
+            except Exception as exc:  # noqa: BLE001 - audited, not raised
+                run.violations.append(f"repair failed: {exc!r}")
+            run.gate["kill"] = kill
+            run.gate["repaired"] = True
+
+    return [
+        cluster.sim.process(killer(), name=f"killer@{kill.node}"),
+        cluster.sim.process(controller(), name="workload-controller"),
+    ]
+
+
+def _execute(
+    network: str,
+    cluster_nodes: int,
+    jobs: Sequence[JobSpec],
+    seed: int,
+    xtraffic_schedule,
+    xtraffic_bytes: int,
+    kill: Optional[KillSpec],
+    sim: Optional[Simulator],
+    profile: Optional[str] = None,
+):
+    """Build one cluster, run the jobs (+ cross-traffic, + chaos), and
+    return ``(job runs, diagnostics dict)``."""
+    resolved = get_profile(profile or DEFAULT_PROFILE[network])
+    faults = None
+    if kill is not None:
+        if network == "myrinet":
+            # Shrunk retry budgets: dying-epoch ops must resolve within
+            # the recovery window (the repro chaos fuzzer's settings).
+            resolved = replace(resolved, gm=replace(
+                resolved.gm, ack_timeout_us=200.0, max_retries=3,
+                nack_timeout_us=300.0, nack_max_rounds=4,
+            ))
+        faults = FaultInjector()
+        faults.kill_node(kill.node, at_us=kill.at_us)
+    sim_obj = sim if sim is not None else Simulator()
+    sim_obj.track_processes()
+    cluster = build_cluster(resolved, cluster_nodes, faults=faults, sim=sim_obj)
+
+    runs = [
+        _JobRun(
+            cluster,
+            network,
+            job,
+            _draw_ops(job, seed),
+            affected=kill is not None and kill.node in job.nodes,
+        )
+        for job in jobs
+    ]
+
+    injector = None
+    procs = []
+    if xtraffic_schedule:
+        injector = CrossTrafficInjector(
+            cluster, xtraffic_schedule, xtraffic_bytes
+        )
+        procs.append(injector.launch())
+    for run in runs:
+        for rank in range(len(run.job.nodes)):
+            procs.append(
+                cluster.sim.process(
+                    run.program(rank), name=f"{run.job.name}@r{rank}"
+                )
+            )
+    chaos_rng = DeterministicRng(seed, f"workload/chaos/{network}")
+    if kill is not None:
+        procs.extend(_launch_chaos(cluster, network, runs, kill, chaos_rng))
+
+    sim_obj.run()
+
+    hung = [p.name for p in procs if not p.completion.processed]
+    diagnostics = {
+        "profile": resolved.name,
+        "cluster": cluster,
+        "procs": procs,
+        "hung": hung,
+        "injector": injector,
+        "sim_end_us": cluster.sim.now,
+    }
+    return runs, diagnostics
+
+
+def _silent_baselines(
+    network: str,
+    cluster_nodes: int,
+    jobs: Sequence[JobSpec],
+    seed: int,
+    profile: Optional[str] = None,
+) -> dict[str, JobMetrics]:
+    """Each job alone on a fresh, silent cluster of the same size —
+    same node set, same op sequence, arrival pinned to zero."""
+    baselines = {}
+    for job in jobs:
+        alone = replace(job, arrival_us=0.0)
+        runs, diag = _execute(
+            network, cluster_nodes, [alone], seed,
+            xtraffic_schedule=(), xtraffic_bytes=0, kill=None, sim=None,
+            profile=profile,
+        )
+        if diag["hung"]:
+            raise RuntimeError(
+                f"silent baseline for {job.name} hung: {diag['hung']}"
+            )
+        run = runs[0]
+        lat = run.tracker.latencies()[job.warmup:]
+        baselines[job.name] = summarize_job(
+            job.name, len(job.nodes), 0.0, lat,
+            end_us=run.tracker.end[run.tracker.completed() - 1],
+        )
+    return baselines
+
+
+def run_workload(
+    network: str,
+    cluster_nodes: int,
+    jobs: Sequence[JobSpec],
+    seed: int = 0,
+    xtraffic: Optional[CrossTrafficSpec] = None,
+    kill: Optional[KillSpec] = None,
+    baseline: bool = True,
+    sim: Optional[Simulator] = None,
+    profile: Optional[str] = None,
+) -> dict:
+    """Run a multi-job workload; returns the jsonable result dict.
+
+    The dict is the canonical observable: bit-identical across
+    tie-break permutations and warm cache re-runs.
+    """
+    if network not in DEFAULT_PROFILE:
+        raise ValueError(f"unknown network {network!r}")
+    validate_trace(jobs, network, cluster_nodes)
+    if kill is not None and xtraffic is not None and xtraffic.horizon_us == 0:
+        raise ValueError("chaos mode needs an explicit cross-traffic horizon")
+
+    baselines: dict[str, JobMetrics] = {}
+    horizon = xtraffic.horizon_us if xtraffic is not None else 0.0
+    if baseline:
+        baselines = _silent_baselines(
+            network, cluster_nodes, jobs, seed, profile=profile
+        )
+        if xtraffic is not None and xtraffic.horizon_us == 0:
+            # Auto horizon: cover every job's silent span with headroom
+            # for the contention-stretched makespan.
+            horizon = 2.0 * max(
+                job.arrival_us + baselines[job.name].end_us for job in jobs
+            )
+
+    schedule = ()
+    if xtraffic is not None and xtraffic.rate_per_ms > 0:
+        schedule = build_schedule(
+            xtraffic, cluster_nodes, horizon,
+            DeterministicRng(seed, f"workload/xtraffic/{network}"),
+        )
+
+    runs, diag = _execute(
+        network, cluster_nodes, jobs, seed,
+        xtraffic_schedule=schedule,
+        xtraffic_bytes=xtraffic.size_bytes if xtraffic is not None else 0,
+        kill=kill, sim=sim, profile=profile,
+    )
+    if diag["hung"]:
+        raise RuntimeError(f"workload hung: {diag['hung']}")
+    cluster = diag["cluster"]
+
+    job_metrics: list[JobMetrics] = []
+    violations: list[str] = []
+    for run in runs:
+        job = run.job
+        violations.extend(run.violations)
+        lat = run.tracker.latencies()
+        timed = lat[job.warmup:]
+        if timed:
+            done = run.tracker.completed()
+            metrics = summarize_job(
+                job.name, len(job.nodes), job.arrival_us, timed,
+                end_us=run.tracker.end[done - 1], status=run.status,
+            )
+        else:
+            metrics = JobMetrics(
+                name=job.name, n_nodes=len(job.nodes),
+                arrival_us=job.arrival_us, iterations=0, mean_us=0.0,
+                p50_us=0.0, p99_us=0.0, p999_us=0.0, max_us=0.0,
+                end_us=0.0, status=run.status,
+            )
+        if job.name in baselines and timed:
+            attach_baseline(metrics, baselines[job.name])
+        job_metrics.append(metrics)
+
+    slowdowns = [m.slowdown for m in job_metrics if m.slowdown is not None]
+    fairness = jain_fairness(slowdowns) if slowdowns else 1.0
+
+    group_audit = []
+    if kill is None:
+        from repro.tools.audit import audit_group_flows
+
+        specs = [s for run in runs for s in run.audit_specs()]
+        for check in audit_group_flows(cluster.fabric, specs):
+            group_audit.append(jsonable(check))
+            if not check.ok:
+                violations.append(
+                    f"group {check.group_id} {check.collective}: expected "
+                    f"{check.expected_packets} packets, saw "
+                    f"{check.actual_packets}"
+                )
+
+    from repro.tools.simlint import check_quiescent
+
+    report = check_quiescent(
+        cluster, must_complete=[p.name for p in diag["procs"]]
+    )
+
+    return {
+        "network": network,
+        "profile": diag["profile"],
+        "cluster_nodes": cluster_nodes,
+        "seed": seed,
+        "jobs": [m.to_json() for m in job_metrics],
+        "fairness": fairness,
+        "sim_end_us": diag["sim_end_us"],
+        "xtraffic": (
+            diag["injector"].stats() if diag["injector"] is not None else None
+        ),
+        "xtraffic_horizon_us": horizon if schedule else 0.0,
+        "flow_counters": cluster.fabric.flow_counters(),
+        "group_audit": group_audit,
+        "quiescence": [f.render() for f in report.findings],
+        "violations": violations,
+        "kill": kill.to_json() if kill is not None else None,
+    }
+
+
+def run_workload_cached(
+    network: str,
+    cluster_nodes: int,
+    jobs: Sequence[JobSpec],
+    seed: int = 0,
+    xtraffic: Optional[CrossTrafficSpec] = None,
+    kill: Optional[KillSpec] = None,
+    baseline: bool = True,
+    cache="auto",
+    profile: Optional[str] = None,
+) -> dict:
+    """Cache-aware :func:`run_workload` (keyed on the full trace text,
+    cross-traffic config, and source digest)."""
+    request = run_request(
+        "workload",
+        network=network,
+        cluster_nodes=cluster_nodes,
+        seed=seed,
+        trace=render_trace(jobs),
+        xtraffic=xtraffic.to_json() if xtraffic is not None else None,
+        kill=kill.to_json() if kill is not None else None,
+        baseline=baseline,
+        profile=profile,
+    )
+    return cached_call(
+        resolve_cache(cache),
+        request,
+        lambda: run_workload(
+            network, cluster_nodes, jobs, seed=seed, xtraffic=xtraffic,
+            kill=kill, baseline=baseline, profile=profile,
+        ),
+    )
+
+
+def verify_workload_determinism(
+    network: str,
+    cluster_nodes: int,
+    jobs: Sequence[JobSpec],
+    seed: int = 0,
+    xtraffic: Optional[CrossTrafficSpec] = None,
+    rounds: int = 5,
+):
+    """SL101 harness: the full result dict must be bit-identical under
+    tie-break permutation.  Returns the findings list (empty = clean).
+
+    The baseline phase runs once on stock kernels (its metrics feed the
+    horizon and slowdown fields deterministically); only the contended
+    run itself is re-executed under each permuted simulator.
+    """
+    from repro.tools.simlint import compare_runs
+
+    def build_and_run(sim):
+        return run_workload(
+            network, cluster_nodes, jobs, seed=seed, xtraffic=xtraffic,
+            baseline=True, sim=sim,
+        )
+
+    return compare_runs(
+        build_and_run, rounds=rounds, seed=seed,
+        where=f"workload/{network}",
+    )

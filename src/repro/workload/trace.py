@@ -1,0 +1,220 @@
+"""Job traces: the workload layer's input format and generators.
+
+A trace is JSON lines, one job per line::
+
+    {"name": "job0", "arrival_us": 0.0, "nodes": [0, 1, 2, 3],
+     "mix": {"barrier": 3, "bcast": 1}, "payload_bytes": 64,
+     "iterations": 40, "warmup": 4}
+
+``mix`` maps collective names to integer weights; the driver expands
+it into a per-iteration op sequence with seeded draws, so the same
+trace always runs the same ops.  ``nodes`` may overlap between jobs —
+that is the point: the APENet/LQCD deployments that motivated the
+paper's protocol run many jobs on shared allocations, and the fabric
+links under a barrier are never silent.
+
+Synthetic generators (:func:`generate_trace`) produce the three
+arrival/allocation shapes the contention experiments use:
+
+- ``uniform``: equal-size jobs, arrivals evenly spread over a window;
+- ``bursty``: equal-size jobs all arriving in the first tenth of the
+  window (the gang-scheduling worst case);
+- ``skewed``: one large job plus small jobs, staggered arrivals (the
+  "big training job vs. background batch" shape).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Sequence, Union
+
+from repro.sim import DeterministicRng
+
+#: Collectives each transport's communicator offers.
+MYRINET_COLLECTIVES = ("barrier", "bcast", "allgather", "alltoall", "allreduce")
+QUADRICS_COLLECTIVES = ("barrier", "bcast")
+
+TRACE_PATTERNS = ("uniform", "bursty", "skewed")
+
+
+@dataclass(frozen=True)
+class JobSpec:
+    """One job of a workload: who runs, when, and what it calls."""
+
+    name: str
+    arrival_us: float
+    nodes: tuple[int, ...]
+    mix: tuple[tuple[str, int], ...]  # (collective, weight), weight > 0
+    payload_bytes: int = 0
+    iterations: int = 20
+    warmup: int = 2
+
+    def __post_init__(self) -> None:
+        if not self.nodes:
+            raise ValueError(f"job {self.name}: empty node set")
+        if len(set(self.nodes)) != len(self.nodes):
+            raise ValueError(f"job {self.name}: duplicate nodes")
+        if len(self.nodes) < 2:
+            raise ValueError(f"job {self.name}: needs at least two nodes")
+        if self.arrival_us < 0:
+            raise ValueError(f"job {self.name}: negative arrival")
+        if self.iterations < 1:
+            raise ValueError(f"job {self.name}: needs at least one iteration")
+        if self.warmup < 0:
+            raise ValueError(f"job {self.name}: negative warmup")
+        if not self.mix:
+            raise ValueError(f"job {self.name}: empty collective mix")
+        for op, weight in self.mix:
+            if weight <= 0:
+                raise ValueError(f"job {self.name}: weight {weight} for {op!r}")
+
+    @property
+    def total_iterations(self) -> int:
+        return self.warmup + self.iterations
+
+    def to_json(self) -> dict:
+        return {
+            "name": self.name,
+            "arrival_us": self.arrival_us,
+            "nodes": list(self.nodes),
+            "mix": {op: weight for op, weight in self.mix},
+            "payload_bytes": self.payload_bytes,
+            "iterations": self.iterations,
+            "warmup": self.warmup,
+        }
+
+    @classmethod
+    def from_json(cls, record: dict) -> "JobSpec":
+        mix = record.get("mix", {"barrier": 1})
+        return cls(
+            name=str(record["name"]),
+            arrival_us=float(record.get("arrival_us", 0.0)),
+            nodes=tuple(int(n) for n in record["nodes"]),
+            mix=tuple(sorted((str(op), int(w)) for op, w in mix.items())),
+            payload_bytes=int(record.get("payload_bytes", 0)),
+            iterations=int(record.get("iterations", 20)),
+            warmup=int(record.get("warmup", 2)),
+        )
+
+
+def render_trace(jobs: Sequence[JobSpec]) -> str:
+    """Serialize jobs as JSON lines (stable key order)."""
+    return "".join(
+        json.dumps(job.to_json(), sort_keys=True) + "\n" for job in jobs
+    )
+
+
+def parse_trace(text: str) -> list[JobSpec]:
+    """Parse a JSON-lines trace; blank lines and ``#`` comments skipped."""
+    jobs = []
+    for lineno, line in enumerate(text.splitlines(), 1):
+        line = line.strip()
+        if not line or line.startswith("#"):
+            continue
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError as exc:
+            raise ValueError(f"trace line {lineno}: invalid JSON: {exc}") from None
+        jobs.append(JobSpec.from_json(record))
+    if not jobs:
+        raise ValueError("trace contains no jobs")
+    names = [job.name for job in jobs]
+    if len(set(names)) != len(names):
+        raise ValueError(f"duplicate job names in trace: {names}")
+    return jobs
+
+
+def load_trace(path: Union[str, Path]) -> list[JobSpec]:
+    return parse_trace(Path(path).read_text())
+
+
+def dump_trace(jobs: Sequence[JobSpec], path: Union[str, Path]) -> None:
+    Path(path).write_text(render_trace(jobs))
+
+
+def validate_trace(
+    jobs: Sequence[JobSpec], network: str, cluster_nodes: int
+) -> None:
+    """Reject jobs a given transport/cluster cannot run."""
+    supported = (
+        MYRINET_COLLECTIVES if network == "myrinet" else QUADRICS_COLLECTIVES
+    )
+    for job in jobs:
+        bad = [op for op, _w in job.mix if op not in supported]
+        if bad:
+            raise ValueError(
+                f"job {job.name}: collectives {bad} unsupported on "
+                f"{network} (supported: {supported})"
+            )
+        out = [n for n in job.nodes if not 0 <= n < cluster_nodes]
+        if out:
+            raise ValueError(
+                f"job {job.name}: nodes {out} outside cluster of "
+                f"{cluster_nodes}"
+            )
+
+
+def _job_nodes(start: int, size: int, cluster_nodes: int) -> tuple[int, ...]:
+    """A contiguous (wrapped) allocation — neighbouring jobs overlap."""
+    return tuple((start + k) % cluster_nodes for k in range(size))
+
+
+def generate_trace(
+    pattern: str,
+    jobs: int,
+    cluster_nodes: int,
+    seed: int = 0,
+    iterations: int = 20,
+    warmup: int = 2,
+    payload_bytes: int = 64,
+    window_us: float = 200.0,
+) -> list[JobSpec]:
+    """Build a synthetic trace with overlapping allocations.
+
+    All draws come from seeded substreams, so the same arguments always
+    yield the same trace.  Allocations are contiguous wrapped ranges
+    whose starts are spread around the ring; with total allocated size
+    exceeding the cluster, neighbouring jobs share nodes.
+    """
+    if pattern not in TRACE_PATTERNS:
+        raise ValueError(f"unknown pattern {pattern!r}; use {TRACE_PATTERNS}")
+    if jobs < 1:
+        raise ValueError("need at least one job")
+    if cluster_nodes < 4:
+        raise ValueError("need at least four nodes for overlapping jobs")
+    rng = DeterministicRng(seed, f"workload/trace/{pattern}")
+    arrivals_rng = rng.substream("arrivals")
+    specs = []
+    base_mix = (("barrier", 3), ("bcast", 1))
+    for j in range(jobs):
+        if pattern == "skewed":
+            size = (3 * cluster_nodes) // 4 if j == 0 else max(2, cluster_nodes // 4)
+        else:
+            size = max(2, cluster_nodes // 2)
+        # Starts spread evenly; the sizes guarantee neighbour overlap.
+        start = (j * cluster_nodes) // max(jobs, 1)
+        if pattern == "uniform":
+            arrival = (j * window_us) / jobs + arrivals_rng.uniform(
+                0.0, window_us / (4 * jobs)
+            )
+        elif pattern == "bursty":
+            arrival = arrivals_rng.uniform(0.0, window_us / 10.0)
+        else:  # skewed: the big job first, stragglers trickle in
+            arrival = 0.0 if j == 0 else arrivals_rng.exponential(
+                window_us / jobs
+            )
+        mix = (("barrier", 1),) if pattern == "skewed" and j == 0 else base_mix
+        specs.append(
+            JobSpec(
+                name=f"job{j}",
+                arrival_us=round(arrival, 3),
+                nodes=_job_nodes(start, size, cluster_nodes),
+                mix=mix,
+                payload_bytes=payload_bytes,
+                iterations=iterations,
+                warmup=warmup,
+            )
+        )
+    return specs

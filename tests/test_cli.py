@@ -158,3 +158,48 @@ def test_trace_no_cache_stays_silent(tmp_path, capsys):
     assert code == 0
     captured = capsys.readouterr()
     assert "run cache" not in captured.out + captured.err
+
+
+def test_workload_smoke_both_networks(capsys):
+    code = main([
+        "workload", "-n", "8", "--jobs", "2", "--pattern", "uniform",
+        "--iterations", "3", "--seed", "1", "--no-cache",
+    ])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "workload: myrinet" in out
+    assert "workload: quadrics" in out
+    assert "fairness" in out
+    assert "cross-traffic" in out
+    assert "group flow audit" in out
+    assert "VIOLATION" not in out and "QUIESCENCE" not in out
+
+
+def test_workload_trace_write_and_reload(tmp_path, capsys):
+    trace_path = tmp_path / "jobs.jsonl"
+    code = main([
+        "workload", "--network", "myrinet", "-n", "8", "--jobs", "2",
+        "--iterations", "2", "--no-xtraffic", "--no-cache",
+        "--write-trace", str(trace_path),
+    ])
+    assert code == 0
+    assert trace_path.exists()
+    capsys.readouterr()
+    code = main([
+        "workload", "--network", "myrinet", "-n", "8",
+        "--jobs-trace", str(trace_path), "--no-xtraffic", "--no-cache",
+    ])
+    assert code == 0
+    assert "workload: myrinet" in capsys.readouterr().out
+
+
+def test_workload_chaos_disables_xtraffic(capsys):
+    code = main([
+        "workload", "--network", "quadrics", "-n", "8", "--jobs", "2",
+        "--pattern", "uniform", "--iterations", "12", "--no-cache",
+        "--kill-node", "0", "--kill-at", "30",
+    ])
+    captured = capsys.readouterr()
+    assert code == 0
+    assert "cross-traffic disabled" in captured.err
+    assert "repaired" in captured.out

@@ -90,3 +90,63 @@ def test_audit_seed_insensitive():
             "nic-chained", nodes=8, iterations=5, warmup=2, seed=seed
         )
         assert audit.passed, f"\n{audit.table()}"
+
+
+# ----------------------------------------------------------------------
+# Group-scoped flow audit (multi-job workloads)
+# ----------------------------------------------------------------------
+def test_group_flow_audit_two_overlapping_jobs_exact():
+    """Two jobs with overlapping allocations on one fabric: the global
+    wire totals conflate their traffic (the single-job closed form
+    false-fails), but the per-group flow audit is exact for each."""
+    from repro.cluster import build_cluster
+    from repro.mpi import create_communicators
+    from repro.tools.audit import audit_group_flows
+
+    cluster = build_cluster("lanai_xp_xeon2400", 8)
+    comms_a = create_communicators(cluster, nodes=[0, 1, 2, 3, 4])
+    comms_b = create_communicators(cluster, nodes=[3, 4, 5, 6, 7])
+
+    def prog(comm, count):
+        for _ in range(count):
+            yield from comm.barrier()
+
+    for rank, comm in enumerate(comms_a):
+        cluster.sim.process(prog(comm, 2), name=f"a@{rank}")
+    for rank, comm in enumerate(comms_b):
+        cluster.sim.process(prog(comm, 3), name=f"b@{rank}")
+    cluster.sim.run()
+
+    group_a = comms_a[0]._ctx.barrier_group
+    group_b = comms_b[0]._ctx.barrier_group
+    per_barrier = group_a.collective_schedule("barrier").total_messages()
+
+    # The machine-wide count sums both jobs: any single-job expectation
+    # (2 barriers of one 5-node group) is wrong against it.
+    total = cluster.fabric.tracer.counters["wire.barrier"]
+    assert total == 5 * per_barrier  # 2 + 3 barriers, same group size
+    assert total != 2 * per_barrier
+
+    checks = audit_group_flows(
+        cluster.fabric,
+        [(group_a, "barrier", 2), (group_b, "barrier", 3)],
+    )
+    assert [c.ok for c in checks] == [True, True]
+    assert checks[0].expected_packets == 2 * per_barrier
+    assert checks[1].expected_packets == 3 * per_barrier
+    assert checks[0].group_id != checks[1].group_id
+
+
+def test_group_flow_audit_flags_missing_traffic():
+    from repro.cluster import build_cluster
+    from repro.mpi import create_communicators
+    from repro.tools.audit import audit_group_flows
+
+    cluster = build_cluster("lanai_xp_xeon2400", 4)
+    comms = create_communicators(cluster)
+    group = comms[0]._ctx.barrier_group
+    # No barrier ever ran: the audit must report the shortfall, not pass.
+    checks = audit_group_flows(cluster.fabric, [(group, "barrier", 1)])
+    assert not checks[0].ok
+    assert checks[0].actual_packets == 0
+    assert checks[0].expected_packets > 0

@@ -1,0 +1,83 @@
+"""Tests for tail-latency metrics: percentiles, fairness, summaries."""
+
+import pytest
+
+from repro.workload import (
+    JobMetrics,
+    format_job_table,
+    jain_fairness,
+    percentile,
+    summarize_job,
+)
+from repro.workload.metrics import attach_baseline
+
+
+def test_percentile_nearest_rank():
+    values = [10.0, 20.0, 30.0, 40.0, 50.0]
+    assert percentile(values, 0) == 10.0
+    assert percentile(values, 50) == 30.0
+    assert percentile(values, 99) == 50.0
+    assert percentile(values, 100) == 50.0
+    # Order of the input must not matter.
+    assert percentile(list(reversed(values)), 50) == 30.0
+
+
+def test_percentile_small_samples_degenerate_to_max():
+    assert percentile([5.0, 7.0], 99) == 7.0
+    assert percentile([5.0], 99.9) == 5.0
+
+
+def test_percentile_rejects_bad_input():
+    with pytest.raises(ValueError, match="no values"):
+        percentile([], 50)
+    with pytest.raises(ValueError, match="out of range"):
+        percentile([1.0], 101)
+
+
+def test_jain_fairness_bounds():
+    assert jain_fairness([1.0, 1.0, 1.0, 1.0]) == pytest.approx(1.0)
+    # One job absorbs triple the contention of the other -> 0.8.
+    assert jain_fairness([3.0, 1.0]) == pytest.approx(0.8)
+    assert jain_fairness([]) == 1.0
+    # Zero slowdowns (jobs without baselines) are ignored, not divided by.
+    assert jain_fairness([0.0, 2.0, 2.0]) == pytest.approx(1.0)
+
+
+def test_summarize_job_rolls_up_tails():
+    lat = [10.0, 11.0, 12.0, 30.0]
+    m = summarize_job("j", 8, 5.0, lat, end_us=120.0)
+    assert m.iterations == 4
+    assert m.mean_us == pytest.approx(15.75)
+    assert m.p50_us == 11.0
+    assert m.p99_us == 30.0
+    assert m.max_us == 30.0
+    assert m.end_us == 120.0
+    assert m.slowdown is None  # no baseline attached yet
+
+
+def test_summarize_job_rejects_empty():
+    with pytest.raises(ValueError, match="no timed iterations"):
+        summarize_job("j", 8, 0.0, [], end_us=0.0)
+
+
+def test_attach_baseline_computes_slowdown():
+    contended = summarize_job("j", 8, 0.0, [20.0, 22.0], end_us=50.0)
+    silent = summarize_job("j", 8, 0.0, [10.0, 11.0], end_us=25.0)
+    attach_baseline(contended, silent)
+    assert contended.silent_mean_us == pytest.approx(10.5)
+    assert contended.slowdown == pytest.approx(21.0 / 10.5)
+    assert contended.p99_ratio == pytest.approx(22.0 / 11.0)
+
+
+def test_job_metrics_json_round_trip():
+    m = summarize_job("j", 8, 1.0, [10.0, 12.0], end_us=30.0)
+    assert JobMetrics(**m.to_json()) == m
+
+
+def test_format_job_table_is_stable_text():
+    m = summarize_job("job0", 8, 0.0, [10.0, 12.0], end_us=30.0)
+    table = format_job_table([m], fairness=0.5)
+    assert table == format_job_table([m], fairness=0.5)
+    assert "job0" in table and "fairness" in table
+    # Missing baseline renders as '-', not a crash.
+    assert " - " in table or "-  " in table or "- " in table

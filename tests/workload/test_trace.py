@@ -1,0 +1,128 @@
+"""Tests for the job-trace format and synthetic generators."""
+
+import pytest
+
+from repro.workload import (
+    TRACE_PATTERNS,
+    JobSpec,
+    generate_trace,
+    parse_trace,
+    render_trace,
+    validate_trace,
+)
+
+
+def spec(**overrides):
+    base = dict(
+        name="j",
+        arrival_us=0.0,
+        nodes=(0, 1, 2, 3),
+        mix=(("barrier", 1),),
+        payload_bytes=64,
+        iterations=5,
+        warmup=1,
+    )
+    base.update(overrides)
+    return JobSpec(**base)
+
+
+def test_jobspec_validation():
+    with pytest.raises(ValueError, match="empty node set"):
+        spec(nodes=())
+    with pytest.raises(ValueError, match="duplicate nodes"):
+        spec(nodes=(0, 1, 1))
+    with pytest.raises(ValueError, match="two nodes"):
+        spec(nodes=(0,))
+    with pytest.raises(ValueError, match="negative arrival"):
+        spec(arrival_us=-1.0)
+    with pytest.raises(ValueError, match="one iteration"):
+        spec(iterations=0)
+    with pytest.raises(ValueError, match="empty collective mix"):
+        spec(mix=())
+    with pytest.raises(ValueError, match="weight"):
+        spec(mix=(("barrier", 0),))
+
+
+def test_total_iterations_includes_warmup():
+    assert spec(iterations=5, warmup=2).total_iterations == 7
+
+
+def test_render_parse_round_trip():
+    jobs = [
+        spec(name="a", mix=(("barrier", 3), ("bcast", 1))),
+        spec(name="b", arrival_us=12.5, nodes=(2, 3, 4, 5)),
+    ]
+    assert parse_trace(render_trace(jobs)) == jobs
+
+
+def test_parse_skips_blank_lines_and_comments():
+    text = render_trace([spec(name="a")])
+    decorated = "# a comment\n\n" + text + "\n# trailing\n"
+    assert parse_trace(decorated) == [spec(name="a")]
+
+
+def test_parse_rejects_bad_json_and_duplicates():
+    with pytest.raises(ValueError, match="invalid JSON"):
+        parse_trace("{not json}\n")
+    dup = render_trace([spec(name="a")]) * 2
+    with pytest.raises(ValueError, match="duplicate job names"):
+        parse_trace(dup)
+    with pytest.raises(ValueError, match="no jobs"):
+        parse_trace("# only comments\n")
+
+
+def test_from_json_applies_defaults():
+    job = JobSpec.from_json({"name": "x", "nodes": [0, 1]})
+    assert job.arrival_us == 0.0
+    assert job.mix == (("barrier", 1),)
+    assert job.iterations == 20
+    assert job.warmup == 2
+
+
+def test_generate_trace_is_deterministic():
+    for pattern in TRACE_PATTERNS:
+        first = generate_trace(pattern, 4, 32, seed=7, iterations=6)
+        again = generate_trace(pattern, 4, 32, seed=7, iterations=6)
+        assert first == again
+        # A different seed moves at least one arrival.
+        other = generate_trace(pattern, 4, 32, seed=8, iterations=6)
+        assert first != other
+
+
+def test_generate_trace_allocations_overlap():
+    for pattern in TRACE_PATTERNS:
+        jobs = generate_trace(pattern, 4, 32, seed=0)
+        allocated = [set(j.nodes) for j in jobs]
+        assert any(
+            a & b
+            for i, a in enumerate(allocated)
+            for b in allocated[i + 1:]
+        ), f"{pattern}: no two jobs share a node"
+
+
+def test_generate_trace_skewed_has_one_large_job():
+    jobs = generate_trace("skewed", 4, 64, seed=0)
+    sizes = sorted(len(j.nodes) for j in jobs)
+    assert sizes[-1] == 48 and sizes[0] == 16
+    assert jobs[0].arrival_us == 0.0
+
+
+def test_generate_trace_rejects_bad_args():
+    with pytest.raises(ValueError, match="unknown pattern"):
+        generate_trace("zipf", 2, 16)
+    with pytest.raises(ValueError, match="at least one job"):
+        generate_trace("uniform", 0, 16)
+    with pytest.raises(ValueError, match="four nodes"):
+        generate_trace("uniform", 2, 2)
+
+
+def test_validate_trace_scopes_collectives_by_network():
+    jobs = [spec(mix=(("alltoall", 1),))]
+    validate_trace(jobs, "myrinet", 16)  # fine
+    with pytest.raises(ValueError, match="unsupported on quadrics"):
+        validate_trace(jobs, "quadrics", 16)
+
+
+def test_validate_trace_rejects_out_of_range_nodes():
+    with pytest.raises(ValueError, match="outside cluster"):
+        validate_trace([spec(nodes=(0, 1, 2, 99))], "myrinet", 16)
